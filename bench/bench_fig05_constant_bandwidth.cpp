@@ -1,0 +1,55 @@
+// Figure 5: IF vs PB vs IB under the constant-bandwidth assumption.
+//
+// Paper shape targets (§4.1):
+//   (a) traffic reduction:   IF > IB > PB at every cache size
+//   (b) average delay:       PB < IB < IF ("even when cache size is
+//       relatively high, the inferiority of IF caching is still obvious")
+//   (c) average quality:     PB > IB > IF
+
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace sc;
+  const auto cfg = bench::parse_figure_args(argc, argv, "fig05.csv");
+  const auto scenario = core::constant_scenario();
+  const auto points = bench::sweep_cache_sizes(
+      cfg, scenario,
+      {bench::spec(cache::PolicyKind::kIF), bench::spec(cache::PolicyKind::kPB),
+       bench::spec(cache::PolicyKind::kIB)},
+      core::paper_cache_fractions());
+
+  std::printf("Figure 5: replacement algorithms, constant bandwidth\n");
+  std::printf("(runs=%zu, requests=%zu, objects=%zu)\n", cfg.runs,
+              cfg.requests, cfg.objects);
+  bench::print_panel(points, bench::Metric::kTrafficReduction,
+                     "Fig 5(a) Traffic Reduction Ratio");
+  bench::print_panel(points, bench::Metric::kDelay,
+                     "Fig 5(b) Average Service Delay");
+  bench::print_panel(points, bench::Metric::kQuality,
+                     "Fig 5(c) Average Stream Quality");
+  bench::write_points_csv(points, cfg.csv_path);
+
+  // Shape check at every cache size: traffic IF > IB > PB; delay
+  // PB < IB < IF; quality PB > IB > IF (the paper's §4.1 orderings).
+  auto at = [&](const std::string& name,
+                double f) -> const core::AveragedMetrics& {
+    for (const auto& p : points) {
+      if (p.policy == name && p.cache_fraction == f) return p.metrics;
+    }
+    throw std::logic_error("missing point");
+  };
+  bool ok = true;
+  for (const double f : core::paper_cache_fractions()) {
+    const auto& fi = at("IF", f);
+    const auto& pb = at("PB", f);
+    const auto& ib = at("IB", f);
+    ok = ok && fi.traffic_reduction > ib.traffic_reduction &&
+         ib.traffic_reduction > pb.traffic_reduction &&
+         pb.delay_s < ib.delay_s && ib.delay_s < fi.delay_s &&
+         pb.quality > ib.quality && ib.quality > fi.quality;
+  }
+  std::printf("shape check (traffic IF>IB>PB; delay PB<IB<IF; quality "
+              "PB>IB>IF): %s\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

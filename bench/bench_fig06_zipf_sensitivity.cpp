@@ -1,0 +1,80 @@
+// Figure 6: effect of the Zipf-like popularity parameter alpha.
+//
+// The paper sweeps alpha in [0.5, 1.2] (x cache size) for IB and PB under
+// constant bandwidth and reports surfaces for traffic reduction, delay,
+// and quality. Shape targets (§4.2): intensifying temporal locality
+// (larger alpha) improves both algorithms; the relative ordering is
+// unchanged (IB leads traffic reduction, PB leads delay/quality).
+
+#include <cstdio>
+#include <map>
+
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace sc;
+  auto cfg = bench::parse_figure_args(argc, argv, "fig06.csv");
+  const auto scenario = core::constant_scenario();
+
+  const std::vector<double> alphas = {0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2};
+  const std::vector<double> fractions = {0.02, 0.05, 0.10, 0.169};
+
+  const auto points = bench::sweep_alpha_and_cache(
+      cfg, scenario,
+      {bench::spec(cache::PolicyKind::kIB), bench::spec(cache::PolicyKind::kPB)},
+      alphas, fractions);
+
+  std::printf("Figure 6: Zipf alpha sensitivity (constant bandwidth)\n");
+  std::printf("(runs=%zu, requests=%zu, objects=%zu)\n\n", cfg.runs,
+              cfg.requests, cfg.objects);
+
+  // Print one table per (policy, metric): rows = alpha, cols = fraction.
+  for (const std::string policy : {"IB", "PB"}) {
+    for (const auto metric :
+         {bench::Metric::kTrafficReduction, bench::Metric::kDelay,
+          bench::Metric::kQuality}) {
+      std::printf("\n== %s: %s (rows alpha, cols cache fraction) ==\n",
+                  policy.c_str(), bench::metric_name(metric).c_str());
+      std::vector<std::string> cols = {"alpha"};
+      for (const double f : fractions) cols.push_back(util::Table::num(f, 3));
+      util::Table table(cols);
+      for (const double a : alphas) {
+        std::vector<std::string> row = {util::Table::num(a, 2)};
+        for (const double f : fractions) {
+          for (const auto& p : points) {
+            if (p.policy == policy && p.zipf_alpha == a &&
+                p.cache_fraction == f) {
+              row.push_back(
+                  util::Table::num(bench::metric_value(p.metrics, metric), 4));
+            }
+          }
+        }
+        table.add_row(row);
+      }
+      table.print();
+    }
+  }
+
+  // Shape check: alpha = 1.2 must beat alpha = 0.5 on every metric.
+  // Checked at cache fraction 0.05, where PB is not yet saturated: once
+  // PB has cached every needy object's prefix (its aggregate demand is
+  // ~9% of the corpus under our bandwidth model), only cold first-access
+  // misses remain and the alpha trend on *delay* inverts -- see the
+  // EXPERIMENTS.md Fig-6 note.
+  bool ok = true;
+  for (const std::string policy : {"IB", "PB"}) {
+    const core::AveragedMetrics *lo = nullptr, *hi = nullptr;
+    for (const auto& p : points) {
+      if (p.policy == policy && p.cache_fraction == 0.05) {
+        if (p.zipf_alpha == 0.5) lo = &p.metrics;
+        if (p.zipf_alpha == 1.2) hi = &p.metrics;
+      }
+    }
+    ok = ok && lo && hi && hi->traffic_reduction > lo->traffic_reduction &&
+         hi->delay_s < lo->delay_s && hi->quality > lo->quality;
+  }
+  bench::write_points_csv(points, cfg.csv_path);
+  std::printf("shape check (higher alpha helps both policies): %s\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+// Figure 9: the over-provisioning spectrum -- partial caching with the
+// bandwidth underestimated by a factor e in [0, 1], under variable
+// bandwidth. e = 0 degenerates to IB (whole objects), e = 1 is PB.
+//
+// Paper shape targets (§4.3): traffic reduction is highest at e = 0 and
+// falls monotonically with e ("IB caching is always better in reducing
+// network traffic"); average delay is minimized at a moderate non-zero e.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace sc;
+  const auto cfg = bench::parse_figure_args(argc, argv, "fig09.csv");
+  // The fifth simulation set studies variability; use the NLANR model, the
+  // setting in which PB (e = 1) is most clearly suboptimal.
+  const auto scenario = core::nlanr_variability_scenario();
+
+  const std::vector<double> es = {0.0, 0.2, 0.4, 0.5, 0.6, 0.8, 1.0};
+  const std::vector<double> fractions = {0.02, 0.05, 0.10, 0.169};
+
+  std::vector<bench::PolicySpec> specs;
+  for (const double e : es) {
+    specs.push_back(bench::spec(cache::PolicyKind::kHybrid, e,
+                                "e=" + util::Table::num(e, 1)));
+  }
+  const auto points = bench::sweep_cache_sizes(cfg, scenario, specs, fractions);
+
+  std::printf("Figure 9: partial caching with bandwidth estimator e "
+              "(NLANR variability)\n(runs=%zu, requests=%zu, objects=%zu)\n\n",
+              cfg.runs, cfg.requests, cfg.objects);
+
+  for (const auto metric :
+       {bench::Metric::kTrafficReduction, bench::Metric::kDelay}) {
+    std::printf("== %s (rows e, cols cache fraction) ==\n",
+                bench::metric_name(metric).c_str());
+    std::vector<std::string> cols = {"e"};
+    for (const double f : fractions) cols.push_back(util::Table::num(f, 3));
+    util::Table table(cols);
+    for (const double e : es) {
+      std::vector<std::string> row = {util::Table::num(e, 1)};
+      for (const double f : fractions) {
+        for (const auto& p : points) {
+          if (p.param_e == e && p.cache_fraction == f) {
+            row.push_back(
+                util::Table::num(bench::metric_value(p.metrics, metric), 4));
+          }
+        }
+      }
+      table.add_row(row);
+    }
+    table.print();
+    std::printf("\n");
+  }
+  bench::write_points_csv(points, cfg.csv_path);
+
+  // Shape checks at the largest cache size: (1) traffic reduction
+  // decreases from e = 0 to e = 1; (2) some moderate e achieves delay no
+  // worse than both endpoints.
+  auto at = [&](double e, double f) -> const core::AveragedMetrics& {
+    for (const auto& p : points) {
+      if (p.param_e == e && p.cache_fraction == f) return p.metrics;
+    }
+    throw std::logic_error("missing point");
+  };
+  const double f = 0.169;
+  const bool traffic_ok =
+      at(0.0, f).traffic_reduction > at(0.5, f).traffic_reduction &&
+      at(0.5, f).traffic_reduction > at(1.0, f).traffic_reduction;
+  double best_mid = 1e18;
+  for (const double e : {0.2, 0.4, 0.5, 0.6, 0.8}) {
+    best_mid = std::min(best_mid, at(e, f).delay_s);
+  }
+  const bool delay_ok = best_mid <= at(0.0, f).delay_s * 1.02 &&
+                        best_mid <= at(1.0, f).delay_s * 1.02;
+  std::printf("shape check (traffic falls with e: %s; moderate e minimizes "
+              "delay: %s): %s\n",
+              traffic_ok ? "yes" : "no", delay_ok ? "yes" : "no",
+              traffic_ok && delay_ok ? "PASS" : "FAIL");
+  return traffic_ok && delay_ok ? 0 : 1;
+}

@@ -1,0 +1,46 @@
+// Figure 10: the revenue objective under constant bandwidth -- IF vs
+// PB-V vs IB-V on traffic reduction and total added value (§4.4; object
+// values V_i ~ Uniform[$1, $10], value added when playout is immediate).
+//
+// Paper shape targets: IF highest traffic reduction but lowest added
+// value; PB-V highest added value but little traffic reduction; IB-V a
+// good balance on both.
+
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace sc;
+  const auto cfg = bench::parse_figure_args(argc, argv, "fig10.csv");
+  const auto scenario = core::constant_scenario();
+  const auto points = bench::sweep_cache_sizes(
+      cfg, scenario,
+      {bench::spec(cache::PolicyKind::kIF),
+       bench::spec(cache::PolicyKind::kPBV),
+       bench::spec(cache::PolicyKind::kIBV)},
+      core::paper_cache_fractions());
+
+  std::printf("Figure 10: value-based caching, constant bandwidth\n"
+              "(runs=%zu, requests=%zu, objects=%zu)\n",
+              cfg.runs, cfg.requests, cfg.objects);
+  bench::print_panel(points, bench::Metric::kTrafficReduction,
+                     "Fig 10(a) Traffic Reduction Ratio");
+  bench::print_panel(points, bench::Metric::kAddedValue,
+                     "Fig 10(b) Total Added Value");
+  bench::write_points_csv(points, cfg.csv_path);
+
+  // Shape check at the largest cache size.
+  auto at = [&](const std::string& name) -> const core::AveragedMetrics& {
+    for (const auto& p : points) {
+      if (p.policy == name && p.cache_fraction == 0.169) return p.metrics;
+    }
+    throw std::logic_error("missing point");
+  };
+  const bool ok = at("IF").traffic_reduction > at("IB-V").traffic_reduction &&
+                  at("IB-V").traffic_reduction > at("PB-V").traffic_reduction &&
+                  at("PB-V").added_value >= at("IB-V").added_value &&
+                  at("IB-V").added_value > at("IF").added_value;
+  std::printf("\nshape check (traffic IF>IB-V>PB-V; value PB-V>=IB-V>IF): "
+              "%s\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,198 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+#include <map>
+
+namespace sc::bench {
+
+FigureConfig parse_figure_args(int argc, char** argv,
+                               const std::string& default_csv) {
+  const util::Cli cli(argc, argv);
+  FigureConfig cfg;
+  if (cli.get_or("quick", false)) {
+    cfg.runs = 4;
+    cfg.requests = 30000;
+    cfg.objects = 2000;
+  }
+  cfg.runs = static_cast<std::size_t>(
+      cli.get_or("runs", static_cast<long long>(cfg.runs)));
+  cfg.requests = static_cast<std::size_t>(
+      cli.get_or("requests", static_cast<long long>(cfg.requests)));
+  cfg.objects = static_cast<std::size_t>(
+      cli.get_or("objects", static_cast<long long>(cfg.objects)));
+  cfg.zipf_alpha = cli.get_or("zipf", cfg.zipf_alpha);
+  cfg.seed = static_cast<std::uint64_t>(
+      cli.get_or("seed", static_cast<long long>(cfg.seed)));
+  cfg.csv_path = cli.get_or("csv", default_csv);
+  cfg.parallel = cli.get_or("parallel", true);
+  return cfg;
+}
+
+PolicySpec spec(cache::PolicyKind kind, double e, std::string label) {
+  PolicySpec s;
+  s.kind = kind;
+  s.params.e = e;
+  s.label = label.empty() ? cache::to_string(kind) : std::move(label);
+  return s;
+}
+
+namespace {
+
+core::ExperimentConfig base_experiment(const FigureConfig& config) {
+  core::ExperimentConfig e;
+  e.workload.catalog.num_objects = config.objects;
+  e.workload.trace.num_requests = config.requests;
+  e.workload.trace.zipf_alpha = config.zipf_alpha;
+  e.runs = config.runs;
+  e.base_seed = config.seed;
+  e.parallel = config.parallel;
+  return e;
+}
+
+}  // namespace
+
+std::vector<SweepPoint> sweep_cache_sizes(
+    const FigureConfig& config, const core::Scenario& scenario,
+    const std::vector<PolicySpec>& policies,
+    const std::vector<double>& fractions) {
+  return sweep_alpha_and_cache(config, scenario, policies,
+                               {config.zipf_alpha}, fractions);
+}
+
+std::vector<SweepPoint> sweep_alpha_and_cache(
+    const FigureConfig& config, const core::Scenario& scenario,
+    const std::vector<PolicySpec>& policies,
+    const std::vector<double>& alphas, const std::vector<double>& fractions) {
+  std::vector<SweepPoint> points;
+  points.reserve(policies.size() * alphas.size() * fractions.size());
+  for (const double alpha : alphas) {
+    for (const auto& policy : policies) {
+      for (const double fraction : fractions) {
+        core::ExperimentConfig e = base_experiment(config);
+        e.workload.trace.zipf_alpha = alpha;
+        e.sim.policy = policy.kind;
+        e.sim.policy_params = policy.params;
+        e.sim.cache_capacity_bytes =
+            core::capacity_for_fraction(e.workload.catalog, fraction);
+
+        SweepPoint p;
+        p.policy = policy.label;
+        p.cache_fraction = fraction;
+        p.zipf_alpha = alpha;
+        p.param_e = policy.params.e;
+        p.metrics = core::run_experiment(e, scenario);
+        points.push_back(std::move(p));
+      }
+    }
+  }
+  return points;
+}
+
+std::string metric_name(Metric metric) {
+  switch (metric) {
+    case Metric::kTrafficReduction: return "traffic reduction ratio";
+    case Metric::kDelay: return "average service delay (s)";
+    case Metric::kQuality: return "average stream quality";
+    case Metric::kAddedValue: return "total added value ($K)";
+  }
+  return "?";
+}
+
+double metric_value(const core::AveragedMetrics& m, Metric metric) {
+  switch (metric) {
+    case Metric::kTrafficReduction: return m.traffic_reduction;
+    case Metric::kDelay: return m.delay_s;
+    case Metric::kQuality: return m.quality;
+    case Metric::kAddedValue: return m.added_value / 1000.0;  // $K
+  }
+  return 0.0;
+}
+
+void print_panel(const std::vector<SweepPoint>& points, Metric metric,
+                 const std::string& title) {
+  // Group by policy label, preserving insertion order.
+  std::vector<std::string> order;
+  std::map<std::string, util::Series> series;
+  for (const auto& p : points) {
+    auto [it, inserted] = series.try_emplace(p.policy);
+    if (inserted) {
+      it->second.name = p.policy;
+      order.push_back(p.policy);
+    }
+    it->second.x.push_back(p.cache_fraction);
+    it->second.y.push_back(metric_value(p.metrics, metric));
+  }
+
+  std::printf("\n== %s ==\n", title.c_str());
+  std::vector<std::string> cols = {"cache size (frac)"};
+  for (const auto& name : order) cols.push_back(name);
+  util::Table table(cols);
+
+  // Collect the distinct fractions in order of appearance.
+  std::vector<double> fracs;
+  for (const auto& p : points) {
+    bool seen = false;
+    for (const double f : fracs) {
+      if (f == p.cache_fraction) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) fracs.push_back(p.cache_fraction);
+  }
+
+  for (const double f : fracs) {
+    std::vector<std::string> row = {util::Table::num(f, 3)};
+    for (const auto& name : order) {
+      const auto& s = series[name];
+      std::string cell = "-";
+      for (std::size_t i = 0; i < s.x.size(); ++i) {
+        if (s.x[i] == f) {
+          cell = util::Table::num(s.y[i], 4);
+          break;
+        }
+      }
+      row.push_back(cell);
+    }
+    table.add_row(row);
+  }
+  table.print();
+
+  std::vector<util::Series> chart;
+  for (const auto& name : order) chart.push_back(series[name]);
+  std::fputs(util::ascii_chart(chart, 64, 14, "", "cache fraction",
+                               metric_name(metric))
+                 .c_str(),
+             stdout);
+}
+
+void write_points_csv(const std::vector<SweepPoint>& points,
+                      const std::string& path) {
+  util::CsvWriter csv(path);
+  csv.header({"policy", "cache_fraction", "zipf_alpha", "e", "runs",
+              "traffic_reduction", "traffic_reduction_sd", "delay_s",
+              "delay_s_sd", "quality", "quality_sd", "added_value",
+              "added_value_sd", "hit_ratio", "immediate_ratio"});
+  for (const auto& p : points) {
+    const auto& m = p.metrics;
+    csv.field(p.policy)
+        .field(p.cache_fraction)
+        .field(p.zipf_alpha)
+        .field(p.param_e)
+        .field(static_cast<long long>(m.runs))
+        .field(m.traffic_reduction)
+        .field(m.traffic_reduction_sd)
+        .field(m.delay_s)
+        .field(m.delay_s_sd)
+        .field(m.quality)
+        .field(m.quality_sd)
+        .field(m.added_value)
+        .field(m.added_value_sd)
+        .field(m.hit_ratio)
+        .field(m.immediate_ratio);
+    csv.endrow();
+  }
+  std::printf("\n[series written to %s]\n", path.c_str());
+}
+
+}  // namespace sc::bench

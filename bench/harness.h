@@ -1,0 +1,86 @@
+// Shared harness for the figure/table reproduction benches.
+//
+// Every bench binary accepts:
+//   --quick          4 runs x 30,000 requests (CI smoke; default off)
+//   --runs N         replications per point (default 10, as in the paper)
+//   --requests N     trace length (default 100,000)
+//   --objects N      catalog size (default 5,000)
+//   --csv PATH       where to write the series (default <bench>.csv)
+// and prints the paper-exhibit series as a table plus an ASCII chart.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cache/factory.h"
+#include "core/experiment.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace sc::bench {
+
+struct FigureConfig {
+  std::size_t runs = 10;
+  std::size_t objects = 5000;
+  std::size_t requests = 100000;
+  double zipf_alpha = 0.73;
+  std::uint64_t seed = 42;
+  std::string csv_path;
+  bool parallel = true;
+};
+
+/// Parse common flags; `default_csv` names the output series file.
+[[nodiscard]] FigureConfig parse_figure_args(int argc, char** argv,
+                                             const std::string& default_csv);
+
+/// One policy to evaluate.
+struct PolicySpec {
+  cache::PolicyKind kind;
+  cache::PolicyParams params{};
+  std::string label;  // display name (defaults to to_string(kind))
+};
+
+[[nodiscard]] PolicySpec spec(cache::PolicyKind kind, double e = 1.0,
+                              std::string label = "");
+
+/// One (policy, cache-fraction) result.
+struct SweepPoint {
+  std::string policy;
+  double cache_fraction = 0.0;
+  double zipf_alpha = 0.0;
+  double param_e = 1.0;
+  core::AveragedMetrics metrics;
+};
+
+/// Evaluate each policy at each cache fraction under `scenario`. Seeds are
+/// shared across policies so every policy sees identical workloads and
+/// path tables (paired comparison, lower variance).
+[[nodiscard]] std::vector<SweepPoint> sweep_cache_sizes(
+    const FigureConfig& config, const core::Scenario& scenario,
+    const std::vector<PolicySpec>& policies,
+    const std::vector<double>& fractions);
+
+/// As above but additionally sweeping the Zipf alpha (Fig 6 surfaces).
+[[nodiscard]] std::vector<SweepPoint> sweep_alpha_and_cache(
+    const FigureConfig& config, const core::Scenario& scenario,
+    const std::vector<PolicySpec>& policies,
+    const std::vector<double>& alphas, const std::vector<double>& fractions);
+
+/// Which metric a chart displays.
+enum class Metric { kTrafficReduction, kDelay, kQuality, kAddedValue };
+
+[[nodiscard]] std::string metric_name(Metric metric);
+[[nodiscard]] double metric_value(const core::AveragedMetrics& m,
+                                  Metric metric);
+
+/// Print one metric as a per-policy table + ASCII chart (x = cache
+/// fraction), mirroring one panel of a paper figure.
+void print_panel(const std::vector<SweepPoint>& points, Metric metric,
+                 const std::string& title);
+
+/// Write every point and metric to CSV.
+void write_points_csv(const std::vector<SweepPoint>& points,
+                      const std::string& path);
+
+}  // namespace sc::bench

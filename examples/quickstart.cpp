@@ -1,0 +1,95 @@
+// Quickstart: build a small streaming workload, attach a network-aware
+// partial-caching accelerator (the paper's PB policy) to an edge cache,
+// and watch service delay collapse as the cache learns the workload.
+//
+// Run: ./quickstart [--objects N] [--requests N] [--cache-gb G]
+
+#include <cstdio>
+
+#include "core/accelerator.h"
+#include "net/bandwidth_model.h"
+#include "net/path_process.h"
+#include "net/units.h"
+#include "net/variability.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "workload/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace sc;
+  const util::Cli cli(argc, argv);
+
+  // 1. A catalog of streaming objects and a Zipf-like request trace
+  //    (defaults follow Table 1 of the paper, scaled down for a demo).
+  workload::WorkloadConfig wcfg;
+  wcfg.catalog.num_objects =
+      static_cast<std::size_t>(cli.get_or("objects", 500LL));
+  wcfg.trace.num_requests =
+      static_cast<std::size_t>(cli.get_or("requests", 20000LL));
+  util::Rng rng(7);
+  const workload::Workload w = workload::generate_workload(wcfg, rng);
+
+  // 2. Internet paths to the origin servers: means drawn from the NLANR
+  //    distribution, i.i.d. per-request variability from measured paths.
+  net::PathTableConfig pcfg;
+  pcfg.mode = net::VariationMode::kIidRatio;
+  net::PathTable paths(w.catalog.size(), net::nlanr_base_model(),
+                       net::measured_variability_model(), pcfg,
+                       rng.fork("paths"));
+
+  // 3. The accelerator: a partial-object store managed by the
+  //    network-aware PB policy, fed by a passive bandwidth estimator.
+  net::PassiveEwmaEstimator estimator(w.catalog.size(), /*alpha=*/0.3,
+                                      /*prior=*/net::from_kb(50.0));
+  core::AcceleratorConfig acfg;
+  acfg.capacity_bytes = net::from_gb(cli.get_or("cache-gb", 8.0));
+  acfg.policy = cache::PolicyKind::kPB;
+  core::Accelerator accelerator(w.catalog, estimator, acfg);
+
+  // 4. Replay the trace; report delay/quality in trace quarters so the
+  //    learning effect is visible.
+  util::Table table({"quarter", "avg delay (s)", "avg quality",
+                     "traffic from cache", "cache occupancy (GB)"});
+  const std::size_t quarter = w.requests.size() / 4;
+  double delay_acc = 0, quality_acc = 0, cache_bytes = 0, total_bytes = 0;
+  std::size_t in_quarter = 0;
+
+  for (std::size_t i = 0; i < w.requests.size(); ++i) {
+    const auto& req = w.requests[i];
+    const auto& obj = w.catalog.object(req.object);
+    const double bw = paths.sample_bandwidth(obj.path, req.time_s);
+
+    const core::DeliveryPlan plan =
+        accelerator.serve(req.object, req.time_s, bw);
+    // Passive measurement: the proxy observes the origin connection.
+    accelerator.observe_transfer(obj.path, bw, req.time_s);
+
+    delay_acc += plan.outcome.delay_s;
+    quality_acc += plan.outcome.quality;
+    cache_bytes += plan.outcome.bytes_from_cache;
+    total_bytes += obj.size_bytes;
+    ++in_quarter;
+
+    if (in_quarter == quarter || i + 1 == w.requests.size()) {
+      const auto q = static_cast<double>(in_quarter);
+      table.add_row({std::to_string((i + 1) / quarter),
+                     util::Table::num(delay_acc / q, 1),
+                     util::Table::num(quality_acc / q, 3),
+                     util::Table::num(cache_bytes / total_bytes, 3),
+                     util::Table::num(
+                         net::to_gb(accelerator.occupancy_bytes()), 2)});
+      delay_acc = quality_acc = cache_bytes = total_bytes = 0;
+      in_quarter = 0;
+    }
+  }
+
+  std::printf("Network-aware partial caching quickstart (%s policy)\n",
+              accelerator.policy_name().c_str());
+  std::printf("objects=%zu requests=%zu cache=%.1f GB\n\n", w.catalog.size(),
+              w.requests.size(), net::to_gb(accelerator.capacity_bytes()));
+  table.print();
+  std::printf(
+      "\nThe cache admits prefixes of objects whose origin bandwidth cannot\n"
+      "sustain their bit-rate; delay drops as the estimator converges.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Revenue maximization (§2.6, §4.4): a pay-per-view streaming service
+// earns V_i dollars each time object i plays *immediately*. The cache's
+// job is to maximize revenue, not byte hit-rate.
+//
+// This example:
+//   1. compares the online value-aware policies (PB-V, IB-V) against the
+//      value-blind IF on total added value;
+//   2. computes the offline greedy knapsack bound of §2.6 and, on a small
+//      instance, the exact DP optimum, to show how close greedy gets.
+//
+// Run: ./revenue_maximization [--quick]
+
+#include <cstdio>
+
+#include "cache/offline_opt.h"
+#include "core/experiment.h"
+#include "net/bandwidth_model.h"
+#include "net/path_process.h"
+#include "net/units.h"
+#include "net/variability.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "workload/workload_stats.h"
+
+int main(int argc, char** argv) {
+  using namespace sc;
+  const util::Cli cli(argc, argv);
+  const bool quick = cli.get_or("quick", false);
+
+  // ---- online comparison -------------------------------------------------
+  core::ExperimentConfig base;
+  base.workload.catalog.num_objects = quick ? 1000 : 5000;
+  base.workload.trace.num_requests = quick ? 20000 : 100000;
+  base.runs = static_cast<std::size_t>(cli.get_or("runs", quick ? 3LL : 5LL));
+  base.sim.cache_capacity_bytes =
+      core::capacity_for_fraction(base.workload.catalog, 0.08);
+  const auto scenario = core::measured_variability_scenario();
+
+  std::printf("Revenue maximization: V_i ~ U[$1, $10], value added on "
+              "immediate playout\n(cache = 8%% of corpus, measured-path "
+              "variability)\n\n");
+  util::Table online({"policy", "total added value ($K)",
+                      "traffic reduction", "immediate ratio"});
+  for (const auto kind : {cache::PolicyKind::kIF, cache::PolicyKind::kIBV,
+                          cache::PolicyKind::kPBV}) {
+    core::ExperimentConfig e = base;
+    e.sim.policy = kind;
+    const auto m = core::run_experiment(e, scenario);
+    online.add_row({cache::to_string(kind),
+                    util::Table::num(m.added_value / 1000.0, 1),
+                    util::Table::num(m.traffic_reduction, 3),
+                    util::Table::num(m.immediate_ratio, 3)});
+  }
+  online.print();
+
+  // ---- offline bounds ----------------------------------------------------
+  std::printf("\nOffline knapsack bounds (static population, known rates):\n");
+  util::Rng rng(99);
+  workload::WorkloadConfig wcfg;
+  wcfg.catalog.num_objects = 200;  // small instance so exact DP is cheap
+  wcfg.trace.num_requests = 20000;
+  const auto w = workload::generate_workload(wcfg, rng);
+
+  // Known request rates from the trace; known bandwidth means.
+  const auto counts = workload::request_counts(w);
+  cache::OfflineInputs inputs;
+  inputs.lambda.assign(counts.begin(), counts.end());
+  const auto bw_model = net::nlanr_base_model();
+  for (std::size_t i = 0; i < w.catalog.size(); ++i) {
+    inputs.bandwidth.push_back(bw_model.sample(rng));
+  }
+  const double capacity = 0.08 * w.catalog.total_bytes();
+
+  const auto greedy = cache::value_greedy(w.catalog, inputs, capacity);
+  const auto exact = cache::value_exact(w.catalog, inputs, capacity);
+  util::Table offline({"solver", "rate-weighted value", "bytes used (GB)"});
+  offline.add_row({"greedy (paper §2.6)",
+                   util::Table::num(greedy.total_rate_value, 0),
+                   util::Table::num(net::to_gb(greedy.bytes_used), 2)});
+  offline.add_row({"exact 0/1 knapsack (DP)",
+                   util::Table::num(exact.total_rate_value, 0),
+                   util::Table::num(net::to_gb(exact.bytes_used), 2)});
+  offline.print();
+  std::printf("greedy achieves %.1f%% of the exact optimum on this "
+              "instance.\n",
+              100.0 * greedy.total_rate_value /
+                  std::max(1.0, exact.total_rate_value));
+  return 0;
+}

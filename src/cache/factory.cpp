@@ -1,0 +1,63 @@
+#include "cache/factory.h"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace sc::cache {
+
+std::string to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kIF: return "IF";
+    case PolicyKind::kPB: return "PB";
+    case PolicyKind::kIB: return "IB";
+    case PolicyKind::kHybrid: return "Hybrid";
+    case PolicyKind::kPBV: return "PB-V";
+    case PolicyKind::kIBV: return "IB-V";
+    case PolicyKind::kLRU: return "LRU";
+    case PolicyKind::kLFU: return "LFU";
+  }
+  return "?";
+}
+
+PolicyKind parse_policy_kind(const std::string& name) {
+  std::string up(name);
+  std::transform(up.begin(), up.end(), up.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (up == "IF") return PolicyKind::kIF;
+  if (up == "PB") return PolicyKind::kPB;
+  if (up == "IB") return PolicyKind::kIB;
+  if (up == "HYBRID") return PolicyKind::kHybrid;
+  if (up == "PB-V" || up == "PBV") return PolicyKind::kPBV;
+  if (up == "IB-V" || up == "IBV") return PolicyKind::kIBV;
+  if (up == "LRU") return PolicyKind::kLRU;
+  if (up == "LFU") return PolicyKind::kLFU;
+  throw std::invalid_argument("unknown policy name: " + name);
+}
+
+std::unique_ptr<CachePolicy> make_policy(PolicyKind kind,
+                                         const workload::Catalog& catalog,
+                                         net::BandwidthEstimator& estimator,
+                                         const PolicyParams& params) {
+  switch (kind) {
+    case PolicyKind::kIF:
+      return std::make_unique<IfPolicy>(catalog, estimator);
+    case PolicyKind::kPB:
+      return std::make_unique<PbPolicy>(catalog, estimator);
+    case PolicyKind::kIB:
+      return std::make_unique<IbPolicy>(catalog, estimator);
+    case PolicyKind::kHybrid:
+      return std::make_unique<HybridPolicy>(catalog, estimator, params.e);
+    case PolicyKind::kPBV:
+      return std::make_unique<PbvPolicy>(catalog, estimator, params.e);
+    case PolicyKind::kIBV:
+      return std::make_unique<IbvPolicy>(catalog, estimator);
+    case PolicyKind::kLRU:
+      return std::make_unique<LruPolicy>(catalog, estimator);
+    case PolicyKind::kLFU:
+      return std::make_unique<LfuPolicy>(catalog, estimator);
+  }
+  throw std::invalid_argument("make_policy: unknown kind");
+}
+
+}  // namespace sc::cache

@@ -1,0 +1,39 @@
+// Policy construction by name/kind, shared by the simulator, examples,
+// and bench harnesses.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cache/policy.h"
+
+namespace sc::cache {
+
+enum class PolicyKind {
+  kIF,
+  kPB,
+  kIB,
+  kHybrid,  // requires params.e
+  kPBV,
+  kIBV,
+  kLRU,
+  kLFU,
+};
+
+struct PolicyParams {
+  /// Bandwidth under-estimation factor for Hybrid / PB-V(e) (Figs 9, 12).
+  double e = 1.0;
+};
+
+[[nodiscard]] std::string to_string(PolicyKind kind);
+
+/// Parse "IF", "PB", "IB", "Hybrid", "PB-V", "IB-V", "LRU", "LFU"
+/// (case-insensitive). Throws std::invalid_argument for unknown names.
+[[nodiscard]] PolicyKind parse_policy_kind(const std::string& name);
+
+/// Instantiate a policy. `catalog` and `estimator` must outlive it.
+[[nodiscard]] std::unique_ptr<CachePolicy> make_policy(
+    PolicyKind kind, const workload::Catalog& catalog,
+    net::BandwidthEstimator& estimator, const PolicyParams& params = {});
+
+}  // namespace sc::cache

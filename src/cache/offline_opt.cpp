@@ -1,0 +1,193 @@
+#include "cache/offline_opt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace sc::cache {
+
+namespace {
+
+void validate_inputs(const workload::Catalog& catalog,
+                     const OfflineInputs& inputs) {
+  if (inputs.lambda.size() != catalog.size() ||
+      inputs.bandwidth.size() != catalog.size()) {
+    throw std::invalid_argument("offline inputs size mismatch with catalog");
+  }
+  for (double b : inputs.bandwidth) {
+    if (b <= 0) throw std::invalid_argument("non-positive bandwidth");
+  }
+  for (double l : inputs.lambda) {
+    if (l < 0) throw std::invalid_argument("negative lambda");
+  }
+}
+
+}  // namespace
+
+FractionalSolution optimal_fractional(const workload::Catalog& catalog,
+                                      const OfflineInputs& inputs,
+                                      double capacity_bytes) {
+  validate_inputs(catalog, inputs);
+  const std::size_t n = catalog.size();
+
+  // Candidates: objects whose bandwidth cannot sustain the bit-rate.
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& o = catalog.object(i);
+    if (o.bitrate > inputs.bandwidth[i] && inputs.lambda[i] > 0) {
+      order.push_back(i);
+    }
+  }
+  // Decreasing lambda / b (the fractional-knapsack density; the per-byte
+  // delay reduction of object i is lambda_i / b_i).
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return inputs.lambda[a] * inputs.bandwidth[b] >
+           inputs.lambda[b] * inputs.bandwidth[a];
+  });
+
+  FractionalSolution sol;
+  sol.cached_bytes.assign(n, 0.0);
+  double remaining = capacity_bytes;
+  for (const std::size_t i : order) {
+    if (remaining <= 0) break;
+    const auto& o = catalog.object(i);
+    const double want = (o.bitrate - inputs.bandwidth[i]) * o.duration_s;
+    const double take = std::min(want, remaining);
+    sol.cached_bytes[i] = take;
+    remaining -= take;
+  }
+  sol.bytes_used = capacity_bytes - std::max(0.0, remaining);
+  sol.expected_delay_s = expected_delay(catalog, inputs, sol.cached_bytes);
+  return sol;
+}
+
+double expected_delay(const workload::Catalog& catalog,
+                      const OfflineInputs& inputs,
+                      const std::vector<double>& cached_bytes) {
+  validate_inputs(catalog, inputs);
+  if (cached_bytes.size() != catalog.size()) {
+    throw std::invalid_argument("expected_delay: cached_bytes size mismatch");
+  }
+  const double total_rate =
+      std::accumulate(inputs.lambda.begin(), inputs.lambda.end(), 0.0);
+  if (total_rate <= 0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const auto& o = catalog.object(i);
+    const double b = inputs.bandwidth[i];
+    const double deficit = o.size_bytes - o.duration_s * b - cached_bytes[i];
+    if (deficit > 0) acc += inputs.lambda[i] * deficit / b;
+  }
+  return acc / total_rate;
+}
+
+ValueSolution value_greedy(const workload::Catalog& catalog,
+                           const OfflineInputs& inputs,
+                           double capacity_bytes) {
+  validate_inputs(catalog, inputs);
+  const std::size_t n = catalog.size();
+
+  ValueSolution sol;
+  sol.selected.assign(n, false);
+
+  // Zero-cost objects (bandwidth sustains the stream) are always in.
+  std::vector<std::size_t> costly;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& o = catalog.object(i);
+    const double cost = (o.bitrate - inputs.bandwidth[i]) * o.duration_s;
+    if (cost <= 0) {
+      sol.selected[i] = true;
+      sol.total_rate_value += inputs.lambda[i] * o.value;
+    } else if (inputs.lambda[i] > 0) {
+      costly.push_back(i);
+    }
+  }
+
+  // Greedy by density lambda * V / cost.
+  auto density = [&](std::size_t i) {
+    const auto& o = catalog.object(i);
+    const double cost = (o.bitrate - inputs.bandwidth[i]) * o.duration_s;
+    return inputs.lambda[i] * o.value / cost;
+  };
+  std::sort(costly.begin(), costly.end(),
+            [&](std::size_t a, std::size_t b) { return density(a) > density(b); });
+
+  double remaining = capacity_bytes;
+  for (const std::size_t i : costly) {
+    const auto& o = catalog.object(i);
+    const double cost = (o.bitrate - inputs.bandwidth[i]) * o.duration_s;
+    if (cost <= remaining) {
+      sol.selected[i] = true;
+      sol.total_rate_value += inputs.lambda[i] * o.value;
+      remaining -= cost;
+      sol.bytes_used += cost;
+    }
+  }
+  return sol;
+}
+
+ValueSolution value_exact(const workload::Catalog& catalog,
+                          const OfflineInputs& inputs, double capacity_bytes,
+                          std::size_t resolution) {
+  validate_inputs(catalog, inputs);
+  if (resolution == 0) throw std::invalid_argument("value_exact: resolution");
+  const std::size_t n = catalog.size();
+
+  ValueSolution sol;
+  sol.selected.assign(n, false);
+
+  // Discretize weights onto [0, resolution]; DP over discrete capacity.
+  const double unit = capacity_bytes / static_cast<double>(resolution);
+  std::vector<std::size_t> items;
+  std::vector<std::size_t> weights;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& o = catalog.object(i);
+    const double cost = (o.bitrate - inputs.bandwidth[i]) * o.duration_s;
+    if (cost <= 0) {
+      sol.selected[i] = true;
+      sol.total_rate_value += inputs.lambda[i] * o.value;
+      continue;
+    }
+    if (inputs.lambda[i] <= 0) continue;
+    // Round weights *up*: the DP solution then never exceeds capacity.
+    const auto w = static_cast<std::size_t>(std::ceil(cost / unit));
+    if (w > resolution) continue;  // cannot fit alone
+    items.push_back(i);
+    weights.push_back(w);
+  }
+
+  const std::size_t cap = resolution;
+  std::vector<double> best(cap + 1, 0.0);
+  std::vector<std::vector<bool>> take(items.size(),
+                                      std::vector<bool>(cap + 1, false));
+  for (std::size_t k = 0; k < items.size(); ++k) {
+    const std::size_t i = items[k];
+    const double gain = inputs.lambda[i] * catalog.object(i).value;
+    const std::size_t w = weights[k];
+    for (std::size_t c = cap; c + 1 > w; --c) {  // c >= w without underflow
+      const double with = best[c - w] + gain;
+      if (with > best[c]) {
+        best[c] = with;
+        take[k][c] = true;
+      }
+    }
+  }
+
+  // Backtrack.
+  std::size_t c = cap;
+  for (std::size_t k = items.size(); k-- > 0;) {
+    if (take[k][c]) {
+      const std::size_t i = items[k];
+      sol.selected[i] = true;
+      sol.total_rate_value += inputs.lambda[i] * catalog.object(i).value;
+      const auto& o = catalog.object(i);
+      sol.bytes_used += (o.bitrate - inputs.bandwidth[i]) * o.duration_s;
+      c -= weights[k];
+    }
+  }
+  return sol;
+}
+
+}  // namespace sc::cache

@@ -1,0 +1,66 @@
+// Offline (static, full-knowledge) cache population (§2.3 and §2.6).
+//
+// With known request rates lambda_i and bandwidths b_i:
+//   * Delay objective: fractional knapsack -- cache objects in decreasing
+//     lambda_i / b_i, each up to (r_i - b_i) * T_i. Provably optimal.
+//   * Value objective: 0/1 knapsack (NP-hard) -- the paper's greedy caches
+//     by lambda_i * V_i / (T_i r_i - T_i b_i); an exact DP solver is
+//     provided for small instances so tests can bound the greedy gap.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "workload/object_catalog.h"
+
+namespace sc::cache {
+
+/// Input: per-object request rates and path bandwidths (same indexing as
+/// the catalog).
+struct OfflineInputs {
+  std::vector<double> lambda;     // requests/second (or any rate proxy)
+  std::vector<double> bandwidth;  // bytes/second
+};
+
+struct FractionalSolution {
+  std::vector<double> cached_bytes;  // x_i
+  /// Expected service delay per request under the solution, weighted by
+  /// lambda (the paper's objective).
+  double expected_delay_s = 0.0;
+  double bytes_used = 0.0;
+};
+
+/// §2.3: optimal static partial caching for the delay objective.
+[[nodiscard]] FractionalSolution optimal_fractional(
+    const workload::Catalog& catalog, const OfflineInputs& inputs,
+    double capacity_bytes);
+
+/// Mean service delay per request for arbitrary cache contents x (same
+/// weighting as optimal_fractional's objective; used to compare policies
+/// against the offline optimum).
+[[nodiscard]] double expected_delay(const workload::Catalog& catalog,
+                                    const OfflineInputs& inputs,
+                                    const std::vector<double>& cached_bytes);
+
+struct ValueSolution {
+  std::vector<bool> selected;
+  double total_rate_value = 0.0;  // sum of lambda_i * V_i over selection
+  double bytes_used = 0.0;
+};
+
+/// §2.6 greedy: select objects by lambda_i V_i / [T_i r_i - T_i b_i]+,
+/// caching [T_i(r_i - b_i)]+ bytes each (objects with abundant bandwidth
+/// cost zero bytes and are always selected).
+[[nodiscard]] ValueSolution value_greedy(const workload::Catalog& catalog,
+                                         const OfflineInputs& inputs,
+                                         double capacity_bytes);
+
+/// Exact 0/1 knapsack for the value objective via dynamic programming on
+/// discretized weights. Intended for small instances (tests); cost is
+/// O(n * resolution).
+[[nodiscard]] ValueSolution value_exact(const workload::Catalog& catalog,
+                                        const OfflineInputs& inputs,
+                                        double capacity_bytes,
+                                        std::size_t resolution = 2000);
+
+}  // namespace sc::cache

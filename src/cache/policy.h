@@ -1,0 +1,265 @@
+// Cache replacement policies (§2.4 - §2.6 of the paper).
+//
+// All of the paper's policies share one structure: estimate each object's
+// request frequency F_i, consult a bandwidth estimate b_i, compute a
+// scalar *utility* (the selection key) and a *desired cached size*
+// (whole object for the Integral family, (r_i - b_i) * T_i for the
+// Partial family), and keep the highest-utility objects cached using a
+// priority queue with O(log n) updates. UtilityPolicy implements that
+// engine once; the concrete policies (IF, PB, IB, Hybrid, PB-V, IB-V,
+// LRU, LFU) specialize utility() / desired_bytes() / integral().
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/min_heap.h"
+#include "cache/store.h"
+#include "net/estimator.h"
+#include "workload/object_catalog.h"
+
+namespace sc::cache {
+
+using workload::StreamObject;
+
+/// Interface seen by the simulator.
+class CachePolicy {
+ public:
+  virtual ~CachePolicy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Notify a request for `id` at simulation time `now_s`, *after* the
+  /// request was served from the current cache contents. The policy
+  /// updates its bookkeeping and may admit, grow, shrink, or evict
+  /// objects in `store`.
+  virtual void on_access(ObjectId id, double now_s, PartialStore& store) = 0;
+
+  /// Forget all learned state (frequencies, priority queue). The caller
+  /// must clear the store as well; policy state and store contents are
+  /// kept consistent only through on_access.
+  virtual void reset() = 0;
+};
+
+/// Shared heap-based engine. Admission evicts strictly-lower-utility
+/// victims only (so the cache never trades better content for worse), and
+/// respects whole-object semantics for integral policies.
+class UtilityPolicy : public CachePolicy {
+ public:
+  UtilityPolicy(const workload::Catalog& catalog,
+                net::BandwidthEstimator& estimator);
+
+  void on_access(ObjectId id, double now_s, PartialStore& store) final;
+  void reset() override;
+
+  /// Request count observed for `id` (F_i).
+  [[nodiscard]] double frequency(ObjectId id) const { return freq_.at(id); }
+
+ protected:
+  /// Called at the start of on_access, before utilities are computed
+  /// (hook for recency bookkeeping such as LRU's logical clock).
+  virtual void before_access(ObjectId /*id*/, double /*now_s*/) {}
+
+  /// Selection key; larger = keep. Values <= 0 mean "do not cache".
+  [[nodiscard]] virtual double utility(const StreamObject& o, double freq,
+                                       double bandwidth) const = 0;
+
+  /// Bytes the policy wants cached for this object (prefix size).
+  /// Values <= 0 mean "do not cache".
+  [[nodiscard]] virtual double desired_bytes(const StreamObject& o,
+                                             double bandwidth) const = 0;
+
+  /// Whole-object admission/eviction (Integral family)?
+  [[nodiscard]] virtual bool integral() const = 0;
+
+  [[nodiscard]] const workload::Catalog& catalog() const noexcept {
+    return *catalog_;
+  }
+
+ private:
+  const workload::Catalog* catalog_;
+  net::BandwidthEstimator* estimator_;
+  std::vector<double> freq_;
+  IndexedMinHeap heap_;
+};
+
+/// IF: Integral Frequency-based caching. Utility F_i, whole objects.
+/// Network-oblivious baseline (equivalent to in-cache LFU).
+class IfPolicy final : public UtilityPolicy {
+ public:
+  using UtilityPolicy::UtilityPolicy;
+  [[nodiscard]] std::string name() const override { return "IF"; }
+
+ protected:
+  [[nodiscard]] double utility(const StreamObject&, double freq,
+                               double) const override {
+    return freq;
+  }
+  [[nodiscard]] double desired_bytes(const StreamObject& o,
+                                     double) const override {
+    return o.size_bytes;
+  }
+  [[nodiscard]] bool integral() const override { return true; }
+};
+
+/// PB: Partial Bandwidth-based caching (§2.4). Skips objects whose
+/// bandwidth already supports streaming (r_i <= b_i); otherwise utility
+/// F_i / b_i and cached prefix (r_i - b_i) * T_i.
+class PbPolicy final : public UtilityPolicy {
+ public:
+  using UtilityPolicy::UtilityPolicy;
+  [[nodiscard]] std::string name() const override { return "PB"; }
+
+ protected:
+  [[nodiscard]] double utility(const StreamObject& o, double freq,
+                               double bandwidth) const override {
+    return o.bitrate <= bandwidth ? 0.0 : freq / bandwidth;
+  }
+  [[nodiscard]] double desired_bytes(const StreamObject& o,
+                                     double bandwidth) const override {
+    return (o.bitrate - bandwidth) * o.duration_s;
+  }
+  [[nodiscard]] bool integral() const override { return false; }
+};
+
+/// IB: Integral Bandwidth-based caching (§2.5). Same selection key as PB
+/// but caches whole objects (the most conservative over-provisioning).
+class IbPolicy final : public UtilityPolicy {
+ public:
+  using UtilityPolicy::UtilityPolicy;
+  [[nodiscard]] std::string name() const override { return "IB"; }
+
+ protected:
+  [[nodiscard]] double utility(const StreamObject& o, double freq,
+                               double bandwidth) const override {
+    return o.bitrate <= bandwidth ? 0.0 : freq / bandwidth;
+  }
+  [[nodiscard]] double desired_bytes(const StreamObject& o,
+                                     double) const override {
+    return o.size_bytes;
+  }
+  [[nodiscard]] bool integral() const override { return true; }
+};
+
+/// Hybrid(e): PB with the bandwidth *underestimated* by factor e in the
+/// sizing rule (§4.3, Fig 9): cached prefix (r_i - e * b_i) * T_i, capped
+/// at the object size. e = 1 reproduces PB; e = 0 caches whole objects
+/// (IB-like, except objects with abundant bandwidth are still admitted
+/// only when space permits, via the low F/b key).
+class HybridPolicy final : public UtilityPolicy {
+ public:
+  HybridPolicy(const workload::Catalog& catalog,
+               net::BandwidthEstimator& estimator, double e);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double e() const noexcept { return e_; }
+
+ protected:
+  [[nodiscard]] double utility(const StreamObject& o, double freq,
+                               double bandwidth) const override {
+    return o.bitrate <= e_ * bandwidth ? 0.0 : freq / bandwidth;
+  }
+  [[nodiscard]] double desired_bytes(const StreamObject& o,
+                                     double bandwidth) const override {
+    return std::min(o.size_bytes,
+                    (o.bitrate - e_ * bandwidth) * o.duration_s);
+  }
+  [[nodiscard]] bool integral() const override { return false; }
+
+ private:
+  double e_;
+};
+
+/// PB-V: Partial Bandwidth-Value-based caching (§2.6). Greedy key
+/// F_i * V_i / (T_i r_i - T_i b_i); cached prefix (r_i - b_i) * T_i so a
+/// hit can start instantly. Supports the Fig-12 estimator e the same way
+/// Hybrid does.
+class PbvPolicy final : public UtilityPolicy {
+ public:
+  PbvPolicy(const workload::Catalog& catalog,
+            net::BandwidthEstimator& estimator, double e = 1.0);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double e() const noexcept { return e_; }
+
+ protected:
+  [[nodiscard]] double utility(const StreamObject& o, double freq,
+                               double bandwidth) const override;
+  [[nodiscard]] double desired_bytes(const StreamObject& o,
+                                     double bandwidth) const override {
+    return std::min(o.size_bytes,
+                    (o.bitrate - e_ * bandwidth) * o.duration_s);
+  }
+  [[nodiscard]] bool integral() const override { return false; }
+
+ private:
+  double e_;
+};
+
+/// IB-V: Integral Bandwidth-Value-based caching (§4.4). Whole objects
+/// with key F_i * V_i / (T_i r_i * b_i): prefers low bandwidth, high
+/// value, small size. (The paper's typography is ambiguous here; see
+/// DESIGN.md §2 and the bench_ablation key-variant study.)
+class IbvPolicy final : public UtilityPolicy {
+ public:
+  using UtilityPolicy::UtilityPolicy;
+  [[nodiscard]] std::string name() const override { return "IB-V"; }
+
+ protected:
+  [[nodiscard]] double utility(const StreamObject& o, double freq,
+                               double bandwidth) const override {
+    if (o.bitrate <= bandwidth) return 0.0;
+    return freq * o.value / (o.size_bytes * bandwidth);
+  }
+  [[nodiscard]] double desired_bytes(const StreamObject& o,
+                                     double) const override {
+    return o.size_bytes;
+  }
+  [[nodiscard]] bool integral() const override { return true; }
+};
+
+/// LRU over whole objects (network-oblivious baseline, §3.3).
+class LruPolicy final : public UtilityPolicy {
+ public:
+  LruPolicy(const workload::Catalog& catalog,
+            net::BandwidthEstimator& estimator);
+
+  [[nodiscard]] std::string name() const override { return "LRU"; }
+  void reset() override;
+
+ protected:
+  void before_access(ObjectId id, double now_s) override;
+  [[nodiscard]] double utility(const StreamObject& o, double,
+                               double) const override;
+  [[nodiscard]] double desired_bytes(const StreamObject& o,
+                                     double) const override {
+    return o.size_bytes;
+  }
+  [[nodiscard]] bool integral() const override { return true; }
+
+ private:
+  std::vector<double> last_access_;
+  double clock_ = 0.0;
+};
+
+/// LFU over whole objects: identical to IF by construction; provided as a
+/// named baseline for the metrics discussion in §3.3.
+class LfuPolicy final : public UtilityPolicy {
+ public:
+  using UtilityPolicy::UtilityPolicy;
+  [[nodiscard]] std::string name() const override { return "LFU"; }
+
+ protected:
+  [[nodiscard]] double utility(const StreamObject&, double freq,
+                               double) const override {
+    return freq;
+  }
+  [[nodiscard]] double desired_bytes(const StreamObject& o,
+                                     double) const override {
+    return o.size_bytes;
+  }
+  [[nodiscard]] bool integral() const override { return true; }
+};
+
+}  // namespace sc::cache

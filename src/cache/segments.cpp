@@ -1,0 +1,154 @@
+#include "cache/segments.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sc::cache {
+
+SegmentMap::SegmentMap(double object_bytes, double segment_bytes)
+    : object_bytes_(object_bytes), segment_bytes_(segment_bytes) {
+  if (object_bytes <= 0) {
+    throw std::invalid_argument("SegmentMap: object_bytes must be > 0");
+  }
+  if (segment_bytes <= 0) {
+    throw std::invalid_argument("SegmentMap: segment_bytes must be > 0");
+  }
+  const auto n =
+      static_cast<std::size_t>(std::ceil(object_bytes / segment_bytes));
+  present_.assign(std::max<std::size_t>(n, 1), false);
+}
+
+double SegmentMap::bytes_of_segment(std::size_t i) const {
+  if (i >= present_.size()) {
+    throw std::out_of_range("SegmentMap::bytes_of_segment");
+  }
+  if (i + 1 < present_.size()) return segment_bytes_;
+  const double tail =
+      object_bytes_ - segment_bytes_ * static_cast<double>(present_.size() - 1);
+  return tail > 0 ? tail : segment_bytes_;
+}
+
+double SegmentMap::set(std::size_t i, bool present) {
+  if (i >= present_.size()) throw std::out_of_range("SegmentMap::set");
+  if (present_[i] == present) return 0.0;
+  present_[i] = present;
+  const double delta = (present ? 1.0 : -1.0) * bytes_of_segment(i);
+  bytes_ += delta;
+  return delta;
+}
+
+double SegmentMap::contiguous_prefix_bytes() const {
+  double bytes = 0.0;
+  for (std::size_t i = 0; i < present_.size(); ++i) {
+    if (!present_[i]) break;
+    bytes += bytes_of_segment(i);
+  }
+  return bytes;
+}
+
+std::size_t SegmentMap::hole_count() const {
+  std::size_t holes = 0;
+  bool in_hole = false;
+  bool seen_present = false;
+  for (const bool p : present_) {
+    if (p) {
+      if (in_hole && seen_present) ++holes;
+      in_hole = false;
+      seen_present = true;
+    } else if (seen_present) {
+      in_hole = true;
+    }
+  }
+  return holes;
+}
+
+double SegmentMap::resize_prefix(double bytes) {
+  bytes = std::clamp(bytes, 0.0, object_bytes_);
+  // Target: the smallest whole-segment prefix covering `bytes`.
+  const auto want = static_cast<std::size_t>(
+      std::ceil(bytes / segment_bytes_ - 1e-12));
+  double delta = 0.0;
+  for (std::size_t i = 0; i < present_.size(); ++i) {
+    delta += set(i, i < want);
+  }
+  return delta;
+}
+
+SegmentedStore::SegmentedStore(double capacity_bytes, double segment_bytes,
+                               const workload::Catalog& catalog)
+    : capacity_(capacity_bytes),
+      segment_bytes_(segment_bytes),
+      catalog_(&catalog) {
+  if (capacity_bytes < 0) {
+    throw std::invalid_argument("SegmentedStore: negative capacity");
+  }
+  if (segment_bytes <= 0) {
+    throw std::invalid_argument("SegmentedStore: segment_bytes must be > 0");
+  }
+}
+
+double SegmentedStore::cached_prefix(ObjectId id) const {
+  const auto it = maps_.find(id);
+  return it == maps_.end() ? 0.0 : it->second.contiguous_prefix_bytes();
+}
+
+double SegmentedStore::cached_total(ObjectId id) const {
+  const auto it = maps_.find(id);
+  return it == maps_.end() ? 0.0 : it->second.bytes_present();
+}
+
+double SegmentedStore::set_prefix(ObjectId id, double bytes) {
+  const auto& obj = catalog_->object(id);
+  bytes = std::clamp(bytes, 0.0, obj.size_bytes);
+
+  auto it = maps_.find(id);
+  if (it == maps_.end()) {
+    if (bytes <= 0) return 0.0;
+    it = maps_.emplace(id, SegmentMap(obj.size_bytes, segment_bytes_)).first;
+  }
+  // Dry-run the delta before committing, to enforce capacity.
+  const double current = it->second.bytes_present();
+  const auto want_segments = static_cast<std::size_t>(
+      std::ceil(bytes / segment_bytes_ - 1e-12));
+  double target = 0.0;
+  for (std::size_t i = 0; i < it->second.segment_count() && i < want_segments;
+       ++i) {
+    target += it->second.bytes_of_segment(i);
+  }
+  const double delta = target - current;
+  if (delta > free_space() + 1.0) {
+    if (current <= 0) maps_.erase(it);
+    throw std::length_error("SegmentedStore::set_prefix: over capacity");
+  }
+
+  requested_ += bytes - requested_bytes_[id];
+  requested_bytes_[id] = bytes;
+  used_ += it->second.resize_prefix(bytes);
+  if (it->second.bytes_present() <= 0) {
+    maps_.erase(it);
+    requested_ -= requested_bytes_[id];
+    requested_bytes_.erase(id);
+  }
+  if (used_ < 0) used_ = 0;
+  return cached_total(id);
+}
+
+void SegmentedStore::erase(ObjectId id) {
+  const auto it = maps_.find(id);
+  if (it == maps_.end()) return;
+  used_ -= it->second.bytes_present();
+  if (used_ < 0) used_ = 0;
+  maps_.erase(it);
+  const auto rit = requested_bytes_.find(id);
+  if (rit != requested_bytes_.end()) {
+    requested_ -= rit->second;
+    requested_bytes_.erase(rit);
+  }
+}
+
+double SegmentedStore::fragmentation_bytes() const {
+  return std::max(0.0, used_ - requested_);
+}
+
+}  // namespace sc::cache

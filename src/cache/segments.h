@@ -1,0 +1,129 @@
+// Fine-grain segment bookkeeping for partial objects (§2.7).
+//
+// The paper restricts cached content to *prefixes* so that joint delivery
+// needs no interval bookkeeping, but notes the alternative of fine-grain
+// segments. This module provides both pieces a segment-granular proxy
+// needs:
+//   * SegmentMap    - a bitmap over fixed-size segments of one object,
+//                     with prefix queries and hole detection;
+//   * SegmentedStore- a capacity-bounded store of SegmentMaps that
+//                     quantizes the byte-granular policy decisions onto
+//                     segment boundaries (what a disk-backed proxy
+//                     actually allocates).
+// The bench_ablation segment study quantifies the internal-fragmentation
+// cost of segment size against the byte-granular PartialStore.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "workload/object_catalog.h"
+
+namespace sc::cache {
+
+using workload::ObjectId;
+
+/// Bitmap over the fixed-size segments of one object.
+class SegmentMap {
+ public:
+  /// `object_bytes` is the full object size; the last segment may be
+  /// shorter than `segment_bytes`.
+  SegmentMap(double object_bytes, double segment_bytes);
+
+  [[nodiscard]] std::size_t segment_count() const noexcept {
+    return present_.size();
+  }
+  [[nodiscard]] double segment_bytes() const noexcept {
+    return segment_bytes_;
+  }
+  [[nodiscard]] double object_bytes() const noexcept { return object_bytes_; }
+
+  /// Size in bytes of segment `i` (the tail segment may be short).
+  [[nodiscard]] double bytes_of_segment(std::size_t i) const;
+
+  [[nodiscard]] bool has(std::size_t i) const { return present_.at(i); }
+
+  /// Mark segment present/absent; returns the byte delta (+size, -size,
+  /// or 0 if unchanged).
+  double set(std::size_t i, bool present);
+
+  /// Bytes currently present.
+  [[nodiscard]] double bytes_present() const noexcept { return bytes_; }
+
+  /// Length in bytes of the contiguous prefix (what joint prefix
+  /// delivery can use).
+  [[nodiscard]] double contiguous_prefix_bytes() const;
+
+  /// Number of "holes": maximal runs of absent segments strictly between
+  /// present ones. Zero for pure prefixes.
+  [[nodiscard]] std::size_t hole_count() const;
+
+  /// Grow/shrink the *prefix* to at least/at most `bytes` (rounded up to
+  /// whole segments when growing, down when shrinking). Returns the byte
+  /// delta. Segments beyond the prefix are untouched.
+  double resize_prefix(double bytes);
+
+ private:
+  double object_bytes_;
+  double segment_bytes_;
+  double bytes_ = 0.0;
+  std::vector<bool> present_;
+};
+
+/// Capacity-bounded store of per-object SegmentMaps. The interface
+/// mirrors PartialStore's byte-granular contract so policies can drive
+/// either; internally every allocation is quantized to whole segments.
+class SegmentedStore {
+ public:
+  /// `catalog` supplies object sizes; must outlive the store.
+  SegmentedStore(double capacity_bytes, double segment_bytes,
+                 const workload::Catalog& catalog);
+
+  [[nodiscard]] double capacity() const noexcept { return capacity_; }
+  [[nodiscard]] double used() const noexcept { return used_; }
+  [[nodiscard]] double free_space() const noexcept {
+    return capacity_ - used_;
+  }
+  [[nodiscard]] double segment_bytes() const noexcept {
+    return segment_bytes_;
+  }
+  [[nodiscard]] std::size_t object_count() const noexcept {
+    return maps_.size();
+  }
+
+  /// Usable cached prefix of `id` in bytes (contiguous from offset 0).
+  [[nodiscard]] double cached_prefix(ObjectId id) const;
+
+  /// Total bytes held for `id` (>= cached_prefix when holes exist).
+  [[nodiscard]] double cached_total(ObjectId id) const;
+
+  /// Set the cached prefix to approximately `bytes` (rounded up to whole
+  /// segments, capped at object size and capacity). Throws
+  /// std::length_error if the rounded request does not fit. Returns the
+  /// actual bytes now held.
+  double set_prefix(ObjectId id, double bytes);
+
+  /// Drop the object entirely.
+  void erase(ObjectId id);
+
+  /// Internal fragmentation: bytes held beyond what byte-granular
+  /// storage of the same prefixes would hold.
+  [[nodiscard]] double fragmentation_bytes() const;
+
+  [[nodiscard]] const std::unordered_map<ObjectId, SegmentMap>& contents()
+      const noexcept {
+    return maps_;
+  }
+
+ private:
+  double capacity_;
+  double segment_bytes_;
+  const workload::Catalog* catalog_;
+  double used_ = 0.0;
+  double requested_ = 0.0;  // byte-granular total actually asked for
+  std::unordered_map<ObjectId, SegmentMap> maps_;
+  std::unordered_map<ObjectId, double> requested_bytes_;
+};
+
+}  // namespace sc::cache

@@ -1,0 +1,51 @@
+#include "cache/store.h"
+
+#include <stdexcept>
+
+namespace sc::cache {
+
+PartialStore::PartialStore(double capacity_bytes) : capacity_(capacity_bytes) {
+  if (capacity_bytes < 0) {
+    throw std::invalid_argument("PartialStore: negative capacity");
+  }
+}
+
+double PartialStore::cached(ObjectId id) const {
+  const auto it = cached_.find(id);
+  return it == cached_.end() ? 0.0 : it->second;
+}
+
+void PartialStore::set_cached(ObjectId id, double bytes) {
+  if (bytes < 0) {
+    throw std::invalid_argument("PartialStore::set_cached: negative size");
+  }
+  const double current = cached(id);
+  const double delta = bytes - current;
+  // Tolerate one byte of floating-point slack: occupancy runs to ~10^11
+  // bytes, where double rounding swallows sub-byte differences.
+  if (delta > free_space() + 1.0) {
+    throw std::length_error("PartialStore::set_cached: over capacity");
+  }
+  if (bytes == 0.0) {
+    cached_.erase(id);
+  } else {
+    cached_[id] = bytes;
+  }
+  used_ += delta;
+  if (used_ < 0) used_ = 0;  // guard accumulated rounding
+}
+
+void PartialStore::erase(ObjectId id) {
+  const auto it = cached_.find(id);
+  if (it == cached_.end()) return;
+  used_ -= it->second;
+  if (used_ < 0) used_ = 0;
+  cached_.erase(it);
+}
+
+void PartialStore::clear() {
+  cached_.clear();
+  used_ = 0.0;
+}
+
+}  // namespace sc::cache

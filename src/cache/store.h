@@ -1,0 +1,61 @@
+// Partial-object cache store.
+//
+// Tracks, for every object, how many bytes of its *prefix* are cached
+// (x_i in the paper), under a hard capacity constraint. The paper (§2.7)
+// restricts partial caching to prefixes so that joint cache+origin
+// delivery needs no interval bookkeeping; the store models exactly that.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "workload/object_catalog.h"
+
+namespace sc::cache {
+
+using workload::ObjectId;
+
+class PartialStore {
+ public:
+  explicit PartialStore(double capacity_bytes);
+
+  [[nodiscard]] double capacity() const noexcept { return capacity_; }
+  [[nodiscard]] double used() const noexcept { return used_; }
+  [[nodiscard]] double free_space() const noexcept { return capacity_ - used_; }
+
+  /// Cached prefix bytes of object `id` (0 if absent).
+  [[nodiscard]] double cached(ObjectId id) const;
+
+  [[nodiscard]] bool contains(ObjectId id) const {
+    return cached_.find(id) != cached_.end();
+  }
+
+  /// Number of objects with a non-empty cached prefix.
+  [[nodiscard]] std::size_t object_count() const noexcept {
+    return cached_.size();
+  }
+
+  /// Set the cached prefix of `id` to exactly `bytes` (grow or shrink).
+  /// Throws std::invalid_argument on negative sizes and std::length_error
+  /// if growth would exceed capacity.
+  void set_cached(ObjectId id, double bytes);
+
+  /// Remove the object entirely. No-op if absent.
+  void erase(ObjectId id);
+
+  /// Drop everything.
+  void clear();
+
+  /// Iteration over (id, cached bytes).
+  [[nodiscard]] const std::unordered_map<ObjectId, double>& contents()
+      const noexcept {
+    return cached_;
+  }
+
+ private:
+  double capacity_;
+  double used_ = 0.0;
+  std::unordered_map<ObjectId, double> cached_;
+};
+
+}  // namespace sc::cache

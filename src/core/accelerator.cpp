@@ -1,0 +1,29 @@
+#include "core/accelerator.h"
+
+namespace sc::core {
+
+Accelerator::Accelerator(const workload::Catalog& catalog,
+                         net::BandwidthEstimator& estimator,
+                         AcceleratorConfig config)
+    : catalog_(&catalog),
+      estimator_(&estimator),
+      store_(config.capacity_bytes),
+      policy_(cache::make_policy(config.policy, catalog, estimator,
+                                 config.policy_params)) {}
+
+DeliveryPlan Accelerator::serve(ObjectId id, double now_s, double bandwidth) {
+  const auto& obj = catalog_->object(id);
+  DeliveryPlan plan;
+  plan.cached_prefix_bytes = store_.cached(id);
+  plan.outcome = sim::deliver(obj, bandwidth, plan.cached_prefix_bytes);
+  plan.policy = policy_->name();
+  policy_->on_access(id, now_s, store_);
+  return plan;
+}
+
+void Accelerator::observe_transfer(net::PathId path, double throughput,
+                                   double now_s) {
+  estimator_->observe(path, throughput, now_s);
+}
+
+}  // namespace sc::core

@@ -1,0 +1,75 @@
+// Public facade: an edge-cache streaming accelerator.
+//
+// This is the API a deployment would embed in a caching proxy. It owns the
+// partial-object store and the replacement policy, consults a bandwidth
+// estimator, and for each request returns a *delivery plan*: how many
+// bytes to serve from the cache, how many to fetch from the origin, and
+// the delay/quality the client should expect. The trace-driven Simulator
+// (src/sim) reproduces the paper's experiments; Accelerator is the online
+// entry point examples and applications use.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cache/factory.h"
+#include "cache/store.h"
+#include "net/estimator.h"
+#include "sim/delivery.h"
+#include "workload/object_catalog.h"
+
+namespace sc::core {
+
+using workload::ObjectId;
+
+struct AcceleratorConfig {
+  double capacity_bytes = 0.0;
+  cache::PolicyKind policy = cache::PolicyKind::kPB;
+  cache::PolicyParams policy_params{};
+};
+
+/// A client-facing delivery plan for one request.
+struct DeliveryPlan {
+  sim::ServiceOutcome outcome;   // delay, quality, byte split
+  double cached_prefix_bytes = 0.0;  // prefix available when served
+  std::string policy;
+};
+
+class Accelerator {
+ public:
+  /// `catalog` and `estimator` must outlive the accelerator.
+  Accelerator(const workload::Catalog& catalog,
+              net::BandwidthEstimator& estimator, AcceleratorConfig config);
+
+  Accelerator(const Accelerator&) = delete;
+  Accelerator& operator=(const Accelerator&) = delete;
+
+  /// Serve a request for `id` at time `now_s` with instantaneous origin
+  /// bandwidth `bandwidth` (bytes/second; in deployment this comes from
+  /// the measurement module). Updates replacement state.
+  [[nodiscard]] DeliveryPlan serve(ObjectId id, double now_s,
+                                   double bandwidth);
+
+  /// Feed the estimator a completed-transfer observation (passive
+  /// measurement hook).
+  void observe_transfer(net::PathId path, double throughput, double now_s);
+
+  [[nodiscard]] const cache::PartialStore& store() const noexcept {
+    return store_;
+  }
+  [[nodiscard]] double occupancy_bytes() const noexcept {
+    return store_.used();
+  }
+  [[nodiscard]] double capacity_bytes() const noexcept {
+    return store_.capacity();
+  }
+  [[nodiscard]] std::string policy_name() const { return policy_->name(); }
+
+ private:
+  const workload::Catalog* catalog_;
+  net::BandwidthEstimator* estimator_;
+  cache::PartialStore store_;
+  std::unique_ptr<cache::CachePolicy> policy_;
+};
+
+}  // namespace sc::core

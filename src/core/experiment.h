@@ -1,0 +1,73 @@
+// Experiment harness: named bandwidth scenarios, multi-run averaging, and
+// parameter sweeps. Every paper figure is a composition of these pieces
+// (see DESIGN.md §5 for the figure -> bench mapping).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/bandwidth_model.h"
+#include "net/variability.h"
+#include "sim/simulator.h"
+#include "workload/generator.h"
+
+namespace sc::core {
+
+/// A bandwidth environment: base model + ratio model + variation mode.
+struct Scenario {
+  std::string name;
+  stats::EmpiricalDistribution base;
+  stats::EmpiricalDistribution ratio;
+  net::VariationMode mode = net::VariationMode::kConstant;
+};
+
+/// NLANR base means, no time variation (Figs 5, 6, 10).
+[[nodiscard]] Scenario constant_scenario();
+/// NLANR base means, iid per-request ratio from the Fig-3 model (Fig 7).
+[[nodiscard]] Scenario nlanr_variability_scenario();
+/// NLANR base means, iid ratio from the pooled Fig-4 model (Figs 8, 11, 12).
+[[nodiscard]] Scenario measured_variability_scenario();
+/// NLANR base means, AR(1) time-series ratios (extension experiments).
+[[nodiscard]] Scenario timeseries_scenario(net::MeasuredPath path);
+
+/// Cross-run mean and standard deviation for each §3.3 metric.
+struct AveragedMetrics {
+  std::size_t runs = 0;
+  double traffic_reduction = 0.0, traffic_reduction_sd = 0.0;
+  double delay_s = 0.0, delay_s_sd = 0.0;
+  double quality = 0.0, quality_sd = 0.0;
+  double added_value = 0.0, added_value_sd = 0.0;
+  double hit_ratio = 0.0;
+  double immediate_ratio = 0.0;
+  double fill_bytes = 0.0;
+  double occupancy_bytes = 0.0;
+};
+
+struct ExperimentConfig {
+  workload::WorkloadConfig workload{};
+  sim::SimulationConfig sim{};
+  /// Independent replications; the paper averages ten runs per point.
+  std::size_t runs = 10;
+  std::uint64_t base_seed = 42;
+  /// Run replications on a thread pool (results independent of ordering).
+  bool parallel = true;
+};
+
+/// Run `config.runs` independent replications (fresh workload and path
+/// table per run, seeds derived from base_seed) under `scenario` and
+/// average the measured-window metrics.
+[[nodiscard]] AveragedMetrics run_experiment(const ExperimentConfig& config,
+                                             const Scenario& scenario);
+
+/// Convenience: express a cache size as a fraction of the *expected*
+/// total unique object size (the paper's x-axis, "Cache Size (Percentage
+/// of Unique Object Size)").
+[[nodiscard]] double capacity_for_fraction(
+    const workload::CatalogConfig& catalog, double fraction);
+
+/// The paper's evaluated cache sizes, 4 GB .. 128 GB as fractions of the
+/// ~790 GB corpus: {0.005, 0.01, 0.02, 0.04, 0.085, 0.169}.
+[[nodiscard]] std::vector<double> paper_cache_fractions();
+
+}  // namespace sc::core

@@ -1,0 +1,77 @@
+#include "core/playback.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/delivery.h"
+
+namespace sc::core {
+
+PlaybackResult simulate_playback(const workload::StreamObject& obj,
+                                 double cached_prefix_bytes,
+                                 const BandwidthFn& bandwidth,
+                                 const PlaybackConfig& config) {
+  if (!bandwidth) {
+    throw std::invalid_argument("simulate_playback: null bandwidth fn");
+  }
+  if (config.tick_s <= 0) {
+    throw std::invalid_argument("simulate_playback: tick_s must be > 0");
+  }
+  const double prefix = std::clamp(cached_prefix_bytes, 0.0, obj.size_bytes);
+  const double origin_total = obj.size_bytes - prefix;
+
+  // Startup rule: the static §2.2 prefetch delay, computed with the
+  // bandwidth observed at session start, plus configured headroom.
+  const double b0 = bandwidth(0.0);
+  if (b0 <= 0) throw std::invalid_argument("simulate_playback: bw <= 0");
+  const double static_wait =
+      sim::service_delay(obj.duration_s, obj.bitrate, b0, prefix);
+  const double wait_target = static_wait + config.startup_headroom_s;
+
+  PlaybackResult result;
+  const double max_wall = config.max_wall_multiple *
+                          std::max(obj.duration_s, 1.0);
+  double now = 0.0;
+  double downloaded = 0.0;  // origin bytes received so far
+  bool playing = wait_target <= 0.0;  // no prefetch needed: play at once
+  bool stalled = false;
+
+  while (result.played_s + 1e-9 < obj.duration_s && now < max_wall) {
+    const double bw = bandwidth(now);
+    if (bw <= 0) throw std::invalid_argument("simulate_playback: bw <= 0");
+    downloaded = std::min(origin_total, downloaded + bw * config.tick_s);
+
+    if (!playing) {
+      result.startup_delay_s += config.tick_s;
+      if (result.startup_delay_s + 1e-9 >= wait_target ||
+          downloaded >= origin_total) {
+        playing = true;
+      }
+      now += config.tick_s;
+      continue;
+    }
+
+    // Content available but not yet played, in seconds of playout.
+    const double available_s =
+        (prefix + downloaded) / obj.bitrate - result.played_s;
+    const double need_s = std::min(config.tick_s,
+                                   obj.duration_s - result.played_s);
+    if (available_s + 1e-9 >= need_s) {
+      if (stalled) stalled = false;
+      result.played_s += need_s;
+    } else {
+      if (!stalled) {
+        stalled = true;
+        ++result.stall_count;
+      }
+      result.stall_time_s += config.tick_s;
+    }
+    now += config.tick_s;
+  }
+
+  result.completed = result.played_s + 1e-9 >= obj.duration_s;
+  result.wall_time_s = now;
+  return result;
+}
+
+}  // namespace sc::core

@@ -1,0 +1,55 @@
+// Playback-buffer simulation under time-varying bandwidth (extension).
+//
+// The paper's service-delay formula [T r - T b - x]+ / b assumes the
+// bandwidth b holds for the whole playout; under a *time-varying* path
+// the client can also stall mid-stream when the buffer drains. This
+// module simulates the playout buffer tick by tick: the cached prefix is
+// available immediately (abundant last-mile bandwidth), the remainder
+// arrives at the instantaneous origin bandwidth, playout consumes at the
+// encoding rate. It reports the startup delay actually needed plus any
+// rebuffering events -- a failure mode invisible to the static formula
+// that the bench_stalls harness uses to compare policies.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "workload/object_catalog.h"
+
+namespace sc::core {
+
+/// Instantaneous origin bandwidth (bytes/second) at time `now_s` since
+/// session start. Must be positive.
+using BandwidthFn = std::function<double(double now_s)>;
+
+struct PlaybackConfig {
+  /// Simulation tick (seconds). Smaller = finer stall resolution.
+  double tick_s = 1.0;
+  /// Extra startup buffer beyond the static formula's delay (seconds of
+  /// content); the paper's "buffer a few initial frames" headroom.
+  double startup_headroom_s = 0.0;
+  /// Abort safety bound: give up after this many times the object
+  /// duration (prevents infinite loops on pathological bandwidth fns).
+  double max_wall_multiple = 20.0;
+};
+
+struct PlaybackResult {
+  double startup_delay_s = 0.0;  // wait before playout began
+  std::size_t stall_count = 0;   // rebuffering events after startup
+  double stall_time_s = 0.0;     // total paused time after startup
+  double played_s = 0.0;         // content seconds delivered
+  bool completed = false;        // full object played
+  double wall_time_s = 0.0;      // startup + playing + stalls
+};
+
+/// Simulate playing `obj` with `cached_prefix_bytes` of its prefix in the
+/// edge cache and origin bandwidth given by `bandwidth` (sampled once per
+/// tick). The client starts playout once the buffered content covers
+/// `startup_delay_s` of static-formula prefetch plus the configured
+/// headroom, then stalls whenever the buffer empties and resumes after
+/// re-buffering one tick of content.
+[[nodiscard]] PlaybackResult simulate_playback(
+    const workload::StreamObject& obj, double cached_prefix_bytes,
+    const BandwidthFn& bandwidth, const PlaybackConfig& config = {});
+
+}  // namespace sc::core

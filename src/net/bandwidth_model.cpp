@@ -1,0 +1,48 @@
+#include "net/bandwidth_model.h"
+
+#include <stdexcept>
+
+#include "net/units.h"
+
+namespace sc::net {
+
+stats::EmpiricalDistribution nlanr_base_model() {
+  // Piecewise-uniform reconstruction of Fig 2 (units: KB/s, converted to
+  // bytes/s below). Mass fractions pinned to the published CDF anchors:
+  //   CDF(50 KB/s)  = 0.02 + 0.07 + 0.12 + 0.16 = 0.37  (paper: 37%)
+  //   CDF(100 KB/s) = 0.37 + 0.10 + 0.09        = 0.56  (paper: 56%)
+  // with a long high-bandwidth tail past 450 KB/s as in the published
+  // histogram. The sub-50 KB/s band rises toward 50 KB/s but keeps real
+  // mass at slow paths: the per-object bandwidth deficit (r - b) * T of
+  // that band is what partial caching spends cache space on, and the
+  // paper's PB curves keep improving to the largest cache size -- which
+  // requires the aggregate deficit to be comparable to the largest cache
+  // (~17% of the corpus). Absolute delays land ~3-4x above the paper's;
+  // see EXPERIMENTS.md for the calibration discussion.
+  std::vector<stats::EmpiricalBin> bins = {
+      {10.0, 20.0, 0.02},  {20.0, 30.0, 0.07},   {30.0, 40.0, 0.12},
+      {40.0, 50.0, 0.16},  {50.0, 75.0, 0.10},   {75.0, 100.0, 0.09},
+      {100.0, 150.0, 0.12}, {150.0, 200.0, 0.10}, {200.0, 250.0, 0.08},
+      {250.0, 300.0, 0.06}, {300.0, 350.0, 0.04}, {350.0, 400.0, 0.02},
+      {400.0, 450.0, 0.015}, {450.0, 600.0, 0.005},
+  };
+  for (auto& b : bins) {
+    b.lo = from_kb(b.lo);
+    b.hi = from_kb(b.hi);
+  }
+  return stats::EmpiricalDistribution(std::move(bins));
+}
+
+stats::EmpiricalDistribution abundant_base_model(double bytes_per_second) {
+  if (bytes_per_second <= 0) {
+    throw std::invalid_argument("abundant_base_model: rate must be > 0");
+  }
+  return stats::EmpiricalDistribution(
+      {{bytes_per_second * 0.999, bytes_per_second * 1.001, 1.0}});
+}
+
+stats::EmpiricalDistribution uniform_base_model(double lo, double hi) {
+  return stats::EmpiricalDistribution({{lo, hi, 1.0}});
+}
+
+}  // namespace sc::net

@@ -1,0 +1,30 @@
+// Base (per-path mean) bandwidth models.
+//
+// The paper's simulations draw the mean bandwidth of each cache<->origin
+// path from the distribution observed in NLANR proxy-cache logs (Fig 2):
+// 4 KB/s-binned histogram with 37% of samples below 50 KB/s and 56% below
+// 100 KB/s, and a long tail past 450 KB/s. We do not have the raw log, so
+// `nlanr_base_model()` reconstructs a piecewise-uniform distribution that
+// matches the published CDF anchors and histogram shape (see DESIGN.md §4,
+// substitution table).
+#pragma once
+
+#include "stats/empirical.h"
+
+namespace sc::net {
+
+/// Empirical per-path mean bandwidth distribution (bytes/second) matching
+/// the NLANR Fig-2 shape. Anchors: P(bw < 50 KB/s) = 0.37,
+/// P(bw < 100 KB/s) = 0.56; support ~[4, 600] KB/s.
+[[nodiscard]] stats::EmpiricalDistribution nlanr_base_model();
+
+/// A degenerate high-bandwidth model (every path faster than any object
+/// bit-rate). Useful for tests that isolate non-network behaviour.
+[[nodiscard]] stats::EmpiricalDistribution abundant_base_model(
+    double bytes_per_second);
+
+/// Uniform base model on [lo, hi] bytes/second (sensitivity experiments).
+[[nodiscard]] stats::EmpiricalDistribution uniform_base_model(double lo,
+                                                              double hi);
+
+}  // namespace sc::net

@@ -1,0 +1,77 @@
+#include "net/estimator.h"
+
+#include <stdexcept>
+
+namespace sc::net {
+
+PassiveEwmaEstimator::PassiveEwmaEstimator(std::size_t n_paths, double alpha,
+                                           double prior)
+    : alpha_(alpha), prior_(prior), estimates_(n_paths, -1.0) {
+  if (alpha <= 0 || alpha > 1) {
+    throw std::invalid_argument("PassiveEwmaEstimator: alpha must be (0, 1]");
+  }
+  if (prior <= 0) {
+    throw std::invalid_argument("PassiveEwmaEstimator: prior must be > 0");
+  }
+}
+
+void PassiveEwmaEstimator::observe(PathId path, double throughput,
+                                   double /*now_s*/) {
+  if (throughput <= 0) return;
+  double& e = estimates_.at(path);
+  if (e <= 0) {
+    e = throughput;
+    ++observed_count_;
+  } else {
+    e = alpha_ * throughput + (1.0 - alpha_) * e;
+  }
+}
+
+double PassiveEwmaEstimator::estimate(PathId path, double /*now_s*/) {
+  const double e = estimates_.at(path);
+  return e > 0 ? e : prior_;
+}
+
+LastSampleEstimator::LastSampleEstimator(std::size_t n_paths, double prior)
+    : prior_(prior), last_(n_paths, -1.0) {
+  if (prior <= 0) {
+    throw std::invalid_argument("LastSampleEstimator: prior must be > 0");
+  }
+}
+
+void LastSampleEstimator::observe(PathId path, double throughput,
+                                  double /*now_s*/) {
+  if (throughput > 0) last_.at(path) = throughput;
+}
+
+double LastSampleEstimator::estimate(PathId path, double /*now_s*/) {
+  const double e = last_.at(path);
+  return e > 0 ? e : prior_;
+}
+
+ActiveProbeEstimator::ActiveProbeEstimator(const ProbeModel& model,
+                                           double reprobe_interval_s,
+                                           util::Rng rng)
+    : model_(&model),
+      reprobe_interval_s_(reprobe_interval_s),
+      rng_(std::move(rng)),
+      cached_(model.size(), -1.0),
+      probe_time_(model.size(), -1.0) {
+  if (reprobe_interval_s <= 0) {
+    throw std::invalid_argument("ActiveProbeEstimator: interval must be > 0");
+  }
+}
+
+double ActiveProbeEstimator::estimate(PathId path, double now_s) {
+  double& cached = cached_.at(path);
+  double& when = probe_time_.at(path);
+  if (cached <= 0 || now_s - when >= reprobe_interval_s_) {
+    const ProbeResult r = model_->probe(path, rng_);
+    cached = r.estimated_bandwidth;
+    when = now_s;
+    overhead_packets_ += r.packets_sent;
+  }
+  return cached;
+}
+
+}  // namespace sc::net

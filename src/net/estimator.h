@@ -1,0 +1,111 @@
+// Bandwidth estimators (§2.7): how the cache learns b_i for each path.
+//
+// The caching policies never see the true path means directly; they consult
+// a BandwidthEstimator. Implementations:
+//   OracleEstimator      - returns the true long-run mean (the paper's
+//                          idealized setting used in its simulations).
+//   PassiveEwmaEstimator - exponentially-weighted average of observed
+//                          per-transfer throughput (passive measurement).
+//   LastSampleEstimator  - most recent observed throughput only.
+//   ActiveProbeEstimator - probes via the TCP-throughput model with a
+//                          configurable re-probe interval (active
+//                          measurement with overhead accounting).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "net/path_process.h"
+#include "net/probe.h"
+#include "util/rng.h"
+
+namespace sc::net {
+
+/// Interface through which cache policies learn per-path bandwidth.
+class BandwidthEstimator {
+ public:
+  virtual ~BandwidthEstimator() = default;
+
+  /// Record the throughput (bytes/second) of a completed transfer on
+  /// `path` finishing at simulation time `now_s`.
+  virtual void observe(PathId path, double throughput, double now_s) = 0;
+
+  /// Current estimate for `path` (bytes/second); must be positive.
+  [[nodiscard]] virtual double estimate(PathId path, double now_s) = 0;
+
+  /// Cumulative measurement overhead in packets (0 for passive schemes).
+  [[nodiscard]] virtual std::size_t overhead_packets() const { return 0; }
+};
+
+/// Knows the true per-path mean (upper bound on estimator quality).
+class OracleEstimator final : public BandwidthEstimator {
+ public:
+  explicit OracleEstimator(const PathTable& paths) : paths_(&paths) {}
+
+  void observe(PathId, double, double) override {}
+  [[nodiscard]] double estimate(PathId path, double) override {
+    return paths_->mean_bandwidth(path);
+  }
+
+ private:
+  const PathTable* paths_;
+};
+
+/// Passive EWMA over observed transfer throughput.
+class PassiveEwmaEstimator final : public BandwidthEstimator {
+ public:
+  /// `alpha` is the weight of the newest observation; `prior` is returned
+  /// for paths never observed (bytes/second).
+  PassiveEwmaEstimator(std::size_t n_paths, double alpha, double prior);
+
+  void observe(PathId path, double throughput, double now_s) override;
+  [[nodiscard]] double estimate(PathId path, double now_s) override;
+
+  [[nodiscard]] std::size_t observed_paths() const noexcept {
+    return observed_count_;
+  }
+
+ private:
+  double alpha_;
+  double prior_;
+  std::vector<double> estimates_;  // <= 0 means "never observed"
+  std::size_t observed_count_ = 0;
+};
+
+/// Remembers only the most recent sample per path.
+class LastSampleEstimator final : public BandwidthEstimator {
+ public:
+  LastSampleEstimator(std::size_t n_paths, double prior);
+
+  void observe(PathId path, double throughput, double now_s) override;
+  [[nodiscard]] double estimate(PathId path, double now_s) override;
+
+ private:
+  double prior_;
+  std::vector<double> last_;
+};
+
+/// Probes a path actively when its estimate is older than
+/// `reprobe_interval_s`; otherwise serves the cached probe result.
+class ActiveProbeEstimator final : public BandwidthEstimator {
+ public:
+  ActiveProbeEstimator(const ProbeModel& model, double reprobe_interval_s,
+                       util::Rng rng);
+
+  void observe(PathId, double, double) override {}  // purely active
+  [[nodiscard]] double estimate(PathId path, double now_s) override;
+  [[nodiscard]] std::size_t overhead_packets() const override {
+    return overhead_packets_;
+  }
+
+ private:
+  const ProbeModel* model_;
+  double reprobe_interval_s_;
+  util::Rng rng_;
+  std::vector<double> cached_;
+  std::vector<double> probe_time_;
+  std::size_t overhead_packets_ = 0;
+};
+
+}  // namespace sc::net

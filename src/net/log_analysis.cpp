@@ -1,0 +1,190 @@
+#include "net/log_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/histogram.h"
+
+namespace sc::net {
+
+std::optional<LogRecord> parse_squid_line(const std::string& line) {
+  std::istringstream in(line);
+  LogRecord r;
+  double elapsed_ms = 0.0;
+  if (!(in >> r.timestamp_s >> elapsed_ms >> r.client >> r.result_code >>
+        r.bytes >> r.method >> r.url)) {
+    return std::nullopt;
+  }
+  if (r.timestamp_s < 0 || elapsed_ms < 0 || r.bytes < 0) return std::nullopt;
+  r.elapsed_s = elapsed_ms / 1000.0;
+  return r;
+}
+
+std::string server_of_url(const std::string& url) {
+  // Skip "scheme://", then take up to the next '/', stripping ":port".
+  std::size_t host_start = 0;
+  const auto scheme = url.find("://");
+  if (scheme != std::string::npos) host_start = scheme + 3;
+  if (host_start >= url.size()) return {};
+  const auto host_end = url.find('/', host_start);
+  std::string host = url.substr(host_start, host_end == std::string::npos
+                                                ? std::string::npos
+                                                : host_end - host_start);
+  const auto colon = host.find(':');
+  if (colon != std::string::npos) host.resize(colon);
+  return host;
+}
+
+LogAnalyzer::LogAnalyzer(LogAnalysisConfig config) : config_(config) {}
+
+bool LogAnalyzer::add_line(const std::string& line) {
+  ++lines_;
+  const auto record = parse_squid_line(line);
+  if (!record) {
+    ++rejected_;
+    return false;
+  }
+  --lines_;  // add_record counts it again
+  return add_record(*record);
+}
+
+bool LogAnalyzer::add_record(const LogRecord& record) {
+  ++lines_;
+  const bool is_miss =
+      record.result_code.rfind("TCP_MISS", 0) == 0 ||
+      record.result_code.rfind("TCP_REFRESH_MISS", 0) == 0;
+  if (config_.misses_only && !is_miss) {
+    ++rejected_;
+    return false;
+  }
+  if (record.bytes < config_.min_bytes ||
+      record.elapsed_s < config_.min_elapsed_s) {
+    ++rejected_;
+    return false;
+  }
+  const std::string server = server_of_url(record.url);
+  if (server.empty()) {
+    ++rejected_;
+    return false;
+  }
+  samples_.push_back(BandwidthSample{server, record.bytes / record.elapsed_s,
+                                     record.timestamp_s});
+  return true;
+}
+
+std::size_t LogAnalyzer::add_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("LogAnalyzer: cannot open " + path.string());
+  }
+  std::size_t added = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && add_line(line)) ++added;
+  }
+  return added;
+}
+
+stats::EmpiricalDistribution LogAnalyzer::base_model(std::size_t bins) const {
+  if (samples_.empty()) {
+    throw std::logic_error("LogAnalyzer::base_model: no samples");
+  }
+  double lo = samples_.front().bytes_per_s, hi = lo;
+  for (const auto& s : samples_) {
+    lo = std::min(lo, s.bytes_per_s);
+    hi = std::max(hi, s.bytes_per_s);
+  }
+  if (hi <= lo) hi = lo * 1.01 + 1.0;
+  stats::Histogram h(lo, hi, bins);
+  for (const auto& s : samples_) h.add(s.bytes_per_s);
+  return stats::EmpiricalDistribution::from_histogram(h);
+}
+
+std::unordered_map<std::string, double> LogAnalyzer::server_means() const {
+  std::unordered_map<std::string, std::pair<double, std::size_t>> acc;
+  for (const auto& s : samples_) {
+    auto& [sum, n] = acc[s.server];
+    sum += s.bytes_per_s;
+    ++n;
+  }
+  std::unordered_map<std::string, double> means;
+  means.reserve(acc.size());
+  for (const auto& [server, sn] : acc) {
+    means[server] = sn.first / static_cast<double>(sn.second);
+  }
+  return means;
+}
+
+stats::EmpiricalDistribution LogAnalyzer::ratio_model(std::size_t bins) const {
+  std::unordered_map<std::string, std::pair<double, std::size_t>> acc;
+  for (const auto& s : samples_) {
+    auto& [sum, n] = acc[s.server];
+    sum += s.bytes_per_s;
+    ++n;
+  }
+  std::vector<double> ratios;
+  for (const auto& s : samples_) {
+    const auto& [sum, n] = acc[s.server];
+    if (n < config_.min_samples_per_server) continue;
+    const double mean = sum / static_cast<double>(n);
+    if (mean > 0) ratios.push_back(s.bytes_per_s / mean);
+  }
+  if (ratios.empty()) {
+    throw std::logic_error(
+        "LogAnalyzer::ratio_model: no server has enough samples");
+  }
+  const double hi = std::max(1.5, *std::max_element(ratios.begin(),
+                                                    ratios.end())) *
+                    1.001;
+  stats::Histogram h(0.0, hi, bins);
+  for (const double r : ratios) h.add(r);
+  auto model = stats::EmpiricalDistribution::from_histogram(h);
+  const double m = model.mean();
+  return m > 0 ? model.scaled(1.0 / m) : model;
+}
+
+std::size_t write_synthetic_log(const std::filesystem::path& path,
+                                PathTable& paths,
+                                const SyntheticLogConfig& config,
+                                util::Rng& rng) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_synthetic_log: cannot open " +
+                             path.string());
+  }
+  double now = config.start_time_s;
+  std::size_t written = 0;
+  for (std::size_t i = 0; i < config.num_requests; ++i) {
+    now += rng.exponential(config.arrival_rate_per_s);
+    const auto server_idx =
+        static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(config.num_servers) - 1));
+    const PathId path_id = server_idx % paths.size();
+
+    const bool large = rng.uniform() < config.large_fraction;
+    const double bytes =
+        large ? rng.uniform(config.large_bytes_lo, config.large_bytes_hi)
+              : rng.uniform(config.small_bytes_lo, config.small_bytes_hi);
+    const bool miss = rng.uniform() < config.miss_fraction;
+    const double bw = miss ? paths.sample_bandwidth(path_id, now)
+                           : config.hit_bytes_per_s;
+    const double elapsed_ms = bytes / bw * 1000.0;
+
+    out << std::fixed << now << ' '
+        << static_cast<long long>(std::lround(elapsed_ms)) << " client-"
+        << (i % 37) << ' ' << (miss ? "TCP_MISS/200" : "TCP_HIT/200") << ' '
+        << static_cast<long long>(std::lround(bytes)) << " GET http://server-"
+        << server_idx << ".example.net/media/obj" << i << ".rm - DIRECT/-"
+        << " video/x-pn-realvideo\n";
+    ++written;
+  }
+  if (!out) {
+    throw std::runtime_error("write_synthetic_log: write failed");
+  }
+  return written;
+}
+
+}  // namespace sc::net

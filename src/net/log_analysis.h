@@ -1,0 +1,139 @@
+// Proxy-log bandwidth analysis (§3.1 of the paper).
+//
+// The paper derives its bandwidth models from NLANR proxy-cache access
+// logs: for every *miss* larger than 200 KB it computes a bandwidth
+// sample as object size / connection duration, builds the base-bandwidth
+// histogram (Fig 2), and — grouping samples by origin server — the
+// sample-to-mean ratio distribution (Fig 3). This module implements that
+// pipeline for Squid-format access logs, plus a synthetic log writer so
+// the pipeline can be exercised without the (unavailable) 2001 logs.
+//
+// Squid native access.log format (one request per line):
+//   timestamp elapsed_ms client code/status bytes method URL rfc931 peer type
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/path_process.h"
+#include "stats/empirical.h"
+#include "util/rng.h"
+
+namespace sc::net {
+
+/// One parsed access-log entry.
+struct LogRecord {
+  double timestamp_s = 0.0;   // Unix time, seconds
+  double elapsed_s = 0.0;     // connection duration
+  std::string client;         // anonymized client host
+  std::string result_code;    // e.g. "TCP_MISS/200"
+  double bytes = 0.0;         // response size
+  std::string method;         // GET, ...
+  std::string url;
+};
+
+/// Parse one Squid-format line. Returns nullopt for malformed lines
+/// (parsers of real logs must tolerate junk) — never throws.
+[[nodiscard]] std::optional<LogRecord> parse_squid_line(
+    const std::string& line);
+
+/// Origin host of a URL ("http://media.example.com:8080/a/b.rm" ->
+/// "media.example.com"). Empty string if the URL has no recognizable host.
+[[nodiscard]] std::string server_of_url(const std::string& url);
+
+/// One bandwidth sample attributed to an origin server.
+struct BandwidthSample {
+  std::string server;
+  double bytes_per_s = 0.0;
+  double timestamp_s = 0.0;
+};
+
+struct LogAnalysisConfig {
+  /// Samples below this size are discarded: short transfers measure
+  /// slow-start, not available bandwidth (paper: 200 KB).
+  double min_bytes = 200.0 * 1024.0;
+  /// Only misses reach the origin; hits measure the proxy, not the path.
+  bool misses_only = true;
+  /// Minimum connection duration to avoid divide-by-noise.
+  double min_elapsed_s = 0.1;
+  /// Servers with fewer samples than this are excluded from the
+  /// sample-to-mean ratio model (a mean of one sample is meaningless).
+  std::size_t min_samples_per_server = 3;
+};
+
+/// Streaming analyzer: feed lines or records, then extract the Fig-2 and
+/// Fig-3 style models.
+class LogAnalyzer {
+ public:
+  explicit LogAnalyzer(LogAnalysisConfig config = {});
+
+  /// Feed one raw log line; returns true if it yielded a sample.
+  bool add_line(const std::string& line);
+
+  /// Feed a parsed record; returns true if it passed the filters.
+  bool add_record(const LogRecord& record);
+
+  /// Feed an entire log file. Returns the number of samples extracted.
+  std::size_t add_file(const std::filesystem::path& path);
+
+  [[nodiscard]] const std::vector<BandwidthSample>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] std::size_t lines_seen() const noexcept { return lines_; }
+  [[nodiscard]] std::size_t lines_rejected() const noexcept {
+    return rejected_;
+  }
+
+  /// Fig-2 analogue: empirical distribution of all bandwidth samples
+  /// (bytes/second), binned into `bins` equal slots over the observed
+  /// range. Throws std::logic_error if no samples were collected.
+  [[nodiscard]] stats::EmpiricalDistribution base_model(
+      std::size_t bins = 100) const;
+
+  /// Fig-3 analogue: distribution of sample / per-server-mean ratios,
+  /// normalized to unit mean. Only servers with at least
+  /// `min_samples_per_server` samples contribute.
+  [[nodiscard]] stats::EmpiricalDistribution ratio_model(
+      std::size_t bins = 60) const;
+
+  /// Per-server mean bandwidth (bytes/second), for inspection.
+  [[nodiscard]] std::unordered_map<std::string, double> server_means() const;
+
+ private:
+  LogAnalysisConfig config_;
+  std::vector<BandwidthSample> samples_;
+  std::size_t lines_ = 0;
+  std::size_t rejected_ = 0;
+};
+
+/// Parameters for synthetic log generation.
+struct SyntheticLogConfig {
+  std::size_t num_requests = 20000;
+  std::size_t num_servers = 200;
+  double start_time_s = 987033600.0;  // 2001-04-12, the paper's log window
+  double arrival_rate_per_s = 2.0;
+  /// Mix of object sizes: most web objects are small; a fraction are the
+  /// large (> min_bytes) transfers the analyzer keeps.
+  double large_fraction = 0.35;
+  double small_bytes_lo = 2.0 * 1024.0;
+  double small_bytes_hi = 150.0 * 1024.0;
+  double large_bytes_lo = 250.0 * 1024.0;
+  double large_bytes_hi = 8.0 * 1024.0 * 1024.0;
+  double miss_fraction = 0.7;  // the rest are TCP_HITs (served locally)
+  double hit_bytes_per_s = 5.0 * 1024.0 * 1024.0;  // LAN-speed hits
+};
+
+/// Write a synthetic Squid-format log whose miss transfers draw their
+/// bandwidth from `paths` (server i <-> path i mod paths.size()). Returns
+/// the number of lines written. This gives the analysis pipeline a ground
+/// truth to be validated against (see tests and the proxy_log_study
+/// example).
+std::size_t write_synthetic_log(const std::filesystem::path& path,
+                                PathTable& paths,
+                                const SyntheticLogConfig& config,
+                                util::Rng& rng);
+
+}  // namespace sc::net

@@ -1,0 +1,81 @@
+#include "net/path_process.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sc::net {
+
+Ar1RatioProcess::Ar1RatioProcess(double phi, double sigma, double floor_ratio,
+                                 double ceil_ratio)
+    : phi_(phi), sigma_(sigma), floor_(floor_ratio), ceil_(ceil_ratio) {
+  if (phi < 0 || phi >= 1) {
+    throw std::invalid_argument("Ar1RatioProcess: phi must be in [0, 1)");
+  }
+  if (sigma < 0) throw std::invalid_argument("Ar1RatioProcess: sigma < 0");
+  if (!(ceil_ratio > floor_ratio) || floor_ratio <= 0) {
+    throw std::invalid_argument("Ar1RatioProcess: bad clamp bounds");
+  }
+}
+
+double Ar1RatioProcess::step(util::Rng& rng) {
+  const double innovation =
+      sigma_ * std::sqrt(1.0 - phi_ * phi_) * rng.normal(0.0, 1.0);
+  value_ = 1.0 + phi_ * (value_ - 1.0) + innovation;
+  value_ = std::clamp(value_, floor_, ceil_);
+  return value_;
+}
+
+PathTable::PathTable(std::size_t n_paths,
+                     const stats::EmpiricalDistribution& base,
+                     const stats::EmpiricalDistribution& ratio,
+                     PathTableConfig config, util::Rng rng)
+    : config_(config), ratio_(ratio), rng_(std::move(rng)) {
+  if (n_paths == 0) throw std::invalid_argument("PathTable: n_paths == 0");
+  means_.reserve(n_paths);
+  for (std::size_t i = 0; i < n_paths; ++i) {
+    means_.push_back(base.sample(rng_));
+  }
+  if (config_.mode == VariationMode::kTimeSeries) {
+    const double sigma = ratio_.cov();  // unit mean => stddev == CoV
+    series_.reserve(n_paths);
+    for (std::size_t i = 0; i < n_paths; ++i) {
+      series_.push_back(TimeSeriesState{
+          Ar1RatioProcess(config_.ar1_phi, sigma, config_.min_ratio,
+                          config_.max_ratio),
+          0.0});
+    }
+  }
+}
+
+double PathTable::mean_bandwidth(PathId path) const { return means_.at(path); }
+
+double PathTable::sample_bandwidth(PathId path, double now_s) {
+  const double mean = means_.at(path);
+  switch (config_.mode) {
+    case VariationMode::kConstant:
+      return mean;
+    case VariationMode::kIidRatio: {
+      const double r = std::clamp(ratio_.sample(rng_), config_.min_ratio,
+                                  config_.max_ratio);
+      return mean * r;
+    }
+    case VariationMode::kTimeSeries: {
+      auto& st = series_.at(path);
+      // Advance the AR(1) chain by however many whole timesteps elapsed.
+      const double elapsed = now_s - st.last_step_time;
+      const auto steps = static_cast<long long>(
+          std::floor(elapsed / config_.timestep_s));
+      for (long long k = 0; k < std::min<long long>(steps, 1024); ++k) {
+        st.process.step(rng_);
+      }
+      if (steps > 0) {
+        st.last_step_time += static_cast<double>(steps) * config_.timestep_s;
+      }
+      return mean * st.process.current();
+    }
+  }
+  throw std::logic_error("PathTable: unknown variation mode");
+}
+
+}  // namespace sc::net

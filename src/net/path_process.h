@@ -1,0 +1,101 @@
+// Per-path bandwidth processes.
+//
+// Each cache<->origin path has a fixed *mean* bandwidth drawn from a base
+// model (Fig 2) and an instantaneous bandwidth obtained by multiplying the
+// mean by a variability ratio. Three variation modes are supported:
+//
+//   kConstant   - ratio == 1 (the paper's constant-bandwidth assumption).
+//   kIidRatio   - a fresh independent ratio per sample (the paper's
+//                 variable-bandwidth methodology, §4.3).
+//   kTimeSeries - an AR(1) ratio process refreshed on a fixed timestep,
+//                 matching the 4-minute sampling of the measured paths in
+//                 Fig 4 (our extension; the paper's figures use kIidRatio).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/empirical.h"
+#include "util/rng.h"
+
+namespace sc::net {
+
+using PathId = std::size_t;
+
+enum class VariationMode { kConstant, kIidRatio, kTimeSeries };
+
+/// First-order autoregressive ratio process with unit mean:
+///   r_{k+1} = 1 + phi * (r_k - 1) + sigma * sqrt(1 - phi^2) * z_k.
+/// The stationary standard deviation is `sigma`; values are clamped to
+/// [floor, ceil] to keep bandwidth positive and bounded.
+class Ar1RatioProcess {
+ public:
+  Ar1RatioProcess(double phi, double sigma, double floor_ratio,
+                  double ceil_ratio);
+
+  /// Advance one step and return the new ratio.
+  double step(util::Rng& rng);
+
+  [[nodiscard]] double current() const noexcept { return value_; }
+  [[nodiscard]] double phi() const noexcept { return phi_; }
+  [[nodiscard]] double sigma() const noexcept { return sigma_; }
+
+ private:
+  double phi_;
+  double sigma_;
+  double floor_;
+  double ceil_;
+  double value_ = 1.0;
+};
+
+/// Configuration of a PathTable.
+struct PathTableConfig {
+  VariationMode mode = VariationMode::kConstant;
+  /// AR(1) lag-1 autocorrelation (kTimeSeries only).
+  double ar1_phi = 0.7;
+  /// Ratio refresh period in seconds (kTimeSeries only). The paper's
+  /// measured paths were sampled every 4 minutes.
+  double timestep_s = 240.0;
+  /// Clamp bounds for ratios (all modes).
+  double min_ratio = 0.05;
+  double max_ratio = 4.0;
+};
+
+/// The table of all cache<->origin paths in a simulation: per-path mean
+/// bandwidth plus instantaneous sampling under the configured mode.
+class PathTable {
+ public:
+  /// Draw `n_paths` means from `base` and configure variability from the
+  /// unit-mean `ratio` model.
+  PathTable(std::size_t n_paths, const stats::EmpiricalDistribution& base,
+            const stats::EmpiricalDistribution& ratio, PathTableConfig config,
+            util::Rng rng);
+
+  [[nodiscard]] std::size_t size() const noexcept { return means_.size(); }
+
+  /// True long-run mean bandwidth of a path (bytes/second). This is the
+  /// quantity an *oracle* estimator would report.
+  [[nodiscard]] double mean_bandwidth(PathId path) const;
+
+  /// Instantaneous bandwidth at simulation time `now_s` (bytes/second).
+  [[nodiscard]] double sample_bandwidth(PathId path, double now_s);
+
+  [[nodiscard]] VariationMode mode() const noexcept { return config_.mode; }
+  [[nodiscard]] const PathTableConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct TimeSeriesState {
+    Ar1RatioProcess process;
+    double last_step_time = 0.0;
+  };
+
+  PathTableConfig config_;
+  stats::EmpiricalDistribution ratio_;
+  std::vector<double> means_;
+  std::vector<TimeSeriesState> series_;  // kTimeSeries only
+  util::Rng rng_;
+};
+
+}  // namespace sc::net

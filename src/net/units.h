@@ -1,0 +1,25 @@
+// Unit conventions for the whole library.
+//
+// Internally everything is expressed in **bytes** and **bytes/second** as
+// doubles. The paper's exhibits use KB/s and GB; these constants convert at
+// reporting boundaries only, so there is exactly one place where "KB" is
+// defined (the paper's 48 KB/s bit-rate and ~790 GB corpus are consistent
+// with binary units).
+#pragma once
+
+namespace sc::net {
+
+inline constexpr double kKB = 1024.0;               // bytes
+inline constexpr double kMB = 1024.0 * kKB;         // bytes
+inline constexpr double kGB = 1024.0 * kMB;         // bytes
+
+/// Convert bytes -> KB (for printing paper-style axes).
+[[nodiscard]] constexpr double to_kb(double bytes) { return bytes / kKB; }
+/// Convert KB -> bytes.
+[[nodiscard]] constexpr double from_kb(double kb) { return kb * kKB; }
+/// Convert bytes -> GB.
+[[nodiscard]] constexpr double to_gb(double bytes) { return bytes / kGB; }
+/// Convert GB -> bytes.
+[[nodiscard]] constexpr double from_gb(double gb) { return gb * kGB; }
+
+}  // namespace sc::net

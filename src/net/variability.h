@@ -1,0 +1,52 @@
+// Bandwidth variability (sample-to-mean ratio) models.
+//
+// The paper models time variation of a path's bandwidth as the product of
+// the path's mean and a random *ratio*:
+//   - Fig 3: ratio distribution derived from NLANR logs — high variability
+//     (~70% of mass in [0.5, 1.5], tail to 3x; CoV ~ 0.5).
+//   - Fig 4: ratios measured on three real Internet paths from Boston
+//     University — much lower variability (per-path CoV ~ 0.1 - 0.35).
+//
+// Every model here is normalized so that E[ratio] = 1, which preserves the
+// per-path mean bandwidth when ratios multiply it.
+#pragma once
+
+#include <string>
+
+#include "stats/empirical.h"
+
+namespace sc::net {
+
+/// Identifier for one of the paper's three measured Internet paths (Fig 4).
+enum class MeasuredPath {
+  kInria,     // INRIA, France (138.96.64.17)  - lowest variability
+  kTaiwan,    // Taiwan (140.114.71.23)        - highest of the three
+  kHongKong,  // Hong Kong (143.89.40.4)       - intermediate
+};
+
+[[nodiscard]] std::string to_string(MeasuredPath path);
+
+/// Ratio model reconstructed from NLANR logs (Fig 3): unit mean,
+/// high coefficient of variation (~0.5).
+[[nodiscard]] stats::EmpiricalDistribution nlanr_variability_model();
+
+/// Ratio model for one measured Internet path (Fig 4): unit mean, low
+/// coefficient of variation (INRIA ~0.12, Taiwan ~0.35, Hong Kong ~0.25).
+[[nodiscard]] stats::EmpiricalDistribution measured_path_model(
+    MeasuredPath path);
+
+/// Pooled Fig-4 model: mixture of the three measured paths (used when a
+/// simulation wants a single "low variability" setting, as in Fig 8/11).
+[[nodiscard]] stats::EmpiricalDistribution measured_variability_model();
+
+/// Degenerate ratio model: always exactly 1 (the paper's constant-
+/// bandwidth assumption, Figs 5/6/10).
+[[nodiscard]] stats::EmpiricalDistribution constant_variability_model();
+
+/// Rescale an arbitrary unit-mean ratio model so its support is scaled
+/// toward/away from 1 by `spread` (spread = 0 collapses to constant,
+/// 1 = unchanged, >1 exaggerates variability). Mean stays 1.
+[[nodiscard]] stats::EmpiricalDistribution with_spread(
+    const stats::EmpiricalDistribution& ratio_model, double spread);
+
+}  // namespace sc::net

@@ -1,0 +1,61 @@
+// Joint cache + origin delivery model (§2.1 - §2.2).
+//
+// A request for object i finds x_i bytes of its prefix cached nearby
+// (abundant last-mile bandwidth, per the paper's assumptions) while the
+// remainder streams from the origin at the instantaneous path bandwidth b:
+//
+//   service delay   D = [T_i r_i - T_i b - x_i]+ / b          (§2.2)
+//   stream quality  Q = min(1, (T_i b + x_i) / (T_i r_i))     (§3.3)
+//
+// D is the prefetch wait a client incurs before continuous full-quality
+// playout is possible; Q is the fraction of a layered stream that joint
+// delivery can sustain with *immediate* playout (the client's alternative
+// to waiting). The two metrics describe the same deficit spent in
+// different currencies, so exactly one of them is degraded per request.
+#pragma once
+
+#include "workload/object_catalog.h"
+
+namespace sc::sim {
+
+/// Number of encoding layers used to quantize stream quality. The paper's
+/// §3.3 example uses four layers ("if a layer-encoded object has four
+/// layers but only three layers can be supported, then the quality is
+/// 0.75").
+inline constexpr int kDefaultQualityLayers = 4;
+
+/// Outcome of serving one request.
+struct ServiceOutcome {
+  double delay_s = 0.0;        // prefetch delay before full-quality playout
+  double quality = 1.0;        // layer-quantized immediate-playout quality
+  double quality_continuous = 1.0;  // unquantized supported fraction
+  bool immediate = false;      // true iff delay_s == 0
+  double bytes_from_cache = 0.0;
+  double bytes_from_origin = 0.0;
+  /// Bytes obtained by joining an in-flight transmission of the same
+  /// object (patching; filled in by the simulator, not by deliver()).
+  double bytes_shared = 0.0;
+  double origin_transfer_s = 0.0;  // wall time of the origin connection
+  double origin_throughput = 0.0;  // what a passive estimator observes
+};
+
+/// Compute the outcome of serving `obj` with `cached_prefix_bytes` cached
+/// and instantaneous origin bandwidth `bandwidth` (bytes/second, > 0).
+[[nodiscard]] ServiceOutcome deliver(const workload::StreamObject& obj,
+                                     double bandwidth,
+                                     double cached_prefix_bytes,
+                                     int quality_layers = kDefaultQualityLayers);
+
+/// The §2.2 delay formula alone (exposed for tests and offline solvers).
+[[nodiscard]] double service_delay(double duration_s, double bitrate,
+                                   double bandwidth, double cached_bytes);
+
+/// The §3.3 quality formula alone (continuous supported fraction).
+[[nodiscard]] double stream_quality(double duration_s, double bitrate,
+                                    double bandwidth, double cached_bytes);
+
+/// Quantize a supported fraction to the number of fully-supported layers:
+/// floor(q * layers) / layers.
+[[nodiscard]] double quantize_quality(double quality, int layers);
+
+}  // namespace sc::sim

@@ -1,0 +1,69 @@
+// Discrete-event scheduling for the proxy simulator.
+//
+// The request trace drives the simulation, but some effects are deferred:
+// a passive bandwidth estimator only learns a transfer's throughput when
+// the transfer *completes*. The EventQueue orders such callbacks by
+// simulation time with FIFO tie-breaking.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace sc::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void(double /*now_s*/)>;
+
+  /// Schedule `action` at absolute simulation time `time_s`.
+  void schedule(double time_s, Action action) {
+    events_.push(Event{time_s, next_seq_++, std::move(action)});
+  }
+
+  /// Run every event with time <= `until_s`, in (time, insertion) order.
+  /// Events may schedule further events; those are honored if they also
+  /// fall within the horizon.
+  void run_until(double until_s) {
+    while (!events_.empty() && events_.top().time <= until_s) {
+      // std::priority_queue::top() is const; move out via const_cast-free
+      // copy of the handler (cheap: one std::function).
+      Event ev = events_.top();
+      events_.pop();
+      now_ = ev.time;
+      ev.action(ev.time);
+    }
+  }
+
+  /// Drain the queue completely.
+  void run_all() {
+    while (!events_.empty()) {
+      Event ev = events_.top();
+      events_.pop();
+      now_ = ev.time;
+      ev.action(ev.time);
+    }
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Action action;
+    bool operator>(const Event& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t next_seq_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace sc::sim

@@ -1,0 +1,42 @@
+#include "sim/metrics.h"
+
+namespace sc::sim {
+
+void MetricsCollector::record(const ServiceOutcome& outcome, double value) {
+  ++requests_;
+  if (outcome.bytes_from_cache > 0) ++hits_;
+  if (outcome.immediate) {
+    ++immediate_;
+    added_value_ += value;
+  }
+  cache_bytes_ += outcome.bytes_from_cache;
+  origin_bytes_ += outcome.bytes_from_origin;
+  shared_bytes_ += outcome.bytes_shared;
+  delay_.add(outcome.delay_s);
+  quality_.add(outcome.quality_continuous);
+  quality_quantized_.add(outcome.quality);
+}
+
+double MetricsCollector::traffic_reduction_ratio() const {
+  const double total = cache_bytes_ + origin_bytes_ + shared_bytes_;
+  return total > 0 ? cache_bytes_ / total : 0.0;
+}
+
+double MetricsCollector::backbone_reduction_ratio() const {
+  const double total = cache_bytes_ + origin_bytes_ + shared_bytes_;
+  return total > 0 ? (cache_bytes_ + shared_bytes_) / total : 0.0;
+}
+
+double MetricsCollector::hit_ratio() const {
+  return requests_ > 0
+             ? static_cast<double>(hits_) / static_cast<double>(requests_)
+             : 0.0;
+}
+
+double MetricsCollector::immediate_ratio() const {
+  return requests_ > 0 ? static_cast<double>(immediate_) /
+                             static_cast<double>(requests_)
+                       : 0.0;
+}
+
+}  // namespace sc::sim

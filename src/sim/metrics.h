@@ -1,0 +1,90 @@
+// Performance metrics (§3.3): traffic reduction ratio, average service
+// delay, average stream quality, and total added value, plus standard
+// cache diagnostics (hit ratios, occupancy).
+#pragma once
+
+#include <cstddef>
+
+#include "sim/delivery.h"
+#include "stats/summary.h"
+
+namespace sc::sim {
+
+/// Accumulates per-request outcomes over the *measured* window.
+class MetricsCollector {
+ public:
+  /// Record a served request. `value` is V_i (counted toward added value
+  /// only when playout is immediate, per §2.6).
+  void record(const ServiceOutcome& outcome, double value);
+
+  /// Record origin->cache fill traffic caused by an admission decision.
+  void record_fill(double bytes) { fill_bytes_ += bytes; }
+
+  [[nodiscard]] std::size_t requests() const noexcept { return requests_; }
+
+  /// Fraction of requested bytes served by the cache (§3.3).
+  [[nodiscard]] double traffic_reduction_ratio() const;
+
+  /// Fraction of requested bytes that did NOT cross the backbone: served
+  /// by the cache or shared with an in-flight stream (patching
+  /// extension). Equals traffic_reduction_ratio when patching is off.
+  [[nodiscard]] double backbone_reduction_ratio() const;
+
+  /// Mean prefetch delay per request, seconds (§3.3).
+  [[nodiscard]] double average_delay_s() const { return delay_.mean(); }
+
+  /// Mean immediate-playout quality fraction (§3.3, continuous
+  /// "percentage of the full stream" reading).
+  [[nodiscard]] double average_quality() const { return quality_.mean(); }
+
+  /// Mean quality quantized to fully-supported layers (floor(q*L)/L with
+  /// L = 4, the paper's example encoding). Diagnostic companion to
+  /// average_quality(); see EXPERIMENTS.md for why the continuous reading
+  /// is the headline metric.
+  [[nodiscard]] double average_quality_quantized() const {
+    return quality_quantized_.mean();
+  }
+
+  /// Sum of V_i over immediately-served requests, dollars (§2.6).
+  [[nodiscard]] double total_added_value() const noexcept {
+    return added_value_;
+  }
+
+  /// Fraction of requests with any cached prefix.
+  [[nodiscard]] double hit_ratio() const;
+
+  /// Fraction of requests that played out immediately.
+  [[nodiscard]] double immediate_ratio() const;
+
+  [[nodiscard]] double bytes_from_cache() const noexcept {
+    return cache_bytes_;
+  }
+  [[nodiscard]] double bytes_shared() const noexcept { return shared_bytes_; }
+  [[nodiscard]] double bytes_from_origin() const noexcept {
+    return origin_bytes_;
+  }
+  [[nodiscard]] double fill_bytes() const noexcept { return fill_bytes_; }
+
+  /// Full delay distribution (for percentile reporting).
+  [[nodiscard]] const stats::RunningStats& delay_stats() const noexcept {
+    return delay_;
+  }
+  [[nodiscard]] const stats::RunningStats& quality_stats() const noexcept {
+    return quality_;
+  }
+
+ private:
+  std::size_t requests_ = 0;
+  std::size_t hits_ = 0;
+  std::size_t immediate_ = 0;
+  double cache_bytes_ = 0.0;
+  double origin_bytes_ = 0.0;
+  double shared_bytes_ = 0.0;
+  double fill_bytes_ = 0.0;
+  double added_value_ = 0.0;
+  stats::RunningStats delay_;
+  stats::RunningStats quality_;
+  stats::RunningStats quality_quantized_;
+};
+
+}  // namespace sc::sim

@@ -1,0 +1,179 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "cache/store.h"
+#include "sim/event_queue.h"
+
+namespace sc::sim {
+
+std::string to_string(EstimatorKind kind) {
+  switch (kind) {
+    case EstimatorKind::kOracle: return "oracle";
+    case EstimatorKind::kPassiveEwma: return "passive-ewma";
+    case EstimatorKind::kLastSample: return "last-sample";
+    case EstimatorKind::kActiveProbe: return "active-probe";
+  }
+  return "?";
+}
+
+Simulator::Simulator(const workload::Workload& workload,
+                     const stats::EmpiricalDistribution& base_bandwidth,
+                     const stats::EmpiricalDistribution& ratio_model,
+                     SimulationConfig config)
+    : workload_(&workload),
+      base_(base_bandwidth),
+      ratio_(ratio_model),
+      config_(config) {
+  if (config_.cache_capacity_bytes < 0) {
+    throw std::invalid_argument("Simulator: negative cache capacity");
+  }
+  if (config_.warmup_fraction < 0 || config_.warmup_fraction >= 1) {
+    throw std::invalid_argument("Simulator: warmup_fraction must be [0, 1)");
+  }
+  if (workload.requests.empty()) {
+    throw std::invalid_argument("Simulator: empty request trace");
+  }
+}
+
+SimulationResult Simulator::run() {
+  const auto& catalog = workload_->catalog;
+  const auto& requests = workload_->requests;
+
+  util::Rng rng(config_.seed);
+  net::PathTable paths(catalog.size(), base_, ratio_, config_.path_config,
+                       rng.fork("paths"));
+
+  // Build the configured estimator.
+  std::unique_ptr<net::BandwidthEstimator> estimator;
+  std::unique_ptr<net::ProbeModel> probe_model;  // kept alive for probing
+  switch (config_.estimator) {
+    case EstimatorKind::kOracle:
+      estimator = std::make_unique<net::OracleEstimator>(paths);
+      break;
+    case EstimatorKind::kPassiveEwma:
+      estimator = std::make_unique<net::PassiveEwmaEstimator>(
+          catalog.size(), config_.ewma_alpha, config_.estimator_prior_bps);
+      break;
+    case EstimatorKind::kLastSample:
+      estimator = std::make_unique<net::LastSampleEstimator>(
+          catalog.size(), config_.estimator_prior_bps);
+      break;
+    case EstimatorKind::kActiveProbe: {
+      std::vector<double> means;
+      means.reserve(catalog.size());
+      for (std::size_t p = 0; p < catalog.size(); ++p) {
+        means.push_back(paths.mean_bandwidth(p));
+      }
+      probe_model = std::make_unique<net::ProbeModel>(
+          means, net::ProbeConfig{}, rng.fork("probe"));
+      estimator = std::make_unique<net::ActiveProbeEstimator>(
+          *probe_model, config_.reprobe_interval_s, rng.fork("probe-rng"));
+      break;
+    }
+  }
+
+  cache::PartialStore store(config_.cache_capacity_bytes);
+  auto policy = cache::make_policy(config_.policy, catalog, *estimator,
+                                   config_.policy_params);
+
+  EventQueue events;
+  MetricsCollector metrics;
+  const auto warm_count = static_cast<std::size_t>(
+      static_cast<double>(requests.size()) * config_.warmup_fraction);
+
+  // Patching: per-object in-flight origin stream, paced at the playout
+  // rate (first element: pacing start, second: completion time).
+  std::unordered_map<workload::ObjectId, std::pair<double, double>> in_flight;
+  util::Rng viewing_rng = rng.fork("viewing");
+
+  for (std::size_t idx = 0; idx < requests.size(); ++idx) {
+    const auto& req = requests[idx];
+    // Deliver pending transfer-completion observations first.
+    events.run_until(req.time_s);
+
+    const auto& obj = catalog.object(req.object);
+    const double bw = paths.sample_bandwidth(obj.path, req.time_s);
+    const double cached_before = store.cached(req.object);
+    ServiceOutcome outcome = deliver(obj, bw, cached_before);
+
+    // Client interactivity: scale the byte accounting (not the startup
+    // metrics) by the viewed fraction of the stream.
+    if (config_.viewing.enabled) {
+      double fraction = 1.0;
+      if (viewing_rng.uniform() >= config_.viewing.complete_probability) {
+        fraction = viewing_rng.uniform(config_.viewing.min_fraction, 1.0);
+      }
+      const double viewed = fraction * obj.size_bytes;
+      outcome.bytes_from_cache = std::min(outcome.bytes_from_cache, viewed);
+      outcome.bytes_from_origin =
+          std::max(0.0, viewed - outcome.bytes_from_cache);
+      outcome.origin_transfer_s =
+          outcome.bytes_from_origin > 0 ? outcome.bytes_from_origin / bw : 0.0;
+    }
+
+    // Patching: share the tail of an in-flight transmission of the same
+    // object; only the missed prefix still needs the origin.
+    if (config_.patching.enabled && outcome.bytes_from_origin > 0) {
+      const auto it = in_flight.find(req.object);
+      if (it != in_flight.end() && req.time_s < it->second.second) {
+        const double stream_start = it->second.first;
+        const double remaining_shareable = std::min(
+            obj.size_bytes,
+            obj.bitrate * (stream_start + obj.duration_s - req.time_s));
+        const double shared = std::min(outcome.bytes_from_origin,
+                                       std::max(0.0, remaining_shareable));
+        outcome.bytes_shared = shared;
+        outcome.bytes_from_origin -= shared;
+        outcome.origin_transfer_s = outcome.bytes_from_origin > 0
+                                        ? outcome.bytes_from_origin / bw
+                                        : 0.0;
+      }
+      if (outcome.bytes_from_origin > 0) {
+        // This request starts (or replaces) the object's shared stream,
+        // paced at the playout rate for the object's duration.
+        in_flight[req.object] = {req.time_s, req.time_s + obj.duration_s};
+      }
+    }
+
+    const bool measured = idx >= warm_count;
+    if (measured) metrics.record(outcome, obj.value);
+
+    // Passive estimators learn this transfer's throughput at completion.
+    if (outcome.bytes_from_origin > 0) {
+      const double done = req.time_s + outcome.origin_transfer_s;
+      const net::PathId path = obj.path;
+      const double throughput = outcome.origin_throughput;
+      events.schedule(done,
+                      [estimator = estimator.get(), path,
+                       throughput](double now) {
+                        estimator->observe(path, throughput, now);
+                      });
+    }
+
+    // Replacement decisions happen after the request is served.
+    policy->on_access(req.object, req.time_s, store);
+
+    // Growth of this object's prefix is origin->cache fill traffic.
+    const double cached_after = store.cached(req.object);
+    if (measured && cached_after > cached_before) {
+      metrics.record_fill(cached_after - cached_before);
+    }
+  }
+  events.run_all();
+
+  SimulationResult result;
+  result.policy_name = policy->name();
+  result.metrics = metrics;
+  result.warmup_requests = warm_count;
+  result.measured_requests = requests.size() - warm_count;
+  result.final_occupancy_bytes = store.used();
+  result.final_cached_objects = store.object_count();
+  result.estimator_overhead_packets = estimator->overhead_packets();
+  return result;
+}
+
+}  // namespace sc::sim

@@ -1,0 +1,100 @@
+// Trace-driven proxy-cache simulator (§3 methodology).
+//
+// Wires together workload, path bandwidth processes, bandwidth estimation,
+// the cache store + replacement policy, and joint delivery. Following the
+// paper: the first half of the trace warms the cache; metrics accumulate
+// over the second half.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cache/factory.h"
+#include "net/estimator.h"
+#include "net/path_process.h"
+#include "sim/metrics.h"
+#include "workload/generator.h"
+
+namespace sc::sim {
+
+/// How the cache learns per-path bandwidth (§2.7).
+enum class EstimatorKind { kOracle, kPassiveEwma, kLastSample, kActiveProbe };
+
+[[nodiscard]] std::string to_string(EstimatorKind kind);
+
+/// Client interactivity (extension; the paper's §5 cites measurement
+/// studies showing most sessions terminate early). When enabled, each
+/// request watches the whole stream with `complete_probability`,
+/// otherwise a Uniform[min_fraction, 1) fraction of it. Startup metrics
+/// (delay / quality / added value) are unaffected; byte accounting
+/// (traffic reduction, transfer durations) scales with the viewed part.
+struct ViewingConfig {
+  bool enabled = false;
+  double complete_probability = 0.6;
+  double min_fraction = 0.05;
+};
+
+/// Proxy-side stream sharing (the paper's future-work "patching and
+/// batching techniques at caching proxies"). While an origin stream of an
+/// object is in flight (paced at the playout rate over the object's
+/// duration), later requests for the same object share its remainder and
+/// fetch only the missed prefix ("patch") from cache + origin. Shared
+/// bytes traverse the backbone once; see
+/// MetricsCollector::backbone_reduction_ratio.
+struct PatchingConfig {
+  bool enabled = false;
+};
+
+struct SimulationConfig {
+  double cache_capacity_bytes = 0.0;
+  cache::PolicyKind policy = cache::PolicyKind::kPB;
+  cache::PolicyParams policy_params{};
+  ViewingConfig viewing{};
+  PatchingConfig patching{};
+
+  /// The paper's simulations assume the cache knows each path's average
+  /// bandwidth, i.e. the oracle estimator. The others exist for the
+  /// measurement-realism experiments.
+  EstimatorKind estimator = EstimatorKind::kOracle;
+  double ewma_alpha = 0.3;               // PassiveEwma newest-sample weight
+  double estimator_prior_bps = 50.0 * 1024.0;  // unseen-path default
+  double reprobe_interval_s = 3600.0;    // ActiveProbe refresh period
+
+  net::PathTableConfig path_config{};    // constant / iid / AR(1) variation
+  double warmup_fraction = 0.5;          // fraction of trace used to warm
+  std::uint64_t seed = 1;                // path means + variability streams
+};
+
+struct SimulationResult {
+  std::string policy_name;
+  MetricsCollector metrics;  // measured window only
+  std::size_t warmup_requests = 0;
+  std::size_t measured_requests = 0;
+  double final_occupancy_bytes = 0.0;
+  std::size_t final_cached_objects = 0;
+  std::size_t estimator_overhead_packets = 0;
+};
+
+/// One simulation run over a fixed workload.
+class Simulator {
+ public:
+  /// `workload` must outlive the simulator. `base_bandwidth` is the
+  /// per-path mean model (Fig 2); `ratio_model` the variability model
+  /// (constant / Fig 3 / Fig 4) applied per `config.path_config.mode`.
+  Simulator(const workload::Workload& workload,
+            const stats::EmpiricalDistribution& base_bandwidth,
+            const stats::EmpiricalDistribution& ratio_model,
+            SimulationConfig config);
+
+  /// Execute the full trace and return measured-window metrics.
+  [[nodiscard]] SimulationResult run();
+
+ private:
+  const workload::Workload* workload_;
+  stats::EmpiricalDistribution base_;
+  stats::EmpiricalDistribution ratio_;
+  SimulationConfig config_;
+};
+
+}  // namespace sc::sim

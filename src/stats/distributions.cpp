@@ -1,0 +1,82 @@
+#include "stats/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sc::stats {
+
+ZipfLike::ZipfLike(std::size_t n, double alpha) : n_(n), alpha_(alpha) {
+  if (n == 0) throw std::invalid_argument("ZipfLike: n must be positive");
+  if (alpha < 0) throw std::invalid_argument("ZipfLike: alpha must be >= 0");
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (std::size_t r = 1; r <= n; ++r) {
+    sum += std::pow(static_cast<double>(r), -alpha);
+    cdf_[r - 1] = sum;
+  }
+  for (auto& v : cdf_) v /= sum;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfLike::sample(util::Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfLike::pmf(std::size_t rank) const {
+  if (rank == 0 || rank > n_) throw std::out_of_range("ZipfLike::pmf: rank");
+  const double p = cdf_[rank - 1];
+  const double prev = rank >= 2 ? cdf_[rank - 2] : 0.0;
+  return p - prev;
+}
+
+Lognormal::Lognormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  if (sigma < 0) throw std::invalid_argument("Lognormal: sigma must be >= 0");
+}
+
+double Lognormal::sample(util::Rng& rng) const {
+  return rng.lognormal(mu_, sigma_);
+}
+
+double Lognormal::mean() const { return std::exp(mu_ + sigma_ * sigma_ / 2); }
+
+double Lognormal::variance() const {
+  const double s2 = sigma_ * sigma_;
+  return (std::exp(s2) - 1.0) * std::exp(2 * mu_ + s2);
+}
+
+Exponential::Exponential(double rate) : rate_(rate) {
+  if (rate <= 0) throw std::invalid_argument("Exponential: rate must be > 0");
+}
+
+double Exponential::sample(util::Rng& rng) const {
+  return rng.exponential(rate_);
+}
+
+Pareto::Pareto(double scale, double shape) : scale_(scale), shape_(shape) {
+  if (scale <= 0 || shape <= 0) {
+    throw std::invalid_argument("Pareto: scale and shape must be > 0");
+  }
+}
+
+double Pareto::sample(util::Rng& rng) const {
+  // Inverse transform: x = x_m / U^{1/a}.
+  double u = rng.uniform();
+  if (u <= 0.0) u = 1e-300;
+  return scale_ / std::pow(u, 1.0 / shape_);
+}
+
+double Pareto::mean() const {
+  if (shape_ <= 1.0) return std::numeric_limits<double>::infinity();
+  return shape_ * scale_ / (shape_ - 1.0);
+}
+
+Uniform::Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
+  if (hi < lo) throw std::invalid_argument("Uniform: hi < lo");
+}
+
+double Uniform::sample(util::Rng& rng) const { return rng.uniform(lo_, hi_); }
+
+}  // namespace sc::stats

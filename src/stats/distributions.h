@@ -1,0 +1,104 @@
+// Parametric distributions used by the workload generator and bandwidth
+// models: Zipf-like (discrete, finite support), lognormal, exponential,
+// Pareto, and uniform. All sample through sc::util::Rng for determinism.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sc::stats {
+
+/// Zipf-like popularity over ranks 1..N: P(rank r) ∝ r^-alpha.
+///
+/// This is the popularity model of the paper (§3.2): "the relative
+/// popularity of an object is proportional to r^-alpha", default
+/// alpha = 0.73. Sampling is O(log N) via a precomputed CDF.
+class ZipfLike {
+ public:
+  ZipfLike(std::size_t n, double alpha);
+
+  /// Sample a rank in [1, n].
+  [[nodiscard]] std::size_t sample(util::Rng& rng) const;
+
+  /// Probability of the given rank (1-based).
+  [[nodiscard]] double pmf(std::size_t rank) const;
+
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+ private:
+  std::size_t n_;
+  double alpha_;
+  std::vector<double> cdf_;  // cdf_[r-1] = P(rank <= r)
+};
+
+/// Lognormal distribution: exp(N(mu, sigma^2)).
+///
+/// The paper draws object durations (in minutes) from Lognormal(3.85, 0.56).
+class Lognormal {
+ public:
+  Lognormal(double mu, double sigma);
+
+  [[nodiscard]] double sample(util::Rng& rng) const;
+
+  /// Analytic mean: exp(mu + sigma^2 / 2).
+  [[nodiscard]] double mean() const;
+
+  /// Analytic variance.
+  [[nodiscard]] double variance() const;
+
+  [[nodiscard]] double mu() const noexcept { return mu_; }
+  [[nodiscard]] double sigma() const noexcept { return sigma_; }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Exponential inter-arrival times (Poisson request arrivals, §3.2).
+class Exponential {
+ public:
+  explicit Exponential(double rate);
+
+  [[nodiscard]] double sample(util::Rng& rng) const;
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+  [[nodiscard]] double mean() const noexcept { return 1.0 / rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Pareto distribution with scale x_m and shape a (heavy-tailed sizes;
+/// used in sensitivity experiments beyond the paper's base workload).
+class Pareto {
+ public:
+  Pareto(double scale, double shape);
+
+  [[nodiscard]] double sample(util::Rng& rng) const;
+  [[nodiscard]] double mean() const;  // infinite if shape <= 1
+  [[nodiscard]] double scale() const noexcept { return scale_; }
+  [[nodiscard]] double shape() const noexcept { return shape_; }
+
+ private:
+  double scale_;
+  double shape_;
+};
+
+/// Continuous uniform on [lo, hi] (object values V_i ~ U[$1, $10], §4.4).
+class Uniform {
+ public:
+  Uniform(double lo, double hi);
+
+  [[nodiscard]] double sample(util::Rng& rng) const;
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] double mean() const noexcept { return 0.5 * (lo_ + hi_); }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+}  // namespace sc::stats

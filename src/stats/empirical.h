@@ -1,0 +1,64 @@
+// Empirical distributions defined by (bin, weight) tables with
+// inverse-transform sampling. The bandwidth base and variability models
+// (Fig 2, Fig 3, Fig 4 of the paper) are instances of this class.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/histogram.h"
+#include "util/rng.h"
+
+namespace sc::stats {
+
+/// One bin of an empirical distribution: mass `weight` spread uniformly
+/// over [lo, hi).
+struct EmpiricalBin {
+  double lo;
+  double hi;
+  double weight;
+};
+
+/// Piecewise-uniform empirical distribution with O(log n) sampling.
+class EmpiricalDistribution {
+ public:
+  /// Construct from bins. Weights need not be normalized. Bins must be
+  /// non-overlapping and sorted by `lo`.
+  explicit EmpiricalDistribution(std::vector<EmpiricalBin> bins);
+
+  /// Construct from a populated Histogram (each bin becomes uniform mass).
+  static EmpiricalDistribution from_histogram(const Histogram& h);
+
+  /// Inverse-transform sample.
+  [[nodiscard]] double sample(util::Rng& rng) const;
+
+  /// Deterministic quantile (u in [0,1]).
+  [[nodiscard]] double quantile(double u) const;
+
+  /// CDF at x.
+  [[nodiscard]] double cdf(double x) const;
+
+  /// Analytic mean of the piecewise-uniform density.
+  [[nodiscard]] double mean() const;
+
+  /// Analytic coefficient of variation.
+  [[nodiscard]] double cov() const;
+
+  [[nodiscard]] const std::vector<EmpiricalBin>& bins() const noexcept {
+    return bins_;
+  }
+
+  [[nodiscard]] double min() const { return bins_.front().lo; }
+  [[nodiscard]] double max() const { return bins_.back().hi; }
+
+  /// Rescale support by a constant factor (e.g. unit conversion); weights
+  /// are preserved.
+  [[nodiscard]] EmpiricalDistribution scaled(double factor) const;
+
+ private:
+  std::vector<EmpiricalBin> bins_;
+  std::vector<double> cum_;  // normalized cumulative weights
+  double total_weight_;
+};
+
+}  // namespace sc::stats

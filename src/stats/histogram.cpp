@@ -1,0 +1,91 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace sc::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0.0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must be > lo");
+}
+
+void Histogram::add(double v, double weight) {
+  auto idx = static_cast<std::ptrdiff_t>(std::floor((v - lo_) / width_));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(bins()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+std::vector<double> Histogram::cdf() const {
+  std::vector<double> out(bins(), 0.0);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < bins(); ++i) {
+    acc += counts_[i];
+    out[i] = total_ > 0 ? acc / total_ : 0.0;
+  }
+  if (total_ > 0) out.back() = 1.0;
+  return out;
+}
+
+double Histogram::fraction_below(double x) const {
+  if (total_ <= 0) return 0.0;
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  const double pos = (x - lo_) / width_;
+  const auto full = static_cast<std::size_t>(std::floor(pos));
+  double acc = 0.0;
+  for (std::size_t i = 0; i < full && i < bins(); ++i) acc += counts_[i];
+  if (full < bins()) {
+    acc += counts_[full] * (pos - static_cast<double>(full));
+  }
+  return acc / total_;
+}
+
+double Histogram::mean() const {
+  if (total_ <= 0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < bins(); ++i) acc += counts_[i] * center(i);
+  return acc / total_;
+}
+
+double Histogram::cov() const {
+  if (total_ <= 0) return 0.0;
+  const double m = mean();
+  if (m == 0.0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < bins(); ++i) {
+    const double d = center(i) - m;
+    acc += counts_[i] * d * d;
+  }
+  return std::sqrt(acc / total_) / m;
+}
+
+std::string Histogram::ascii(int max_bar, std::size_t max_rows) const {
+  std::ostringstream out;
+  const std::size_t stride = std::max<std::size_t>(1, bins() / max_rows);
+  double peak = 0.0;
+  for (double c : counts_) peak = std::max(peak, c);
+  if (peak <= 0) return "(empty histogram)\n";
+  char buf[64];
+  for (std::size_t i = 0; i < bins(); i += stride) {
+    double c = 0.0;
+    for (std::size_t j = i; j < std::min(i + stride, bins()); ++j)
+      c += counts_[j];
+    const double group_peak = peak * static_cast<double>(stride);
+    const int len = static_cast<int>(
+        std::lround(c / group_peak * static_cast<double>(max_bar)));
+    std::snprintf(buf, sizeof(buf), "%10.2f |", edge(i));
+    out << buf << std::string(static_cast<std::size_t>(len), '#') << ' '
+        << static_cast<long long>(std::lround(c)) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace sc::stats

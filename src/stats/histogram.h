@@ -1,0 +1,63 @@
+// Fixed-width histogram accumulation, used both for building empirical
+// bandwidth models (Fig 2/3/4 shapes) and for reporting measured
+// distributions in the bench harnesses.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sc::stats {
+
+/// Fixed-bin histogram over [lo, hi); samples outside the range are
+/// clamped into the first/last bin so mass is never silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double v, double weight = 1.0);
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] double bin_width() const noexcept { return width_; }
+  [[nodiscard]] double total() const noexcept { return total_; }
+
+  /// Weighted count in bin i.
+  [[nodiscard]] double count(std::size_t i) const { return counts_.at(i); }
+
+  /// Center of bin i.
+  [[nodiscard]] double center(std::size_t i) const {
+    return lo_ + (static_cast<double>(i) + 0.5) * width_;
+  }
+
+  /// Left edge of bin i.
+  [[nodiscard]] double edge(std::size_t i) const {
+    return lo_ + static_cast<double>(i) * width_;
+  }
+
+  /// Empirical CDF evaluated at bin right-edges; last value is 1.
+  [[nodiscard]] std::vector<double> cdf() const;
+
+  /// Fraction of mass strictly below x (linear within bins).
+  [[nodiscard]] double fraction_below(double x) const;
+
+  /// Mean of the binned samples (bin centers weighted by count).
+  [[nodiscard]] double mean() const;
+
+  /// Coefficient of variation of the binned samples.
+  [[nodiscard]] double cov() const;
+
+  /// Multi-line ASCII bar rendering (one row per bin, normalized width).
+  [[nodiscard]] std::string ascii(int max_bar = 50,
+                                  std::size_t max_rows = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  double total_ = 0.0;
+  std::vector<double> counts_;
+};
+
+}  // namespace sc::stats

@@ -1,0 +1,111 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sc::stats {
+
+void RunningStats::add(double v) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++n_;
+  sum_ += v;
+  const double delta = v - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (v - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::sample_variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::cov() const noexcept {
+  const double m = mean();
+  return m != 0.0 ? stddev() / m : 0.0;
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) throw std::invalid_argument("percentile: empty input");
+  if (p < 0 || p > 100) throw std::invalid_argument("percentile: p range");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  const double pos = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double mean_of(const std::vector<double>& values) {
+  RunningStats rs;
+  for (double v : values) rs.add(v);
+  return rs.mean();
+}
+
+double cov_of(const std::vector<double>& values) {
+  RunningStats rs;
+  for (double v : values) rs.add(v);
+  return rs.cov();
+}
+
+double ks_statistic(std::vector<double> samples,
+                    const std::function<double(double)>& cdf) {
+  if (samples.empty()) throw std::invalid_argument("ks_statistic: empty");
+  if (!cdf) throw std::invalid_argument("ks_statistic: null cdf");
+  std::sort(samples.begin(), samples.end());
+  const auto n = static_cast<double>(samples.size());
+  double sup = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double f = cdf(samples[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    sup = std::max({sup, std::abs(f - lo), std::abs(f - hi)});
+  }
+  return sup;
+}
+
+double autocorrelation(const std::vector<double>& series, std::size_t lag) {
+  if (series.size() <= lag + 1) return 0.0;
+  RunningStats rs;
+  for (double v : series) rs.add(v);
+  const double m = rs.mean();
+  const double var = rs.variance();
+  if (var == 0.0) return 0.0;
+  double acc = 0.0;
+  const std::size_t n = series.size() - lag;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += (series[i] - m) * (series[i + lag] - m);
+  }
+  return acc / (static_cast<double>(series.size()) * var);
+}
+
+}  // namespace sc::stats

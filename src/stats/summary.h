@@ -1,0 +1,61 @@
+// Online and batch summary statistics (mean, variance, CoV, percentiles,
+// autocorrelation). Used by the metrics module and the bench harnesses.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace sc::stats {
+
+/// Welford online accumulator: numerically stable mean/variance without
+/// storing samples.
+class RunningStats {
+ public:
+  void add(double v) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  // population variance
+  [[nodiscard]] double sample_variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double cov() const noexcept;  // stddev / mean
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Merge another accumulator (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample vector (linear interpolation between order
+/// statistics). p in [0, 100]. Sorts a copy; O(n log n).
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+
+/// Mean of a vector (0 for empty input).
+[[nodiscard]] double mean_of(const std::vector<double>& values);
+
+/// Coefficient of variation of a vector.
+[[nodiscard]] double cov_of(const std::vector<double>& values);
+
+/// Lag-k autocorrelation of a series (0 if insufficient data). Used to
+/// verify the generated bandwidth time-series has short-range correlation
+/// as in Fig 4's measured paths.
+[[nodiscard]] double autocorrelation(const std::vector<double>& series,
+                                     std::size_t lag);
+
+/// Kolmogorov-Smirnov statistic: sup_x |F_empirical(x) - F(x)| for the
+/// given samples against a reference CDF. Used by tests to check that
+/// samplers follow their analytic distributions. Sorts a copy.
+[[nodiscard]] double ks_statistic(std::vector<double> samples,
+                                  const std::function<double(double)>& cdf);
+
+}  // namespace sc::stats

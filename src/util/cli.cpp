@@ -1,0 +1,69 @@
+#include "util/cli.h"
+
+#include <stdexcept>
+
+namespace sc::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc < 1) throw std::invalid_argument("Cli: empty argv");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    if (arg.empty()) {  // bare "--": rest is positional
+      for (++i; i < argc; ++i) positional_.emplace_back(argv[i]);
+      break;
+    }
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::optional<std::string> Cli::get(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return std::nullopt;
+  return it->second;
+}
+
+std::string Cli::get_or(const std::string& name,
+                        const std::string& fallback) const {
+  return get(name).value_or(fallback);
+}
+
+double Cli::get_or(const std::string& name, double fallback) const {
+  const auto v = get(name);
+  return v ? std::stod(*v) : fallback;
+}
+
+long long Cli::get_or(const std::string& name, long long fallback) const {
+  const auto v = get(name);
+  return v ? std::stoll(*v) : fallback;
+}
+
+bool Cli::get_or(const std::string& name, bool fallback) const {
+  if (!has(name)) return fallback;
+  const auto v = get(name);
+  if (!v) return true;  // bare flag
+  return *v == "1" || *v == "true" || *v == "yes" || *v == "on";
+}
+
+std::vector<std::string> Cli::flag_names() const {
+  std::vector<std::string> names;
+  names.reserve(flags_.size());
+  for (const auto& [k, _] : flags_) names.push_back(k);
+  return names;
+}
+
+}  // namespace sc::util

@@ -1,0 +1,46 @@
+// Small command-line flag parser shared by examples and bench binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name` forms.
+// Unknown flags are reported; positional arguments are collected in order.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sc::util {
+
+class Cli {
+ public:
+  /// Parse argv. Throws std::invalid_argument on malformed input.
+  Cli(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Value of --name, or nullopt if absent (or present without a value).
+  [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
+
+  [[nodiscard]] std::string get_or(const std::string& name,
+                                   const std::string& fallback) const;
+  [[nodiscard]] double get_or(const std::string& name, double fallback) const;
+  [[nodiscard]] long long get_or(const std::string& name,
+                                 long long fallback) const;
+  [[nodiscard]] bool get_or(const std::string& name, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Names of all flags that were passed (for unknown-flag diagnostics).
+  [[nodiscard]] std::vector<std::string> flag_names() const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;  // "" means bare boolean flag
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sc::util

@@ -1,0 +1,116 @@
+#include "util/csv.h"
+
+#include <iomanip>
+#include <stdexcept>
+
+namespace sc::util {
+
+CsvWriter::CsvWriter(const std::filesystem::path& path)
+    : out_(path), path_(path) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path.string());
+  }
+}
+
+CsvWriter::~CsvWriter() {
+  if (row_open_) out_ << '\n';
+}
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  if (row_open_) endrow();
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+CsvWriter& CsvWriter::field(const std::string& v) {
+  if (row_open_) out_ << ',';
+  out_ << csv_escape(v);
+  row_open_ = true;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double v) {
+  std::ostringstream ss;
+  ss << std::setprecision(12) << v;
+  return field(ss.str());
+}
+
+CsvWriter& CsvWriter::field(long long v) { return field(std::to_string(v)); }
+
+void CsvWriter::endrow() {
+  out_ << '\n';
+  row_open_ = false;
+}
+
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c != '\r') {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+}  // namespace
+
+CsvTable read_csv(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("read_csv: cannot open " + path.string());
+  }
+  CsvTable table;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto fields = split_csv_line(line);
+    if (first) {
+      table.header = std::move(fields);
+      first = false;
+    } else {
+      table.rows.push_back(std::move(fields));
+    }
+  }
+  return table;
+}
+
+}  // namespace sc::util

@@ -1,0 +1,62 @@
+// Minimal CSV writing/reading used by the benchmark harnesses to persist
+// figure/table series next to the binaries.
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sc::util {
+
+/// Streaming CSV writer. Quotes fields containing separators; numeric
+/// overloads format with enough precision to round-trip doubles.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::filesystem::path& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void header(std::initializer_list<std::string> names) {
+    row(std::vector<std::string>(names));
+  }
+
+  void row(const std::vector<std::string>& fields);
+
+  /// Append one field to the current row.
+  CsvWriter& field(const std::string& v);
+  CsvWriter& field(double v);
+  CsvWriter& field(long long v);
+  CsvWriter& field(std::size_t v) { return field(static_cast<long long>(v)); }
+  CsvWriter& field(int v) { return field(static_cast<long long>(v)); }
+
+  /// Terminate the current row.
+  void endrow();
+
+  [[nodiscard]] const std::filesystem::path& path() const noexcept {
+    return path_;
+  }
+
+ private:
+  std::ofstream out_;
+  std::filesystem::path path_;
+  bool row_open_ = false;
+};
+
+/// Parsed CSV table (no type inference; all fields are strings).
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Read a CSV file written by CsvWriter. First row is the header.
+[[nodiscard]] CsvTable read_csv(const std::filesystem::path& path);
+
+/// Escape one CSV field (quote if it contains comma/quote/newline).
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace sc::util

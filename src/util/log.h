@@ -1,0 +1,50 @@
+// Tiny leveled logger. The simulator is a library, so logging defaults to
+// warnings-only; harnesses can raise verbosity for debugging.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sc::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emit one log line to stderr (thread-safe at the line level).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+/// RAII line builder: streams into a buffer, emits on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, ss_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+}  // namespace detail
+
+#define SC_LOG(level)                                      \
+  if (static_cast<int>(level) < static_cast<int>(::sc::util::log_level())) { \
+  } else                                                   \
+    ::sc::util::detail::LogStream(level)
+
+#define SC_DEBUG SC_LOG(::sc::util::LogLevel::kDebug)
+#define SC_INFO SC_LOG(::sc::util::LogLevel::kInfo)
+#define SC_WARN SC_LOG(::sc::util::LogLevel::kWarn)
+#define SC_ERROR SC_LOG(::sc::util::LogLevel::kError)
+
+}  // namespace sc::util

@@ -1,0 +1,30 @@
+#include "util/rng.h"
+
+namespace sc::util {
+
+std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Rng Rng::fork() {
+  ++fork_counter_;
+  return Rng(splitmix64(seed_ ^ splitmix64(fork_counter_)));
+}
+
+Rng Rng::fork(std::string_view tag) const {
+  return Rng(splitmix64(seed_ ^ fnv1a64(tag)));
+}
+
+}  // namespace sc::util

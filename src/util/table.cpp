@@ -1,0 +1,113 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace sc::util {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  if (columns_.empty()) throw std::invalid_argument("Table: no columns");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("Table: row size mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c ? "  " : "") << std::setw(static_cast<int>(widths[c]))
+          << cells[c];
+    }
+    out << '\n';
+  };
+  emit(columns_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void Table::print() const { std::fputs(str().c_str(), stdout); }
+
+std::string ascii_chart(const std::vector<Series>& series, int width,
+                        int height, const std::string& title,
+                        const std::string& x_label,
+                        const std::string& y_label) {
+  static constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@', '%', '&'};
+  if (series.empty() || width < 8 || height < 4) return {};
+
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = xmin, ymax = -xmin;
+  for (const auto& s : series) {
+    for (double v : s.x) { xmin = std::min(xmin, v); xmax = std::max(xmax, v); }
+    for (double v : s.y) { ymin = std::min(ymin, v); ymax = std::max(ymax, v); }
+  }
+  if (!std::isfinite(xmin) || !std::isfinite(ymin)) return {};
+  if (xmax == xmin) xmax = xmin + 1.0;
+  if (ymax == ymin) ymax = ymin + 1.0;
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const auto& s = series[si];
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    const std::size_t n = std::min(s.x.size(), s.y.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      int cx = static_cast<int>(std::lround((s.x[i] - xmin) / (xmax - xmin) *
+                                            (width - 1)));
+      int cy = static_cast<int>(std::lround((s.y[i] - ymin) / (ymax - ymin) *
+                                            (height - 1)));
+      cx = std::clamp(cx, 0, width - 1);
+      cy = std::clamp(cy, 0, height - 1);
+      grid[height - 1 - cy][cx] = glyph;
+    }
+  }
+
+  std::ostringstream out;
+  if (!title.empty()) out << title << '\n';
+  if (!y_label.empty()) out << y_label << '\n';
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%10.3g +", ymax);
+  out << buf << grid[0] << '\n';
+  for (int r = 1; r + 1 < height; ++r) out << "           |" << grid[r] << '\n';
+  std::snprintf(buf, sizeof(buf), "%10.3g +", ymin);
+  out << buf << grid[height - 1] << '\n';
+  out << "            ";
+  std::snprintf(buf, sizeof(buf), "%-10.3g", xmin);
+  out << buf << std::string(std::max(0, width - 20), ' ');
+  std::snprintf(buf, sizeof(buf), "%10.3g", xmax);
+  out << buf << '\n';
+  if (!x_label.empty())
+    out << "            " << std::string(std::max(0, width / 2 - 8), ' ')
+        << x_label << '\n';
+  out << "  legend: ";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    if (si) out << "  ";
+    out << kGlyphs[si % sizeof(kGlyphs)] << '=' << series[si].name;
+  }
+  out << '\n';
+  return out.str();
+}
+
+}  // namespace sc::util

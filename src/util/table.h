@@ -1,0 +1,50 @@
+// Console table and ASCII chart rendering for the benchmark harnesses.
+//
+// The paper's exhibits are line plots and surface plots; the bench binaries
+// print the underlying series as aligned tables plus a coarse ASCII chart so
+// the shape (who wins, where crossovers fall) is visible in a terminal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sc::util {
+
+/// Fixed-precision, right-aligned console table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Append one row; the number of cells must match the column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Format a double with the given precision (helper for callers).
+  [[nodiscard]] static std::string num(double v, int precision = 4);
+
+  /// Render as an aligned ASCII table with a header rule.
+  [[nodiscard]] std::string str() const;
+
+  /// Render to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One named series for an AsciiChart.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Render several (x, y) series on a shared-axis character grid.
+/// Each series is drawn with its own glyph; a legend follows the grid.
+[[nodiscard]] std::string ascii_chart(const std::vector<Series>& series,
+                                      int width = 72, int height = 18,
+                                      const std::string& title = "",
+                                      const std::string& x_label = "",
+                                      const std::string& y_label = "");
+
+}  // namespace sc::util

@@ -1,0 +1,37 @@
+#include "workload/generator.h"
+
+#include <stdexcept>
+
+namespace sc::workload {
+
+std::vector<Request> generate_trace(const Catalog& catalog,
+                                    const TraceConfig& config,
+                                    util::Rng& rng) {
+  if (config.num_requests == 0) {
+    throw std::invalid_argument("generate_trace: num_requests == 0");
+  }
+  if (config.arrival_rate_per_s <= 0) {
+    throw std::invalid_argument("generate_trace: arrival rate must be > 0");
+  }
+  const stats::ZipfLike popularity(catalog.size(), config.zipf_alpha);
+  const stats::Exponential interarrival(config.arrival_rate_per_s);
+
+  std::vector<Request> trace;
+  trace.reserve(config.num_requests);
+  double now = 0.0;
+  for (std::size_t i = 0; i < config.num_requests; ++i) {
+    now += interarrival.sample(rng);
+    // Rank k maps to object k-1 (catalog assigns rank id+1).
+    const std::size_t rank = popularity.sample(rng);
+    trace.push_back(Request{now, rank - 1});
+  }
+  return trace;
+}
+
+Workload generate_workload(const WorkloadConfig& config, util::Rng& rng) {
+  Catalog catalog = Catalog::generate(config.catalog, rng);
+  auto trace = generate_trace(catalog, config.trace, rng);
+  return Workload{std::move(catalog), std::move(trace)};
+}
+
+}  // namespace sc::workload

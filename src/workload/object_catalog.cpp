@@ -1,0 +1,67 @@
+#include "workload/object_catalog.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/distributions.h"
+
+namespace sc::workload {
+
+Catalog::Catalog(std::vector<StreamObject> objects, CatalogConfig config)
+    : objects_(std::move(objects)), config_(config) {
+  for (const auto& o : objects_) total_bytes_ += o.size_bytes;
+}
+
+Catalog Catalog::generate(const CatalogConfig& config, util::Rng& rng) {
+  if (config.num_objects == 0) {
+    throw std::invalid_argument("Catalog: num_objects == 0");
+  }
+  if (config.frame_bytes <= 0 || config.frames_per_second <= 0) {
+    throw std::invalid_argument("Catalog: non-positive bit-rate parameters");
+  }
+  const stats::Lognormal duration_min(config.duration_mu,
+                                      config.duration_sigma);
+  const stats::Uniform value(config.value_lo, config.value_hi);
+  const double bitrate = config.bitrate();
+
+  std::vector<StreamObject> objects;
+  objects.reserve(config.num_objects);
+  for (ObjectId id = 0; id < config.num_objects; ++id) {
+    StreamObject o;
+    o.id = id;
+    const double minutes =
+        std::clamp(duration_min.sample(rng), config.min_duration_min,
+                   config.max_duration_min);
+    o.duration_s = minutes * 60.0;
+    o.bitrate = bitrate;
+    o.size_bytes = o.duration_s * o.bitrate;
+    o.value = value.sample(rng);
+    o.path = id;  // one origin path per object (paper's b_i)
+    o.popularity_rank = id + 1;
+    objects.push_back(o);
+  }
+  return Catalog(std::move(objects), config);
+}
+
+Catalog Catalog::from_objects(std::vector<StreamObject> objects,
+                              CatalogConfig config) {
+  if (objects.empty()) {
+    throw std::invalid_argument("Catalog::from_objects: empty");
+  }
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    auto& o = objects[i];
+    if (o.id != i) {
+      throw std::invalid_argument("Catalog::from_objects: ids must be dense");
+    }
+    if (o.duration_s <= 0 || o.bitrate <= 0) {
+      throw std::invalid_argument(
+          "Catalog::from_objects: non-positive duration or bitrate");
+    }
+    o.size_bytes = o.duration_s * o.bitrate;
+    if (o.popularity_rank == 0) o.popularity_rank = i + 1;
+  }
+  config.num_objects = objects.size();
+  return Catalog(std::move(objects), config);
+}
+
+}  // namespace sc::workload

@@ -1,0 +1,87 @@
+// The catalog of streaming media objects available for access.
+//
+// Matches Table 1 of the paper: N = 5,000 unique CBR objects, durations
+// lognormal(mu = 3.85, sigma = 0.56) in *minutes* (~55 min / ~79 K frames
+// on average), bit-rate 2 KB/frame at 24 frames/s = 48 KB/s, total unique
+// size ~790 GB, per-object value V_i ~ Uniform[$1, $10] (used by the
+// revenue objective, §4.4).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/path_process.h"
+#include "util/rng.h"
+
+namespace sc::workload {
+
+using ObjectId = std::size_t;
+
+/// One streaming media object. Plain data; invariants are enforced by the
+/// catalog generator (positive duration/bit-rate, size == duration * rate).
+struct StreamObject {
+  ObjectId id = 0;
+  double duration_s = 0.0;    // T_i
+  double bitrate = 0.0;       // r_i, bytes/second (CBR)
+  double size_bytes = 0.0;    // S_i = T_i * r_i
+  double value = 0.0;         // V_i, dollars
+  net::PathId path = 0;       // origin path serving this object
+  std::size_t popularity_rank = 0;  // 1 = most popular
+};
+
+struct CatalogConfig {
+  std::size_t num_objects = 5000;
+  double duration_mu = 3.85;     // lognormal mu, minutes
+  double duration_sigma = 0.56;  // lognormal sigma
+  double frame_bytes = 2.0 * 1024.0;
+  double frames_per_second = 24.0;
+  double value_lo = 1.0;   // dollars
+  double value_hi = 10.0;  // dollars
+  /// Clamp object durations (minutes) to keep the corpus finite; the
+  /// lognormal tail otherwise occasionally produces multi-day objects.
+  double min_duration_min = 1.0;
+  double max_duration_min = 60.0 * 8.0;
+
+  [[nodiscard]] double bitrate() const {
+    return frame_bytes * frames_per_second;  // 48 KB/s by default
+  }
+};
+
+/// Immutable object catalog.
+class Catalog {
+ public:
+  /// Generate a catalog. Object `i` gets popularity rank `i + 1` and is
+  /// served over its own origin path (`path == id`), matching the paper's
+  /// per-object bandwidth b_i.
+  static Catalog generate(const CatalogConfig& config, util::Rng& rng);
+
+  /// Build a catalog from explicit objects (trace import). Validates ids
+  /// are dense 0..n-1 and sizes are consistent with duration * bitrate.
+  static Catalog from_objects(std::vector<StreamObject> objects,
+                              CatalogConfig config = {});
+
+  [[nodiscard]] std::size_t size() const noexcept { return objects_.size(); }
+  [[nodiscard]] const StreamObject& object(ObjectId id) const {
+    return objects_.at(id);
+  }
+  [[nodiscard]] const std::vector<StreamObject>& objects() const noexcept {
+    return objects_;
+  }
+
+  /// Sum of all object sizes (the paper's "total unique object size").
+  [[nodiscard]] double total_bytes() const noexcept { return total_bytes_; }
+
+  [[nodiscard]] const CatalogConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  Catalog(std::vector<StreamObject> objects, CatalogConfig config);
+
+  std::vector<StreamObject> objects_;
+  CatalogConfig config_;
+  double total_bytes_ = 0.0;
+};
+
+}  // namespace sc::workload

@@ -1,0 +1,78 @@
+#include "workload/trace.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace sc::workload {
+
+void write_trace(const Workload& workload,
+                 const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_trace: cannot open " + path.string());
+  }
+  out << "streamcache-trace v1 " << workload.catalog.size() << ' '
+      << workload.requests.size() << '\n';
+  out << std::setprecision(17);
+  for (const auto& o : workload.catalog.objects()) {
+    out << "O " << o.id << ' ' << o.duration_s << ' ' << o.bitrate << ' '
+        << o.value << ' ' << o.path << '\n';
+  }
+  for (const auto& r : workload.requests) {
+    out << "R " << r.time_s << ' ' << r.object << '\n';
+  }
+  if (!out) {
+    throw std::runtime_error("write_trace: write failed on " + path.string());
+  }
+}
+
+Workload read_trace(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("read_trace: cannot open " + path.string());
+  }
+  std::string magic, version;
+  std::size_t num_objects = 0, num_requests = 0;
+  in >> magic >> version >> num_objects >> num_requests;
+  if (magic != "streamcache-trace" || version != "v1") {
+    throw std::runtime_error("read_trace: bad magic in " + path.string());
+  }
+  std::vector<StreamObject> objects;
+  objects.reserve(num_objects);
+  std::vector<Request> requests;
+  requests.reserve(num_requests);
+
+  std::string tag;
+  double last_time = 0.0;
+  while (in >> tag) {
+    if (tag == "O") {
+      StreamObject o;
+      in >> o.id >> o.duration_s >> o.bitrate >> o.value >> o.path;
+      if (!in) throw std::runtime_error("read_trace: malformed object line");
+      objects.push_back(o);
+    } else if (tag == "R") {
+      Request r;
+      in >> r.time_s >> r.object;
+      if (!in) throw std::runtime_error("read_trace: malformed request line");
+      if (r.object >= num_objects) {
+        throw std::runtime_error("read_trace: request to unknown object");
+      }
+      if (r.time_s < last_time) {
+        throw std::runtime_error("read_trace: request times regress");
+      }
+      last_time = r.time_s;
+      requests.push_back(r);
+    } else {
+      throw std::runtime_error("read_trace: unknown record tag '" + tag + "'");
+    }
+  }
+  if (objects.size() != num_objects || requests.size() != num_requests) {
+    throw std::runtime_error("read_trace: record count mismatch");
+  }
+  return Workload{Catalog::from_objects(std::move(objects)),
+                  std::move(requests)};
+}
+
+}  // namespace sc::workload

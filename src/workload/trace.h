@@ -1,0 +1,23 @@
+// Trace persistence: write/read a workload to a plain-text file so that
+// experiments can be replayed outside the generator (and so external
+// traces can be imported in the paper's format: one request per line).
+#pragma once
+
+#include <filesystem>
+
+#include "workload/generator.h"
+
+namespace sc::workload {
+
+/// File format (text, line-oriented):
+///   line 1:    "streamcache-trace v1 <num_objects> <num_requests>"
+///   objects:   "O <id> <duration_s> <bitrate> <value> <path>"
+///   requests:  "R <time_s> <object_id>"
+/// Objects appear before requests; requests are in non-decreasing time.
+void write_trace(const Workload& workload, const std::filesystem::path& path);
+
+/// Parse a trace file written by write_trace. Throws std::runtime_error on
+/// malformed input (bad magic, out-of-range object ids, time regressions).
+[[nodiscard]] Workload read_trace(const std::filesystem::path& path);
+
+}  // namespace sc::workload

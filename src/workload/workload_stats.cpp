@@ -1,0 +1,87 @@
+#include "workload/workload_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/summary.h"
+
+namespace sc::workload {
+
+std::vector<std::size_t> request_counts(const Workload& w) {
+  std::vector<std::size_t> counts(w.catalog.size(), 0);
+  for (const auto& r : w.requests) counts[r.object]++;
+  return counts;
+}
+
+ZipfFit fit_zipf(const std::vector<std::size_t>& counts,
+                 std::size_t min_hits) {
+  // Sort counts descending: empirical rank r has frequency f_r.
+  std::vector<std::size_t> sorted(counts);
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+
+  std::vector<double> xs, ys;
+  for (std::size_t r = 0; r < sorted.size(); ++r) {
+    if (sorted[r] < min_hits) break;
+    xs.push_back(std::log(static_cast<double>(r + 1)));
+    ys.push_back(std::log(static_cast<double>(sorted[r])));
+  }
+  ZipfFit fit;
+  if (xs.size() < 3) return fit;
+
+  const double mx = stats::mean_of(xs);
+  const double my = stats::mean_of(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx <= 0 || syy <= 0) return fit;
+  const double slope = sxy / sxx;
+  fit.alpha = -slope;
+  fit.r2 = (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+WorkloadSummary summarize(const Workload& w) {
+  WorkloadSummary s;
+  s.num_objects = w.catalog.size();
+  s.num_requests = w.requests.size();
+  s.total_unique_bytes = w.catalog.total_bytes();
+  s.bitrate = w.catalog.config().bitrate();
+
+  stats::RunningStats durations, sizes;
+  for (const auto& o : w.catalog.objects()) {
+    durations.add(o.duration_s);
+    sizes.add(o.size_bytes);
+  }
+  s.mean_duration_s = durations.mean();
+  s.mean_size_bytes = sizes.mean();
+  s.mean_frames = s.mean_duration_s * w.catalog.config().frames_per_second;
+
+  if (!w.requests.empty()) {
+    s.trace_span_s = w.requests.back().time_s - w.requests.front().time_s;
+    if (w.requests.size() > 1) {
+      s.mean_interarrival_s =
+          s.trace_span_s / static_cast<double>(w.requests.size() - 1);
+    }
+  }
+
+  const auto counts = request_counts(w);
+  const auto fit = fit_zipf(counts);
+  s.fitted_zipf_alpha = fit.alpha;
+  s.zipf_fit_r2 = fit.r2;
+
+  std::vector<std::size_t> sorted(counts);
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const std::size_t top = std::max<std::size_t>(1, sorted.size() / 10);
+  std::size_t top_hits = 0;
+  for (std::size_t i = 0; i < top; ++i) top_hits += sorted[i];
+  if (s.num_requests > 0) {
+    s.top10pct_request_share =
+        static_cast<double>(top_hits) / static_cast<double>(s.num_requests);
+  }
+  return s;
+}
+
+}  // namespace sc::workload

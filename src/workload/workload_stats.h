@@ -1,0 +1,48 @@
+// Workload characterization: the quantities Table 1 reports, measured
+// from a generated (or imported) workload. Used by bench_table1 and by
+// tests validating the generator against the paper's parameters.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "workload/generator.h"
+
+namespace sc::workload {
+
+struct WorkloadSummary {
+  std::size_t num_objects = 0;
+  std::size_t num_requests = 0;
+  double total_unique_bytes = 0.0;
+  double mean_duration_s = 0.0;
+  double mean_size_bytes = 0.0;
+  double mean_frames = 0.0;       // duration * 24 fps
+  double bitrate = 0.0;           // bytes/second (CBR, shared)
+  double mean_interarrival_s = 0.0;
+  double trace_span_s = 0.0;
+  /// Zipf-like exponent recovered from the empirical popularity profile
+  /// (log-log least squares over ranks with >= 2 hits).
+  double fitted_zipf_alpha = 0.0;
+  /// Fraction of requests that hit the 10% most popular objects (a
+  /// standard concentration measure for Zipf-like workloads).
+  double top10pct_request_share = 0.0;
+  /// Squared coefficient of determination of the Zipf fit.
+  double zipf_fit_r2 = 0.0;
+};
+
+/// Per-object request counts (index = ObjectId).
+[[nodiscard]] std::vector<std::size_t> request_counts(const Workload& w);
+
+/// Summarize a workload.
+[[nodiscard]] WorkloadSummary summarize(const Workload& w);
+
+/// Least-squares fit of log(count) = c - alpha * log(rank) over objects
+/// with at least `min_hits` requests. Returns {alpha, r2}.
+struct ZipfFit {
+  double alpha = 0.0;
+  double r2 = 0.0;
+};
+[[nodiscard]] ZipfFit fit_zipf(const std::vector<std::size_t>& counts,
+                               std::size_t min_hits = 2);
+
+}  // namespace sc::workload

@@ -1,0 +1,120 @@
+#include "sim/delivery.h"
+
+#include <gtest/gtest.h>
+
+namespace sc::sim {
+namespace {
+
+workload::StreamObject make_object(double duration_s = 100.0,
+                                   double bitrate = 10.0) {
+  workload::StreamObject o;
+  o.id = 0;
+  o.duration_s = duration_s;
+  o.bitrate = bitrate;
+  o.size_bytes = duration_s * bitrate;
+  o.value = 5.0;
+  return o;
+}
+
+TEST(ServiceDelay, PaperFormula) {
+  // delay = [T r - T b - x]+ / b  (paper §2.2)
+  EXPECT_DOUBLE_EQ(service_delay(100, 10, 4, 0), (1000.0 - 400.0) / 4.0);
+  EXPECT_DOUBLE_EQ(service_delay(100, 10, 4, 600), 0.0);
+  EXPECT_DOUBLE_EQ(service_delay(100, 10, 4, 300), 300.0 / 4.0);
+  EXPECT_DOUBLE_EQ(service_delay(100, 10, 20, 0), 0.0);  // abundant bw
+  EXPECT_THROW((void)service_delay(100, 10, 0, 0), std::invalid_argument);
+}
+
+TEST(ServiceDelay, SubByteDeficitIsZero) {
+  // An exactly-provisioned prefix computed with the same inputs must not
+  // leave rounding residue (see the kByteEps rationale in delivery.cpp).
+  const double T = 3301.7, r = 48.0 * 1024.0, b = 31.4 * 1024.0;
+  const double x = (r - b) * T;
+  EXPECT_DOUBLE_EQ(service_delay(T, r, b, x), 0.0);
+}
+
+TEST(StreamQuality, PaperFormula) {
+  // quality = min(1, (T b + x) / (T r))  (paper §3.3)
+  EXPECT_DOUBLE_EQ(stream_quality(100, 10, 4, 0), 0.4);
+  EXPECT_DOUBLE_EQ(stream_quality(100, 10, 4, 300), 0.7);
+  EXPECT_DOUBLE_EQ(stream_quality(100, 10, 4, 600), 1.0);
+  EXPECT_DOUBLE_EQ(stream_quality(100, 10, 50, 0), 1.0);  // capped at 1
+  EXPECT_THROW((void)stream_quality(100, 10, 0, 0), std::invalid_argument);
+}
+
+TEST(QuantizeQuality, FourLayerExample) {
+  // Paper: "four layers but only three can be supported -> 0.75".
+  EXPECT_DOUBLE_EQ(quantize_quality(0.80, 4), 0.75);
+  EXPECT_DOUBLE_EQ(quantize_quality(0.75, 4), 0.75);
+  EXPECT_DOUBLE_EQ(quantize_quality(1.0, 4), 1.0);
+  EXPECT_DOUBLE_EQ(quantize_quality(0.10, 4), 0.0);
+  EXPECT_DOUBLE_EQ(quantize_quality(0.55, 2), 0.5);
+  EXPECT_DOUBLE_EQ(quantize_quality(1.5, 4), 1.0);   // clamped
+  EXPECT_DOUBLE_EQ(quantize_quality(-0.5, 4), 0.0);  // clamped
+  EXPECT_THROW((void)quantize_quality(0.5, 0), std::invalid_argument);
+}
+
+TEST(Deliver, SplitsBytesBetweenCacheAndOrigin) {
+  const auto obj = make_object();
+  const auto out = deliver(obj, 4.0, 300.0);
+  EXPECT_DOUBLE_EQ(out.bytes_from_cache, 300.0);
+  EXPECT_DOUBLE_EQ(out.bytes_from_origin, 700.0);
+  EXPECT_DOUBLE_EQ(out.origin_transfer_s, 700.0 / 4.0);
+  EXPECT_DOUBLE_EQ(out.origin_throughput, 4.0);
+  EXPECT_DOUBLE_EQ(out.delay_s, 300.0 / 4.0);
+  EXPECT_FALSE(out.immediate);
+}
+
+TEST(Deliver, FullyCachedObjectNeedsNoOrigin) {
+  const auto obj = make_object();
+  const auto out = deliver(obj, 4.0, 1000.0);
+  EXPECT_DOUBLE_EQ(out.bytes_from_origin, 0.0);
+  EXPECT_DOUBLE_EQ(out.origin_transfer_s, 0.0);
+  EXPECT_DOUBLE_EQ(out.origin_throughput, 0.0);
+  EXPECT_TRUE(out.immediate);
+  EXPECT_DOUBLE_EQ(out.quality, 1.0);
+  EXPECT_DOUBLE_EQ(out.quality_continuous, 1.0);
+}
+
+TEST(Deliver, ClampsOversizedPrefix) {
+  const auto obj = make_object();
+  const auto out = deliver(obj, 4.0, 5000.0);  // more than the object
+  EXPECT_DOUBLE_EQ(out.bytes_from_cache, 1000.0);
+  EXPECT_DOUBLE_EQ(out.bytes_from_origin, 0.0);
+}
+
+TEST(Deliver, QuantizedVsContinuousQuality) {
+  const auto obj = make_object();
+  // b = 8: continuous quality 0.8, quantized (4 layers) 0.75.
+  const auto out = deliver(obj, 8.0, 0.0);
+  EXPECT_DOUBLE_EQ(out.quality_continuous, 0.8);
+  EXPECT_DOUBLE_EQ(out.quality, 0.75);
+  // Custom layer count.
+  const auto out2 = deliver(obj, 8.0, 0.0, 10);
+  EXPECT_DOUBLE_EQ(out2.quality, 0.8);
+}
+
+TEST(Deliver, ImmediateIffNoDeficit) {
+  const auto obj = make_object();
+  EXPECT_TRUE(deliver(obj, 10.0, 0.0).immediate);   // b == r
+  EXPECT_TRUE(deliver(obj, 4.0, 600.0).immediate);  // exact provisioning
+  EXPECT_FALSE(deliver(obj, 4.0, 598.0).immediate);  // 2-byte deficit
+  EXPECT_THROW((void)deliver(obj, 0.0, 0.0), std::invalid_argument);
+}
+
+TEST(Deliver, DelayAndQualityAreAlternativeCurrencies) {
+  // A request is either delayed at full quality or immediate at reduced
+  // quality; both reflect the same deficit.
+  const auto obj = make_object();
+  for (const double x : {0.0, 100.0, 400.0, 598.0}) {
+    const auto out = deliver(obj, 4.0, x);
+    EXPECT_GT(out.delay_s, 0.0);
+    EXPECT_LT(out.quality_continuous, 1.0);
+    // deficit consistency: delay * b == (1 - q) * S
+    EXPECT_NEAR(out.delay_s * 4.0, (1.0 - out.quality_continuous) * 1000.0,
+                1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace sc::sim

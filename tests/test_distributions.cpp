@@ -1,0 +1,139 @@
+#include "stats/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace sc::stats {
+namespace {
+
+TEST(ZipfLike, PmfSumsToOne) {
+  const ZipfLike z(100, 0.73);
+  double sum = 0;
+  for (std::size_t r = 1; r <= 100; ++r) sum += z.pmf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(ZipfLike, PmfDecreasesWithRank) {
+  const ZipfLike z(50, 0.8);
+  for (std::size_t r = 2; r <= 50; ++r) {
+    EXPECT_GT(z.pmf(r - 1), z.pmf(r));
+  }
+}
+
+TEST(ZipfLike, AlphaZeroIsUniform) {
+  const ZipfLike z(10, 0.0);
+  for (std::size_t r = 1; r <= 10; ++r) EXPECT_NEAR(z.pmf(r), 0.1, 1e-12);
+}
+
+TEST(ZipfLike, RatioMatchesPowerLaw) {
+  const double alpha = 0.73;
+  const ZipfLike z(1000, alpha);
+  // pmf(r) / pmf(2r) should equal 2^alpha.
+  EXPECT_NEAR(z.pmf(1) / z.pmf(2), std::pow(2.0, alpha), 1e-9);
+  EXPECT_NEAR(z.pmf(10) / z.pmf(20), std::pow(2.0, alpha), 1e-9);
+}
+
+TEST(ZipfLike, SamplingMatchesPmf) {
+  const ZipfLike z(20, 1.0);
+  util::Rng rng(5);
+  std::vector<int> counts(21, 0);
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) counts[z.sample(rng)]++;
+  for (std::size_t r = 1; r <= 20; ++r) {
+    EXPECT_NEAR(static_cast<double>(counts[r]) / kN, z.pmf(r), 0.005)
+        << "rank " << r;
+  }
+}
+
+TEST(ZipfLike, RejectsBadParameters) {
+  EXPECT_THROW(ZipfLike(0, 0.5), std::invalid_argument);
+  EXPECT_THROW(ZipfLike(10, -0.1), std::invalid_argument);
+  const ZipfLike z(10, 0.5);
+  EXPECT_THROW((void)z.pmf(0), std::out_of_range);
+  EXPECT_THROW((void)z.pmf(11), std::out_of_range);
+}
+
+class ZipfAlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfAlphaSweep, SampleInRangeAndRank1MostFrequent) {
+  const double alpha = GetParam();
+  const ZipfLike z(500, alpha);
+  util::Rng rng(11);
+  std::vector<int> counts(501, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const auto r = z.sample(rng);
+    ASSERT_GE(r, 1u);
+    ASSERT_LE(r, 500u);
+    counts[r]++;
+  }
+  if (alpha > 0) {
+    const int max_count = *std::max_element(counts.begin(), counts.end());
+    EXPECT_EQ(counts[1], max_count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfAlphaSweep,
+                         ::testing::Values(0.0, 0.5, 0.73, 1.0, 1.2));
+
+TEST(Lognormal, AnalyticMoments) {
+  const Lognormal ln(3.85, 0.56);
+  EXPECT_NEAR(ln.mean(), std::exp(3.85 + 0.56 * 0.56 / 2), 1e-9);
+  EXPECT_GT(ln.variance(), 0.0);
+}
+
+TEST(Lognormal, SampleMeanConverges) {
+  const Lognormal ln(1.0, 0.4);
+  util::Rng rng(3);
+  double acc = 0;
+  constexpr int kN = 300000;
+  for (int i = 0; i < kN; ++i) acc += ln.sample(rng);
+  EXPECT_NEAR(acc / kN, ln.mean(), ln.mean() * 0.01);
+}
+
+TEST(Lognormal, PaperDurationParameters) {
+  // Table 1: Lognormal(3.85, 0.56) minutes -> ~55 min mean.
+  const Lognormal ln(3.85, 0.56);
+  EXPECT_NEAR(ln.mean(), 55.0, 1.0);
+}
+
+TEST(Exponential, MeanAndPositivity) {
+  const Exponential e(0.15);
+  EXPECT_NEAR(e.mean(), 1.0 / 0.15, 1e-12);
+  util::Rng rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(e.sample(rng), 0.0);
+  EXPECT_THROW(Exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(Exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Pareto, TailAndMean) {
+  const Pareto p(1.0, 2.5);
+  EXPECT_NEAR(p.mean(), 2.5 / 1.5, 1e-12);
+  util::Rng rng(13);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(p.sample(rng), 1.0);
+  const Pareto heavy(1.0, 0.9);
+  EXPECT_TRUE(std::isinf(heavy.mean()));
+  EXPECT_THROW(Pareto(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Pareto(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Uniform, BoundsAndMean) {
+  const Uniform u(1.0, 10.0);
+  EXPECT_DOUBLE_EQ(u.mean(), 5.5);
+  util::Rng rng(21);
+  double acc = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = u.sample(rng);
+    ASSERT_GE(v, 1.0);
+    ASSERT_LT(v, 10.0);
+    acc += v;
+  }
+  EXPECT_NEAR(acc / kN, 5.5, 0.05);
+  EXPECT_THROW(Uniform(2.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sc::stats

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/metrics.h"
+
+namespace sc::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&](double) { order.push_back(3); });
+  q.schedule(1.0, [&](double) { order.push_back(1); });
+  q.schedule(2.0, [&](double) { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoTieBreaking) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(1.0, [&order, i](double) { order.push_back(i); });
+  }
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilRespectsHorizon) {
+  EventQueue q;
+  std::vector<double> fired;
+  for (const double t : {0.5, 1.0, 1.5, 2.0}) {
+    q.schedule(t, [&fired](double now) { fired.push_back(now); });
+  }
+  q.run_until(1.0);  // inclusive
+  EXPECT_EQ(fired, (std::vector<double>{0.5, 1.0}));
+  EXPECT_EQ(q.size(), 2u);
+  q.run_until(10.0);
+  EXPECT_EQ(fired.size(), 4u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ActionsReceiveTheirScheduledTime) {
+  EventQueue q;
+  double seen = -1;
+  q.schedule(7.5, [&](double now) { seen = now; });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(seen, 7.5);
+  EXPECT_DOUBLE_EQ(q.now(), 7.5);
+}
+
+TEST(EventQueue, NestedSchedulingWithinHorizon) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&](double) {
+    order.push_back(1);
+    q.schedule(1.5, [&](double) { order.push_back(2); });
+    q.schedule(5.0, [&](double) { order.push_back(9); });
+  });
+  q.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));  // the 5.0 event waits
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(Metrics, AccumulatesPerRequestOutcomes) {
+  MetricsCollector m;
+  ServiceOutcome hit;
+  hit.delay_s = 0.0;
+  hit.quality = 1.0;
+  hit.quality_continuous = 1.0;
+  hit.immediate = true;
+  hit.bytes_from_cache = 600.0;
+  hit.bytes_from_origin = 400.0;
+
+  ServiceOutcome miss;
+  miss.delay_s = 50.0;
+  miss.quality = 0.5;
+  miss.quality_continuous = 0.6;
+  miss.immediate = false;
+  miss.bytes_from_cache = 0.0;
+  miss.bytes_from_origin = 1000.0;
+
+  m.record(hit, 5.0);
+  m.record(miss, 7.0);
+
+  EXPECT_EQ(m.requests(), 2u);
+  EXPECT_DOUBLE_EQ(m.traffic_reduction_ratio(), 600.0 / 2000.0);
+  EXPECT_DOUBLE_EQ(m.average_delay_s(), 25.0);
+  EXPECT_DOUBLE_EQ(m.average_quality(), 0.8);             // continuous
+  EXPECT_DOUBLE_EQ(m.average_quality_quantized(), 0.75);  // (1 + 0.5) / 2
+  EXPECT_DOUBLE_EQ(m.total_added_value(), 5.0);  // only the immediate one
+  EXPECT_DOUBLE_EQ(m.hit_ratio(), 0.5);
+  EXPECT_DOUBLE_EQ(m.immediate_ratio(), 0.5);
+  EXPECT_DOUBLE_EQ(m.bytes_from_cache(), 600.0);
+  EXPECT_DOUBLE_EQ(m.bytes_from_origin(), 1400.0);
+}
+
+TEST(Metrics, EmptyCollectorIsZero) {
+  const MetricsCollector m;
+  EXPECT_EQ(m.requests(), 0u);
+  EXPECT_DOUBLE_EQ(m.traffic_reduction_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(m.hit_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(m.immediate_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(m.total_added_value(), 0.0);
+}
+
+TEST(Metrics, FillTrafficTrackedSeparately) {
+  MetricsCollector m;
+  m.record_fill(123.0);
+  m.record_fill(77.0);
+  EXPECT_DOUBLE_EQ(m.fill_bytes(), 200.0);
+  // Fill traffic must not affect the §3.3 traffic reduction ratio.
+  EXPECT_DOUBLE_EQ(m.traffic_reduction_ratio(), 0.0);
+}
+
+}  // namespace
+}  // namespace sc::sim

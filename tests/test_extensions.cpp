@@ -1,0 +1,171 @@
+// Tests for the simulator extensions: client interactivity (partial
+// viewing) and proxy-side patching (stream sharing).
+
+#include <gtest/gtest.h>
+
+#include "net/bandwidth_model.h"
+#include "net/variability.h"
+#include "sim/simulator.h"
+
+namespace sc::sim {
+namespace {
+
+workload::Workload make_workload(std::size_t objects, std::size_t requests,
+                                 std::uint64_t seed,
+                                 double arrival_rate = 0.15) {
+  workload::WorkloadConfig cfg;
+  cfg.catalog.num_objects = objects;
+  cfg.trace.num_requests = requests;
+  cfg.trace.arrival_rate_per_s = arrival_rate;
+  util::Rng rng(seed);
+  return workload::generate_workload(cfg, rng);
+}
+
+SimulationConfig pb_config(double capacity) {
+  SimulationConfig cfg;
+  cfg.cache_capacity_bytes = capacity;
+  cfg.policy = cache::PolicyKind::kPB;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(Viewing, PartialViewingReducesDeliveredBytes) {
+  const auto w = make_workload(200, 10000, 1);
+  const auto base = net::nlanr_base_model();
+  const auto ratio = net::constant_variability_model();
+
+  auto full = pb_config(1e10);
+  auto partial = pb_config(1e10);
+  partial.viewing.enabled = true;
+  partial.viewing.complete_probability = 0.3;
+
+  const auto rf = Simulator(w, base, ratio, full).run();
+  const auto rp = Simulator(w, base, ratio, partial).run();
+  const double full_bytes =
+      rf.metrics.bytes_from_cache() + rf.metrics.bytes_from_origin();
+  const double partial_bytes =
+      rp.metrics.bytes_from_cache() + rp.metrics.bytes_from_origin();
+  EXPECT_LT(partial_bytes, full_bytes * 0.85);
+  // Startup metrics are not affected by how much gets watched.
+  EXPECT_DOUBLE_EQ(rf.metrics.average_delay_s(),
+                   rp.metrics.average_delay_s());
+  EXPECT_DOUBLE_EQ(rf.metrics.average_quality(),
+                   rp.metrics.average_quality());
+}
+
+TEST(Viewing, CompleteProbabilityOneMatchesBaseline) {
+  const auto w = make_workload(100, 5000, 2);
+  const auto base = net::nlanr_base_model();
+  const auto ratio = net::constant_variability_model();
+  auto on = pb_config(1e10);
+  on.viewing.enabled = true;
+  on.viewing.complete_probability = 1.0;
+  const auto r_on = Simulator(w, base, ratio, on).run();
+  const auto r_off = Simulator(w, base, ratio, pb_config(1e10)).run();
+  EXPECT_DOUBLE_EQ(r_on.metrics.bytes_from_origin(),
+                   r_off.metrics.bytes_from_origin());
+  EXPECT_DOUBLE_EQ(r_on.metrics.bytes_from_cache(),
+                   r_off.metrics.bytes_from_cache());
+}
+
+TEST(Viewing, ViewingBoostsTrafficReductionForPrefixCaches) {
+  // Prefix caching stores exactly the bytes early viewers watch, so the
+  // cache-served *share* rises when sessions terminate early.
+  const auto w = make_workload(300, 15000, 3);
+  const auto base = net::nlanr_base_model();
+  const auto ratio = net::constant_variability_model();
+  auto partial = pb_config(3e10);
+  partial.viewing.enabled = true;
+  partial.viewing.complete_probability = 0.2;
+  const auto rp = Simulator(w, base, ratio, partial).run();
+  const auto rf = Simulator(w, base, ratio, pb_config(3e10)).run();
+  EXPECT_GT(rp.metrics.traffic_reduction_ratio(),
+            rf.metrics.traffic_reduction_ratio());
+}
+
+TEST(Patching, SharesConcurrentStreams) {
+  // High arrival rate => many overlapping requests for hot objects.
+  const auto w = make_workload(50, 20000, 4, /*arrival_rate=*/5.0);
+  const auto base = net::nlanr_base_model();
+  const auto ratio = net::constant_variability_model();
+
+  auto patched = pb_config(1e9);
+  patched.patching.enabled = true;
+  const auto rp = Simulator(w, base, ratio, patched).run();
+  const auto rn = Simulator(w, base, ratio, pb_config(1e9)).run();
+
+  EXPECT_GT(rp.metrics.bytes_shared(), 0.0);
+  EXPECT_EQ(rn.metrics.bytes_shared(), 0.0);
+  // Shared bytes come out of origin traffic; totals are conserved.
+  EXPECT_NEAR(rp.metrics.bytes_from_origin() + rp.metrics.bytes_shared() +
+                  rp.metrics.bytes_from_cache(),
+              rn.metrics.bytes_from_origin() + rn.metrics.bytes_from_cache(),
+              1.0);
+  // Backbone reduction strictly improves; cache-only reduction is equal.
+  EXPECT_GT(rp.metrics.backbone_reduction_ratio(),
+            rn.metrics.backbone_reduction_ratio());
+  EXPECT_DOUBLE_EQ(rp.metrics.traffic_reduction_ratio(),
+                   rn.metrics.traffic_reduction_ratio());
+}
+
+TEST(Patching, NoSharingWhenRequestsNeverOverlap) {
+  // Deterministic trace: requests spaced far beyond any object duration,
+  // so no stream is ever still in flight when the next request lands.
+  workload::WorkloadConfig wcfg;
+  wcfg.catalog.num_objects = 20;
+  util::Rng rng(5);
+  auto catalog = workload::Catalog::generate(wcfg.catalog, rng);
+  std::vector<workload::Request> trace;
+  for (std::size_t i = 0; i < 200; ++i) {
+    trace.push_back(workload::Request{static_cast<double>(i) * 1e6, i % 20});
+  }
+  const workload::Workload w{std::move(catalog), std::move(trace)};
+  const auto base = net::nlanr_base_model();
+  const auto ratio = net::constant_variability_model();
+  auto patched = pb_config(1e9);
+  patched.patching.enabled = true;
+  const auto r = Simulator(w, base, ratio, patched).run();
+  EXPECT_DOUBLE_EQ(r.metrics.bytes_shared(), 0.0);
+}
+
+TEST(Patching, ComposesWithCaching) {
+  // Caching + patching together beat either alone on backbone bytes.
+  const auto w = make_workload(80, 20000, 6, /*arrival_rate=*/2.0);
+  const auto base = net::nlanr_base_model();
+  const auto ratio = net::constant_variability_model();
+
+  auto neither = pb_config(0.0);
+  auto cache_only = pb_config(2e10);
+  auto patch_only = pb_config(0.0);
+  patch_only.patching.enabled = true;
+  auto both = pb_config(2e10);
+  both.patching.enabled = true;
+
+  const double r00 =
+      Simulator(w, base, ratio, neither).run().metrics
+          .backbone_reduction_ratio();
+  const double r10 =
+      Simulator(w, base, ratio, cache_only).run().metrics
+          .backbone_reduction_ratio();
+  const double r01 =
+      Simulator(w, base, ratio, patch_only).run().metrics
+          .backbone_reduction_ratio();
+  const double r11 =
+      Simulator(w, base, ratio, both).run().metrics
+          .backbone_reduction_ratio();
+  EXPECT_DOUBLE_EQ(r00, 0.0);
+  EXPECT_GT(r11, r10);
+  EXPECT_GT(r11, r01);
+}
+
+TEST(Patching, MetricsBackboneEqualsTrafficWhenOff) {
+  const auto w = make_workload(100, 5000, 7);
+  const auto r = Simulator(w, net::nlanr_base_model(),
+                           net::constant_variability_model(), pb_config(1e10))
+                     .run();
+  EXPECT_DOUBLE_EQ(r.metrics.backbone_reduction_ratio(),
+                   r.metrics.traffic_reduction_ratio());
+}
+
+}  // namespace
+}  // namespace sc::sim

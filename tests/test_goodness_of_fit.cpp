@@ -1,0 +1,139 @@
+// Goodness-of-fit checks: every continuous sampler in the library is
+// validated against its analytic CDF with the Kolmogorov-Smirnov
+// statistic, and the text parsers are fuzzed with byte garbage (they must
+// reject, never crash).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "net/bandwidth_model.h"
+#include "net/log_analysis.h"
+#include "net/variability.h"
+#include "stats/distributions.h"
+#include "stats/summary.h"
+#include "util/rng.h"
+
+namespace sc {
+namespace {
+
+constexpr std::size_t kSamples = 20000;
+// KS critical value at alpha ~ 0.001 for n = 20000: 1.95 / sqrt(n).
+const double kKsBound = 1.95 / std::sqrt(static_cast<double>(kSamples));
+
+template <typename Sampler>
+std::vector<double> draw(const Sampler& sampler, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(kSamples);
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    xs.push_back(sampler.sample(rng));
+  }
+  return xs;
+}
+
+TEST(GoodnessOfFit, UniformSampler) {
+  const stats::Uniform u(2.0, 7.0);
+  const double ks = stats::ks_statistic(draw(u, 1), [](double x) {
+    return std::clamp((x - 2.0) / 5.0, 0.0, 1.0);
+  });
+  EXPECT_LT(ks, kKsBound);
+}
+
+TEST(GoodnessOfFit, ExponentialSampler) {
+  const stats::Exponential e(0.4);
+  const double ks = stats::ks_statistic(draw(e, 2), [](double x) {
+    return x <= 0 ? 0.0 : 1.0 - std::exp(-0.4 * x);
+  });
+  EXPECT_LT(ks, kKsBound);
+}
+
+TEST(GoodnessOfFit, ParetoSampler) {
+  const stats::Pareto p(1.5, 2.0);
+  const double ks = stats::ks_statistic(draw(p, 3), [](double x) {
+    return x <= 1.5 ? 0.0 : 1.0 - std::pow(1.5 / x, 2.0);
+  });
+  EXPECT_LT(ks, kKsBound);
+}
+
+TEST(GoodnessOfFit, LognormalSampler) {
+  const stats::Lognormal ln(1.0, 0.5);
+  const double ks = stats::ks_statistic(draw(ln, 4), [](double x) {
+    if (x <= 0) return 0.0;
+    return 0.5 * std::erfc(-(std::log(x) - 1.0) / (0.5 * std::sqrt(2.0)));
+  });
+  EXPECT_LT(ks, kKsBound);
+}
+
+class EmpiricalModelFit
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EmpiricalModelFit, SamplerMatchesOwnCdf) {
+  const std::string which = GetParam();
+  const auto model = [&] {
+    if (which == "nlanr-base") return net::nlanr_base_model();
+    if (which == "nlanr-ratio") return net::nlanr_variability_model();
+    if (which == "measured-pooled") return net::measured_variability_model();
+    if (which == "inria") {
+      return net::measured_path_model(net::MeasuredPath::kInria);
+    }
+    if (which == "taiwan") {
+      return net::measured_path_model(net::MeasuredPath::kTaiwan);
+    }
+    return net::measured_path_model(net::MeasuredPath::kHongKong);
+  }();
+  const double ks = stats::ks_statistic(
+      draw(model, util::fnv1a64(which)),
+      [&model](double x) { return model.cdf(x); });
+  EXPECT_LT(ks, kKsBound) << which;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, EmpiricalModelFit,
+                         ::testing::Values("nlanr-base", "nlanr-ratio",
+                                           "measured-pooled", "inria",
+                                           "taiwan", "hongkong"));
+
+TEST(GoodnessOfFit, KsValidatesArguments) {
+  EXPECT_THROW((void)stats::ks_statistic({}, [](double) { return 0.5; }),
+               std::invalid_argument);
+  EXPECT_THROW((void)stats::ks_statistic({1.0}, nullptr),
+               std::invalid_argument);
+  // A blatantly wrong CDF must yield a large statistic.
+  const stats::Uniform u(0.0, 1.0);
+  EXPECT_GT(stats::ks_statistic(draw(u, 9), [](double) { return 0.0; }), 0.9);
+}
+
+TEST(ParserFuzz, SquidParserNeverCrashes) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string line;
+    const auto len = static_cast<std::size_t>(rng.uniform_int(0, 120));
+    for (std::size_t i = 0; i < len; ++i) {
+      line.push_back(static_cast<char>(rng.uniform_int(1, 255)));
+    }
+    (void)net::parse_squid_line(line);  // must not throw or crash
+  }
+}
+
+TEST(ParserFuzz, MutatedValidLinesParseOrReject) {
+  const std::string valid =
+      "987033600.1 5120 c TCP_MISS/200 524288 GET http://s/x - D t";
+  util::Rng rng(78);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string line = valid;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(line.size()) - 1));
+    line[pos] = static_cast<char>(rng.uniform_int(32, 126));
+    const auto r = net::parse_squid_line(line);
+    if (r) {
+      // Anything accepted must carry sane fields.
+      EXPECT_GE(r->timestamp_s, 0.0);
+      EXPECT_GE(r->elapsed_s, 0.0);
+      EXPECT_GE(r->bytes, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sc

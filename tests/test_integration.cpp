@@ -1,0 +1,154 @@
+// End-to-end integration tests: miniature versions of the paper's
+// experiments asserting the qualitative results (who wins) that the full
+// bench harnesses reproduce at scale.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cache/offline_opt.h"
+#include "core/experiment.h"
+#include "workload/workload_stats.h"
+
+namespace sc::core {
+namespace {
+
+AveragedMetrics run_policy(cache::PolicyKind policy, const Scenario& scenario,
+                           double fraction, double e = 1.0) {
+  ExperimentConfig cfg;
+  cfg.workload.catalog.num_objects = 600;
+  cfg.workload.trace.num_requests = 30000;
+  cfg.runs = 4;
+  cfg.base_seed = 77;
+  cfg.sim.policy = policy;
+  cfg.sim.policy_params.e = e;
+  cfg.sim.cache_capacity_bytes =
+      capacity_for_fraction(cfg.workload.catalog, fraction);
+  return run_experiment(cfg, scenario);
+}
+
+TEST(PaperShapes, Fig5ConstantBandwidthOrdering) {
+  const auto scenario = constant_scenario();
+  const auto fi = run_policy(cache::PolicyKind::kIF, scenario, 0.05);
+  const auto pb = run_policy(cache::PolicyKind::kPB, scenario, 0.05);
+  const auto ib = run_policy(cache::PolicyKind::kIB, scenario, 0.05);
+
+  // (a) traffic reduction: IF > IB > PB.
+  EXPECT_GT(fi.traffic_reduction, ib.traffic_reduction);
+  EXPECT_GT(ib.traffic_reduction, pb.traffic_reduction);
+  // (b) delay: PB < IB < IF.
+  EXPECT_LT(pb.delay_s, ib.delay_s);
+  EXPECT_LT(ib.delay_s, fi.delay_s);
+  // (c) quality: PB > IB > IF.
+  EXPECT_GT(pb.quality, ib.quality);
+  EXPECT_GT(ib.quality, fi.quality);
+}
+
+TEST(PaperShapes, Fig5CacheSizeMonotonicity) {
+  const auto scenario = constant_scenario();
+  for (const auto kind : {cache::PolicyKind::kIF, cache::PolicyKind::kIB}) {
+    const auto small = run_policy(kind, scenario, 0.01);
+    const auto large = run_policy(kind, scenario, 0.10);
+    EXPECT_GT(large.traffic_reduction, small.traffic_reduction);
+    EXPECT_LT(large.delay_s, small.delay_s);
+  }
+}
+
+TEST(PaperShapes, Fig7HighVariabilityErasesPbEdge) {
+  const auto scenario = nlanr_variability_scenario();
+  const auto pb = run_policy(cache::PolicyKind::kPB, scenario, 0.10);
+  const auto ib = run_policy(cache::PolicyKind::kIB, scenario, 0.10);
+  // §4.3: "IB caching is no worse than PB caching" under high variability.
+  EXPECT_LE(ib.delay_s, pb.delay_s * 1.10);
+}
+
+TEST(PaperShapes, VariabilityInflatesDelayForAllPolicies) {
+  for (const auto kind :
+       {cache::PolicyKind::kIF, cache::PolicyKind::kPB,
+        cache::PolicyKind::kIB}) {
+    const auto constant = run_policy(kind, constant_scenario(), 0.05);
+    const auto variable = run_policy(kind, nlanr_variability_scenario(), 0.05);
+    EXPECT_GT(variable.delay_s, constant.delay_s)
+        << cache::to_string(kind);
+    EXPECT_LT(variable.quality, constant.quality + 1e-9)
+        << cache::to_string(kind);
+  }
+}
+
+TEST(PaperShapes, Fig8LowVariabilityRestoresPb) {
+  const auto scenario = measured_variability_scenario();
+  const auto fi = run_policy(cache::PolicyKind::kIF, scenario, 0.05);
+  const auto pb = run_policy(cache::PolicyKind::kPB, scenario, 0.05);
+  EXPECT_LT(pb.delay_s, fi.delay_s);
+  EXPECT_GT(pb.quality, fi.quality);
+}
+
+TEST(PaperShapes, Fig9TrafficFallsWithE) {
+  const auto scenario = nlanr_variability_scenario();
+  const auto e0 = run_policy(cache::PolicyKind::kHybrid, scenario, 0.10, 0.0);
+  const auto e5 = run_policy(cache::PolicyKind::kHybrid, scenario, 0.10, 0.5);
+  const auto e1 = run_policy(cache::PolicyKind::kHybrid, scenario, 0.10, 1.0);
+  EXPECT_GT(e0.traffic_reduction, e5.traffic_reduction);
+  EXPECT_GT(e5.traffic_reduction, e1.traffic_reduction);
+}
+
+TEST(PaperShapes, Fig10ValueOrderingConstantBandwidth) {
+  const auto scenario = constant_scenario();
+  const auto fi = run_policy(cache::PolicyKind::kIF, scenario, 0.05);
+  const auto pbv = run_policy(cache::PolicyKind::kPBV, scenario, 0.05);
+  const auto ibv = run_policy(cache::PolicyKind::kIBV, scenario, 0.05);
+  EXPECT_GT(pbv.added_value, ibv.added_value);
+  EXPECT_GT(ibv.added_value, fi.added_value);
+  EXPECT_GT(fi.traffic_reduction, ibv.traffic_reduction);
+  EXPECT_GT(ibv.traffic_reduction, pbv.traffic_reduction);
+}
+
+TEST(PaperShapes, NetworkObliviousBaselinesTrailOnDelay) {
+  const auto scenario = constant_scenario();
+  const auto pb = run_policy(cache::PolicyKind::kPB, scenario, 0.05);
+  const auto lru = run_policy(cache::PolicyKind::kLRU, scenario, 0.05);
+  const auto lfu = run_policy(cache::PolicyKind::kLFU, scenario, 0.05);
+  EXPECT_LT(pb.delay_s, lru.delay_s);
+  EXPECT_LT(pb.delay_s, lfu.delay_s);
+}
+
+TEST(PaperShapes, OnlinePbApproachesOfflineOptimum) {
+  // §2.3/§2.4: the online PB replacement approximates the fractional-
+  // knapsack optimum. Compare the achieved measured-window delay against
+  // the offline bound computed with oracle rates + bandwidths.
+  ExperimentConfig cfg;
+  cfg.workload.catalog.num_objects = 400;
+  cfg.workload.trace.num_requests = 40000;
+  cfg.runs = 1;
+  cfg.parallel = false;
+  cfg.sim.policy = cache::PolicyKind::kPB;
+  cfg.sim.cache_capacity_bytes =
+      capacity_for_fraction(cfg.workload.catalog, 0.08);
+
+  // Regenerate the identical workload + paths the experiment used.
+  util::Rng run_rng(util::splitmix64(cfg.base_seed));
+  util::Rng wl_rng = run_rng.fork("workload");
+  const auto w = workload::generate_workload(cfg.workload, wl_rng);
+  net::PathTableConfig pcfg;
+  net::PathTable paths(w.catalog.size(), constant_scenario().base,
+                       constant_scenario().ratio, pcfg,
+                       util::Rng(run_rng.fork("paths").seed()).fork("paths"));
+
+  cache::OfflineInputs inputs;
+  const auto counts = workload::request_counts(w);
+  inputs.lambda.assign(counts.begin(), counts.end());
+  for (std::size_t p = 0; p < w.catalog.size(); ++p) {
+    inputs.bandwidth.push_back(paths.mean_bandwidth(p));
+  }
+  const auto opt = cache::optimal_fractional(w.catalog, inputs,
+                                             cfg.sim.cache_capacity_bytes);
+
+  const auto online = run_experiment(cfg, constant_scenario());
+  // The online policy can't beat the offline optimum...
+  EXPECT_GE(online.delay_s, opt.expected_delay_s * 0.9);
+  // ...but should land within a small constant factor of it.
+  EXPECT_LT(online.delay_s, opt.expected_delay_s * 3.0 + 5.0);
+}
+
+}  // namespace
+}  // namespace sc::core

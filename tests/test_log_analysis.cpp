@@ -1,0 +1,158 @@
+#include "net/log_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "net/bandwidth_model.h"
+#include "net/units.h"
+#include "net/variability.h"
+
+namespace sc::net {
+namespace {
+
+TEST(SquidParser, ParsesWellFormedLine) {
+  const auto r = parse_squid_line(
+      "987033600.123 5120 client-1 TCP_MISS/200 524288 GET "
+      "http://media.example.net/clip.rm - DIRECT/- video/x-pn-realvideo");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ(r->timestamp_s, 987033600.123);
+  EXPECT_DOUBLE_EQ(r->elapsed_s, 5.12);
+  EXPECT_EQ(r->client, "client-1");
+  EXPECT_EQ(r->result_code, "TCP_MISS/200");
+  EXPECT_DOUBLE_EQ(r->bytes, 524288.0);
+  EXPECT_EQ(r->method, "GET");
+  EXPECT_EQ(r->url, "http://media.example.net/clip.rm");
+}
+
+TEST(SquidParser, RejectsMalformedLines) {
+  EXPECT_FALSE(parse_squid_line("").has_value());
+  EXPECT_FALSE(parse_squid_line("garbage").has_value());
+  EXPECT_FALSE(parse_squid_line("123 not-a-number c TCP_MISS/200 5 GET u")
+                   .has_value());
+  EXPECT_FALSE(
+      parse_squid_line("-5 100 c TCP_MISS/200 5 GET u").has_value());
+  EXPECT_FALSE(
+      parse_squid_line("5 100 c TCP_MISS/200 -5 GET u").has_value());
+}
+
+TEST(ServerOfUrl, ExtractsHosts) {
+  EXPECT_EQ(server_of_url("http://a.b.c/x/y.rm"), "a.b.c");
+  EXPECT_EQ(server_of_url("http://a.b.c:8080/x"), "a.b.c");
+  EXPECT_EQ(server_of_url("rtsp://media.srv/stream"), "media.srv");
+  EXPECT_EQ(server_of_url("hostonly/path"), "hostonly");
+  EXPECT_EQ(server_of_url("http://"), "");
+}
+
+TEST(LogAnalyzer, FiltersHitsSmallAndFast) {
+  LogAnalysisConfig cfg;
+  cfg.min_bytes = 200 * 1024.0;
+  LogAnalyzer an(cfg);
+  // Hit: rejected.
+  EXPECT_FALSE(an.add_line(
+      "1 1000 c TCP_HIT/200 400000 GET http://s1/a - NONE/- t"));
+  // Small object: rejected.
+  EXPECT_FALSE(an.add_line(
+      "2 1000 c TCP_MISS/200 1000 GET http://s1/a - DIRECT/- t"));
+  // Too-fast (sub-100ms) connection: rejected.
+  EXPECT_FALSE(an.add_line(
+      "3 10 c TCP_MISS/200 400000 GET http://s1/a - DIRECT/- t"));
+  // Good sample: 400000 bytes over 2 s => 200000 B/s.
+  EXPECT_TRUE(an.add_line(
+      "4 2000 c TCP_MISS/200 400000 GET http://s1/a - DIRECT/- t"));
+  ASSERT_EQ(an.samples().size(), 1u);
+  EXPECT_DOUBLE_EQ(an.samples()[0].bytes_per_s, 200000.0);
+  EXPECT_EQ(an.samples()[0].server, "s1");
+  EXPECT_EQ(an.lines_seen(), 4u);
+  EXPECT_EQ(an.lines_rejected(), 3u);
+}
+
+TEST(LogAnalyzer, RefreshMissCountsAsMiss) {
+  LogAnalyzer an;
+  EXPECT_TRUE(an.add_line(
+      "4 3000 c TCP_REFRESH_MISS/200 600000 GET http://s2/b - DIRECT/- t"));
+}
+
+TEST(LogAnalyzer, ModelsRequireData) {
+  LogAnalyzer an;
+  EXPECT_THROW((void)an.base_model(), std::logic_error);
+  EXPECT_THROW((void)an.ratio_model(), std::logic_error);
+}
+
+TEST(LogAnalyzer, ServerMeansGroupCorrectly) {
+  LogAnalyzer an;
+  an.add_line("1 1000 c TCP_MISS/200 300000 GET http://s1/a - D t");
+  an.add_line("2 1000 c TCP_MISS/200 500000 GET http://s1/b - D t");
+  an.add_line("3 1000 c TCP_MISS/200 400000 GET http://s2/a - D t");
+  const auto means = an.server_means();
+  ASSERT_EQ(means.size(), 2u);
+  EXPECT_DOUBLE_EQ(means.at("s1"), 400000.0);
+  EXPECT_DOUBLE_EQ(means.at("s2"), 400000.0);
+}
+
+/// End-to-end: generate a synthetic log from a known bandwidth model and
+/// verify the analyzer recovers that model's statistics — the paper's
+/// §3.1 pipeline validated against ground truth.
+TEST(LogPipeline, RecoversGroundTruthModels) {
+  util::Rng rng(31);
+  PathTableConfig pcfg;
+  pcfg.mode = VariationMode::kIidRatio;
+  PathTable paths(100, nlanr_base_model(), nlanr_variability_model(), pcfg,
+                  rng.fork("paths"));
+
+  const auto log_path =
+      std::filesystem::temp_directory_path() / "sc_synthetic_access.log";
+  SyntheticLogConfig scfg;
+  scfg.num_requests = 30000;
+  scfg.num_servers = 100;
+  util::Rng log_rng = rng.fork("log");
+  const auto written = write_synthetic_log(log_path, paths, scfg, log_rng);
+  EXPECT_EQ(written, 30000u);
+
+  LogAnalyzer an;
+  const auto extracted = an.add_file(log_path);
+  std::filesystem::remove(log_path);
+  // Only large misses survive: ~ miss_fraction * large_fraction.
+  EXPECT_GT(extracted, 4000u);
+  EXPECT_LT(extracted, 12000u);
+
+  // Base model: heterogeneous (the NLANR signature) with substantial
+  // sub-100KB/s mass.
+  const auto base = an.base_model();
+  EXPECT_GT(base.cov(), 0.5);
+  EXPECT_GT(base.cdf(from_kb(100.0)), 0.3);
+
+  // Ratio model: unit mean, CoV near the generating Fig-3 model's.
+  const auto ratio = an.ratio_model();
+  EXPECT_NEAR(ratio.mean(), 1.0, 1e-9);
+  EXPECT_NEAR(ratio.cov(), nlanr_variability_model().cov(), 0.12);
+}
+
+TEST(LogPipeline, ConstantPathsYieldNarrowRatios) {
+  util::Rng rng(33);
+  PathTableConfig pcfg;
+  pcfg.mode = VariationMode::kConstant;
+  PathTable paths(50, nlanr_base_model(), constant_variability_model(), pcfg,
+                  rng.fork("paths"));
+  const auto log_path =
+      std::filesystem::temp_directory_path() / "sc_const_access.log";
+  SyntheticLogConfig scfg;
+  scfg.num_requests = 15000;
+  scfg.num_servers = 50;
+  util::Rng log_rng = rng.fork("log");
+  write_synthetic_log(log_path, paths, scfg, log_rng);
+
+  LogAnalyzer an;
+  an.add_file(log_path);
+  std::filesystem::remove(log_path);
+  // With constant per-path bandwidth every sample equals its server mean.
+  EXPECT_LT(an.ratio_model().cov(), 0.05);
+}
+
+TEST(LogAnalyzer, AddFileMissing) {
+  LogAnalyzer an;
+  EXPECT_THROW(an.add_file("/nonexistent/access.log"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sc::net

@@ -1,0 +1,160 @@
+#include "cache/min_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sc::cache {
+namespace {
+
+TEST(IndexedMinHeap, PushPopOrdersByKey) {
+  IndexedMinHeap heap(10);
+  heap.push(3, 5.0);
+  heap.push(1, 2.0);
+  heap.push(7, 9.0);
+  heap.push(2, 1.0);
+  EXPECT_EQ(heap.pop_min(), 2u);
+  EXPECT_EQ(heap.pop_min(), 1u);
+  EXPECT_EQ(heap.pop_min(), 3u);
+  EXPECT_EQ(heap.pop_min(), 7u);
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(IndexedMinHeap, ContainsAndKey) {
+  IndexedMinHeap heap(5);
+  heap.push(0, 1.5);
+  EXPECT_TRUE(heap.contains(0));
+  EXPECT_FALSE(heap.contains(1));
+  EXPECT_DOUBLE_EQ(heap.key(0), 1.5);
+  EXPECT_THROW((void)heap.key(1), std::out_of_range);
+}
+
+TEST(IndexedMinHeap, UpdateBothDirections) {
+  IndexedMinHeap heap(4);
+  heap.push(0, 1.0);
+  heap.push(1, 2.0);
+  heap.push(2, 3.0);
+  heap.update(2, 0.5);  // decrease: becomes min
+  EXPECT_EQ(heap.min_id(), 2u);
+  heap.update(2, 10.0);  // increase: back to the bottom
+  EXPECT_EQ(heap.min_id(), 0u);
+  EXPECT_TRUE(heap.check_invariants());
+}
+
+TEST(IndexedMinHeap, UpsertInsertsOrRekeys) {
+  IndexedMinHeap heap(3);
+  heap.upsert(1, 4.0);
+  EXPECT_TRUE(heap.contains(1));
+  heap.upsert(1, 1.0);
+  EXPECT_DOUBLE_EQ(heap.key(1), 1.0);
+  EXPECT_EQ(heap.size(), 1u);
+}
+
+TEST(IndexedMinHeap, RemoveArbitrary) {
+  IndexedMinHeap heap(6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    heap.push(i, static_cast<double>(i));
+  }
+  heap.remove(3);
+  EXPECT_FALSE(heap.contains(3));
+  EXPECT_EQ(heap.size(), 5u);
+  EXPECT_TRUE(heap.check_invariants());
+  // The remaining ids pop in order, skipping 3.
+  const std::vector<std::size_t> expected = {0, 1, 2, 4, 5};
+  for (const std::size_t id : expected) {
+    EXPECT_EQ(heap.pop_min(), id);
+  }
+}
+
+TEST(IndexedMinHeap, DuplicateAndAbsentOperationsThrow) {
+  IndexedMinHeap heap(3);
+  heap.push(0, 1.0);
+  EXPECT_THROW(heap.push(0, 2.0), std::logic_error);
+  EXPECT_THROW(heap.update(1, 2.0), std::out_of_range);
+  EXPECT_THROW(heap.remove(1), std::out_of_range);
+  IndexedMinHeap empty(1);
+  EXPECT_THROW((void)empty.min_id(), std::out_of_range);
+  EXPECT_THROW((void)empty.min_key(), std::out_of_range);
+  EXPECT_THROW((void)empty.pop_min(), std::out_of_range);
+}
+
+TEST(IndexedMinHeap, EqualKeysAllPop) {
+  IndexedMinHeap heap(4);
+  for (std::size_t i = 0; i < 4; ++i) heap.push(i, 1.0);
+  std::vector<std::size_t> popped;
+  while (!heap.empty()) popped.push_back(heap.pop_min());
+  std::sort(popped.begin(), popped.end());
+  EXPECT_EQ(popped, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+/// Property test: random push/update/remove/pop against a reference
+/// multimap, checking invariants throughout.
+class HeapFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeapFuzz, AgreesWithReferenceModel) {
+  util::Rng rng(GetParam());
+  constexpr std::size_t kIds = 200;
+  IndexedMinHeap heap(kIds);
+  std::map<std::size_t, double> model;  // id -> key
+
+  auto model_min = [&]() {
+    std::size_t best_id = 0;
+    double best = 1e300;
+    for (const auto& [id, key] : model) {
+      if (key < best) {
+        best = key;
+        best_id = id;
+      }
+    }
+    return std::pair{best_id, best};
+  };
+
+  for (int step = 0; step < 3000; ++step) {
+    const std::size_t id = rng.uniform_int(0, kIds - 1);
+    switch (rng.uniform_int(0, 3)) {
+      case 0:  // upsert
+      {
+        const double key = rng.uniform();
+        heap.upsert(id, key);
+        model[id] = key;
+        break;
+      }
+      case 1:  // remove if present
+        if (model.count(id)) {
+          heap.remove(id);
+          model.erase(id);
+        }
+        break;
+      case 2:  // pop-min
+        if (!model.empty()) {
+          const auto [mid, mkey] = model_min();
+          EXPECT_DOUBLE_EQ(heap.min_key(), mkey);
+          const std::size_t popped = heap.pop_min();
+          // Ties may pop any id with the min key.
+          EXPECT_DOUBLE_EQ(model.at(popped), mkey);
+          model.erase(popped);
+          (void)mid;
+        }
+        break;
+      case 3: {  // membership agreement
+        EXPECT_EQ(heap.contains(id), model.count(id) > 0);
+        break;
+      }
+    }
+    ASSERT_EQ(heap.size(), model.size());
+    if (step % 500 == 0) {
+      ASSERT_TRUE(heap.check_invariants());
+    }
+  }
+  EXPECT_TRUE(heap.check_invariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeapFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace sc::cache

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "net/bandwidth_model.h"
+#include "net/units.h"
+#include "net/variability.h"
+
+namespace sc::net {
+namespace {
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(from_kb(1.0), 1024.0);
+  EXPECT_DOUBLE_EQ(to_kb(2048.0), 2.0);
+  EXPECT_DOUBLE_EQ(from_gb(1.0), 1024.0 * 1024.0 * 1024.0);
+  EXPECT_DOUBLE_EQ(to_gb(from_gb(3.5)), 3.5);
+}
+
+TEST(NlanrBaseModel, MatchesPublishedCdfAnchors) {
+  const auto model = nlanr_base_model();
+  // Paper Fig 2: 37% of requests below 50 KB/s, 56% below 100 KB/s.
+  EXPECT_NEAR(model.cdf(from_kb(50.0)), 0.37, 1e-9);
+  EXPECT_NEAR(model.cdf(from_kb(100.0)), 0.56, 1e-9);
+}
+
+TEST(NlanrBaseModel, SupportAndTail) {
+  const auto model = nlanr_base_model();
+  EXPECT_GE(model.min(), from_kb(5.0));
+  EXPECT_GT(model.max(), from_kb(450.0));  // long tail past 450 KB/s
+  // Substantial mass both below and above the 48 KB/s object bit-rate.
+  const double below_bitrate = model.cdf(from_kb(48.0));
+  EXPECT_GT(below_bitrate, 0.25);
+  EXPECT_LT(below_bitrate, 0.45);
+}
+
+TEST(AbundantModel, AlwaysAboveRequestedRate) {
+  const auto model = abundant_base_model(1000.0);
+  util::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NEAR(model.sample(rng), 1000.0, 2.0);
+  }
+  EXPECT_THROW((void)abundant_base_model(0.0), std::invalid_argument);
+}
+
+TEST(UniformBaseModel, Bounds) {
+  const auto model = uniform_base_model(10.0, 20.0);
+  EXPECT_DOUBLE_EQ(model.min(), 10.0);
+  EXPECT_DOUBLE_EQ(model.max(), 20.0);
+  EXPECT_NEAR(model.mean(), 15.0, 1e-9);
+}
+
+TEST(NlanrVariability, UnitMeanAndHighCov) {
+  const auto model = nlanr_variability_model();
+  EXPECT_NEAR(model.mean(), 1.0, 1e-9);
+  EXPECT_GT(model.cov(), 0.4);  // "high variability" (paper Fig 3)
+  // ~70% of mass within [0.5, 1.5] of the mean.
+  const double central = model.cdf(1.5) - model.cdf(0.5);
+  EXPECT_NEAR(central, 0.70, 0.06);
+  // Visible tail beyond 2x the mean.
+  EXPECT_GT(1.0 - model.cdf(2.0), 0.02);
+}
+
+TEST(MeasuredPaths, UnitMeanEach) {
+  for (const auto p : {MeasuredPath::kInria, MeasuredPath::kTaiwan,
+                       MeasuredPath::kHongKong}) {
+    EXPECT_NEAR(measured_path_model(p).mean(), 1.0, 1e-9) << to_string(p);
+  }
+}
+
+TEST(MeasuredPaths, CovOrderingMatchesPaper) {
+  // Paper Fig 4 observation (1): INRIA has the lowest variability;
+  // observation (2): all three are far below the NLANR model.
+  const double inria = measured_path_model(MeasuredPath::kInria).cov();
+  const double taiwan = measured_path_model(MeasuredPath::kTaiwan).cov();
+  const double hk = measured_path_model(MeasuredPath::kHongKong).cov();
+  const double nlanr = nlanr_variability_model().cov();
+  EXPECT_LT(inria, hk);
+  EXPECT_LT(hk, taiwan);
+  EXPECT_LT(taiwan, nlanr * 0.6);
+}
+
+TEST(MeasuredPaths, PooledModelBetweenExtremes) {
+  const auto pooled = measured_variability_model();
+  EXPECT_NEAR(pooled.mean(), 1.0, 1e-9);
+  EXPECT_GT(pooled.cov(), measured_path_model(MeasuredPath::kInria).cov());
+  EXPECT_LT(pooled.cov(), nlanr_variability_model().cov());
+}
+
+TEST(ConstantVariability, DegenerateAtOne) {
+  const auto model = constant_variability_model();
+  EXPECT_NEAR(model.mean(), 1.0, 1e-3);
+  EXPECT_LT(model.cov(), 1e-3);
+}
+
+TEST(WithSpread, InterpolatesCov) {
+  const auto base = nlanr_variability_model();
+  const auto half = with_spread(base, 0.5);
+  const auto none = with_spread(base, 0.0);
+  EXPECT_NEAR(half.mean(), 1.0, 1e-6);
+  EXPECT_LT(half.cov(), base.cov());
+  EXPECT_GT(half.cov(), 0.1);
+  EXPECT_LT(none.cov(), 1e-3);
+  EXPECT_THROW((void)with_spread(base, -0.5), std::invalid_argument);
+}
+
+TEST(WithSpread, IdentityAtOne) {
+  const auto base = measured_path_model(MeasuredPath::kTaiwan);
+  const auto same = with_spread(base, 1.0);
+  EXPECT_NEAR(same.cov(), base.cov(), 1e-9);
+  EXPECT_NEAR(same.mean(), 1.0, 1e-9);
+}
+
+TEST(WithSpread, ExaggerationRaisesCov) {
+  const auto base = measured_path_model(MeasuredPath::kInria);
+  const auto wide = with_spread(base, 2.0);
+  EXPECT_GT(wide.cov(), base.cov() * 1.5);
+  EXPECT_NEAR(wide.mean(), 1.0, 1e-6);
+}
+
+TEST(MeasuredPathNames, Distinct) {
+  EXPECT_NE(to_string(MeasuredPath::kInria), to_string(MeasuredPath::kTaiwan));
+  EXPECT_NE(to_string(MeasuredPath::kInria),
+            to_string(MeasuredPath::kHongKong));
+}
+
+}  // namespace
+}  // namespace sc::net

@@ -1,0 +1,141 @@
+#include "net/path_process.h"
+
+#include <gtest/gtest.h>
+
+#include "net/bandwidth_model.h"
+#include "net/variability.h"
+#include "stats/summary.h"
+
+namespace sc::net {
+namespace {
+
+TEST(Ar1RatioProcess, StationaryMomentsMatch) {
+  Ar1RatioProcess process(0.7, 0.2, 0.05, 4.0);
+  util::Rng rng(5);
+  stats::RunningStats rs;
+  std::vector<double> series;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = process.step(rng);
+    rs.add(v);
+    series.push_back(v);
+  }
+  EXPECT_NEAR(rs.mean(), 1.0, 0.01);
+  EXPECT_NEAR(rs.stddev(), 0.2, 0.02);
+  EXPECT_NEAR(stats::autocorrelation(series, 1), 0.7, 0.03);
+}
+
+TEST(Ar1RatioProcess, RespectsClampBounds) {
+  Ar1RatioProcess process(0.9, 1.0, 0.1, 2.0);  // violent innovations
+  util::Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = process.step(rng);
+    ASSERT_GE(v, 0.1);
+    ASSERT_LE(v, 2.0);
+  }
+}
+
+TEST(Ar1RatioProcess, RejectsBadParameters) {
+  EXPECT_THROW(Ar1RatioProcess(-0.1, 0.2, 0.1, 2.0), std::invalid_argument);
+  EXPECT_THROW(Ar1RatioProcess(1.0, 0.2, 0.1, 2.0), std::invalid_argument);
+  EXPECT_THROW(Ar1RatioProcess(0.5, -0.2, 0.1, 2.0), std::invalid_argument);
+  EXPECT_THROW(Ar1RatioProcess(0.5, 0.2, 2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Ar1RatioProcess(0.5, 0.2, 0.0, 1.0), std::invalid_argument);
+}
+
+TEST(PathTable, ConstantModeReturnsMeans) {
+  PathTableConfig cfg;
+  cfg.mode = VariationMode::kConstant;
+  PathTable table(50, nlanr_base_model(), constant_variability_model(), cfg,
+                  util::Rng(7));
+  for (PathId p = 0; p < table.size(); ++p) {
+    const double mean = table.mean_bandwidth(p);
+    EXPECT_GT(mean, 0.0);
+    EXPECT_DOUBLE_EQ(table.sample_bandwidth(p, 0.0), mean);
+    EXPECT_DOUBLE_EQ(table.sample_bandwidth(p, 1e6), mean);
+  }
+}
+
+TEST(PathTable, IidModePreservesMeanOnAverage) {
+  PathTableConfig cfg;
+  cfg.mode = VariationMode::kIidRatio;
+  PathTable table(1, nlanr_base_model(), nlanr_variability_model(), cfg,
+                  util::Rng(8));
+  const double mean = table.mean_bandwidth(0);
+  stats::RunningStats rs;
+  for (int i = 0; i < 200000; ++i) rs.add(table.sample_bandwidth(0, 0.0));
+  EXPECT_NEAR(rs.mean() / mean, 1.0, 0.02);
+  EXPECT_GT(rs.cov(), 0.3);  // variability flows through
+}
+
+TEST(PathTable, IidSamplesClamped) {
+  PathTableConfig cfg;
+  cfg.mode = VariationMode::kIidRatio;
+  cfg.min_ratio = 0.5;
+  cfg.max_ratio = 1.5;
+  PathTable table(1, abundant_base_model(100.0), nlanr_variability_model(),
+                  cfg, util::Rng(9));
+  for (int i = 0; i < 5000; ++i) {
+    const double b = table.sample_bandwidth(0, 0.0);
+    ASSERT_GE(b, 100.0 * 0.5 * 0.99);
+    ASSERT_LE(b, 100.0 * 1.5 * 1.01);
+  }
+}
+
+TEST(PathTable, TimeSeriesAdvancesOnTimestep) {
+  PathTableConfig cfg;
+  cfg.mode = VariationMode::kTimeSeries;
+  cfg.timestep_s = 100.0;
+  cfg.ar1_phi = 0.7;
+  PathTable table(1, abundant_base_model(1000.0),
+                  measured_path_model(MeasuredPath::kTaiwan), cfg,
+                  util::Rng(10));
+  // Within one timestep the value is frozen.
+  const double b0 = table.sample_bandwidth(0, 0.0);
+  EXPECT_DOUBLE_EQ(table.sample_bandwidth(0, 50.0), b0);
+  // Across many steps the series must actually move.
+  bool moved = false;
+  double prev = b0;
+  for (int k = 1; k <= 50; ++k) {
+    const double b = table.sample_bandwidth(0, k * 100.0);
+    if (b != prev) moved = true;
+    prev = b;
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(PathTable, TimeSeriesStationaryMeanNearPathMean) {
+  PathTableConfig cfg;
+  cfg.mode = VariationMode::kTimeSeries;
+  cfg.timestep_s = 1.0;
+  PathTable table(1, abundant_base_model(500.0),
+                  measured_path_model(MeasuredPath::kHongKong), cfg,
+                  util::Rng(11));
+  stats::RunningStats rs;
+  for (int k = 0; k < 50000; ++k) {
+    rs.add(table.sample_bandwidth(0, static_cast<double>(k)));
+  }
+  EXPECT_NEAR(rs.mean() / 500.0, 1.0, 0.03);
+}
+
+TEST(PathTable, DistinctPathsGetDistinctMeans) {
+  PathTableConfig cfg;
+  PathTable table(100, nlanr_base_model(), constant_variability_model(), cfg,
+                  util::Rng(12));
+  stats::RunningStats rs;
+  for (PathId p = 0; p < table.size(); ++p) rs.add(table.mean_bandwidth(p));
+  EXPECT_GT(rs.cov(), 0.3);  // heterogeneous, as in Fig 2
+}
+
+TEST(PathTable, RejectsEmptyAndOutOfRange) {
+  PathTableConfig cfg;
+  EXPECT_THROW(PathTable(0, nlanr_base_model(), constant_variability_model(),
+                         cfg, util::Rng(1)),
+               std::invalid_argument);
+  PathTable table(3, nlanr_base_model(), constant_variability_model(), cfg,
+                  util::Rng(1));
+  EXPECT_THROW((void)table.mean_bandwidth(3), std::out_of_range);
+  EXPECT_THROW((void)table.sample_bandwidth(99, 0.0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace sc::net

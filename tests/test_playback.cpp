@@ -1,0 +1,144 @@
+#include "core/playback.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/path_process.h"
+#include "util/rng.h"
+
+namespace sc::core {
+namespace {
+
+workload::StreamObject make_object(double duration_s = 100.0,
+                                   double bitrate = 10.0) {
+  workload::StreamObject o;
+  o.id = 0;
+  o.duration_s = duration_s;
+  o.bitrate = bitrate;
+  o.size_bytes = duration_s * bitrate;
+  return o;
+}
+
+BandwidthFn constant_bw(double b) {
+  return [b](double) { return b; };
+}
+
+TEST(Playback, AbundantBandwidthPlaysImmediately) {
+  const auto obj = make_object();
+  const auto r = simulate_playback(obj, 0.0, constant_bw(50.0));
+  EXPECT_DOUBLE_EQ(r.startup_delay_s, 0.0);
+  EXPECT_EQ(r.stall_count, 0u);
+  EXPECT_TRUE(r.completed);
+  EXPECT_NEAR(r.played_s, 100.0, 1e-9);
+  EXPECT_NEAR(r.wall_time_s, 100.0, 1.1);
+}
+
+TEST(Playback, StartupMatchesStaticFormulaUnderConstantBandwidth) {
+  // b = 4 B/s, no prefix: static delay = (1000 - 400) / 4 = 150 s; with
+  // constant bandwidth the session must then play without stalls.
+  const auto obj = make_object();
+  const auto r = simulate_playback(obj, 0.0, constant_bw(4.0));
+  EXPECT_NEAR(r.startup_delay_s, 150.0, 1.1);  // tick resolution
+  EXPECT_EQ(r.stall_count, 0u);
+  EXPECT_DOUBLE_EQ(r.stall_time_s, 0.0);
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(Playback, ExactPrefixEliminatesStartup) {
+  const auto obj = make_object();
+  const auto r = simulate_playback(obj, 600.0, constant_bw(4.0));
+  EXPECT_DOUBLE_EQ(r.startup_delay_s, 0.0);
+  EXPECT_EQ(r.stall_count, 0u);
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(Playback, FullyCachedObjectNeverTouchesOrigin) {
+  const auto obj = make_object();
+  // Bandwidth function would throw if consulted with bw <= 0 only; give a
+  // tiny positive bandwidth -- the prefix alone must carry playback.
+  const auto r = simulate_playback(obj, 1000.0, constant_bw(0.001));
+  EXPECT_DOUBLE_EQ(r.startup_delay_s, 0.0);
+  EXPECT_EQ(r.stall_count, 0u);
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(Playback, BandwidthDropMidStreamCausesStall) {
+  // Starts at b = 10 (no startup needed), then collapses at t = 20 s.
+  const auto obj = make_object();
+  const BandwidthFn drop = [](double now) { return now < 20.0 ? 10.0 : 2.0; };
+  const auto r = simulate_playback(obj, 0.0, drop);
+  EXPECT_DOUBLE_EQ(r.startup_delay_s, 0.0);  // static formula saw b = 10
+  EXPECT_GE(r.stall_count, 1u);
+  EXPECT_GT(r.stall_time_s, 0.0);
+  EXPECT_TRUE(r.completed);
+  EXPECT_NEAR(r.wall_time_s, r.startup_delay_s + r.played_s + r.stall_time_s,
+              1.1);
+}
+
+TEST(Playback, PrefixAbsorbsBandwidthDrop) {
+  // The same drop, but a cached prefix covers the deficit: no stalls.
+  const auto obj = make_object();
+  const BandwidthFn drop = [](double now) { return now < 20.0 ? 10.0 : 8.0; };
+  const auto with_prefix = simulate_playback(obj, 400.0, drop);
+  EXPECT_EQ(with_prefix.stall_count, 0u);
+  const auto without = simulate_playback(obj, 0.0, drop);
+  EXPECT_GE(without.stall_count, 1u);
+}
+
+TEST(Playback, HeadroomTradesStartupForStalls) {
+  const auto obj = make_object();
+  util::Rng rng(3);
+  // Volatile bandwidth around the bit-rate: stalls are likely.
+  net::Ar1RatioProcess process(0.8, 0.4, 0.1, 3.0);
+  std::vector<double> trace;
+  for (int i = 0; i < 4000; ++i) trace.push_back(10.0 * process.step(rng));
+  const BandwidthFn volatile_bw = [&trace](double now) {
+    const auto idx = std::min(trace.size() - 1,
+                              static_cast<std::size_t>(std::floor(now)));
+    return trace[idx];
+  };
+  PlaybackConfig none;
+  PlaybackConfig padded;
+  padded.startup_headroom_s = 60.0;
+  const auto r0 = simulate_playback(obj, 0.0, volatile_bw, none);
+  const auto r1 = simulate_playback(obj, 0.0, volatile_bw, padded);
+  // Headroom lengthens startup (capped where the download completes
+  // first, at which point waiting longer would be pointless)...
+  EXPECT_GT(r1.startup_delay_s, r0.startup_delay_s);
+  // ...and buys stall protection.
+  EXPECT_LE(r1.stall_time_s, r0.stall_time_s);
+}
+
+TEST(Playback, AbortsOnHopelessBandwidth) {
+  const auto obj = make_object();
+  PlaybackConfig cfg;
+  cfg.max_wall_multiple = 2.0;
+  // 0.01 B/s: the 1000-byte object would need 10^5 s; bounded at 200 s.
+  const auto r = simulate_playback(obj, 0.0, constant_bw(0.01), cfg);
+  EXPECT_FALSE(r.completed);
+  EXPECT_LE(r.wall_time_s, 201.0);
+}
+
+TEST(Playback, ValidatesArguments) {
+  const auto obj = make_object();
+  EXPECT_THROW((void)simulate_playback(obj, 0.0, nullptr),
+               std::invalid_argument);
+  EXPECT_THROW((void)simulate_playback(obj, 0.0, constant_bw(0.0)),
+               std::invalid_argument);
+  PlaybackConfig bad;
+  bad.tick_s = 0.0;
+  EXPECT_THROW((void)simulate_playback(obj, 0.0, constant_bw(1.0), bad),
+               std::invalid_argument);
+}
+
+TEST(Playback, WallTimeDecomposition) {
+  const auto obj = make_object(50.0, 8.0);  // 400 bytes
+  const auto r = simulate_playback(obj, 100.0, constant_bw(5.0));
+  EXPECT_TRUE(r.completed);
+  EXPECT_NEAR(r.wall_time_s,
+              r.startup_delay_s + r.played_s + r.stall_time_s, 1.1);
+}
+
+}  // namespace
+}  // namespace sc::core

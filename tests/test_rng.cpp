@@ -1,0 +1,108 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sc::util {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(1, 6);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 6);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all faces observed
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(7);
+  double acc = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) acc += rng.exponential(2.0);
+  EXPECT_NEAR(acc / kN, 0.5, 0.01);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(42), b(42);
+  Rng fa = a.fork(), fb = b.fork();
+  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(fa.uniform(), fb.uniform());
+}
+
+TEST(Rng, SuccessiveForksDiffer) {
+  Rng a(42);
+  Rng f1 = a.fork();
+  Rng f2 = a.fork();
+  EXPECT_NE(f1.seed(), f2.seed());
+}
+
+TEST(Rng, TaggedForkIndependentOfOrder) {
+  const Rng a(42);
+  Rng t1 = a.fork("paths");
+  Rng t2 = a.fork("workload");
+  Rng t1_again = a.fork("paths");
+  EXPECT_EQ(t1.seed(), t1_again.seed());
+  EXPECT_NE(t1.seed(), t2.seed());
+}
+
+TEST(Rng, ForkDoesNotPerturbParentTagged) {
+  Rng a(42), b(42);
+  (void)a.fork("side-stream");
+  // Tagged fork is const and must not advance the parent.
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Hashing, Fnv1aKnownValues) {
+  // FNV-1a 64-bit reference values.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(Hashing, SplitmixAvalanche) {
+  // Neighboring inputs should produce wildly different outputs.
+  const auto a = splitmix64(1), b = splitmix64(2);
+  EXPECT_NE(a, b);
+  int differing_bits = __builtin_popcountll(a ^ b);
+  EXPECT_GT(differing_bits, 16);
+}
+
+}  // namespace
+}  // namespace sc::util

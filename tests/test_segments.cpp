@@ -1,0 +1,137 @@
+#include "cache/segments.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sc::cache {
+namespace {
+
+workload::Catalog tiny_catalog() {
+  std::vector<workload::StreamObject> objects;
+  for (std::size_t i = 0; i < 3; ++i) {
+    workload::StreamObject o;
+    o.id = i;
+    o.duration_s = 100.0;
+    o.bitrate = 10.0;  // size 1000
+    o.size_bytes = 1000.0;
+    objects.push_back(o);
+  }
+  return workload::Catalog::from_objects(std::move(objects));
+}
+
+TEST(SegmentMap, CountsAndTailSegment) {
+  const SegmentMap m(1000.0, 300.0);  // segments: 300/300/300/100
+  EXPECT_EQ(m.segment_count(), 4u);
+  EXPECT_DOUBLE_EQ(m.bytes_of_segment(0), 300.0);
+  EXPECT_DOUBLE_EQ(m.bytes_of_segment(3), 100.0);
+  EXPECT_THROW((void)m.bytes_of_segment(4), std::out_of_range);
+}
+
+TEST(SegmentMap, SetTracksBytes) {
+  SegmentMap m(1000.0, 300.0);
+  EXPECT_DOUBLE_EQ(m.set(0, true), 300.0);
+  EXPECT_DOUBLE_EQ(m.set(3, true), 100.0);
+  EXPECT_DOUBLE_EQ(m.set(0, true), 0.0);  // idempotent
+  EXPECT_DOUBLE_EQ(m.bytes_present(), 400.0);
+  EXPECT_DOUBLE_EQ(m.set(0, false), -300.0);
+  EXPECT_DOUBLE_EQ(m.bytes_present(), 100.0);
+}
+
+TEST(SegmentMap, PrefixStopsAtFirstGap) {
+  SegmentMap m(1000.0, 250.0);  // 4 x 250
+  m.set(0, true);
+  m.set(1, true);
+  m.set(3, true);  // hole at 2
+  EXPECT_DOUBLE_EQ(m.contiguous_prefix_bytes(), 500.0);
+  EXPECT_DOUBLE_EQ(m.bytes_present(), 750.0);
+  EXPECT_EQ(m.hole_count(), 1u);
+  m.set(2, true);
+  EXPECT_DOUBLE_EQ(m.contiguous_prefix_bytes(), 1000.0);
+  EXPECT_EQ(m.hole_count(), 0u);
+}
+
+TEST(SegmentMap, HoleCounting) {
+  SegmentMap m(1000.0, 100.0);  // 10 segments
+  for (const std::size_t i : {0ul, 2ul, 3ul, 7ul}) m.set(i, true);
+  // Holes: {1}, {4,5,6}. Trailing absence (8,9) is not a hole.
+  EXPECT_EQ(m.hole_count(), 2u);
+  SegmentMap empty(1000.0, 100.0);
+  EXPECT_EQ(empty.hole_count(), 0u);
+}
+
+TEST(SegmentMap, ResizePrefixRoundsUp) {
+  SegmentMap m(1000.0, 300.0);
+  EXPECT_DOUBLE_EQ(m.resize_prefix(350.0), 600.0);  // 2 segments
+  EXPECT_DOUBLE_EQ(m.contiguous_prefix_bytes(), 600.0);
+  EXPECT_DOUBLE_EQ(m.resize_prefix(300.0), -300.0);  // shrink to 1
+  EXPECT_DOUBLE_EQ(m.resize_prefix(0.0), -300.0);    // empty
+  EXPECT_DOUBLE_EQ(m.resize_prefix(1e9), 1000.0);    // clamped to object
+  EXPECT_DOUBLE_EQ(m.bytes_present(), 1000.0);
+}
+
+TEST(SegmentMap, RejectsDegenerate) {
+  EXPECT_THROW(SegmentMap(0.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(SegmentMap(100.0, 0.0), std::invalid_argument);
+}
+
+TEST(SegmentedStore, QuantizesToSegments) {
+  const auto catalog = tiny_catalog();
+  SegmentedStore store(10000.0, 300.0, catalog);
+  // Ask for 350 bytes: get two 300-byte segments = 600.
+  EXPECT_DOUBLE_EQ(store.set_prefix(0, 350.0), 600.0);
+  EXPECT_DOUBLE_EQ(store.cached_prefix(0), 600.0);
+  EXPECT_DOUBLE_EQ(store.used(), 600.0);
+  // Fragmentation: held 600 for a 350-byte request.
+  EXPECT_DOUBLE_EQ(store.fragmentation_bytes(), 250.0);
+}
+
+TEST(SegmentedStore, CapacityEnforcedOnRoundedSize) {
+  const auto catalog = tiny_catalog();
+  SegmentedStore store(500.0, 300.0, catalog);
+  // 350 bytes rounds to 600 > 500: rejected even though raw 350 fits.
+  EXPECT_THROW(store.set_prefix(0, 350.0), std::length_error);
+  EXPECT_EQ(store.object_count(), 0u);
+  EXPECT_DOUBLE_EQ(store.set_prefix(0, 250.0), 300.0);
+}
+
+TEST(SegmentedStore, ShrinkAndErase) {
+  const auto catalog = tiny_catalog();
+  SegmentedStore store(10000.0, 250.0, catalog);
+  store.set_prefix(1, 1000.0);
+  EXPECT_DOUBLE_EQ(store.used(), 1000.0);
+  store.set_prefix(1, 400.0);  // shrink to 2 segments
+  EXPECT_DOUBLE_EQ(store.cached_prefix(1), 500.0);
+  store.set_prefix(1, 0.0);
+  EXPECT_EQ(store.object_count(), 0u);
+  EXPECT_DOUBLE_EQ(store.used(), 0.0);
+  store.set_prefix(2, 600.0);
+  store.erase(2);
+  EXPECT_DOUBLE_EQ(store.used(), 0.0);
+  store.erase(2);  // double erase: no-op
+}
+
+TEST(SegmentedStore, FragmentationShrinksWithSegmentSize) {
+  const auto catalog = tiny_catalog();
+  util::Rng rng(5);
+  double frag_coarse = 0, frag_fine = 0;
+  for (int rep = 0; rep < 20; ++rep) {
+    const double want = rng.uniform(1.0, 999.0);
+    SegmentedStore coarse(10000.0, 400.0, catalog);
+    SegmentedStore fine(10000.0, 25.0, catalog);
+    coarse.set_prefix(0, want);
+    fine.set_prefix(0, want);
+    frag_coarse += coarse.fragmentation_bytes();
+    frag_fine += fine.fragmentation_bytes();
+  }
+  EXPECT_LT(frag_fine, frag_coarse);
+}
+
+TEST(SegmentedStore, RejectsDegenerate) {
+  const auto catalog = tiny_catalog();
+  EXPECT_THROW(SegmentedStore(-1.0, 100.0, catalog), std::invalid_argument);
+  EXPECT_THROW(SegmentedStore(100.0, 0.0, catalog), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sc::cache

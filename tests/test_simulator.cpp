@@ -1,0 +1,192 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "net/bandwidth_model.h"
+#include "net/variability.h"
+
+namespace sc::sim {
+namespace {
+
+workload::Workload make_workload(std::size_t objects, std::size_t requests,
+                                 std::uint64_t seed) {
+  workload::WorkloadConfig cfg;
+  cfg.catalog.num_objects = objects;
+  cfg.trace.num_requests = requests;
+  util::Rng rng(seed);
+  return workload::generate_workload(cfg, rng);
+}
+
+SimulationConfig base_config(double capacity) {
+  SimulationConfig cfg;
+  cfg.cache_capacity_bytes = capacity;
+  cfg.policy = cache::PolicyKind::kPB;
+  cfg.seed = 9;
+  return cfg;
+}
+
+TEST(Simulator, ZeroCapacityMeansNoCacheService) {
+  const auto w = make_workload(200, 5000, 1);
+  Simulator sim(w, net::nlanr_base_model(), net::constant_variability_model(),
+                base_config(0.0));
+  const auto r = sim.run();
+  EXPECT_DOUBLE_EQ(r.metrics.traffic_reduction_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(r.metrics.hit_ratio(), 0.0);
+  EXPECT_GT(r.metrics.average_delay_s(), 0.0);
+  EXPECT_EQ(r.final_cached_objects, 0u);
+}
+
+TEST(Simulator, CachingReducesDelayVersusNoCache) {
+  const auto w = make_workload(200, 10000, 2);
+  const auto base = net::nlanr_base_model();
+  const auto ratio = net::constant_variability_model();
+  Simulator no_cache(w, base, ratio, base_config(0.0));
+  Simulator with_cache(w, base, ratio, base_config(20.0 * 1024 * 1024 * 1024.0));
+  const double d0 = no_cache.run().metrics.average_delay_s();
+  const double d1 = with_cache.run().metrics.average_delay_s();
+  EXPECT_LT(d1, d0 * 0.7);
+}
+
+TEST(Simulator, DeterministicForSameSeed) {
+  const auto w = make_workload(100, 4000, 3);
+  auto cfg = base_config(1e9);
+  cfg.path_config.mode = net::VariationMode::kIidRatio;
+  Simulator a(w, net::nlanr_base_model(), net::nlanr_variability_model(), cfg);
+  Simulator b(w, net::nlanr_base_model(), net::nlanr_variability_model(), cfg);
+  const auto ra = a.run();
+  const auto rb = b.run();
+  EXPECT_DOUBLE_EQ(ra.metrics.average_delay_s(), rb.metrics.average_delay_s());
+  EXPECT_DOUBLE_EQ(ra.metrics.traffic_reduction_ratio(),
+                   rb.metrics.traffic_reduction_ratio());
+  EXPECT_EQ(ra.final_cached_objects, rb.final_cached_objects);
+}
+
+TEST(Simulator, DifferentSeedsDifferentPaths) {
+  const auto w = make_workload(100, 4000, 3);
+  auto cfg_a = base_config(1e9);
+  auto cfg_b = base_config(1e9);
+  cfg_b.seed = cfg_a.seed + 1;
+  Simulator a(w, net::nlanr_base_model(), net::constant_variability_model(),
+              cfg_a);
+  Simulator b(w, net::nlanr_base_model(), net::constant_variability_model(),
+              cfg_b);
+  EXPECT_NE(a.run().metrics.average_delay_s(),
+            b.run().metrics.average_delay_s());
+}
+
+TEST(Simulator, WarmupSplitsTrace) {
+  const auto w = make_workload(100, 10000, 4);
+  auto cfg = base_config(1e9);
+  cfg.warmup_fraction = 0.5;
+  Simulator sim(w, net::nlanr_base_model(), net::constant_variability_model(),
+                cfg);
+  const auto r = sim.run();
+  EXPECT_EQ(r.warmup_requests, 5000u);
+  EXPECT_EQ(r.measured_requests, 5000u);
+  EXPECT_EQ(r.metrics.requests(), 5000u);
+}
+
+TEST(Simulator, WarmupImprovesMeasuredWindow) {
+  // With warm-up, the measured half sees a populated cache; disabling
+  // warm-up accounting (warmup_fraction = 0) includes the cold start.
+  const auto w = make_workload(150, 10000, 5);
+  auto warm = base_config(5e10);
+  warm.warmup_fraction = 0.5;
+  auto cold = base_config(5e10);
+  cold.warmup_fraction = 0.0;
+  const auto base = net::nlanr_base_model();
+  const auto ratio = net::constant_variability_model();
+  const double warm_delay =
+      Simulator(w, base, ratio, warm).run().metrics.average_delay_s();
+  const double cold_delay =
+      Simulator(w, base, ratio, cold).run().metrics.average_delay_s();
+  EXPECT_LT(warm_delay, cold_delay);
+}
+
+TEST(Simulator, VariabilityInflatesDelay) {
+  const auto w = make_workload(200, 10000, 6);
+  auto cfg = base_config(2e10);
+  Simulator constant(w, net::nlanr_base_model(),
+                     net::constant_variability_model(), cfg);
+  auto var_cfg = cfg;
+  var_cfg.path_config.mode = net::VariationMode::kIidRatio;
+  Simulator variable(w, net::nlanr_base_model(),
+                     net::nlanr_variability_model(), var_cfg);
+  // The paper's §4.3 observation: variability increases service delay.
+  EXPECT_GT(variable.run().metrics.average_delay_s(),
+            constant.run().metrics.average_delay_s());
+}
+
+TEST(Simulator, ActiveProbeAccountsOverhead) {
+  const auto w = make_workload(50, 2000, 7);
+  auto cfg = base_config(1e9);
+  cfg.estimator = EstimatorKind::kActiveProbe;
+  cfg.reprobe_interval_s = 60.0;
+  Simulator sim(w, net::nlanr_base_model(), net::constant_variability_model(),
+                cfg);
+  const auto r = sim.run();
+  EXPECT_GT(r.estimator_overhead_packets, 0u);
+}
+
+TEST(Simulator, PassiveEstimatorsWork) {
+  const auto w = make_workload(100, 8000, 8);
+  for (const auto kind : {EstimatorKind::kPassiveEwma,
+                          EstimatorKind::kLastSample}) {
+    auto cfg = base_config(2e10);
+    cfg.estimator = kind;
+    Simulator sim(w, net::nlanr_base_model(),
+                  net::constant_variability_model(), cfg);
+    const auto r = sim.run();
+    EXPECT_EQ(r.estimator_overhead_packets, 0u) << to_string(kind);
+    EXPECT_GT(r.metrics.traffic_reduction_ratio(), 0.0) << to_string(kind);
+  }
+}
+
+TEST(Simulator, OccupancyWithinCapacity) {
+  const auto w = make_workload(300, 20000, 9);
+  auto cfg = base_config(8e9);
+  cfg.policy = cache::PolicyKind::kIB;
+  Simulator sim(w, net::nlanr_base_model(), net::constant_variability_model(),
+                cfg);
+  const auto r = sim.run();
+  EXPECT_LE(r.final_occupancy_bytes, cfg.cache_capacity_bytes + 1.0);
+  EXPECT_GT(r.final_cached_objects, 0u);
+}
+
+TEST(Simulator, RejectsInvalidConfig) {
+  const auto w = make_workload(10, 100, 10);
+  const auto base = net::nlanr_base_model();
+  const auto ratio = net::constant_variability_model();
+  EXPECT_THROW(Simulator(w, base, ratio, base_config(-1.0)),
+               std::invalid_argument);
+  auto bad_warm = base_config(1e9);
+  bad_warm.warmup_fraction = 1.0;
+  EXPECT_THROW(Simulator(w, base, ratio, bad_warm), std::invalid_argument);
+
+  workload::Workload empty{w.catalog, {}};
+  EXPECT_THROW(Simulator(empty, base, ratio, base_config(1e9)),
+               std::invalid_argument);
+}
+
+TEST(Simulator, FillTrafficRecorded) {
+  // Plenty of objects relative to the trace so admissions keep happening
+  // inside the measured window.
+  const auto w = make_workload(2000, 6000, 11);
+  auto cfg = base_config(2e10);
+  cfg.warmup_fraction = 0.25;
+  Simulator sim(w, net::nlanr_base_model(), net::constant_variability_model(),
+                cfg);
+  const auto r = sim.run();
+  // Admissions during the measured window show up as fill traffic.
+  EXPECT_GT(r.metrics.fill_bytes(), 0.0);
+}
+
+TEST(Simulator, EstimatorKindNames) {
+  EXPECT_EQ(to_string(EstimatorKind::kOracle), "oracle");
+  EXPECT_EQ(to_string(EstimatorKind::kPassiveEwma), "passive-ewma");
+  EXPECT_EQ(to_string(EstimatorKind::kLastSample), "last-sample");
+  EXPECT_EQ(to_string(EstimatorKind::kActiveProbe), "active-probe");
+}
+
+}  // namespace
+}  // namespace sc::sim

@@ -1,0 +1,95 @@
+#include "cache/store.h"
+
+#include <gtest/gtest.h>
+
+namespace sc::cache {
+namespace {
+
+TEST(PartialStore, StartsEmpty) {
+  const PartialStore store(1000.0);
+  EXPECT_DOUBLE_EQ(store.capacity(), 1000.0);
+  EXPECT_DOUBLE_EQ(store.used(), 0.0);
+  EXPECT_DOUBLE_EQ(store.free_space(), 1000.0);
+  EXPECT_EQ(store.object_count(), 0u);
+  EXPECT_DOUBLE_EQ(store.cached(42), 0.0);
+  EXPECT_FALSE(store.contains(42));
+}
+
+TEST(PartialStore, SetGrowAndShrink) {
+  PartialStore store(1000.0);
+  store.set_cached(1, 300.0);
+  EXPECT_DOUBLE_EQ(store.used(), 300.0);
+  EXPECT_DOUBLE_EQ(store.cached(1), 300.0);
+  store.set_cached(1, 500.0);  // grow
+  EXPECT_DOUBLE_EQ(store.used(), 500.0);
+  store.set_cached(1, 100.0);  // shrink
+  EXPECT_DOUBLE_EQ(store.used(), 100.0);
+  EXPECT_DOUBLE_EQ(store.free_space(), 900.0);
+}
+
+TEST(PartialStore, SetToZeroRemoves) {
+  PartialStore store(100.0);
+  store.set_cached(7, 50.0);
+  store.set_cached(7, 0.0);
+  EXPECT_FALSE(store.contains(7));
+  EXPECT_EQ(store.object_count(), 0u);
+  EXPECT_DOUBLE_EQ(store.used(), 0.0);
+}
+
+TEST(PartialStore, CapacityEnforced) {
+  PartialStore store(100.0);
+  store.set_cached(1, 60.0);
+  EXPECT_THROW(store.set_cached(2, 50.0), std::length_error);
+  // The failed insert must not corrupt accounting.
+  EXPECT_DOUBLE_EQ(store.used(), 60.0);
+  EXPECT_FALSE(store.contains(2));
+  store.set_cached(2, 40.0);  // exact fit is fine
+  EXPECT_DOUBLE_EQ(store.free_space(), 0.0);
+}
+
+TEST(PartialStore, GrowWithinCapacityViaShrinkOfSelf) {
+  PartialStore store(100.0);
+  store.set_cached(1, 100.0);
+  store.set_cached(1, 100.0);  // idempotent at full capacity
+  EXPECT_DOUBLE_EQ(store.used(), 100.0);
+}
+
+TEST(PartialStore, EraseAndClear) {
+  PartialStore store(100.0);
+  store.set_cached(1, 10.0);
+  store.set_cached(2, 20.0);
+  store.erase(1);
+  EXPECT_DOUBLE_EQ(store.used(), 20.0);
+  store.erase(1);  // double erase is a no-op
+  EXPECT_DOUBLE_EQ(store.used(), 20.0);
+  store.clear();
+  EXPECT_DOUBLE_EQ(store.used(), 0.0);
+  EXPECT_EQ(store.object_count(), 0u);
+}
+
+TEST(PartialStore, NegativeInputsRejected) {
+  EXPECT_THROW(PartialStore(-1.0), std::invalid_argument);
+  PartialStore store(10.0);
+  EXPECT_THROW(store.set_cached(1, -5.0), std::invalid_argument);
+}
+
+TEST(PartialStore, ZeroCapacityAcceptsNothing) {
+  PartialStore store(0.0);
+  // (a 1-byte insert slips under the one-byte rounding slack by design)
+  EXPECT_THROW(store.set_cached(1, 2.0), std::length_error);
+  store.set_cached(1, 0.0);  // storing zero bytes is a no-op
+  EXPECT_EQ(store.object_count(), 0u);
+}
+
+TEST(PartialStore, ContentsIteration) {
+  PartialStore store(100.0);
+  store.set_cached(3, 30.0);
+  store.set_cached(5, 50.0);
+  double total = 0;
+  for (const auto& [id, bytes] : store.contents()) total += bytes;
+  EXPECT_DOUBLE_EQ(total, 80.0);
+  EXPECT_EQ(store.contents().size(), 2u);
+}
+
+}  // namespace
+}  // namespace sc::cache

@@ -1,0 +1,124 @@
+#include "stats/summary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace sc::stats {
+namespace {
+
+TEST(RunningStats, MatchesNaiveComputation) {
+  util::Rng rng(1);
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-10, 10);
+    xs.push_back(v);
+    rs.add(v);
+  }
+  double mean = 0;
+  for (double v : xs) mean += v;
+  mean /= xs.size();
+  double var = 0;
+  for (double v : xs) var += (v - mean) * (v - mean);
+  var /= xs.size();
+  EXPECT_NEAR(rs.mean(), mean, 1e-9);
+  EXPECT_NEAR(rs.variance(), var, 1e-9);
+  EXPECT_NEAR(rs.stddev(), std::sqrt(var), 1e-9);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  rs.add(5.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 5.0);
+}
+
+TEST(RunningStats, MinMaxSum) {
+  RunningStats rs;
+  for (const double v : {3.0, -1.0, 7.0, 2.0}) rs.add(v);
+  EXPECT_DOUBLE_EQ(rs.min(), -1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 7.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 11.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  util::Rng rng(2);
+  RunningStats all, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    all.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(b);  // no-op
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.merge(a);  // adopt
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(Percentile, KnownValues) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, 50), 1.5);  // interpolation
+  EXPECT_THROW((void)percentile({}, 50), std::invalid_argument);
+  EXPECT_THROW((void)percentile({1.0}, 101), std::invalid_argument);
+}
+
+TEST(VectorHelpers, MeanAndCov) {
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({2.0, 4.0}), 3.0);
+  EXPECT_NEAR(cov_of({2.0, 4.0}), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Autocorrelation, ConstantSeriesIsZero) {
+  EXPECT_DOUBLE_EQ(autocorrelation({5, 5, 5, 5, 5}, 1), 0.0);
+}
+
+TEST(Autocorrelation, AlternatingSeriesIsNegative) {
+  std::vector<double> alt;
+  for (int i = 0; i < 1000; ++i) alt.push_back(i % 2 ? 1.0 : -1.0);
+  EXPECT_LT(autocorrelation(alt, 1), -0.9);
+}
+
+TEST(Autocorrelation, Ar1RecoversPhi) {
+  util::Rng rng(3);
+  const double phi = 0.8;
+  std::vector<double> series;
+  double x = 0;
+  for (int i = 0; i < 50000; ++i) {
+    x = phi * x + rng.normal(0.0, 1.0);
+    series.push_back(x);
+  }
+  EXPECT_NEAR(autocorrelation(series, 1), phi, 0.03);
+  EXPECT_NEAR(autocorrelation(series, 2), phi * phi, 0.04);
+}
+
+TEST(Autocorrelation, InsufficientData) {
+  EXPECT_DOUBLE_EQ(autocorrelation({1.0, 2.0}, 5), 0.0);
+}
+
+}  // namespace
+}  // namespace sc::stats

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "workload/generator.h"
+#include "workload/trace.h"
+#include "workload/workload_stats.h"
+
+namespace sc::workload {
+namespace {
+
+TEST(Catalog, GeneratesTable1Invariants) {
+  CatalogConfig cfg;  // paper defaults
+  util::Rng rng(1);
+  const auto catalog = Catalog::generate(cfg, rng);
+  ASSERT_EQ(catalog.size(), 5000u);
+  for (const auto& o : catalog.objects()) {
+    EXPECT_GT(o.duration_s, 0.0);
+    EXPECT_DOUBLE_EQ(o.bitrate, 48.0 * 1024.0);  // 2 KB/frame * 24 f/s
+    EXPECT_DOUBLE_EQ(o.size_bytes, o.duration_s * o.bitrate);
+    EXPECT_GE(o.value, 1.0);
+    EXPECT_LE(o.value, 10.0);
+    EXPECT_EQ(o.path, o.id);
+    EXPECT_EQ(o.popularity_rank, o.id + 1);
+    EXPECT_GE(o.duration_s, cfg.min_duration_min * 60.0);
+    EXPECT_LE(o.duration_s, cfg.max_duration_min * 60.0);
+  }
+  // ~790 GB total unique size (Table 1).
+  const double total_gb = catalog.total_bytes() / (1024.0 * 1024.0 * 1024.0);
+  EXPECT_NEAR(total_gb, 790.0, 60.0);
+}
+
+TEST(Catalog, MeanDurationNear55Minutes) {
+  CatalogConfig cfg;
+  util::Rng rng(2);
+  const auto catalog = Catalog::generate(cfg, rng);
+  double acc = 0;
+  for (const auto& o : catalog.objects()) acc += o.duration_s;
+  EXPECT_NEAR(acc / catalog.size() / 60.0, 55.0, 4.0);
+}
+
+TEST(Catalog, FromObjectsValidates) {
+  StreamObject good;
+  good.id = 0;
+  good.duration_s = 10.0;
+  good.bitrate = 5.0;
+  EXPECT_NO_THROW(Catalog::from_objects({good}));
+
+  EXPECT_THROW(Catalog::from_objects({}), std::invalid_argument);
+
+  StreamObject wrong_id = good;
+  wrong_id.id = 3;
+  EXPECT_THROW(Catalog::from_objects({wrong_id}), std::invalid_argument);
+
+  StreamObject bad_duration = good;
+  bad_duration.duration_s = 0.0;
+  EXPECT_THROW(Catalog::from_objects({bad_duration}), std::invalid_argument);
+}
+
+TEST(Catalog, RejectsDegenerateConfig) {
+  CatalogConfig cfg;
+  cfg.num_objects = 0;
+  util::Rng rng(3);
+  EXPECT_THROW(Catalog::generate(cfg, rng), std::invalid_argument);
+  cfg.num_objects = 10;
+  cfg.frame_bytes = 0.0;
+  EXPECT_THROW(Catalog::generate(cfg, rng), std::invalid_argument);
+}
+
+TEST(Generator, TraceIsTimeOrderedPoisson) {
+  WorkloadConfig cfg;
+  cfg.catalog.num_objects = 100;
+  cfg.trace.num_requests = 20000;
+  cfg.trace.arrival_rate_per_s = 2.0;
+  util::Rng rng(4);
+  const auto w = generate_workload(cfg, rng);
+  ASSERT_EQ(w.requests.size(), 20000u);
+  double prev = 0.0;
+  for (const auto& r : w.requests) {
+    EXPECT_GE(r.time_s, prev);
+    EXPECT_LT(r.object, w.catalog.size());
+    prev = r.time_s;
+  }
+  // Mean interarrival ~ 1/rate.
+  const double span = w.requests.back().time_s - w.requests.front().time_s;
+  EXPECT_NEAR(span / (20000 - 1), 0.5, 0.02);
+}
+
+TEST(Generator, PopularityFollowsRankOrder) {
+  WorkloadConfig cfg;
+  cfg.catalog.num_objects = 500;
+  cfg.trace.num_requests = 100000;
+  cfg.trace.zipf_alpha = 0.9;
+  util::Rng rng(5);
+  const auto w = generate_workload(cfg, rng);
+  const auto counts = request_counts(w);
+  // Object 0 (rank 1) must be the most requested; top ranks dominate.
+  EXPECT_EQ(std::max_element(counts.begin(), counts.end()) - counts.begin(),
+            0);
+  std::size_t top10 = 0;
+  for (std::size_t i = 0; i < 10; ++i) top10 += counts[i];
+  EXPECT_GT(static_cast<double>(top10) / 100000.0, 0.15);
+}
+
+TEST(Generator, RejectsBadTraceConfig) {
+  CatalogConfig ccfg;
+  ccfg.num_objects = 10;
+  util::Rng rng(6);
+  const auto catalog = Catalog::generate(ccfg, rng);
+  TraceConfig bad;
+  bad.num_requests = 0;
+  EXPECT_THROW(generate_trace(catalog, bad, rng), std::invalid_argument);
+  bad.num_requests = 10;
+  bad.arrival_rate_per_s = 0.0;
+  EXPECT_THROW(generate_trace(catalog, bad, rng), std::invalid_argument);
+}
+
+TEST(ZipfFit, RecoversGeneratorAlpha) {
+  WorkloadConfig cfg;
+  cfg.catalog.num_objects = 2000;
+  cfg.trace.num_requests = 200000;
+  cfg.trace.zipf_alpha = 0.73;
+  util::Rng rng(7);
+  const auto w = generate_workload(cfg, rng);
+  const auto fit = fit_zipf(request_counts(w));
+  EXPECT_NEAR(fit.alpha, 0.73, 0.12);
+  EXPECT_GT(fit.r2, 0.9);
+}
+
+TEST(ZipfFit, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(fit_zipf({}).alpha, 0.0);
+  EXPECT_DOUBLE_EQ(fit_zipf({5, 0, 0}).alpha, 0.0);  // < 3 usable ranks
+}
+
+TEST(Summarize, ReportsTable1Quantities) {
+  WorkloadConfig cfg;
+  cfg.catalog.num_objects = 1000;
+  cfg.trace.num_requests = 50000;
+  util::Rng rng(8);
+  const auto w = generate_workload(cfg, rng);
+  const auto s = summarize(w);
+  EXPECT_EQ(s.num_objects, 1000u);
+  EXPECT_EQ(s.num_requests, 50000u);
+  EXPECT_NEAR(s.bitrate, 48.0 * 1024.0, 1e-9);
+  EXPECT_GT(s.total_unique_bytes, 0.0);
+  EXPECT_NEAR(s.mean_frames, s.mean_duration_s * 24.0, 1e-6);
+  EXPECT_GT(s.top10pct_request_share, 0.2);
+  EXPECT_GT(s.trace_span_s, 0.0);
+}
+
+TEST(TraceIo, RoundTripsExactly) {
+  WorkloadConfig cfg;
+  cfg.catalog.num_objects = 50;
+  cfg.trace.num_requests = 500;
+  util::Rng rng(9);
+  const auto w = generate_workload(cfg, rng);
+
+  const auto path =
+      std::filesystem::temp_directory_path() / "sc_trace_roundtrip.txt";
+  write_trace(w, path);
+  const auto back = read_trace(path);
+  std::filesystem::remove(path);
+
+  ASSERT_EQ(back.catalog.size(), w.catalog.size());
+  ASSERT_EQ(back.requests.size(), w.requests.size());
+  for (std::size_t i = 0; i < w.catalog.size(); ++i) {
+    const auto& a = w.catalog.object(i);
+    const auto& b = back.catalog.object(i);
+    EXPECT_DOUBLE_EQ(a.duration_s, b.duration_s);
+    EXPECT_DOUBLE_EQ(a.bitrate, b.bitrate);
+    EXPECT_DOUBLE_EQ(a.value, b.value);
+    EXPECT_EQ(a.path, b.path);
+  }
+  for (std::size_t i = 0; i < w.requests.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.requests[i].time_s, w.requests[i].time_s);
+    EXPECT_EQ(back.requests[i].object, w.requests[i].object);
+  }
+}
+
+TEST(TraceIo, RejectsMalformedFiles) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto write_file = [&](const std::string& name,
+                              const std::string& body) {
+    const auto p = dir / name;
+    std::FILE* f = std::fopen(p.c_str(), "w");
+    std::fputs(body.c_str(), f);
+    std::fclose(f);
+    return p;
+  };
+
+  EXPECT_THROW(read_trace(dir / "sc_no_such_file.txt"), std::runtime_error);
+
+  const auto bad_magic = write_file("sc_bad_magic.txt", "not-a-trace v1 0 0\n");
+  EXPECT_THROW(read_trace(bad_magic), std::runtime_error);
+
+  const auto bad_object_ref = write_file(
+      "sc_bad_ref.txt",
+      "streamcache-trace v1 1 1\nO 0 10 5 1 0\nR 1.0 7\n");
+  EXPECT_THROW(read_trace(bad_object_ref), std::runtime_error);
+
+  const auto time_regress = write_file(
+      "sc_regress.txt",
+      "streamcache-trace v1 1 2\nO 0 10 5 1 0\nR 2.0 0\nR 1.0 0\n");
+  EXPECT_THROW(read_trace(time_regress), std::runtime_error);
+
+  const auto wrong_count = write_file(
+      "sc_count.txt", "streamcache-trace v1 2 0\nO 0 10 5 1 0\n");
+  EXPECT_THROW(read_trace(wrong_count), std::runtime_error);
+
+  for (const auto& n : {"sc_bad_magic.txt", "sc_bad_ref.txt",
+                        "sc_regress.txt", "sc_count.txt"}) {
+    std::filesystem::remove(dir / n);
+  }
+}
+
+}  // namespace
+}  // namespace sc::workload
