@@ -16,8 +16,6 @@
 //   F. Patching + partial viewing extensions: how stream sharing and
 //      early session termination change the backbone byte accounting.
 
-#include <cstdio>
-
 #include "bench/harness.h"
 #include "cache/segments.h"
 #include "net/units.h"
@@ -35,6 +33,7 @@ core::ExperimentConfig make_experiment(const bench::FigureConfig& cfg,
   e.runs = cfg.runs;
   e.base_seed = cfg.seed;
   e.parallel = cfg.parallel;
+  e.sim.estimator = cfg.estimator;
   e.sim.cache_capacity_bytes =
       core::capacity_for_fraction(e.workload.catalog, fraction);
   return e;
@@ -43,17 +42,14 @@ core::ExperimentConfig make_experiment(const bench::FigureConfig& cfg,
 void study_baselines(const bench::FigureConfig& cfg) {
   std::printf("\n-- B. Network-oblivious baselines (measured variability, "
               "cache = 8%%) --\n");
-  const auto scenario = core::measured_variability_scenario();
+  const auto scenario = bench::scenario_for(cfg, "measured");
   util::Table table({"policy", "traffic reduction", "avg delay (s)",
                      "avg quality", "hit ratio"});
-  for (const auto kind :
-       {cache::PolicyKind::kLRU, cache::PolicyKind::kLFU,
-        cache::PolicyKind::kIF, cache::PolicyKind::kIB,
-        cache::PolicyKind::kPB}) {
+  for (const std::string policy : {"lru", "lfu", "if", "ib", "pb"}) {
     auto e = make_experiment(cfg, 0.08);
-    e.sim.policy = kind;
+    e.sim.policy = policy;
     const auto m = core::run_experiment(e, scenario);
-    table.add_row({cache::to_string(kind),
+    table.add_row({policy,
                    util::Table::num(m.traffic_reduction, 4),
                    util::Table::num(m.delay_s, 2),
                    util::Table::num(m.quality, 4),
@@ -67,15 +63,14 @@ void study_ibv_keys(const bench::FigureConfig& cfg) {
               "bandwidth, cache = 8%%) --\n");
   std::printf("IB-V uses lambda*V/(T*r*b); PB-V uses the paper's partial "
               "key; IF is the value-blind integral reference.\n");
-  const auto scenario = core::constant_scenario();
+  const auto scenario = bench::scenario_for(cfg, "constant");
   util::Table table(
       {"policy", "total added value ($K)", "traffic reduction"});
-  for (const auto kind : {cache::PolicyKind::kIBV, cache::PolicyKind::kPBV,
-                          cache::PolicyKind::kIF}) {
+  for (const std::string policy : {"ibv", "pbv", "if"}) {
     auto e = make_experiment(cfg, 0.08);
-    e.sim.policy = kind;
+    e.sim.policy = policy;
     const auto m = core::run_experiment(e, scenario);
-    table.add_row({cache::to_string(kind),
+    table.add_row({policy,
                    util::Table::num(m.added_value / 1000.0, 1),
                    util::Table::num(m.traffic_reduction, 4)});
   }
@@ -85,17 +80,16 @@ void study_ibv_keys(const bench::FigureConfig& cfg) {
 void study_estimators(const bench::FigureConfig& cfg) {
   std::printf("\n-- C. Bandwidth estimators under PB (measured "
               "variability, cache = 8%%) --\n");
-  const auto scenario = core::measured_variability_scenario();
+  const auto scenario = bench::scenario_for(cfg, "measured");
   util::Table table({"estimator", "avg delay (s)", "traffic reduction",
                      "avg quality"});
-  for (const auto est :
-       {sim::EstimatorKind::kOracle, sim::EstimatorKind::kPassiveEwma,
-        sim::EstimatorKind::kLastSample, sim::EstimatorKind::kActiveProbe}) {
+  for (const std::string est :
+       {"oracle", "ewma:alpha=0.3", "last", "probe:interval_s=3600"}) {
     auto e = make_experiment(cfg, 0.08);
-    e.sim.policy = cache::PolicyKind::kPB;
+    e.sim.policy = "pb";
     e.sim.estimator = est;
     const auto m = core::run_experiment(e, scenario);
-    table.add_row({sim::to_string(est), util::Table::num(m.delay_s, 2),
+    table.add_row({est, util::Table::num(m.delay_s, 2),
                    util::Table::num(m.traffic_reduction, 4),
                    util::Table::num(m.quality, 4)});
   }
@@ -107,12 +101,12 @@ void study_estimators(const bench::FigureConfig& cfg) {
 void study_warmup(const bench::FigureConfig& cfg) {
   std::printf("\n-- D. Warm-up split sensitivity (PB, constant bandwidth, "
               "cache = 8%%) --\n");
-  const auto scenario = core::constant_scenario();
+  const auto scenario = bench::scenario_for(cfg, "constant");
   util::Table table({"warm-up fraction", "avg delay (s)",
                      "traffic reduction", "avg quality"});
   for (const double w : {0.25, 0.50, 0.75}) {
     auto e = make_experiment(cfg, 0.08);
-    e.sim.policy = cache::PolicyKind::kPB;
+    e.sim.policy = "pb";
     e.sim.warmup_fraction = w;
     const auto m = core::run_experiment(e, scenario);
     table.add_row({util::Table::num(w, 2), util::Table::num(m.delay_s, 2),
@@ -130,7 +124,7 @@ void study_segments(const bench::FigureConfig& cfg) {
   workload::CatalogConfig ccfg;
   ccfg.num_objects = std::min<std::size_t>(cfg.objects, 2000);
   const auto catalog = workload::Catalog::generate(ccfg, rng);
-  const auto bw_model = net::nlanr_base_model();
+  const auto bw_model = bench::scenario_for(cfg, "constant").base;
 
   util::Table table({"segment size", "objects stored", "bytes held (GB)",
                      "fragmentation (GB)", "overhead %"});
@@ -165,6 +159,7 @@ void study_segments(const bench::FigureConfig& cfg) {
 void study_extensions(const bench::FigureConfig& cfg) {
   std::printf("\n-- F. Patching and partial viewing (PB, constant "
               "bandwidth, cache = 8%%, 2 req/s arrivals) --\n");
+  const auto scenario = bench::scenario_for(cfg, "constant");
   util::Table table({"configuration", "cache-served share",
                      "backbone reduction", "avg delay (s)"});
   for (const int mode : {0, 1, 2, 3}) {
@@ -178,11 +173,12 @@ void study_extensions(const bench::FigureConfig& cfg) {
     sim::SimulationConfig scfg;
     scfg.cache_capacity_bytes =
         core::capacity_for_fraction(wcfg.catalog, 0.08);
-    scfg.policy = cache::PolicyKind::kPB;
+    scfg.policy = "pb";
+    scfg.estimator = cfg.estimator;
+    scfg.path_config.mode = scenario.mode;
     scfg.patching.enabled = (mode & 1) != 0;
     scfg.viewing.enabled = (mode & 2) != 0;
-    sim::Simulator simulator(w, net::nlanr_base_model(),
-                             net::constant_variability_model(), scfg);
+    sim::Simulator simulator(w, scenario.base, scenario.ratio, scfg);
     const auto r = simulator.run();
     std::string name = "baseline";
     if (mode == 1) name = "+ patching";
@@ -201,8 +197,13 @@ void study_extensions(const bench::FigureConfig& cfg) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run_main(int argc, char** argv) {
   const auto cfg = sc::bench::parse_figure_args(argc, argv, "ablation.csv");
+  if (cfg.policy_override) {
+    throw std::invalid_argument(
+        "bench_ablation compares fixed policy sets per study; "
+        "--policy is not supported here");
+  }
   std::printf("Ablation studies (runs=%zu, requests=%zu, objects=%zu)\n",
               cfg.runs, cfg.requests, cfg.objects);
   study_ibv_keys(cfg);
@@ -212,4 +213,8 @@ int main(int argc, char** argv) {
   study_segments(cfg);
   study_extensions(cfg);
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return sc::util::guarded_main(run_main, argc, argv);
 }

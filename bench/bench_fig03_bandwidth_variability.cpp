@@ -15,9 +15,10 @@
 #include "util/rng.h"
 #include "util/table.h"
 
-int main(int argc, char** argv) {
+int run_main(int argc, char** argv) {
   using namespace sc;
   const util::Cli cli(argc, argv);
+  cli.check_unknown({"samples", "csv", "seed"});
   const auto samples =
       static_cast<std::size_t>(cli.get_or("samples", 200000LL));
   const std::string csv_path = cli.get_or("csv", std::string("fig03.csv"));
@@ -62,4 +63,8 @@ int main(int argc, char** argv) {
                   std::abs(hist.mean() - 1.0) < 0.02 && hist.cov() > 0.4;
   std::printf("shape check: %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
+}
+
+int main(int argc, char** argv) {
+  return sc::util::guarded_main(run_main, argc, argv);
 }

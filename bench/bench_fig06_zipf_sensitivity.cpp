@@ -11,25 +11,27 @@
 
 #include "bench/harness.h"
 
-int main(int argc, char** argv) {
+int run_main(int argc, char** argv) {
   using namespace sc;
   auto cfg = bench::parse_figure_args(argc, argv, "fig06.csv");
-  const auto scenario = core::constant_scenario();
+  const auto scenario = bench::scenario_for(cfg, "constant");
+  const auto policies = bench::policies_for(
+      cfg, {bench::spec("ib", "IB"), bench::spec("pb", "PB")});
 
   const std::vector<double> alphas = {0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2};
   const std::vector<double> fractions = {0.02, 0.05, 0.10, 0.169};
 
   const auto points = bench::sweep_alpha_and_cache(
       cfg, scenario,
-      {bench::spec(cache::PolicyKind::kIB), bench::spec(cache::PolicyKind::kPB)},
-      alphas, fractions);
+      policies, alphas, fractions);
 
   std::printf("Figure 6: Zipf alpha sensitivity (constant bandwidth)\n");
   std::printf("(runs=%zu, requests=%zu, objects=%zu)\n\n", cfg.runs,
               cfg.requests, cfg.objects);
 
   // Print one table per (policy, metric): rows = alpha, cols = fraction.
-  for (const std::string policy : {"IB", "PB"}) {
+  for (const auto& policy_spec : policies) {
+    const std::string& policy = policy_spec.label;
     for (const auto metric :
          {bench::Metric::kTrafficReduction, bench::Metric::kDelay,
           bench::Metric::kQuality}) {
@@ -55,6 +57,12 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The paper-shape check assumes the default policy set and scenario.
+  if (cfg.policy_override || cfg.scenario_override) {
+    bench::write_points_csv(points, cfg.csv_path);
+    return 0;
+  }
+
   // Shape check: alpha = 1.2 must beat alpha = 0.5 on every metric.
   // Checked at cache fraction 0.05, where PB is not yet saturated: once
   // PB has cached every needy object's prefix (its aggregate demand is
@@ -77,4 +85,8 @@ int main(int argc, char** argv) {
   std::printf("shape check (higher alpha helps both policies): %s\n",
               ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
+}
+
+int main(int argc, char** argv) {
+  return sc::util::guarded_main(run_main, argc, argv);
 }

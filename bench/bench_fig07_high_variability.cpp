@@ -9,14 +9,15 @@
 
 #include "bench/harness.h"
 
-int main(int argc, char** argv) {
+int run_main(int argc, char** argv) {
   using namespace sc;
   const auto cfg = bench::parse_figure_args(argc, argv, "fig07.csv");
-  const auto scenario = core::nlanr_variability_scenario();
+  const auto scenario = bench::scenario_for(cfg, "nlanr");
   const auto points = bench::sweep_cache_sizes(
       cfg, scenario,
-      {bench::spec(cache::PolicyKind::kIF), bench::spec(cache::PolicyKind::kPB),
-       bench::spec(cache::PolicyKind::kIB)},
+      bench::policies_for(cfg, {bench::spec("if", "IF"),
+                                bench::spec("pb", "PB"),
+                                bench::spec("ib", "IB")}),
       core::paper_cache_fractions());
 
   std::printf(
@@ -30,6 +31,9 @@ int main(int argc, char** argv) {
   bench::print_panel(points, bench::Metric::kQuality,
                      "Fig 7(c) Average Stream Quality");
   bench::write_points_csv(points, cfg.csv_path);
+
+  // The paper-shape checks assume the default policy set and scenario.
+  if (cfg.policy_override || cfg.scenario_override) return 0;
 
   // Shape check: at mid/large cache sizes IB's delay should be at least
   // competitive with PB's (within 10%), unlike the constant-bw case where
@@ -48,4 +52,8 @@ int main(int argc, char** argv) {
               "%s\n",
               ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
+}
+
+int main(int argc, char** argv) {
+  return sc::util::guarded_main(run_main, argc, argv);
 }

@@ -11,21 +11,22 @@
 
 #include "bench/harness.h"
 
-int main(int argc, char** argv) {
+int run_main(int argc, char** argv) {
   using namespace sc;
   const auto cfg = bench::parse_figure_args(argc, argv, "fig09.csv");
   // The fifth simulation set studies variability; use the NLANR model, the
   // setting in which PB (e = 1) is most clearly suboptimal.
-  const auto scenario = core::nlanr_variability_scenario();
+  const auto scenario = bench::scenario_for(cfg, "nlanr");
 
   const std::vector<double> es = {0.0, 0.2, 0.4, 0.5, 0.6, 0.8, 1.0};
   const std::vector<double> fractions = {0.02, 0.05, 0.10, 0.169};
 
   std::vector<bench::PolicySpec> specs;
   for (const double e : es) {
-    specs.push_back(bench::spec(cache::PolicyKind::kHybrid, e,
+    specs.push_back(bench::spec("hybrid:e=" + util::Table::num(e, 1),
                                 "e=" + util::Table::num(e, 1)));
   }
+  specs = bench::policies_for(cfg, std::move(specs));
   const auto points = bench::sweep_cache_sizes(cfg, scenario, specs, fractions);
 
   std::printf("Figure 9: partial caching with bandwidth estimator e "
@@ -56,6 +57,9 @@ int main(int argc, char** argv) {
   }
   bench::write_points_csv(points, cfg.csv_path);
 
+  // The shape checks assume the default Hybrid sweep and scenario.
+  if (cfg.policy_override || cfg.scenario_override) return 0;
+
   // Shape checks at the largest cache size: (1) traffic reduction
   // decreases from e = 0 to e = 1; (2) some moderate e achieves delay no
   // worse than both endpoints.
@@ -80,4 +84,8 @@ int main(int argc, char** argv) {
               traffic_ok ? "yes" : "no", delay_ok ? "yes" : "no",
               traffic_ok && delay_ok ? "PASS" : "FAIL");
   return traffic_ok && delay_ok ? 0 : 1;
+}
+
+int main(int argc, char** argv) {
+  return sc::util::guarded_main(run_main, argc, argv);
 }

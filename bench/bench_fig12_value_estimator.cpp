@@ -6,24 +6,23 @@
 // total added value; "PB-V caching (with e = 0.5) outperforms IB-V
 // caching by as much as 30% with respect to total value added".
 
-#include <cstdio>
-
 #include "bench/harness.h"
 
-int main(int argc, char** argv) {
+int run_main(int argc, char** argv) {
   using namespace sc;
   const auto cfg = bench::parse_figure_args(argc, argv, "fig12.csv");
-  const auto scenario = core::measured_variability_scenario();
+  const auto scenario = bench::scenario_for(cfg, "measured");
 
   const std::vector<double> es = {0.0, 0.2, 0.4, 0.5, 0.6, 0.8, 1.0};
   const std::vector<double> fractions = {0.02, 0.05, 0.10, 0.169};
 
   std::vector<bench::PolicySpec> specs;
   for (const double e : es) {
-    specs.push_back(bench::spec(cache::PolicyKind::kPBV, e,
+    specs.push_back(bench::spec("pbv:e=" + util::Table::num(e, 1),
                                 "e=" + util::Table::num(e, 1)));
   }
-  specs.push_back(bench::spec(cache::PolicyKind::kIBV, 1.0, "IB-V"));
+  specs.push_back(bench::spec("ibv", "IB-V"));
+  specs = bench::policies_for(cfg, std::move(specs));
   const auto points = bench::sweep_cache_sizes(cfg, scenario, specs, fractions);
 
   std::printf("Figure 12: value-based partial caching with estimator e "
@@ -55,6 +54,9 @@ int main(int argc, char** argv) {
   }
   bench::write_points_csv(points, cfg.csv_path);
 
+  // The shape check assumes the default PB-V sweep and scenario.
+  if (cfg.policy_override || cfg.scenario_override) return 0;
+
   // Shape check at the largest cache size: the best moderate-e PB-V
   // added value beats both PB-V(e=1) and IB-V.
   auto at = [&](const std::string& name) -> const core::AveragedMetrics& {
@@ -72,4 +74,8 @@ int main(int argc, char** argv) {
   std::printf("shape check (moderate e maximizes added value): %s\n",
               ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
+}
+
+int main(int argc, char** argv) {
+  return sc::util::guarded_main(run_main, argc, argv);
 }

@@ -5,8 +5,10 @@
 #include <benchmark/benchmark.h>
 
 #include "cache/min_heap.h"
+#include "cache/policy.h"
 #include "cache/store.h"
 #include "core/experiment.h"
+#include "core/registry.h"
 #include "net/bandwidth_model.h"
 #include "net/estimator.h"
 #include "net/variability.h"
@@ -68,6 +70,25 @@ void BM_PolicyOnAccess(benchmark::State& state) {
 }
 BENCHMARK(BM_PolicyOnAccess);
 
+void BM_RegistryMakePolicy(benchmark::State& state) {
+  // Spec parse + registry lookup + construction; must stay negligible
+  // next to a simulation run (it happens once per replication).
+  util::Rng rng(7);
+  workload::WorkloadConfig wcfg;
+  wcfg.catalog.num_objects = 5000;
+  const auto catalog = workload::Catalog::generate(wcfg.catalog, rng);
+  net::PathTableConfig pcfg;
+  net::PathTable paths(catalog.size(), net::nlanr_base_model(),
+                       net::constant_variability_model(), pcfg, rng.fork());
+  net::OracleEstimator estimator(paths);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::registry::make_policy("hybrid:e=0.5", catalog, estimator));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RegistryMakePolicy);
+
 void BM_WorkloadGeneration(benchmark::State& state) {
   workload::WorkloadConfig cfg;
   cfg.catalog.num_objects = 5000;
@@ -92,7 +113,7 @@ void BM_SimulationEndToEnd(benchmark::State& state) {
   const auto ratio = net::measured_variability_model();
   sim::SimulationConfig scfg;
   scfg.cache_capacity_bytes = core::capacity_for_fraction(wcfg.catalog, 0.08);
-  scfg.policy = cache::PolicyKind::kPB;
+  scfg.policy = "pb";
   scfg.path_config.mode = net::VariationMode::kIidRatio;
   for (auto _ : state) {
     sim::Simulator simulator(w, base, ratio, scfg);

@@ -8,10 +8,9 @@
 // prefixes (Hybrid e < 1) buy stall protection that the static delay
 // metric does not reveal, which is exactly the §2.5 intuition.
 
-#include <cstdio>
-
 #include "bench/harness.h"
 #include "core/playback.h"
+#include "core/registry.h"
 #include "net/bandwidth_model.h"
 #include "net/path_process.h"
 #include "net/units.h"
@@ -33,7 +32,7 @@ struct StallStats {
   double covered_sessions = 0.0;
 };
 
-StallStats run_policy(cache::PolicyKind kind, double e,
+StallStats run_policy(const std::string& policy_spec,
                       const bench::FigureConfig& cfg) {
   // Build workload and a PB-style cache state by replaying the trace.
   util::Rng rng(cfg.seed);
@@ -44,24 +43,27 @@ StallStats run_policy(cache::PolicyKind kind, double e,
 
   sim::SimulationConfig scfg;
   scfg.cache_capacity_bytes = core::capacity_for_fraction(wcfg.catalog, 0.08);
-  scfg.policy = kind;
-  scfg.policy_params.e = e;
+  scfg.policy = policy_spec;
   scfg.seed = cfg.seed;
   scfg.path_config.mode = net::VariationMode::kTimeSeries;
 
   // Fill the cache by replaying the trace directly against the policy
-  // (oracle estimates, constant paths), then play sessions against fresh
-  // AR(1) processes seeded per object.
-  const auto base = net::nlanr_base_model();
-  const auto ratio = net::measured_path_model(net::MeasuredPath::kTaiwan);
+  // (constant paths; --estimator picks how it learns them), then play
+  // sessions against fresh AR(1) processes seeded per object. --scenario
+  // picks the ratio model whose spread drives those AR(1) processes
+  // (default: the Taiwan measured path).
+  const auto scenario = bench::scenario_for(cfg, "timeseries:path=taiwan");
+  const auto& base = scenario.base;
+  const auto& ratio = scenario.ratio;
   net::PathTableConfig pcfg;
   pcfg.mode = net::VariationMode::kConstant;
   net::PathTable paths(w.catalog.size(), base, ratio, pcfg,
                        util::Rng(scfg.seed).fork("paths"));
-  net::OracleEstimator estimator(paths);
+  const auto estimator = core::registry::make_estimator(
+      cfg.estimator, paths, util::Rng(scfg.seed).fork("estimator"));
   cache::PartialStore store(scfg.cache_capacity_bytes);
-  auto policy = cache::make_policy(kind, w.catalog, estimator,
-                                   scfg.policy_params);
+  auto policy =
+      core::registry::make_policy(policy_spec, w.catalog, *estimator);
   for (const auto& req : w.requests) {
     policy->on_access(req.object, req.time_s, store);
   }
@@ -118,7 +120,7 @@ StallStats run_policy(cache::PolicyKind kind, double e,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run_main(int argc, char** argv) {
   auto cfg = bench::parse_figure_args(argc, argv, "stalls.csv");
   // Playback simulation is per-session; keep the catalog moderate.
   cfg.objects = std::min<std::size_t>(cfg.objects, 2000);
@@ -130,22 +132,24 @@ int main(int argc, char** argv) {
                      "stall-free sessions", "covered stall (s)",
                      "covered/total"});
   struct Row {
-    cache::PolicyKind kind;
-    double e;
+    std::string spec;
     std::string label;
   };
-  const std::vector<Row> rows = {
-      {cache::PolicyKind::kPB, 1.0, "PB (exact prefix)"},
-      {cache::PolicyKind::kHybrid, 0.6, "Hybrid e=0.6"},
-      {cache::PolicyKind::kHybrid, 0.3, "Hybrid e=0.3"},
-      {cache::PolicyKind::kIB, 1.0, "IB (whole objects)"},
-      {cache::PolicyKind::kIF, 1.0, "IF (popularity only)"},
+  std::vector<Row> rows = {
+      {"pb", "PB (exact prefix)"},
+      {"hybrid:e=0.6", "Hybrid e=0.6"},
+      {"hybrid:e=0.3", "Hybrid e=0.3"},
+      {"ib", "IB (whole objects)"},
+      {"if", "IF (popularity only)"},
   };
+  if (cfg.policy_override) {
+    rows = {{*cfg.policy_override, *cfg.policy_override}};
+  }
   util::CsvWriter csv(cfg.csv_path);
   csv.header({"policy", "mean_startup_s", "mean_stall_s", "stall_free"});
   double pb_stall = 0, hybrid_stall = 0;
   for (const auto& row : rows) {
-    const auto s = run_policy(row.kind, row.e, cfg);
+    const auto s = run_policy(row.spec, cfg);
     table.add_row({row.label, util::Table::num(s.mean_startup_s, 1),
                    util::Table::num(s.mean_stall_time_s, 1),
                    util::Table::num(s.stall_free_fraction, 3),
@@ -163,6 +167,9 @@ int main(int argc, char** argv) {
   table.print();
   std::printf("\n[series written to %s]\n", cfg.csv_path.c_str());
 
+  // The shape check assumes the default policy rows and scenario.
+  if (cfg.policy_override || cfg.scenario_override) return 0;
+
   // Shape check: for objects a policy actually covers, over-provisioned
   // prefixes (e = 0.3) must stall less than exactly-provisioned PB --
   // §2.5's rationale made visible. (Unconditionally, PB can still win by
@@ -172,4 +179,8 @@ int main(int argc, char** argv) {
               "objects): %s\n",
               ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
+}
+
+int main(int argc, char** argv) {
+  return sc::util::guarded_main(run_main, argc, argv);
 }

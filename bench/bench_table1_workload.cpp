@@ -11,9 +11,10 @@
 #include "util/table.h"
 #include "workload/workload_stats.h"
 
-int main(int argc, char** argv) {
+int run_main(int argc, char** argv) {
   using namespace sc;
   const util::Cli cli(argc, argv);
+  cli.check_unknown({"csv", "objects", "requests", "zipf", "seed"});
   const std::string csv_path = cli.get_or("csv", std::string("table1.csv"));
 
   workload::WorkloadConfig cfg;
@@ -70,4 +71,8 @@ int main(int argc, char** argv) {
                   std::abs(s.fitted_zipf_alpha - 0.73) < 0.15;
   std::printf("shape check: %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
+}
+
+int main(int argc, char** argv) {
+  return sc::util::guarded_main(run_main, argc, argv);
 }

@@ -1,13 +1,33 @@
 #include "bench/harness.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
+
+#include "core/registry.h"
 
 namespace sc::bench {
 
 FigureConfig parse_figure_args(int argc, char** argv,
                                const std::string& default_csv) {
   const util::Cli cli(argc, argv);
+  if (cli.has("help")) {
+    std::printf(
+        "usage: %s [flags]\n\n"
+        "  --quick              4 runs x 30,000 requests (CI smoke)\n"
+        "  --runs=N --requests=N --objects=N --zipf=A --seed=S\n"
+        "  --csv=PATH           series output (default %s)\n"
+        "  --parallel=0|1       replications on a thread pool\n"
+        "  --policy=<spec>      override the figure's policy set\n"
+        "  --estimator=<spec>   bandwidth estimator (default oracle)\n"
+        "  --scenario=<spec>    override the figure's scenario\n\n%s",
+        cli.program().c_str(), default_csv.c_str(),
+        core::registry::help().c_str());
+    std::exit(0);
+  }
+  cli.check_unknown({"quick", "runs", "requests", "objects", "zipf", "seed",
+                     "csv", "parallel", "policy", "estimator", "scenario",
+                     "help"});
   FigureConfig cfg;
   if (cli.get_or("quick", false)) {
     cfg.runs = 4;
@@ -25,15 +45,39 @@ FigureConfig parse_figure_args(int argc, char** argv,
       cli.get_or("seed", static_cast<long long>(cfg.seed)));
   cfg.csv_path = cli.get_or("csv", default_csv);
   cfg.parallel = cli.get_or("parallel", true);
+  cfg.estimator = cli.get_or("estimator", cfg.estimator);
+  core::registry::validate(core::registry::Kind::kEstimator, cfg.estimator);
+  if (const auto v = cli.get("policy")) {
+    core::registry::validate(core::registry::Kind::kPolicy, *v);
+    cfg.policy_override = *v;
+  }
+  if (const auto v = cli.get("scenario")) {
+    core::registry::validate(core::registry::Kind::kScenario, *v);
+    cfg.scenario_override = *v;
+  }
   return cfg;
 }
 
-PolicySpec spec(cache::PolicyKind kind, double e, std::string label) {
+PolicySpec spec(const std::string& spec_string, std::string label) {
+  core::registry::validate(core::registry::Kind::kPolicy, spec_string);
+  const util::Spec parsed = util::Spec::parse(spec_string);
   PolicySpec s;
-  s.kind = kind;
-  s.params.e = e;
-  s.label = label.empty() ? cache::to_string(kind) : std::move(label);
+  s.spec = spec_string;
+  s.label = label.empty() ? parsed.to_string() : std::move(label);
+  s.param_e = parsed.get_double("e", 1.0);
   return s;
+}
+
+core::Scenario scenario_for(const FigureConfig& config,
+                            const std::string& default_spec) {
+  return core::registry::make_scenario(
+      config.scenario_override.value_or(default_spec));
+}
+
+std::vector<PolicySpec> policies_for(const FigureConfig& config,
+                                     std::vector<PolicySpec> defaults) {
+  if (config.policy_override) return {spec(*config.policy_override)};
+  return defaults;
 }
 
 namespace {
@@ -70,8 +114,8 @@ std::vector<SweepPoint> sweep_alpha_and_cache(
       for (const double fraction : fractions) {
         core::ExperimentConfig e = base_experiment(config);
         e.workload.trace.zipf_alpha = alpha;
-        e.sim.policy = policy.kind;
-        e.sim.policy_params = policy.params;
+        e.sim.policy = policy.spec;
+        e.sim.estimator = config.estimator;
         e.sim.cache_capacity_bytes =
             core::capacity_for_fraction(e.workload.catalog, fraction);
 
@@ -79,7 +123,7 @@ std::vector<SweepPoint> sweep_alpha_and_cache(
         p.policy = policy.label;
         p.cache_fraction = fraction;
         p.zipf_alpha = alpha;
-        p.param_e = policy.params.e;
+        p.param_e = policy.param_e;
         p.metrics = core::run_experiment(e, scenario);
         points.push_back(std::move(p));
       }

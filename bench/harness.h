@@ -1,18 +1,23 @@
 // Shared harness for the figure/table reproduction benches.
 //
 // Every bench binary accepts:
-//   --quick          4 runs x 30,000 requests (CI smoke; default off)
-//   --runs N         replications per point (default 10, as in the paper)
-//   --requests N     trace length (default 100,000)
-//   --objects N      catalog size (default 5,000)
-//   --csv PATH       where to write the series (default <bench>.csv)
+//   --quick              4 runs x 30,000 requests (CI smoke; default off)
+//   --runs N             replications per point (default 10, as in the paper)
+//   --requests N         trace length (default 100,000)
+//   --objects N          catalog size (default 5,000)
+//   --csv PATH           where to write the series (default <bench>.csv)
+//   --policy <spec>      override the figure's policy set with one spec
+//   --estimator <spec>   bandwidth estimator spec (default "oracle")
+//   --scenario <spec>    override the figure's bandwidth scenario
+//   --help               list flags and every registered component spec
 // and prints the paper-exhibit series as a table plus an ASCII chart.
+// Unknown flags fail with a did-you-mean suggestion.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
-#include "cache/factory.h"
 #include "core/experiment.h"
 #include "util/cli.h"
 #include "util/csv.h"
@@ -28,21 +33,40 @@ struct FigureConfig {
   std::uint64_t seed = 42;
   std::string csv_path;
   bool parallel = true;
+  /// Bandwidth estimator spec applied to every sweep point.
+  std::string estimator = "oracle";
+  /// When set, replaces the figure's default policy set / scenario.
+  std::optional<std::string> policy_override;
+  std::optional<std::string> scenario_override;
 };
 
 /// Parse common flags; `default_csv` names the output series file.
+/// Handles --help (prints usage + the component registry and exits) and
+/// rejects unknown flags.
 [[nodiscard]] FigureConfig parse_figure_args(int argc, char** argv,
                                              const std::string& default_csv);
 
 /// One policy to evaluate.
 struct PolicySpec {
-  cache::PolicyKind kind;
-  cache::PolicyParams params{};
-  std::string label;  // display name (defaults to to_string(kind))
+  std::string spec;   // registry spec string, e.g. "hybrid:e=0.5"
+  std::string label;  // display name (defaults to the canonical spec)
+  double param_e = 1.0;  // `e` parameter, for figure axes/CSV
 };
 
-[[nodiscard]] PolicySpec spec(cache::PolicyKind kind, double e = 1.0,
+/// Build a PolicySpec from a spec string, validating it against the
+/// registry. The label defaults to the canonical spec form.
+[[nodiscard]] PolicySpec spec(const std::string& spec_string,
                               std::string label = "");
+
+/// The figure's scenario: --scenario override if given, else
+/// `default_spec` (a registry scenario spec such as "nlanr").
+[[nodiscard]] core::Scenario scenario_for(const FigureConfig& config,
+                                          const std::string& default_spec);
+
+/// The figure's policy set: a single --policy override if given, else
+/// `defaults`.
+[[nodiscard]] std::vector<PolicySpec> policies_for(
+    const FigureConfig& config, std::vector<PolicySpec> defaults);
 
 /// One (policy, cache-fraction) result.
 struct SweepPoint {

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "core/experiment.h"
+#include "core/registry.h"
 #include "net/bandwidth_model.h"
 #include "net/estimator.h"
 #include "net/path_process.h"
@@ -23,9 +24,10 @@
 #include "util/cli.h"
 #include "util/table.h"
 
-int main(int argc, char** argv) {
+int run_main(int argc, char** argv) {
   using namespace sc;
   const util::Cli cli(argc, argv);
+  cli.check_unknown({"paths", "probes", "policy", "estimator", "scenario"});
   const auto n_paths = static_cast<std::size_t>(cli.get_or("paths", 500LL));
   const auto probes = static_cast<std::size_t>(cli.get_or("probes", 50LL));
 
@@ -91,18 +93,22 @@ int main(int argc, char** argv) {
   e.workload.catalog.num_objects = 2000;
   e.workload.trace.num_requests = 40000;
   e.runs = 3;
-  e.sim.policy = cache::PolicyKind::kPB;
+  e.sim.policy = cli.get_or("policy", std::string("pb"));
   e.sim.cache_capacity_bytes =
       core::capacity_for_fraction(e.workload.catalog, 0.08);
-  const auto scenario = core::measured_variability_scenario();
+  const auto scenario = core::registry::make_scenario(
+      cli.get_or("scenario", std::string("measured")));
 
   util::Table impact({"estimator", "avg delay (s)", "traffic reduction"});
-  for (const auto kind :
-       {sim::EstimatorKind::kOracle, sim::EstimatorKind::kPassiveEwma,
-        sim::EstimatorKind::kLastSample, sim::EstimatorKind::kActiveProbe}) {
-    e.sim.estimator = kind;
+  std::vector<std::string> estimators = {"oracle", "ewma:alpha=0.3", "last",
+                                         "probe:interval_s=3600"};
+  if (const auto override_spec = cli.get("estimator")) {
+    estimators = {*override_spec};
+  }
+  for (const auto& est : estimators) {
+    e.sim.estimator = est;
     const auto m = core::run_experiment(e, scenario);
-    impact.add_row({sim::to_string(kind), util::Table::num(m.delay_s, 1),
+    impact.add_row({est, util::Table::num(m.delay_s, 1),
                     util::Table::num(m.traffic_reduction, 3)});
   }
   impact.print();
@@ -110,4 +116,8 @@ int main(int argc, char** argv) {
               "overhead once the trace has touched each path -- the "
               "paper's recommended deployment approach (2.7).\n");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return sc::util::guarded_main(run_main, argc, argv);
 }

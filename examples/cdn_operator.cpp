@@ -14,13 +14,15 @@
 #include <optional>
 
 #include "core/experiment.h"
+#include "core/registry.h"
 #include "net/units.h"
 #include "util/cli.h"
 #include "util/table.h"
 
-int main(int argc, char** argv) {
+int run_main(int argc, char** argv) {
   using namespace sc;
   const util::Cli cli(argc, argv);
+  cli.check_unknown({"slo-delay", "quick", "runs", "policy", "estimator", "scenario"});
   const double slo_delay_s = cli.get_or("slo-delay", 150.0);
   const bool quick = cli.get_or("quick", false);
 
@@ -28,12 +30,16 @@ int main(int argc, char** argv) {
   base.workload.catalog.num_objects = quick ? 1000 : 5000;
   base.workload.trace.num_requests = quick ? 20000 : 100000;
   base.runs = static_cast<std::size_t>(cli.get_or("runs", quick ? 3LL : 5LL));
-  const auto scenario = core::measured_variability_scenario();
+  base.sim.estimator = cli.get_or("estimator", std::string("oracle"));
+  const auto scenario = core::registry::make_scenario(
+      cli.get_or("scenario", std::string("measured")));
 
   const std::vector<double> fractions = {0.005, 0.01, 0.02, 0.04,
                                          0.08, 0.169};
-  const std::vector<cache::PolicyKind> policies = {
-      cache::PolicyKind::kIF, cache::PolicyKind::kIB, cache::PolicyKind::kPB};
+  std::vector<std::string> policies = {"if", "ib", "pb"};
+  if (const auto override_spec = cli.get("policy")) {
+    policies = {*override_spec};
+  }
 
   std::printf("CDN operator study: cheapest cache meeting avg delay <= %.0f "
               "s\n(scenario: NLANR path means, measured-path variability)\n\n",
@@ -47,21 +53,21 @@ int main(int argc, char** argv) {
   };
   std::optional<Winner> winner;
 
-  for (const auto kind : policies) {
+  for (const auto& policy : policies) {
     for (const double f : fractions) {
       core::ExperimentConfig e = base;
-      e.sim.policy = kind;
+      e.sim.policy = policy;
       e.sim.cache_capacity_bytes =
           core::capacity_for_fraction(e.workload.catalog, f);
       const auto m = core::run_experiment(e, scenario);
       const bool meets = m.delay_s <= slo_delay_s;
       const double gb = net::to_gb(e.sim.cache_capacity_bytes);
-      table.add_row({cache::to_string(kind), util::Table::num(gb, 1),
+      table.add_row({policy, util::Table::num(gb, 1),
                      util::Table::num(m.delay_s, 1),
                      util::Table::num(m.traffic_reduction, 3),
                      meets ? "yes" : "no"});
       if (meets && (!winner || gb < winner->gb)) {
-        winner = Winner{cache::to_string(kind), gb};
+        winner = Winner{policy, gb};
       }
       if (meets) break;  // larger caches only cost more
     }
@@ -81,4 +87,8 @@ int main(int argc, char** argv) {
                 "larger cache or a lower-variability upstream.\n");
   }
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return sc::util::guarded_main(run_main, argc, argv);
 }

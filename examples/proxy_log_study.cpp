@@ -15,6 +15,7 @@
 #include <filesystem>
 
 #include "core/experiment.h"
+#include "core/registry.h"
 #include "net/bandwidth_model.h"
 #include "net/log_analysis.h"
 #include "net/units.h"
@@ -22,16 +23,21 @@
 #include "util/cli.h"
 #include "util/table.h"
 
-int main(int argc, char** argv) {
+int run_main(int argc, char** argv) {
   using namespace sc;
   const util::Cli cli(argc, argv);
+  cli.check_unknown({"requests", "servers", "policy", "estimator", "scenario"});
   util::Rng rng(23);
 
   // --- 1. ground truth + synthetic log --------------------------------
+  // The ground-truth bandwidth environment is any registered scenario
+  // (--scenario=...); the default matches the paper's NLANR models.
+  const auto truth = core::registry::make_scenario(
+      cli.get_or("scenario", std::string("nlanr")));
   net::PathTableConfig pcfg;
-  pcfg.mode = net::VariationMode::kIidRatio;
-  const auto truth_base = net::nlanr_base_model();
-  const auto truth_ratio = net::nlanr_variability_model();
+  pcfg.mode = truth.mode;
+  const auto& truth_base = truth.base;
+  const auto& truth_ratio = truth.ratio;
   net::SyntheticLogConfig scfg;
   scfg.num_requests =
       static_cast<std::size_t>(cli.get_or("requests", 40000LL));
@@ -91,9 +97,10 @@ int main(int argc, char** argv) {
     e.runs = 3;
     e.sim.cache_capacity_bytes =
         core::capacity_for_fraction(e.workload.catalog, 0.08);
-    e.sim.policy = cache::PolicyKind::kPB;
+    e.sim.policy = cli.get_or("policy", std::string("pb"));
+    e.sim.estimator = cli.get_or("estimator", std::string("oracle"));
     const double pb = core::run_experiment(e, scenario).delay_s;
-    e.sim.policy = cache::PolicyKind::kIB;
+    e.sim.policy = "ib";
     const double ib = core::run_experiment(e, scenario).delay_s;
     sim.add_row({scenario.name, util::Table::num(pb, 1),
                  util::Table::num(ib, 1), pb < ib ? "PB" : "IB"});
@@ -103,4 +110,8 @@ int main(int argc, char** argv) {
               "policy comparison -- passive log analysis is a viable way "
               "to parameterize network-aware caching (paper 3.1).\n");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return sc::util::guarded_main(run_main, argc, argv);
 }

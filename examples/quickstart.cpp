@@ -3,10 +3,13 @@
 // and watch service delay collapse as the cache learns the workload.
 //
 // Run: ./quickstart [--objects N] [--requests N] [--cache-gb G]
+//                    [--policy <spec>] [--estimator <spec>]
+//                    [--scenario <spec>]
 
 #include <cstdio>
 
 #include "core/accelerator.h"
+#include "core/registry.h"
 #include "net/bandwidth_model.h"
 #include "net/path_process.h"
 #include "net/units.h"
@@ -15,9 +18,10 @@
 #include "util/table.h"
 #include "workload/generator.h"
 
-int main(int argc, char** argv) {
+int run_main(int argc, char** argv) {
   using namespace sc;
   const util::Cli cli(argc, argv);
+  cli.check_unknown({"objects", "requests", "cache-gb", "policy", "estimator", "scenario"});
 
   // 1. A catalog of streaming objects and a Zipf-like request trace
   //    (defaults follow Table 1 of the paper, scaled down for a demo).
@@ -29,22 +33,25 @@ int main(int argc, char** argv) {
   util::Rng rng(7);
   const workload::Workload w = workload::generate_workload(wcfg, rng);
 
-  // 2. Internet paths to the origin servers: means drawn from the NLANR
-  //    distribution, i.i.d. per-request variability from measured paths.
+  // 2. Internet paths to the origin servers, from a registered scenario
+  //    spec (default: NLANR means, measured-path variability).
+  const auto scenario = core::registry::make_scenario(
+      cli.get_or("scenario", std::string("measured")));
   net::PathTableConfig pcfg;
-  pcfg.mode = net::VariationMode::kIidRatio;
-  net::PathTable paths(w.catalog.size(), net::nlanr_base_model(),
-                       net::measured_variability_model(), pcfg,
+  pcfg.mode = scenario.mode;
+  net::PathTable paths(w.catalog.size(), scenario.base, scenario.ratio, pcfg,
                        rng.fork("paths"));
 
-  // 3. The accelerator: a partial-object store managed by the
-  //    network-aware PB policy, fed by a passive bandwidth estimator.
-  net::PassiveEwmaEstimator estimator(w.catalog.size(), /*alpha=*/0.3,
-                                      /*prior=*/net::from_kb(50.0));
+  // 3. The accelerator: a partial-object store managed by a
+  //    network-aware policy, fed by a bandwidth estimator — both
+  //    addressed by spec strings.
+  const auto estimator = core::registry::make_estimator(
+      cli.get_or("estimator", std::string("ewma:alpha=0.3")), paths,
+      rng.fork("estimator"));
   core::AcceleratorConfig acfg;
   acfg.capacity_bytes = net::from_gb(cli.get_or("cache-gb", 8.0));
-  acfg.policy = cache::PolicyKind::kPB;
-  core::Accelerator accelerator(w.catalog, estimator, acfg);
+  acfg.policy = cli.get_or("policy", std::string("pb"));
+  core::Accelerator accelerator(w.catalog, *estimator, acfg);
 
   // 4. Replay the trace; report delay/quality in trace quarters so the
   //    learning effect is visible.
@@ -92,4 +99,8 @@ int main(int argc, char** argv) {
       "\nThe cache admits prefixes of objects whose origin bandwidth cannot\n"
       "sustain their bit-rate; delay drops as the estimator converges.\n");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return sc::util::guarded_main(run_main, argc, argv);
 }

@@ -14,6 +14,7 @@
 
 #include "cache/offline_opt.h"
 #include "core/experiment.h"
+#include "core/registry.h"
 #include "net/bandwidth_model.h"
 #include "net/path_process.h"
 #include "net/units.h"
@@ -22,9 +23,10 @@
 #include "util/table.h"
 #include "workload/workload_stats.h"
 
-int main(int argc, char** argv) {
+int run_main(int argc, char** argv) {
   using namespace sc;
   const util::Cli cli(argc, argv);
+  cli.check_unknown({"quick", "runs", "policy", "estimator", "scenario"});
   const bool quick = cli.get_or("quick", false);
 
   // ---- online comparison -------------------------------------------------
@@ -34,19 +36,24 @@ int main(int argc, char** argv) {
   base.runs = static_cast<std::size_t>(cli.get_or("runs", quick ? 3LL : 5LL));
   base.sim.cache_capacity_bytes =
       core::capacity_for_fraction(base.workload.catalog, 0.08);
-  const auto scenario = core::measured_variability_scenario();
+  base.sim.estimator = cli.get_or("estimator", std::string("oracle"));
+  const auto scenario = core::registry::make_scenario(
+      cli.get_or("scenario", std::string("measured")));
 
   std::printf("Revenue maximization: V_i ~ U[$1, $10], value added on "
               "immediate playout\n(cache = 8%% of corpus, measured-path "
               "variability)\n\n");
   util::Table online({"policy", "total added value ($K)",
                       "traffic reduction", "immediate ratio"});
-  for (const auto kind : {cache::PolicyKind::kIF, cache::PolicyKind::kIBV,
-                          cache::PolicyKind::kPBV}) {
+  std::vector<std::string> policies = {"if", "ibv", "pbv"};
+  if (const auto override_spec = cli.get("policy")) {
+    policies = {*override_spec};
+  }
+  for (const auto& policy : policies) {
     core::ExperimentConfig e = base;
-    e.sim.policy = kind;
+    e.sim.policy = policy;
     const auto m = core::run_experiment(e, scenario);
-    online.add_row({cache::to_string(kind),
+    online.add_row({policy,
                     util::Table::num(m.added_value / 1000.0, 1),
                     util::Table::num(m.traffic_reduction, 3),
                     util::Table::num(m.immediate_ratio, 3)});
@@ -86,4 +93,8 @@ int main(int argc, char** argv) {
               100.0 * greedy.total_rate_value /
                   std::max(1.0, exact.total_rate_value));
   return 0;
+}
+
+int main(int argc, char** argv) {
+  return sc::util::guarded_main(run_main, argc, argv);
 }

@@ -2,87 +2,50 @@
 // cache size from the command line. This is the "I want one number"
 // entry point for downstream users and scripts.
 //
-//   ./run_experiment --policy PB --scenario measured --cache-frac 0.08
-//                    [--e 0.5] [--estimator oracle|ewma|last|probe]
+//   ./run_experiment --policy=hybrid:e=0.5 --scenario=measured
+//                    --estimator=ewma:alpha=0.3 --cache-frac=0.08
 //                    [--objects N] [--requests N] [--runs N] [--zipf A]
 //                    [--patching] [--viewing] [--csv out.csv]
 //
-// Scenarios: constant | nlanr | measured | timeseries-inria |
-//            timeseries-taiwan | timeseries-hongkong
+// --help lists every registered policy / estimator / scenario spec.
 
 #include <cstdio>
 #include <stdexcept>
 
-#include "core/experiment.h"
+#include "core/builder.h"
 #include "net/units.h"
 #include "util/cli.h"
 #include "util/csv.h"
 #include "util/table.h"
 
-namespace {
-
-sc::core::Scenario scenario_by_name(const std::string& name) {
-  using namespace sc;
-  if (name == "constant") return core::constant_scenario();
-  if (name == "nlanr") return core::nlanr_variability_scenario();
-  if (name == "measured") return core::measured_variability_scenario();
-  if (name == "timeseries-inria") {
-    return core::timeseries_scenario(net::MeasuredPath::kInria);
-  }
-  if (name == "timeseries-taiwan") {
-    return core::timeseries_scenario(net::MeasuredPath::kTaiwan);
-  }
-  if (name == "timeseries-hongkong") {
-    return core::timeseries_scenario(net::MeasuredPath::kHongKong);
-  }
-  throw std::invalid_argument("unknown scenario: " + name);
-}
-
-sc::sim::EstimatorKind estimator_by_name(const std::string& name) {
-  using sc::sim::EstimatorKind;
-  if (name == "oracle") return EstimatorKind::kOracle;
-  if (name == "ewma") return EstimatorKind::kPassiveEwma;
-  if (name == "last") return EstimatorKind::kLastSample;
-  if (name == "probe") return EstimatorKind::kActiveProbe;
-  throw std::invalid_argument("unknown estimator: " + name);
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   using namespace sc;
   try {
     const util::Cli cli(argc, argv);
-    core::ExperimentConfig e;
-    e.workload.catalog.num_objects =
-        static_cast<std::size_t>(cli.get_or("objects", 5000LL));
-    e.workload.trace.num_requests =
-        static_cast<std::size_t>(cli.get_or("requests", 100000LL));
-    e.workload.trace.zipf_alpha = cli.get_or("zipf", 0.73);
-    e.runs = static_cast<std::size_t>(cli.get_or("runs", 10LL));
-    e.base_seed = static_cast<std::uint64_t>(cli.get_or("seed", 42LL));
+    if (cli.has("help")) {
+      std::printf("usage: %s [flags]\n\n  --csv=PATH  write the result row\n\n%s",
+                  cli.program().c_str(), core::ExperimentBuilder::cli_help().c_str());
+      return 0;
+    }
+    auto known = core::ExperimentBuilder::cli_flags();
+    known.push_back("csv");
+    known.push_back("help");
+    cli.check_unknown(known);
 
-    e.sim.policy =
-        cache::parse_policy_kind(cli.get_or("policy", std::string("PB")));
-    e.sim.policy_params.e = cli.get_or("e", 1.0);
-    e.sim.estimator =
-        estimator_by_name(cli.get_or("estimator", std::string("oracle")));
-    e.sim.patching.enabled = cli.get_or("patching", false);
-    e.sim.viewing.enabled = cli.get_or("viewing", false);
+    core::ExperimentBuilder builder;
+    builder.cache_fraction(0.08).runs(10).seed(42).from_cli(cli);
 
+    const auto config = builder.config();
+    const auto scenario = builder.build_scenario();
+    const auto m = core::run_experiment(config, scenario);
     const double fraction = cli.get_or("cache-frac", 0.08);
-    e.sim.cache_capacity_bytes =
-        core::capacity_for_fraction(e.workload.catalog, fraction);
 
-    const auto scenario =
-        scenario_by_name(cli.get_or("scenario", std::string("constant")));
-    const auto m = core::run_experiment(e, scenario);
-
-    std::printf("policy=%s scenario=%s cache=%.1f GB (%.1f%% of corpus) "
-                "runs=%zu\n\n",
-                cache::to_string(e.sim.policy).c_str(), scenario.name.c_str(),
-                net::to_gb(e.sim.cache_capacity_bytes), fraction * 100.0,
-                m.runs);
+    std::printf("policy=%s estimator=%s scenario=%s cache=%.1f GB "
+                "(%.1f%% of corpus) runs=%zu\n\n",
+                config.sim.policy.c_str(), config.sim.estimator.c_str(),
+                scenario.name.c_str(),
+                net::to_gb(config.sim.cache_capacity_bytes),
+                fraction * 100.0, m.runs);
     util::Table table({"metric", "mean", "std dev"});
     table.add_row({"traffic reduction ratio",
                    util::Table::num(m.traffic_reduction, 4),
@@ -101,9 +64,11 @@ int main(int argc, char** argv) {
 
     if (const auto csv_path = cli.get("csv")) {
       util::CsvWriter csv(*csv_path);
-      csv.header({"policy", "scenario", "cache_fraction", "traffic_reduction",
-                  "delay_s", "quality", "added_value", "hit_ratio"});
-      csv.field(cache::to_string(e.sim.policy))
+      csv.header({"policy", "estimator", "scenario", "cache_fraction",
+                  "traffic_reduction", "delay_s", "quality", "added_value",
+                  "hit_ratio"});
+      csv.field(config.sim.policy)
+          .field(config.sim.estimator)
           .field(scenario.name)
           .field(fraction)
           .field(m.traffic_reduction)

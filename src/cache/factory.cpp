@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <stdexcept>
 
 namespace sc::cache {
@@ -18,6 +19,28 @@ std::string to_string(PolicyKind kind) {
     case PolicyKind::kLFU: return "LFU";
   }
   return "?";
+}
+
+std::string spec_for(PolicyKind kind, const PolicyParams& params) {
+  switch (kind) {
+    case PolicyKind::kIF: return "if";
+    case PolicyKind::kPB: return "pb";
+    case PolicyKind::kIB: return "ib";
+    case PolicyKind::kLRU: return "lru";
+    case PolicyKind::kLFU: return "lfu";
+    case PolicyKind::kIBV: return "ibv";
+    case PolicyKind::kHybrid:
+    case PolicyKind::kPBV: {
+      std::string spec = kind == PolicyKind::kHybrid ? "hybrid" : "pbv";
+      if (kind == PolicyKind::kHybrid || params.e != 1.0) {
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), ":e=%.17g", params.e);
+        spec += buffer;
+      }
+      return spec;
+    }
+  }
+  throw std::invalid_argument("spec_for: unknown kind");
 }
 
 PolicyKind parse_policy_kind(const std::string& name) {

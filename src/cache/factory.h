@@ -1,5 +1,11 @@
-// Policy construction by name/kind, shared by the simulator, examples,
-// and bench harnesses.
+// Policy construction by enum kind.
+//
+// DEPRECATED: new code should construct policies from spec strings
+// through core::registry ("pb", "hybrid:e=0.5", ...), which also covers
+// estimators and scenarios and is extensible without editing this
+// switch. The enum API remains as a thin wrapper — the registry's
+// built-in policy factories delegate here, so both paths construct
+// identical objects.
 #pragma once
 
 #include <memory>
@@ -26,6 +32,12 @@ struct PolicyParams {
 };
 
 [[nodiscard]] std::string to_string(PolicyKind kind);
+
+/// Registry spec string equivalent to (kind, params), e.g.
+/// (kHybrid, {e: 0.5}) -> "hybrid:e=0.5"; bridges the deprecated enum
+/// API onto the spec API.
+[[nodiscard]] std::string spec_for(PolicyKind kind,
+                                   const PolicyParams& params = {});
 
 /// Parse "IF", "PB", "IB", "Hybrid", "PB-V", "IB-V", "LRU", "LFU"
 /// (case-insensitive). Throws std::invalid_argument for unknown names.

@@ -1,5 +1,7 @@
 #include "core/accelerator.h"
 
+#include "core/registry.h"
+
 namespace sc::core {
 
 Accelerator::Accelerator(const workload::Catalog& catalog,
@@ -8,8 +10,7 @@ Accelerator::Accelerator(const workload::Catalog& catalog,
     : catalog_(&catalog),
       estimator_(&estimator),
       store_(config.capacity_bytes),
-      policy_(cache::make_policy(config.policy, catalog, estimator,
-                                 config.policy_params)) {}
+      policy_(registry::make_policy(config.policy, catalog, estimator)) {}
 
 DeliveryPlan Accelerator::serve(ObjectId id, double now_s, double bandwidth) {
   const auto& obj = catalog_->object(id);

@@ -12,7 +12,7 @@
 #include <memory>
 #include <string>
 
-#include "cache/factory.h"
+#include "cache/policy.h"
 #include "cache/store.h"
 #include "net/estimator.h"
 #include "sim/delivery.h"
@@ -24,8 +24,9 @@ using workload::ObjectId;
 
 struct AcceleratorConfig {
   double capacity_bytes = 0.0;
-  cache::PolicyKind policy = cache::PolicyKind::kPB;
-  cache::PolicyParams policy_params{};
+  /// Replacement policy spec resolved through core::registry
+  /// ("pb", "hybrid:e=0.5", ...).
+  std::string policy = "pb";
 };
 
 /// A client-facing delivery plan for one request.

@@ -1,0 +1,202 @@
+#include "core/builder.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/registry.h"
+
+namespace sc::core {
+
+ExperimentBuilder& ExperimentBuilder::policy(const std::string& spec) {
+  registry::validate(registry::Kind::kPolicy, spec);
+  config_.sim.policy = spec;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::estimator(const std::string& spec) {
+  registry::validate(registry::Kind::kEstimator, spec);
+  config_.sim.estimator = spec;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::scenario(const std::string& spec) {
+  registry::validate(registry::Kind::kScenario, spec);
+  scenario_ = spec;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::cache_fraction(double fraction) {
+  cache_fraction_ = fraction;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::cache_bytes(double bytes) {
+  cache_fraction_.reset();
+  config_.sim.cache_capacity_bytes = bytes;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::objects(std::size_t n) {
+  config_.workload.catalog.num_objects = n;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::requests(std::size_t n) {
+  config_.workload.trace.num_requests = n;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::zipf_alpha(double alpha) {
+  config_.workload.trace.zipf_alpha = alpha;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::runs(std::size_t n) {
+  config_.runs = n;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::seed(std::uint64_t seed) {
+  config_.base_seed = seed;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::parallel(bool on) {
+  config_.parallel = on;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::warmup_fraction(double fraction) {
+  config_.sim.warmup_fraction = fraction;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::viewing(bool on) {
+  config_.sim.viewing.enabled = on;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::patching(bool on) {
+  config_.sim.patching.enabled = on;
+  return *this;
+}
+
+namespace {
+
+// Value flags must actually carry a value; a bare `--cache-frac` (value
+// lost by a wrapper script) must not silently coerce to 0.
+std::string require_value(const util::Cli& cli, const std::string& name) {
+  const auto v = cli.get(name);
+  if (!v) {
+    throw util::SpecError("flag --" + name + " requires a value");
+  }
+  return *v;
+}
+
+}  // namespace
+
+ExperimentBuilder& ExperimentBuilder::from_cli(const util::Cli& cli) {
+  if (cli.has("policy")) policy(require_value(cli, "policy"));
+  if (cli.has("estimator")) estimator(require_value(cli, "estimator"));
+  if (cli.has("scenario")) scenario(require_value(cli, "scenario"));
+  if (cli.has("objects")) {
+    (void)require_value(cli, "objects");
+    objects(static_cast<std::size_t>(cli.get_or("objects", 0LL)));
+  }
+  if (cli.has("requests")) {
+    (void)require_value(cli, "requests");
+    requests(static_cast<std::size_t>(cli.get_or("requests", 0LL)));
+  }
+  if (cli.has("zipf")) {
+    (void)require_value(cli, "zipf");
+    zipf_alpha(cli.get_or("zipf", 0.0));
+  }
+  if (cli.has("runs")) {
+    (void)require_value(cli, "runs");
+    runs(static_cast<std::size_t>(cli.get_or("runs", 0LL)));
+  }
+  if (cli.has("seed")) {
+    (void)require_value(cli, "seed");
+    seed(static_cast<std::uint64_t>(cli.get_or("seed", 0LL)));
+  }
+  if (cli.has("parallel")) parallel(cli.get_or("parallel", true));
+  if (cli.has("warmup")) {
+    (void)require_value(cli, "warmup");
+    warmup_fraction(cli.get_or("warmup", 0.5));
+  }
+  if (cli.has("viewing")) viewing(cli.get_or("viewing", false));
+  if (cli.has("patching")) patching(cli.get_or("patching", false));
+  if (cli.has("cache-frac")) {
+    (void)require_value(cli, "cache-frac");
+    cache_fraction(cli.get_or("cache-frac", 0.0));
+  }
+  if (cli.has("e")) {
+    // Legacy tuning flag: fold into the policy spec's `e` parameter.
+    // Policies that take no `e` (pb, if, ...) ignore the flag, matching
+    // the old PolicyParams behavior.
+    util::Spec spec = util::Spec::parse(config_.sim.policy);
+    bool supports_e = false;
+    for (const auto& info : registry::list(registry::Kind::kPolicy)) {
+      const bool matches =
+          info.name == spec.name ||
+          std::find(info.aliases.begin(), info.aliases.end(), spec.name) !=
+              info.aliases.end();
+      if (matches) {
+        supports_e = std::find(info.params.begin(), info.params.end(), "e") !=
+                     info.params.end();
+        break;
+      }
+    }
+    if (supports_e) {
+      const std::string value = require_value(cli, "e");
+      bool replaced = false;
+      for (auto& [key, existing] : spec.params) {
+        if (key == "e") {
+          existing = value;
+          replaced = true;
+        }
+      }
+      if (!replaced) spec.params.emplace_back("e", value);
+      policy(spec.to_string());
+    }
+  }
+  return *this;
+}
+
+std::vector<std::string> ExperimentBuilder::cli_flags() {
+  return {"policy", "estimator", "scenario",   "objects", "requests",
+          "zipf",   "runs",      "seed",       "parallel", "warmup",
+          "viewing", "patching", "cache-frac", "e"};
+}
+
+std::string ExperimentBuilder::cli_help() {
+  return
+      "shared experiment flags:\n"
+      "  --policy=<spec>      replacement policy (default pb)\n"
+      "  --estimator=<spec>   bandwidth estimator (default oracle)\n"
+      "  --scenario=<spec>    bandwidth scenario (default constant)\n"
+      "  --cache-frac=F       cache size as fraction of corpus\n"
+      "  --objects=N --requests=N --runs=N --zipf=A --seed=S\n"
+      "  --warmup=F --parallel=0|1 --viewing --patching\n"
+      "  --e=E                legacy: e parameter for hybrid/pbv specs\n\n" +
+      registry::help();
+}
+
+ExperimentConfig ExperimentBuilder::config() const {
+  ExperimentConfig resolved = config_;
+  if (cache_fraction_) {
+    resolved.sim.cache_capacity_bytes =
+        capacity_for_fraction(resolved.workload.catalog, *cache_fraction_);
+  }
+  return resolved;
+}
+
+Scenario ExperimentBuilder::build_scenario() const {
+  return registry::make_scenario(scenario_);
+}
+
+AveragedMetrics ExperimentBuilder::run() const {
+  return run_experiment(config(), build_scenario());
+}
+
+}  // namespace sc::core

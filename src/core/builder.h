@@ -1,0 +1,83 @@
+// Fluent experiment construction on top of the component registry.
+//
+//   const auto metrics = core::ExperimentBuilder()
+//                            .policy("hybrid:e=0.5")
+//                            .estimator("oracle")
+//                            .scenario("measured")
+//                            .cache_fraction(0.04)
+//                            .runs(10)
+//                            .run();
+//
+// Spec setters validate eagerly through core::registry, so a typo fails
+// at the call site with the list of registered alternatives, not deep
+// inside a replication. `from_cli` wires the standard flag set shared by
+// every bench and example binary (--policy / --estimator / --scenario /
+// --cache-frac / ...).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "util/cli.h"
+
+namespace sc::core {
+
+class ExperimentBuilder {
+ public:
+  ExperimentBuilder() = default;
+
+  /// Component specs (validated immediately; throws util::SpecError).
+  ExperimentBuilder& policy(const std::string& spec);
+  ExperimentBuilder& estimator(const std::string& spec);
+  ExperimentBuilder& scenario(const std::string& spec);
+
+  /// Cache size as a fraction of the expected total unique object size
+  /// (the paper's x-axis); resolved against the catalog in config().
+  ExperimentBuilder& cache_fraction(double fraction);
+  ExperimentBuilder& cache_bytes(double bytes);
+
+  ExperimentBuilder& objects(std::size_t n);
+  ExperimentBuilder& requests(std::size_t n);
+  ExperimentBuilder& zipf_alpha(double alpha);
+  ExperimentBuilder& runs(std::size_t n);
+  ExperimentBuilder& seed(std::uint64_t seed);
+  ExperimentBuilder& parallel(bool on);
+  ExperimentBuilder& warmup_fraction(double fraction);
+  ExperimentBuilder& viewing(bool on);
+  ExperimentBuilder& patching(bool on);
+
+  /// Apply the shared flag set from a parsed command line. Flags not
+  /// present keep their current values. `--e` (legacy Hybrid/PB-V
+  /// tuning) is folded into the policy spec as its `e` parameter.
+  ExperimentBuilder& from_cli(const util::Cli& cli);
+
+  /// The flags from_cli understands (without leading dashes), for
+  /// util::Cli::check_unknown.
+  [[nodiscard]] static std::vector<std::string> cli_flags();
+
+  /// Usage text for the shared flags plus the registry listing.
+  [[nodiscard]] static std::string cli_help();
+
+  /// Resolved configuration (cache fraction applied to the catalog).
+  [[nodiscard]] ExperimentConfig config() const;
+
+  /// The scenario this builder would run under.
+  [[nodiscard]] Scenario build_scenario() const;
+
+  [[nodiscard]] const std::string& scenario_spec() const noexcept {
+    return scenario_;
+  }
+
+  /// run_experiment(config(), build_scenario()).
+  [[nodiscard]] AveragedMetrics run() const;
+
+ private:
+  ExperimentConfig config_{};
+  std::string scenario_ = "constant";
+  std::optional<double> cache_fraction_;
+};
+
+}  // namespace sc::core

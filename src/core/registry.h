@@ -1,0 +1,123 @@
+// Unified component registry: spec-string construction for cache
+// policies, bandwidth estimators, and bandwidth scenarios.
+//
+// Every experiment axis is addressed by a util::Spec string:
+//
+//   policies    "if" "pb" "ib" "hybrid:e=0.5" "pbv:e=0.7" "ibv" "lru" "lfu"
+//   estimators  "oracle" "ewma:alpha=0.3,prior_kbps=50" "last"
+//               "probe:interval_s=3600"
+//   scenarios   "constant" "nlanr" "measured" "timeseries:path=taiwan"
+//
+// Unknown names fail with the list of registered alternatives (plus a
+// did-you-mean suggestion); unknown parameters fail listing the valid
+// ones. New components self-register through the *Registrar helpers
+// without touching the simulator core:
+//
+//   static sc::core::registry::PolicyRegistrar my_policy{
+//       {"greedy-dual", {}, "GreedyDual-Size", {"beta"}},
+//       [](const util::Spec& s, const PolicyContext& ctx) { ... }};
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/policy.h"
+#include "core/experiment.h"
+#include "net/estimator.h"
+#include "net/path_process.h"
+#include "util/rng.h"
+#include "util/spec.h"
+
+namespace sc::core::registry {
+
+/// Which component axis a name belongs to.
+enum class Kind { kPolicy, kEstimator, kScenario };
+
+[[nodiscard]] std::string to_string(Kind kind);
+
+/// Registration metadata; `params` lists the spec parameter keys the
+/// factory understands (specs with other keys are rejected up front).
+struct ComponentInfo {
+  std::string name;                  // canonical, lower-case
+  std::vector<std::string> aliases;  // extra accepted names
+  std::string summary;               // one-line description for help()
+  std::vector<std::string> params;   // known parameter keys
+};
+
+/// What a policy factory gets to work with. `catalog` and `estimator`
+/// must outlive the constructed policy.
+struct PolicyContext {
+  const workload::Catalog& catalog;
+  net::BandwidthEstimator& estimator;
+};
+
+/// What an estimator factory gets to work with. `paths` must outlive the
+/// constructed estimator; `rng` seeds any stochastic measurement process.
+struct EstimatorContext {
+  const net::PathTable& paths;
+  util::Rng rng;
+};
+
+using PolicyFactory = std::function<std::unique_ptr<cache::CachePolicy>(
+    const util::Spec&, const PolicyContext&)>;
+using EstimatorFactory =
+    std::function<std::unique_ptr<net::BandwidthEstimator>(const util::Spec&,
+                                                           EstimatorContext&)>;
+using ScenarioFactory = std::function<Scenario(const util::Spec&)>;
+
+/// Register a component. Throws util::SpecError when the name or an
+/// alias is already taken on the same axis.
+void register_policy(ComponentInfo info, PolicyFactory factory);
+void register_estimator(ComponentInfo info, EstimatorFactory factory);
+void register_scenario(ComponentInfo info, ScenarioFactory factory);
+
+/// Construct from a parsed spec or spec string. Throws util::SpecError
+/// for unknown names (listing registered alternatives) and unknown or
+/// ill-typed parameters.
+[[nodiscard]] std::unique_ptr<cache::CachePolicy> make_policy(
+    const util::Spec& spec, const PolicyContext& context);
+[[nodiscard]] std::unique_ptr<cache::CachePolicy> make_policy(
+    const std::string& spec, const workload::Catalog& catalog,
+    net::BandwidthEstimator& estimator);
+[[nodiscard]] std::unique_ptr<net::BandwidthEstimator> make_estimator(
+    const util::Spec& spec, EstimatorContext context);
+[[nodiscard]] std::unique_ptr<net::BandwidthEstimator> make_estimator(
+    const std::string& spec, const net::PathTable& paths, util::Rng rng);
+[[nodiscard]] Scenario make_scenario(const util::Spec& spec);
+[[nodiscard]] Scenario make_scenario(const std::string& spec);
+
+/// Check that `spec` parses, its name is registered on `kind`, and every
+/// parameter key is known — without constructing anything. Throws
+/// util::SpecError otherwise.
+void validate(Kind kind, const std::string& spec);
+
+/// Registered components of one axis, sorted by canonical name.
+[[nodiscard]] std::vector<ComponentInfo> list(Kind kind);
+
+/// Canonical names only (sorted), e.g. for error messages and --help.
+[[nodiscard]] std::vector<std::string> names(Kind kind);
+
+/// Human-readable listing of every registered component on all three
+/// axes, for --help output.
+[[nodiscard]] std::string help();
+
+/// Self-registration helpers for static-initialization-time extension.
+struct PolicyRegistrar {
+  PolicyRegistrar(ComponentInfo info, PolicyFactory factory) {
+    register_policy(std::move(info), std::move(factory));
+  }
+};
+struct EstimatorRegistrar {
+  EstimatorRegistrar(ComponentInfo info, EstimatorFactory factory) {
+    register_estimator(std::move(info), std::move(factory));
+  }
+};
+struct ScenarioRegistrar {
+  ScenarioRegistrar(ComponentInfo info, ScenarioFactory factory) {
+    register_scenario(std::move(info), std::move(factory));
+  }
+};
+
+}  // namespace sc::core::registry

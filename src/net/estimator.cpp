@@ -62,6 +62,23 @@ ActiveProbeEstimator::ActiveProbeEstimator(const ProbeModel& model,
   }
 }
 
+ActiveProbeEstimator::ActiveProbeEstimator(std::unique_ptr<ProbeModel> model,
+                                           double reprobe_interval_s,
+                                           util::Rng rng)
+    : owned_model_(std::move(model)),
+      model_(owned_model_.get()),
+      reprobe_interval_s_(reprobe_interval_s),
+      rng_(std::move(rng)),
+      cached_(owned_model_ ? owned_model_->size() : 0, -1.0),
+      probe_time_(owned_model_ ? owned_model_->size() : 0, -1.0) {
+  if (!owned_model_) {
+    throw std::invalid_argument("ActiveProbeEstimator: null probe model");
+  }
+  if (reprobe_interval_s <= 0) {
+    throw std::invalid_argument("ActiveProbeEstimator: interval must be > 0");
+  }
+}
+
 double ActiveProbeEstimator::estimate(PathId path, double now_s) {
   double& cached = cached_.at(path);
   double& when = probe_time_.at(path);

@@ -93,6 +93,11 @@ class ActiveProbeEstimator final : public BandwidthEstimator {
   ActiveProbeEstimator(const ProbeModel& model, double reprobe_interval_s,
                        util::Rng rng);
 
+  /// Owning variant: keeps `model` alive for the estimator's lifetime
+  /// (used by registry factories, which have no place to park the model).
+  ActiveProbeEstimator(std::unique_ptr<ProbeModel> model,
+                       double reprobe_interval_s, util::Rng rng);
+
   void observe(PathId, double, double) override {}  // purely active
   [[nodiscard]] double estimate(PathId path, double now_s) override;
   [[nodiscard]] std::size_t overhead_packets() const override {
@@ -100,6 +105,7 @@ class ActiveProbeEstimator final : public BandwidthEstimator {
   }
 
  private:
+  std::unique_ptr<ProbeModel> owned_model_;  // null when non-owning
   const ProbeModel* model_;
   double reprobe_interval_s_;
   util::Rng rng_;

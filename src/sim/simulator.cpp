@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "cache/store.h"
+#include "core/registry.h"
+#include "net/estimator.h"
 #include "sim/event_queue.h"
 
 namespace sc::sim {
@@ -16,6 +18,16 @@ std::string to_string(EstimatorKind kind) {
     case EstimatorKind::kPassiveEwma: return "passive-ewma";
     case EstimatorKind::kLastSample: return "last-sample";
     case EstimatorKind::kActiveProbe: return "active-probe";
+  }
+  return "?";
+}
+
+std::string spec_for(EstimatorKind kind) {
+  switch (kind) {
+    case EstimatorKind::kOracle: return "oracle";
+    case EstimatorKind::kPassiveEwma: return "ewma";
+    case EstimatorKind::kLastSample: return "last";
+    case EstimatorKind::kActiveProbe: return "probe";
   }
   return "?";
 }
@@ -37,6 +49,11 @@ Simulator::Simulator(const workload::Workload& workload,
   if (workload.requests.empty()) {
     throw std::invalid_argument("Simulator: empty request trace");
   }
+  // Fail fast on bad component specs (util::SpecError derives from
+  // std::invalid_argument) instead of deep inside run().
+  core::registry::validate(core::registry::Kind::kPolicy, config_.policy);
+  core::registry::validate(core::registry::Kind::kEstimator,
+                           config_.estimator);
 }
 
 SimulationResult Simulator::run() {
@@ -47,38 +64,14 @@ SimulationResult Simulator::run() {
   net::PathTable paths(catalog.size(), base_, ratio_, config_.path_config,
                        rng.fork("paths"));
 
-  // Build the configured estimator.
-  std::unique_ptr<net::BandwidthEstimator> estimator;
-  std::unique_ptr<net::ProbeModel> probe_model;  // kept alive for probing
-  switch (config_.estimator) {
-    case EstimatorKind::kOracle:
-      estimator = std::make_unique<net::OracleEstimator>(paths);
-      break;
-    case EstimatorKind::kPassiveEwma:
-      estimator = std::make_unique<net::PassiveEwmaEstimator>(
-          catalog.size(), config_.ewma_alpha, config_.estimator_prior_bps);
-      break;
-    case EstimatorKind::kLastSample:
-      estimator = std::make_unique<net::LastSampleEstimator>(
-          catalog.size(), config_.estimator_prior_bps);
-      break;
-    case EstimatorKind::kActiveProbe: {
-      std::vector<double> means;
-      means.reserve(catalog.size());
-      for (std::size_t p = 0; p < catalog.size(); ++p) {
-        means.push_back(paths.mean_bandwidth(p));
-      }
-      probe_model = std::make_unique<net::ProbeModel>(
-          means, net::ProbeConfig{}, rng.fork("probe"));
-      estimator = std::make_unique<net::ActiveProbeEstimator>(
-          *probe_model, config_.reprobe_interval_s, rng.fork("probe-rng"));
-      break;
-    }
-  }
+  // Build the configured estimator and policy through the registry.
+  std::unique_ptr<net::BandwidthEstimator> estimator =
+      core::registry::make_estimator(config_.estimator, paths,
+                                     rng.fork("estimator"));
 
   cache::PartialStore store(config_.cache_capacity_bytes);
-  auto policy = cache::make_policy(config_.policy, catalog, *estimator,
-                                   config_.policy_params);
+  auto policy =
+      core::registry::make_policy(config_.policy, catalog, *estimator);
 
   EventQueue events;
   MetricsCollector metrics;

@@ -10,8 +10,6 @@
 #include <memory>
 #include <string>
 
-#include "cache/factory.h"
-#include "net/estimator.h"
 #include "net/path_process.h"
 #include "sim/metrics.h"
 #include "workload/generator.h"
@@ -19,9 +17,16 @@
 namespace sc::sim {
 
 /// How the cache learns per-path bandwidth (§2.7).
+/// DEPRECATED: configure estimators with a spec string instead
+/// ("oracle", "ewma:alpha=0.3", "last", "probe:interval_s=3600"); the
+/// enum remains for pre-registry call sites.
 enum class EstimatorKind { kOracle, kPassiveEwma, kLastSample, kActiveProbe };
 
 [[nodiscard]] std::string to_string(EstimatorKind kind);
+
+/// Registry spec string equivalent to `kind` (e.g. kPassiveEwma ->
+/// "ewma"); bridges the deprecated enum onto the spec API.
+[[nodiscard]] std::string spec_for(EstimatorKind kind);
 
 /// Client interactivity (extension; the paper's §5 cites measurement
 /// studies showing most sessions terminate early). When enabled, each
@@ -48,18 +53,20 @@ struct PatchingConfig {
 
 struct SimulationConfig {
   double cache_capacity_bytes = 0.0;
-  cache::PolicyKind policy = cache::PolicyKind::kPB;
-  cache::PolicyParams policy_params{};
+
+  /// Replacement policy spec, resolved through core::registry
+  /// ("pb", "hybrid:e=0.5", "pbv:e=0.7", ...).
+  std::string policy = "pb";
+
+  /// Bandwidth estimator spec ("oracle", "ewma:alpha=0.3,prior_kbps=50",
+  /// "last", "probe:interval_s=3600"). The paper's simulations assume
+  /// the cache knows each path's average bandwidth, i.e. the oracle;
+  /// the others exist for the measurement-realism experiments. Tuning
+  /// knobs (EWMA alpha, probe interval, priors) are spec parameters.
+  std::string estimator = "oracle";
+
   ViewingConfig viewing{};
   PatchingConfig patching{};
-
-  /// The paper's simulations assume the cache knows each path's average
-  /// bandwidth, i.e. the oracle estimator. The others exist for the
-  /// measurement-realism experiments.
-  EstimatorKind estimator = EstimatorKind::kOracle;
-  double ewma_alpha = 0.3;               // PassiveEwma newest-sample weight
-  double estimator_prior_bps = 50.0 * 1024.0;  // unseen-path default
-  double reprobe_interval_s = 3600.0;    // ActiveProbe refresh period
 
   net::PathTableConfig path_config{};    // constant / iid / AR(1) variation
   double warmup_fraction = 0.5;          // fraction of trace used to warm

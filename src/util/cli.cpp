@@ -1,6 +1,10 @@
 #include "util/cli.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <stdexcept>
+
+#include "util/spec.h"
 
 namespace sc::util {
 
@@ -64,6 +68,32 @@ std::vector<std::string> Cli::flag_names() const {
   names.reserve(flags_.size());
   for (const auto& [k, _] : flags_) names.push_back(k);
   return names;
+}
+
+void Cli::check_unknown(const std::vector<std::string>& known) const {
+  for (const auto& [name, value] : flags_) {
+    (void)value;
+    if (std::find(known.begin(), known.end(), name) != known.end()) continue;
+    std::string message = "unknown flag --" + name;
+    if (const auto suggestion = closest_match(name, known)) {
+      message += "; did you mean --" + *suggestion + "?";
+    } else {
+      std::vector<std::string> dashed;
+      dashed.reserve(known.size());
+      for (const auto& k : known) dashed.push_back("--" + k);
+      message += " (known flags: " + join(dashed) + ")";
+    }
+    throw std::invalid_argument(message);
+  }
+}
+
+int guarded_main(int (*run)(int, char**), int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "error: %s\n", ex.what());
+    return 2;
+  }
 }
 
 }  // namespace sc::util

@@ -1,7 +1,10 @@
 // Small command-line flag parser shared by examples and bench binaries.
 //
 // Supports `--name=value`, `--name value`, and boolean `--name` forms.
-// Unknown flags are reported; positional arguments are collected in order.
+// Repeated flags resolve deterministically to the *last* occurrence on
+// the command line, regardless of which form each occurrence uses
+// (`--runs=3 --runs 5` yields "5"). Unknown flags are reported;
+// positional arguments are collected in order.
 #pragma once
 
 #include <map>
@@ -37,10 +40,21 @@ class Cli {
   /// Names of all flags that were passed (for unknown-flag diagnostics).
   [[nodiscard]] std::vector<std::string> flag_names() const;
 
+  /// Throw std::invalid_argument if any passed flag is not in `known`,
+  /// suggesting the closest known flag ("unknown flag --polciy; did you
+  /// mean --policy?"). Call after wiring all flags a binary accepts.
+  void check_unknown(const std::vector<std::string>& known) const;
+
  private:
   std::string program_;
   std::map<std::string, std::string> flags_;  // "" means bare boolean flag
   std::vector<std::string> positional_;
 };
+
+/// Run `run(argc, argv)`, mapping any uncaught std::exception (flag
+/// typos, bad specs, ...) to "error: ..." on stderr and exit code 2
+/// instead of std::terminate. Shared by every bench/example main().
+[[nodiscard]] int guarded_main(int (*run)(int, char**), int argc,
+                               char** argv);
 
 }  // namespace sc::util

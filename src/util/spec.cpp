@@ -1,0 +1,195 @@
+#include "util/spec.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace sc::util {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+Spec Spec::parse(const std::string& text) {
+  const std::string_view trimmed = trim(text);
+  if (trimmed.empty()) {
+    throw SpecError("empty spec (expected \"name[:key=value,...]\")");
+  }
+  const auto colon = trimmed.find(':');
+  Spec spec;
+  spec.name = to_lower(trim(trimmed.substr(0, colon)));
+  if (spec.name.empty()) {
+    throw SpecError("spec \"" + std::string(trimmed) + "\" has an empty name");
+  }
+  if (colon == std::string_view::npos) return spec;
+
+  std::string_view rest = trimmed.substr(colon + 1);
+  while (true) {
+    const auto comma = rest.find(',');
+    const std::string_view segment = trim(rest.substr(0, comma));
+    const auto eq = segment.find('=');
+    if (segment.empty() || eq == 0 || eq == std::string_view::npos ||
+        eq + 1 == segment.size()) {
+      throw SpecError("spec \"" + std::string(trimmed) +
+                      "\": malformed parameter \"" + std::string(segment) +
+                      "\" (expected key=value)");
+    }
+    std::string key = to_lower(trim(segment.substr(0, eq)));
+    if (spec.has(key)) {
+      throw SpecError("spec \"" + std::string(trimmed) +
+                      "\": duplicate parameter \"" + key + "\"");
+    }
+    spec.params.emplace_back(std::move(key),
+                             std::string(trim(segment.substr(eq + 1))));
+    if (comma == std::string_view::npos) break;
+    rest = rest.substr(comma + 1);
+  }
+  return spec;
+}
+
+std::string Spec::to_string() const {
+  std::string out = name;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    out += i == 0 ? ':' : ',';
+    out += params[i].first;
+    out += '=';
+    out += params[i].second;
+  }
+  return out;
+}
+
+bool Spec::has(std::string_view key) const {
+  return get(key).has_value();
+}
+
+std::optional<std::string> Spec::get(std::string_view key) const {
+  const std::string lowered = to_lower(key);
+  for (const auto& [k, v] : params) {
+    if (k == lowered) return v;
+  }
+  return std::nullopt;
+}
+
+std::string Spec::get_string(std::string_view key,
+                             const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+double Spec::get_double(std::string_view key, double fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  if (end == v->c_str() || *end != '\0') {
+    throw SpecError("spec \"" + to_string() + "\": parameter \"" +
+                    to_lower(key) + "\" expects a number, got \"" + *v + "\"");
+  }
+  return parsed;
+}
+
+long long Spec::get_int(std::string_view key, long long fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0') {
+    throw SpecError("spec \"" + to_string() + "\": parameter \"" +
+                    to_lower(key) + "\" expects an integer, got \"" + *v +
+                    "\"");
+  }
+  return parsed;
+}
+
+bool Spec::get_bool(std::string_view key, bool fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  const std::string lowered = to_lower(*v);
+  if (lowered == "1" || lowered == "true" || lowered == "yes" ||
+      lowered == "on") {
+    return true;
+  }
+  if (lowered == "0" || lowered == "false" || lowered == "no" ||
+      lowered == "off") {
+    return false;
+  }
+  throw SpecError("spec \"" + to_string() + "\": parameter \"" +
+                  to_lower(key) + "\" expects a boolean, got \"" + *v + "\"");
+}
+
+void Spec::require_only(const std::vector<std::string_view>& known) const {
+  for (const auto& [key, value] : params) {
+    (void)value;
+    if (std::find(known.begin(), known.end(), key) != known.end()) continue;
+    std::string valid;
+    if (known.empty()) {
+      valid = "\"" + name + "\" takes no parameters";
+    } else {
+      valid = "valid parameters for \"" + name + "\": " +
+              join(std::vector<std::string>(known.begin(), known.end()));
+    }
+    throw SpecError("spec \"" + to_string() + "\": unknown parameter \"" +
+                    key + "\" (" + valid + ")");
+  }
+}
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitution =
+          diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitution});
+    }
+  }
+  return row[b.size()];
+}
+
+std::optional<std::string> closest_match(
+    std::string_view input, const std::vector<std::string>& candidates,
+    std::size_t max_distance) {
+  const std::string lowered = to_lower(input);
+  std::optional<std::string> best;
+  std::size_t best_distance = max_distance + 1;
+  for (const auto& candidate : candidates) {
+    const std::size_t d = edit_distance(lowered, to_lower(candidate));
+    if (d < best_distance) {
+      best_distance = d;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+std::string join(const std::vector<std::string>& items,
+                 std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += separator;
+    out += items[i];
+  }
+  return out;
+}
+
+}  // namespace sc::util

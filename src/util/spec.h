@@ -1,0 +1,82 @@
+// Component spec strings: the textual construction grammar shared by
+// policies, bandwidth estimators, and scenarios.
+//
+// A spec is `name[:key=value[,key=value]...]`, e.g.
+//
+//   "pb"                         "hybrid:e=0.5"
+//   "ewma:alpha=0.3,prior_kbps=50"   "probe:interval_s=3600"
+//   "timeseries:path=taiwan"
+//
+// Names and keys are case-insensitive (canonicalized to lower case);
+// values keep their spelling. Parsing is purely lexical — which names
+// and parameters exist is the registry's business (core/registry.h).
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sc::util {
+
+/// Raised for malformed spec text, unknown names/parameters, and badly
+/// typed parameter values. Derives from std::invalid_argument so callers
+/// of the pre-spec APIs keep catching what they always caught.
+class SpecError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// A parsed component spec: canonical lower-case name plus ordered
+/// key=value parameters.
+struct Spec {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> params;
+
+  /// Parse `text`. Throws SpecError on empty names, malformed or empty
+  /// `key=value` segments, and duplicate keys.
+  [[nodiscard]] static Spec parse(const std::string& text);
+
+  /// Canonical form: lower-case name/keys, params in original order.
+  /// `to_string(parse(s))` is a fixed point of parse.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool has(std::string_view key) const;
+
+  /// Raw value of `key`, or nullopt when absent.
+  [[nodiscard]] std::optional<std::string> get(std::string_view key) const;
+
+  /// Typed lookups; throw SpecError when the value does not parse as the
+  /// requested type.
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] double get_double(std::string_view key, double fallback) const;
+  [[nodiscard]] long long get_int(std::string_view key,
+                                  long long fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+
+  /// Throw SpecError when a parameter outside `known` was given,
+  /// listing the valid parameters (or "takes no parameters").
+  void require_only(const std::vector<std::string_view>& known) const;
+};
+
+/// Lower-case copy of `s` (ASCII).
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// Levenshtein distance (insert/delete/substitute, unit costs).
+[[nodiscard]] std::size_t edit_distance(std::string_view a,
+                                        std::string_view b);
+
+/// The candidate closest to `input` (case-insensitive) if it is within
+/// `max_distance` edits; used for "did you mean" diagnostics.
+[[nodiscard]] std::optional<std::string> closest_match(
+    std::string_view input, const std::vector<std::string>& candidates,
+    std::size_t max_distance = 2);
+
+/// Comma-joined list for error messages ("a, b, c").
+[[nodiscard]] std::string join(const std::vector<std::string>& items,
+                               std::string_view separator = ", ");
+
+}  // namespace sc::util

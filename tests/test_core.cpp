@@ -17,7 +17,7 @@ TEST(Accelerator, ServesAndAdmits) {
 
   AcceleratorConfig cfg;
   cfg.capacity_bytes = 1e10;
-  cfg.policy = cache::PolicyKind::kPB;
+  cfg.policy = "pb";
   Accelerator acc(catalog, estimator, cfg);
   EXPECT_EQ(acc.policy_name(), "PB");
   EXPECT_DOUBLE_EQ(acc.occupancy_bytes(), 0.0);
@@ -91,7 +91,7 @@ ExperimentConfig small_experiment() {
   e.workload.catalog.num_objects = 150;
   e.workload.trace.num_requests = 6000;
   e.runs = 4;
-  e.sim.policy = cache::PolicyKind::kPB;
+  e.sim.policy = "pb";
   e.sim.cache_capacity_bytes =
       capacity_for_fraction(e.workload.catalog, 0.05);
   return e;
@@ -144,7 +144,7 @@ TEST(RunExperiment, SharedSeedsPairPoliciesOnSameWorkloads) {
   // and path tables: their traffic totals must coincide.
   auto cfg_pb = small_experiment();
   auto cfg_if = small_experiment();
-  cfg_if.sim.policy = cache::PolicyKind::kIF;
+  cfg_if.sim.policy = "if";
   const auto pb = run_experiment(cfg_pb, constant_scenario());
   const auto fi = run_experiment(cfg_if, constant_scenario());
   // Paired design: same request byte volume, different split.

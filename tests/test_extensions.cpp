@@ -24,7 +24,7 @@ workload::Workload make_workload(std::size_t objects, std::size_t requests,
 SimulationConfig pb_config(double capacity) {
   SimulationConfig cfg;
   cfg.cache_capacity_bytes = capacity;
-  cfg.policy = cache::PolicyKind::kPB;
+  cfg.policy = "pb";
   cfg.seed = 5;
   return cfg;
 }

@@ -13,15 +13,14 @@
 namespace sc::core {
 namespace {
 
-AveragedMetrics run_policy(cache::PolicyKind policy, const Scenario& scenario,
-                           double fraction, double e = 1.0) {
+AveragedMetrics run_policy(const std::string& policy,
+                           const Scenario& scenario, double fraction) {
   ExperimentConfig cfg;
   cfg.workload.catalog.num_objects = 600;
   cfg.workload.trace.num_requests = 30000;
   cfg.runs = 4;
   cfg.base_seed = 77;
   cfg.sim.policy = policy;
-  cfg.sim.policy_params.e = e;
   cfg.sim.cache_capacity_bytes =
       capacity_for_fraction(cfg.workload.catalog, fraction);
   return run_experiment(cfg, scenario);
@@ -29,9 +28,9 @@ AveragedMetrics run_policy(cache::PolicyKind policy, const Scenario& scenario,
 
 TEST(PaperShapes, Fig5ConstantBandwidthOrdering) {
   const auto scenario = constant_scenario();
-  const auto fi = run_policy(cache::PolicyKind::kIF, scenario, 0.05);
-  const auto pb = run_policy(cache::PolicyKind::kPB, scenario, 0.05);
-  const auto ib = run_policy(cache::PolicyKind::kIB, scenario, 0.05);
+  const auto fi = run_policy("if", scenario, 0.05);
+  const auto pb = run_policy("pb", scenario, 0.05);
+  const auto ib = run_policy("ib", scenario, 0.05);
 
   // (a) traffic reduction: IF > IB > PB.
   EXPECT_GT(fi.traffic_reduction, ib.traffic_reduction);
@@ -46,9 +45,9 @@ TEST(PaperShapes, Fig5ConstantBandwidthOrdering) {
 
 TEST(PaperShapes, Fig5CacheSizeMonotonicity) {
   const auto scenario = constant_scenario();
-  for (const auto kind : {cache::PolicyKind::kIF, cache::PolicyKind::kIB}) {
-    const auto small = run_policy(kind, scenario, 0.01);
-    const auto large = run_policy(kind, scenario, 0.10);
+  for (const std::string policy : {"if", "ib"}) {
+    const auto small = run_policy(policy, scenario, 0.01);
+    const auto large = run_policy(policy, scenario, 0.10);
     EXPECT_GT(large.traffic_reduction, small.traffic_reduction);
     EXPECT_LT(large.delay_s, small.delay_s);
   }
@@ -56,47 +55,44 @@ TEST(PaperShapes, Fig5CacheSizeMonotonicity) {
 
 TEST(PaperShapes, Fig7HighVariabilityErasesPbEdge) {
   const auto scenario = nlanr_variability_scenario();
-  const auto pb = run_policy(cache::PolicyKind::kPB, scenario, 0.10);
-  const auto ib = run_policy(cache::PolicyKind::kIB, scenario, 0.10);
+  const auto pb = run_policy("pb", scenario, 0.10);
+  const auto ib = run_policy("ib", scenario, 0.10);
   // §4.3: "IB caching is no worse than PB caching" under high variability.
   EXPECT_LE(ib.delay_s, pb.delay_s * 1.10);
 }
 
 TEST(PaperShapes, VariabilityInflatesDelayForAllPolicies) {
-  for (const auto kind :
-       {cache::PolicyKind::kIF, cache::PolicyKind::kPB,
-        cache::PolicyKind::kIB}) {
-    const auto constant = run_policy(kind, constant_scenario(), 0.05);
-    const auto variable = run_policy(kind, nlanr_variability_scenario(), 0.05);
-    EXPECT_GT(variable.delay_s, constant.delay_s)
-        << cache::to_string(kind);
-    EXPECT_LT(variable.quality, constant.quality + 1e-9)
-        << cache::to_string(kind);
+  for (const std::string policy : {"if", "pb", "ib"}) {
+    const auto constant = run_policy(policy, constant_scenario(), 0.05);
+    const auto variable =
+        run_policy(policy, nlanr_variability_scenario(), 0.05);
+    EXPECT_GT(variable.delay_s, constant.delay_s) << policy;
+    EXPECT_LT(variable.quality, constant.quality + 1e-9) << policy;
   }
 }
 
 TEST(PaperShapes, Fig8LowVariabilityRestoresPb) {
   const auto scenario = measured_variability_scenario();
-  const auto fi = run_policy(cache::PolicyKind::kIF, scenario, 0.05);
-  const auto pb = run_policy(cache::PolicyKind::kPB, scenario, 0.05);
+  const auto fi = run_policy("if", scenario, 0.05);
+  const auto pb = run_policy("pb", scenario, 0.05);
   EXPECT_LT(pb.delay_s, fi.delay_s);
   EXPECT_GT(pb.quality, fi.quality);
 }
 
 TEST(PaperShapes, Fig9TrafficFallsWithE) {
   const auto scenario = nlanr_variability_scenario();
-  const auto e0 = run_policy(cache::PolicyKind::kHybrid, scenario, 0.10, 0.0);
-  const auto e5 = run_policy(cache::PolicyKind::kHybrid, scenario, 0.10, 0.5);
-  const auto e1 = run_policy(cache::PolicyKind::kHybrid, scenario, 0.10, 1.0);
+  const auto e0 = run_policy("hybrid:e=0.0", scenario, 0.10);
+  const auto e5 = run_policy("hybrid:e=0.5", scenario, 0.10);
+  const auto e1 = run_policy("hybrid:e=1.0", scenario, 0.10);
   EXPECT_GT(e0.traffic_reduction, e5.traffic_reduction);
   EXPECT_GT(e5.traffic_reduction, e1.traffic_reduction);
 }
 
 TEST(PaperShapes, Fig10ValueOrderingConstantBandwidth) {
   const auto scenario = constant_scenario();
-  const auto fi = run_policy(cache::PolicyKind::kIF, scenario, 0.05);
-  const auto pbv = run_policy(cache::PolicyKind::kPBV, scenario, 0.05);
-  const auto ibv = run_policy(cache::PolicyKind::kIBV, scenario, 0.05);
+  const auto fi = run_policy("if", scenario, 0.05);
+  const auto pbv = run_policy("pbv", scenario, 0.05);
+  const auto ibv = run_policy("ibv", scenario, 0.05);
   EXPECT_GT(pbv.added_value, ibv.added_value);
   EXPECT_GT(ibv.added_value, fi.added_value);
   EXPECT_GT(fi.traffic_reduction, ibv.traffic_reduction);
@@ -105,9 +101,9 @@ TEST(PaperShapes, Fig10ValueOrderingConstantBandwidth) {
 
 TEST(PaperShapes, NetworkObliviousBaselinesTrailOnDelay) {
   const auto scenario = constant_scenario();
-  const auto pb = run_policy(cache::PolicyKind::kPB, scenario, 0.05);
-  const auto lru = run_policy(cache::PolicyKind::kLRU, scenario, 0.05);
-  const auto lfu = run_policy(cache::PolicyKind::kLFU, scenario, 0.05);
+  const auto pb = run_policy("pb", scenario, 0.05);
+  const auto lru = run_policy("lru", scenario, 0.05);
+  const auto lfu = run_policy("lfu", scenario, 0.05);
   EXPECT_LT(pb.delay_s, lru.delay_s);
   EXPECT_LT(pb.delay_s, lfu.delay_s);
 }
@@ -121,7 +117,7 @@ TEST(PaperShapes, OnlinePbApproachesOfflineOptimum) {
   cfg.workload.trace.num_requests = 40000;
   cfg.runs = 1;
   cfg.parallel = false;
-  cfg.sim.policy = cache::PolicyKind::kPB;
+  cfg.sim.policy = "pb";
   cfg.sim.cache_capacity_bytes =
       capacity_for_fraction(cfg.workload.catalog, 0.08);
 

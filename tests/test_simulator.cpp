@@ -20,7 +20,7 @@ workload::Workload make_workload(std::size_t objects, std::size_t requests,
 SimulationConfig base_config(double capacity) {
   SimulationConfig cfg;
   cfg.cache_capacity_bytes = capacity;
-  cfg.policy = cache::PolicyKind::kPB;
+  cfg.policy = "pb";
   cfg.seed = 9;
   return cfg;
 }
@@ -120,8 +120,7 @@ TEST(Simulator, VariabilityInflatesDelay) {
 TEST(Simulator, ActiveProbeAccountsOverhead) {
   const auto w = make_workload(50, 2000, 7);
   auto cfg = base_config(1e9);
-  cfg.estimator = EstimatorKind::kActiveProbe;
-  cfg.reprobe_interval_s = 60.0;
+  cfg.estimator = "probe:interval_s=60";
   Simulator sim(w, net::nlanr_base_model(), net::constant_variability_model(),
                 cfg);
   const auto r = sim.run();
@@ -130,22 +129,21 @@ TEST(Simulator, ActiveProbeAccountsOverhead) {
 
 TEST(Simulator, PassiveEstimatorsWork) {
   const auto w = make_workload(100, 8000, 8);
-  for (const auto kind : {EstimatorKind::kPassiveEwma,
-                          EstimatorKind::kLastSample}) {
+  for (const std::string spec : {"ewma:alpha=0.3,prior_kbps=50", "last"}) {
     auto cfg = base_config(2e10);
-    cfg.estimator = kind;
+    cfg.estimator = spec;
     Simulator sim(w, net::nlanr_base_model(),
                   net::constant_variability_model(), cfg);
     const auto r = sim.run();
-    EXPECT_EQ(r.estimator_overhead_packets, 0u) << to_string(kind);
-    EXPECT_GT(r.metrics.traffic_reduction_ratio(), 0.0) << to_string(kind);
+    EXPECT_EQ(r.estimator_overhead_packets, 0u) << spec;
+    EXPECT_GT(r.metrics.traffic_reduction_ratio(), 0.0) << spec;
   }
 }
 
 TEST(Simulator, OccupancyWithinCapacity) {
   const auto w = make_workload(300, 20000, 9);
   auto cfg = base_config(8e9);
-  cfg.policy = cache::PolicyKind::kIB;
+  cfg.policy = "ib";
   Simulator sim(w, net::nlanr_base_model(), net::constant_variability_model(),
                 cfg);
   const auto r = sim.run();
@@ -165,6 +163,15 @@ TEST(Simulator, RejectsInvalidConfig) {
 
   workload::Workload empty{w.catalog, {}};
   EXPECT_THROW(Simulator(empty, base, ratio, base_config(1e9)),
+               std::invalid_argument);
+
+  // Component specs are validated eagerly at construction.
+  auto bad_policy = base_config(1e9);
+  bad_policy.policy = "no-such-policy";
+  EXPECT_THROW(Simulator(w, base, ratio, bad_policy), std::invalid_argument);
+  auto bad_estimator = base_config(1e9);
+  bad_estimator.estimator = "ewma:frequency=9";  // unknown parameter
+  EXPECT_THROW(Simulator(w, base, ratio, bad_estimator),
                std::invalid_argument);
 }
 
@@ -186,6 +193,10 @@ TEST(Simulator, EstimatorKindNames) {
   EXPECT_EQ(to_string(EstimatorKind::kPassiveEwma), "passive-ewma");
   EXPECT_EQ(to_string(EstimatorKind::kLastSample), "last-sample");
   EXPECT_EQ(to_string(EstimatorKind::kActiveProbe), "active-probe");
+  EXPECT_EQ(spec_for(EstimatorKind::kOracle), "oracle");
+  EXPECT_EQ(spec_for(EstimatorKind::kPassiveEwma), "ewma");
+  EXPECT_EQ(spec_for(EstimatorKind::kLastSample), "last");
+  EXPECT_EQ(spec_for(EstimatorKind::kActiveProbe), "probe");
 }
 
 }  // namespace

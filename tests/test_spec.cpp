@@ -1,0 +1,128 @@
+#include "util/spec.h"
+
+#include <gtest/gtest.h>
+
+namespace sc::util {
+namespace {
+
+TEST(Spec, ParsesBareName) {
+  const auto spec = Spec::parse("pb");
+  EXPECT_EQ(spec.name, "pb");
+  EXPECT_TRUE(spec.params.empty());
+  EXPECT_EQ(spec.to_string(), "pb");
+}
+
+TEST(Spec, ParsesParams) {
+  const auto spec = Spec::parse("ewma:alpha=0.3,prior_kbps=50");
+  EXPECT_EQ(spec.name, "ewma");
+  ASSERT_EQ(spec.params.size(), 2u);
+  EXPECT_EQ(spec.params[0].first, "alpha");
+  EXPECT_EQ(spec.params[0].second, "0.3");
+  EXPECT_EQ(spec.params[1].first, "prior_kbps");
+  EXPECT_EQ(spec.params[1].second, "50");
+}
+
+TEST(Spec, RoundTripIsFixedPoint) {
+  for (const std::string text :
+       {"pb", "hybrid:e=0.5", "ewma:alpha=0.3,prior_kbps=50",
+        "probe:interval_s=3600", "timeseries:path=taiwan"}) {
+    const auto canonical = Spec::parse(text).to_string();
+    EXPECT_EQ(canonical, text);
+    EXPECT_EQ(Spec::parse(canonical).to_string(), canonical);
+  }
+}
+
+TEST(Spec, CaseInsensitiveNamesAndKeys) {
+  const auto spec = Spec::parse("HYBRID:E=0.5");
+  EXPECT_EQ(spec.name, "hybrid");
+  EXPECT_EQ(spec.to_string(), "hybrid:e=0.5");
+  EXPECT_TRUE(spec.has("e"));
+  EXPECT_TRUE(spec.has("E"));
+  EXPECT_DOUBLE_EQ(spec.get_double("e", 0.0), 0.5);
+  // Values keep their spelling.
+  EXPECT_EQ(Spec::parse("timeseries:path=Taiwan").get_string("path", ""),
+            "Taiwan");
+}
+
+TEST(Spec, TrimsWhitespace) {
+  const auto spec = Spec::parse("  hybrid : e = 0.5 ");
+  EXPECT_EQ(spec.name, "hybrid");
+  EXPECT_DOUBLE_EQ(spec.get_double("e", 0.0), 0.5);
+}
+
+TEST(Spec, MalformedInputsThrow) {
+  EXPECT_THROW((void)Spec::parse(""), SpecError);
+  EXPECT_THROW((void)Spec::parse("  "), SpecError);
+  EXPECT_THROW((void)Spec::parse(":e=1"), SpecError);
+  EXPECT_THROW((void)Spec::parse("pb:"), SpecError);
+  EXPECT_THROW((void)Spec::parse("pb:e"), SpecError);
+  EXPECT_THROW((void)Spec::parse("pb:=1"), SpecError);
+  EXPECT_THROW((void)Spec::parse("pb:e="), SpecError);
+  EXPECT_THROW((void)Spec::parse("pb:e=1,,f=2"), SpecError);
+  EXPECT_THROW((void)Spec::parse("pb:e=1,e=2"), SpecError);  // duplicate
+}
+
+TEST(Spec, SpecErrorIsInvalidArgument) {
+  // Pre-spec call sites catch std::invalid_argument; SpecError must
+  // remain catchable there.
+  EXPECT_THROW((void)Spec::parse(""), std::invalid_argument);
+}
+
+TEST(Spec, TypedGetters) {
+  const auto spec = Spec::parse("x:a=1.5,b=7,c=yes,d=oops");
+  EXPECT_DOUBLE_EQ(spec.get_double("a", 0.0), 1.5);
+  EXPECT_EQ(spec.get_int("b", 0), 7);
+  EXPECT_TRUE(spec.get_bool("c", false));
+  EXPECT_DOUBLE_EQ(spec.get_double("missing", 9.0), 9.0);
+  EXPECT_EQ(spec.get_int("missing", 4), 4);
+  EXPECT_FALSE(spec.get_bool("missing", false));
+  EXPECT_THROW((void)spec.get_double("d", 0.0), SpecError);
+  EXPECT_THROW((void)spec.get_int("a", 0), SpecError);  // "1.5" not integer
+  EXPECT_THROW((void)spec.get_bool("b", false), SpecError);
+}
+
+TEST(Spec, RequireOnlyRejectsUnknownParams) {
+  const auto spec = Spec::parse("hybrid:e=0.5,f=1");
+  try {
+    spec.require_only({"e"});
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& ex) {
+    const std::string message = ex.what();
+    EXPECT_NE(message.find("unknown parameter \"f\""), std::string::npos);
+    EXPECT_NE(message.find("valid parameters"), std::string::npos);
+    EXPECT_NE(message.find("e"), std::string::npos);
+  }
+  EXPECT_NO_THROW(Spec::parse("hybrid:e=0.5").require_only({"e"}));
+  try {
+    Spec::parse("pb:e=1").require_only({});
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& ex) {
+    EXPECT_NE(std::string(ex.what()).find("takes no parameters"),
+              std::string::npos);
+  }
+}
+
+TEST(EditDistance, ClassicCases) {
+  EXPECT_EQ(edit_distance("", ""), 0u);
+  EXPECT_EQ(edit_distance("abc", "abc"), 0u);
+  EXPECT_EQ(edit_distance("abc", ""), 3u);
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);
+  EXPECT_EQ(edit_distance("polciy", "policy"), 2u);  // transposition
+}
+
+TEST(ClosestMatch, SuggestsWithinThreshold) {
+  const std::vector<std::string> candidates = {"policy", "estimator",
+                                               "scenario"};
+  EXPECT_EQ(closest_match("polciy", candidates).value_or(""), "policy");
+  EXPECT_EQ(closest_match("ESTIMATOR", candidates).value_or(""), "estimator");
+  EXPECT_FALSE(closest_match("zzzzzz", candidates).has_value());
+}
+
+TEST(Join, FormatsLists) {
+  EXPECT_EQ(join({}), "");
+  EXPECT_EQ(join({"a"}), "a");
+  EXPECT_EQ(join({"a", "b", "c"}), "a, b, c");
+}
+
+}  // namespace
+}  // namespace sc::util

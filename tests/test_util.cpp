@@ -59,6 +59,48 @@ TEST(Cli, FlagNamesEnumerated) {
   EXPECT_EQ(names, (std::vector<std::string>{"a", "b"}));
 }
 
+TEST(Cli, RepeatedFlagLastWinsAcrossForms) {
+  // Deterministic last-wins, regardless of which form each occurrence
+  // uses: --name=value then --name value, and the reverse.
+  const char* argv[] = {"prog", "--runs=3", "--runs", "5", "--e", "1",
+                        "--e=2"};
+  const Cli cli(7, argv);
+  EXPECT_EQ(cli.get_or("runs", 0LL), 5);
+  EXPECT_EQ(cli.get_or("e", 0LL), 2);
+}
+
+TEST(Cli, UnknownFlagSuggestsClosest) {
+  const char* argv[] = {"prog", "--polciy=pb"};
+  const Cli cli(2, argv);
+  try {
+    cli.check_unknown({"policy", "estimator", "scenario"});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& ex) {
+    const std::string message = ex.what();
+    EXPECT_NE(message.find("--polciy"), std::string::npos);
+    EXPECT_NE(message.find("did you mean --policy"), std::string::npos);
+  }
+}
+
+TEST(Cli, UnknownFlagWithoutCloseMatchListsKnown) {
+  const char* argv[] = {"prog", "--zzzzz=1"};
+  const Cli cli(2, argv);
+  try {
+    cli.check_unknown({"policy", "runs"});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& ex) {
+    const std::string message = ex.what();
+    EXPECT_NE(message.find("--policy"), std::string::npos);
+    EXPECT_NE(message.find("--runs"), std::string::npos);
+  }
+}
+
+TEST(Cli, KnownFlagsPassCheck) {
+  const char* argv[] = {"prog", "--policy=pb", "--runs=3"};
+  const Cli cli(3, argv);
+  EXPECT_NO_THROW(cli.check_unknown({"policy", "runs", "seed"}));
+}
+
 TEST(Csv, EscapingRules) {
   EXPECT_EQ(csv_escape("plain"), "plain");
   EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
