@@ -33,6 +33,7 @@ core::ExperimentConfig make_experiment(const bench::FigureConfig& cfg,
   e.runs = cfg.runs;
   e.base_seed = cfg.seed;
   e.parallel = cfg.parallel;
+  e.threads = cfg.threads;
   e.sim.estimator = cfg.estimator;
   e.sim.cache_capacity_bytes =
       core::capacity_for_fraction(e.workload.catalog, fraction);

@@ -1,12 +1,62 @@
 #include "bench/harness.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <new>
+#include <stdexcept>
 
 #include "core/registry.h"
+#include "core/sweep.h"
+#include "util/thread_pool.h"
+
+// ---------------------------------------------------------------------
+// Global allocation counter. Every bench binary links this translation
+// unit, so operator new is replaced process-wide with a malloc wrapper
+// that bumps an atomic. This is how --json reports allocations/request
+// and how the hot-path zero-allocation claim is measured (docs/PERF.md).
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 namespace sc::bench {
+
+std::uint64_t allocation_count() noexcept {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+namespace {
+SweepTelemetry g_last_telemetry;
+}  // namespace
+
+const SweepTelemetry& last_sweep_telemetry() { return g_last_telemetry; }
 
 FigureConfig parse_figure_args(int argc, char** argv,
                                const std::string& default_csv) {
@@ -17,7 +67,10 @@ FigureConfig parse_figure_args(int argc, char** argv,
         "  --quick              4 runs x 30,000 requests (CI smoke)\n"
         "  --runs=N --requests=N --objects=N --zipf=A --seed=S\n"
         "  --csv=PATH           series output (default %s)\n"
-        "  --parallel=0|1       replications on a thread pool\n"
+        "  --json=PATH          machine-readable perf record of the sweep\n"
+        "  --threads=N          sweep workers (0 = all cores, 1 = serial;\n"
+        "                       results identical for every N)\n"
+        "  --parallel=0|1       run the sweep on a thread pool\n"
         "  --policy=<spec>      override the figure's policy set\n"
         "  --estimator=<spec>   bandwidth estimator (default oracle)\n"
         "  --scenario=<spec>    override the figure's scenario\n\n%s",
@@ -26,8 +79,8 @@ FigureConfig parse_figure_args(int argc, char** argv,
     std::exit(0);
   }
   cli.check_unknown({"quick", "runs", "requests", "objects", "zipf", "seed",
-                     "csv", "parallel", "policy", "estimator", "scenario",
-                     "help"});
+                     "csv", "json", "threads", "parallel", "policy",
+                     "estimator", "scenario", "help"});
   FigureConfig cfg;
   if (cli.get_or("quick", false)) {
     cfg.runs = 4;
@@ -44,7 +97,17 @@ FigureConfig parse_figure_args(int argc, char** argv,
   cfg.seed = static_cast<std::uint64_t>(
       cli.get_or("seed", static_cast<long long>(cfg.seed)));
   cfg.csv_path = cli.get_or("csv", default_csv);
+  cfg.json_path = cli.get_or("json", std::string());
   cfg.parallel = cli.get_or("parallel", true);
+  const long long threads = cli.get_or("threads", 0LL);
+  if (threads < 0) {
+    throw std::invalid_argument(
+        "--threads must be >= 0 (0 = all cores, 1 = serial)");
+  }
+  cfg.threads = static_cast<std::size_t>(threads);
+  const std::string& prog = cli.program();
+  const auto slash = prog.find_last_of('/');
+  cfg.bench_name = slash == std::string::npos ? prog : prog.substr(slash + 1);
   cfg.estimator = cli.get_or("estimator", cfg.estimator);
   core::registry::validate(core::registry::Kind::kEstimator, cfg.estimator);
   if (const auto v = cli.get("policy")) {
@@ -90,6 +153,8 @@ core::ExperimentConfig base_experiment(const FigureConfig& config) {
   e.runs = config.runs;
   e.base_seed = config.seed;
   e.parallel = config.parallel;
+  e.threads = config.threads;
+  e.sim.estimator = config.estimator;
   return e;
 }
 
@@ -107,29 +172,86 @@ std::vector<SweepPoint> sweep_alpha_and_cache(
     const FigureConfig& config, const core::Scenario& scenario,
     const std::vector<PolicySpec>& policies,
     const std::vector<double>& alphas, const std::vector<double>& fractions) {
+  // Flatten the whole grid into one SweepRunner task list: workloads are
+  // shared per (alpha, replication) and the pool spans every point.
   std::vector<SweepPoint> points;
+  std::vector<core::SweepCell> cells;
   points.reserve(policies.size() * alphas.size() * fractions.size());
+  cells.reserve(points.capacity());
   for (const double alpha : alphas) {
     for (const auto& policy : policies) {
       for (const double fraction : fractions) {
-        core::ExperimentConfig e = base_experiment(config);
-        e.workload.trace.zipf_alpha = alpha;
-        e.sim.policy = policy.spec;
-        e.sim.estimator = config.estimator;
-        e.sim.cache_capacity_bytes =
-            core::capacity_for_fraction(e.workload.catalog, fraction);
-
+        cells.push_back(core::SweepCell{policy.spec, alpha, fraction});
         SweepPoint p;
         p.policy = policy.label;
         p.cache_fraction = fraction;
         p.zipf_alpha = alpha;
         p.param_e = policy.param_e;
-        p.metrics = core::run_experiment(e, scenario);
         points.push_back(std::move(p));
       }
     }
   }
+
+  core::SweepRunner runner(base_experiment(config), scenario);
+  const std::uint64_t allocs_before = allocation_count();
+  const auto start = std::chrono::steady_clock::now();
+  const auto metrics = runner.run(cells);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    points[i].metrics = metrics[i];
+  }
+
+  SweepTelemetry t;
+  t.wall_s = elapsed.count();
+  t.simulations = cells.size() * config.runs;
+  t.requests_simulated = t.simulations * config.requests;
+  t.workloads_generated = alphas.size() * config.runs;
+  t.threads = !config.parallel || config.threads == 1
+                  ? 1
+                  : (config.threads == 0 ? util::ThreadPool::default_threads()
+                                         : config.threads);
+  t.allocations = allocation_count() - allocs_before;
+  g_last_telemetry = t;
+  if (!config.json_path.empty()) {
+    write_bench_json(config, t, config.json_path);
+  }
   return points;
+}
+
+void write_bench_json(const FigureConfig& config,
+                      const SweepTelemetry& telemetry,
+                      const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  const double reqs = static_cast<double>(telemetry.requests_simulated);
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"bench\": \"%s\",\n"
+      "  \"threads\": %zu,\n"
+      "  \"runs\": %zu,\n"
+      "  \"requests_per_run\": %zu,\n"
+      "  \"objects\": %zu,\n"
+      "  \"simulations\": %zu,\n"
+      "  \"workloads_generated\": %zu,\n"
+      "  \"requests_simulated\": %zu,\n"
+      "  \"wall_s\": %.6f,\n"
+      "  \"requests_per_sec\": %.0f,\n"
+      "  \"allocations\": %llu,\n"
+      "  \"allocations_per_request\": %.6f\n"
+      "}\n",
+      config.bench_name.c_str(), telemetry.threads, config.runs,
+      config.requests, config.objects, telemetry.simulations,
+      telemetry.workloads_generated, telemetry.requests_simulated,
+      telemetry.wall_s, telemetry.wall_s > 0 ? reqs / telemetry.wall_s : 0.0,
+      static_cast<unsigned long long>(telemetry.allocations),
+      reqs > 0 ? static_cast<double>(telemetry.allocations) / reqs : 0.0);
+  std::fclose(f);
+  std::printf("[perf record written to %s]\n", path.c_str());
 }
 
 std::string metric_name(Metric metric) {

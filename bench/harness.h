@@ -5,15 +5,24 @@
 //   --runs N             replications per point (default 10, as in the paper)
 //   --requests N         trace length (default 100,000)
 //   --objects N          catalog size (default 5,000)
+//   --threads N          sweep worker threads (0 = all cores, 1 = serial)
 //   --csv PATH           where to write the series (default <bench>.csv)
+//   --json PATH          machine-readable perf record of the sweep
 //   --policy <spec>      override the figure's policy set with one spec
 //   --estimator <spec>   bandwidth estimator spec (default "oracle")
 //   --scenario <spec>    override the figure's bandwidth scenario
 //   --help               list flags and every registered component spec
 // and prints the paper-exhibit series as a table plus an ASCII chart.
 // Unknown flags fail with a did-you-mean suggestion.
+//
+// Sweeps execute on the core::SweepRunner engine: the full (policy,
+// alpha, fraction, replication) grid is one task list on one thread
+// pool, and per-(alpha, replication) workloads are generated once and
+// shared across every policy and cache size. Results are bit-identical
+// for any --threads value (see core/sweep.h).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -33,6 +42,15 @@ struct FigureConfig {
   std::uint64_t seed = 42;
   std::string csv_path;
   bool parallel = true;
+  /// Sweep worker threads: 0 = all cores (process-wide shared pool),
+  /// 1 = inline serial, else a dedicated pool of that size.
+  std::size_t threads = 0;
+  /// When non-empty, the sweep writes a machine-readable perf record
+  /// (wall time, requests/sec, allocations/request) here; the last
+  /// sweep of the binary wins.
+  std::string json_path;
+  /// Binary basename, stamped into the perf record.
+  std::string bench_name;
   /// Bandwidth estimator spec applied to every sweep point.
   std::string estimator = "oracle";
   /// When set, replaces the figure's default policy set / scenario.
@@ -105,6 +123,28 @@ void print_panel(const std::vector<SweepPoint>& points, Metric metric,
 
 /// Write every point and metric to CSV.
 void write_points_csv(const std::vector<SweepPoint>& points,
+                      const std::string& path);
+
+/// Perf telemetry of the most recent sweep_* call in this process.
+struct SweepTelemetry {
+  double wall_s = 0.0;
+  std::size_t simulations = 0;         // cells x replications
+  std::size_t requests_simulated = 0;  // simulations x trace length
+  std::size_t workloads_generated = 0; // distinct (alpha, replication)
+  std::size_t threads = 0;             // resolved worker count
+  std::uint64_t allocations = 0;       // operator new calls in the sweep
+};
+[[nodiscard]] const SweepTelemetry& last_sweep_telemetry();
+
+/// Total global operator new calls so far in this binary (the harness
+/// replaces operator new with a counting wrapper; see harness.cpp).
+[[nodiscard]] std::uint64_t allocation_count() noexcept;
+
+/// Write `telemetry` (plus workload shape from `config`) as a one-object
+/// JSON file — the BENCH_*.json format consumed by the CI perf-smoke
+/// job; see docs/PERF.md.
+void write_bench_json(const FigureConfig& config,
+                      const SweepTelemetry& telemetry,
                       const std::string& path);
 
 }  // namespace sc::bench

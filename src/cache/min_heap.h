@@ -19,7 +19,11 @@ class IndexedMinHeap {
   static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
 
   explicit IndexedMinHeap(std::size_t id_capacity)
-      : pos_(id_capacity, kNpos) {}
+      : pos_(id_capacity, kNpos) {
+    // Every id can be present at most once, so reserving id_capacity
+    // makes push() allocation-free for the heap's whole lifetime.
+    heap_.reserve(id_capacity);
+  }
 
   [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }

@@ -10,9 +10,8 @@ PartialStore::PartialStore(double capacity_bytes) : capacity_(capacity_bytes) {
   }
 }
 
-double PartialStore::cached(ObjectId id) const {
-  const auto it = cached_.find(id);
-  return it == cached_.end() ? 0.0 : it->second;
+void PartialStore::reserve(std::size_t max_objects) {
+  if (max_objects > cached_.size()) cached_.resize(max_objects, 0.0);
 }
 
 void PartialStore::set_cached(ObjectId id, double bytes) {
@@ -27,25 +26,37 @@ void PartialStore::set_cached(ObjectId id, double bytes) {
     throw std::length_error("PartialStore::set_cached: over capacity");
   }
   if (bytes == 0.0) {
-    cached_.erase(id);
-  } else {
-    cached_[id] = bytes;
+    erase(id);
+    return;
   }
+  if (id >= cached_.size()) cached_.resize(id + 1, 0.0);
+  if (current == 0.0) ++count_;
+  cached_[id] = bytes;
   used_ += delta;
   if (used_ < 0) used_ = 0;  // guard accumulated rounding
 }
 
 void PartialStore::erase(ObjectId id) {
-  const auto it = cached_.find(id);
-  if (it == cached_.end()) return;
-  used_ -= it->second;
+  if (id >= cached_.size() || cached_[id] == 0.0) return;
+  used_ -= cached_[id];
   if (used_ < 0) used_ = 0;
-  cached_.erase(it);
+  cached_[id] = 0.0;
+  --count_;
 }
 
 void PartialStore::clear() {
-  cached_.clear();
+  cached_.assign(cached_.size(), 0.0);
   used_ = 0.0;
+  count_ = 0;
+}
+
+std::vector<std::pair<ObjectId, double>> PartialStore::contents() const {
+  std::vector<std::pair<ObjectId, double>> out;
+  out.reserve(count_);
+  for (ObjectId id = 0; id < cached_.size(); ++id) {
+    if (cached_[id] > 0.0) out.emplace_back(id, cached_[id]);
+  }
+  return out;
 }
 
 }  // namespace sc::cache

@@ -4,10 +4,18 @@
 // (x_i in the paper), under a hard capacity constraint. The paper (§2.7)
 // restricts partial caching to prefixes so that joint cache+origin
 // delivery needs no interval bookkeeping; the store models exactly that.
+//
+// Object ids are dense (the catalog assigns id == index), so the store
+// keeps prefix sizes in a flat array indexed by id: every lookup and
+// update is one bounds-checked array access, and the per-request hot
+// path performs no hashing and no allocation once the array has grown to
+// the largest id seen (reserve() up front makes it allocation-free from
+// the first request).
 #pragma once
 
 #include <cstddef>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "workload/object_catalog.h"
 
@@ -23,39 +31,42 @@ class PartialStore {
   [[nodiscard]] double used() const noexcept { return used_; }
   [[nodiscard]] double free_space() const noexcept { return capacity_ - used_; }
 
-  /// Cached prefix bytes of object `id` (0 if absent).
-  [[nodiscard]] double cached(ObjectId id) const;
+  /// Pre-size the id array (e.g. to the catalog size) so the hot path
+  /// never reallocates.
+  void reserve(std::size_t max_objects);
 
-  [[nodiscard]] bool contains(ObjectId id) const {
-    return cached_.find(id) != cached_.end();
+  /// Cached prefix bytes of object `id` (0 if absent).
+  [[nodiscard]] double cached(ObjectId id) const noexcept {
+    return id < cached_.size() ? cached_[id] : 0.0;
+  }
+
+  [[nodiscard]] bool contains(ObjectId id) const noexcept {
+    return cached(id) > 0.0;
   }
 
   /// Number of objects with a non-empty cached prefix.
-  [[nodiscard]] std::size_t object_count() const noexcept {
-    return cached_.size();
-  }
+  [[nodiscard]] std::size_t object_count() const noexcept { return count_; }
 
   /// Set the cached prefix of `id` to exactly `bytes` (grow or shrink).
   /// Throws std::invalid_argument on negative sizes and std::length_error
-  /// if growth would exceed capacity.
+  /// if growth would exceed capacity (accounting untouched on throw).
   void set_cached(ObjectId id, double bytes);
 
   /// Remove the object entirely. No-op if absent.
   void erase(ObjectId id);
 
-  /// Drop everything.
+  /// Drop everything (keeps the id array's storage).
   void clear();
 
-  /// Iteration over (id, cached bytes).
-  [[nodiscard]] const std::unordered_map<ObjectId, double>& contents()
-      const noexcept {
-    return cached_;
-  }
+  /// Snapshot of (id, cached bytes) pairs, sorted by id. Materialized on
+  /// each call; intended for tests and reporting, not the hot path.
+  [[nodiscard]] std::vector<std::pair<ObjectId, double>> contents() const;
 
  private:
   double capacity_;
   double used_ = 0.0;
-  std::unordered_map<ObjectId, double> cached_;
+  std::size_t count_ = 0;
+  std::vector<double> cached_;  // indexed by ObjectId; 0 means absent
 };
 
 }  // namespace sc::cache

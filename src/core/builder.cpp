@@ -66,6 +66,11 @@ ExperimentBuilder& ExperimentBuilder::parallel(bool on) {
   return *this;
 }
 
+ExperimentBuilder& ExperimentBuilder::threads(std::size_t n) {
+  config_.threads = n;
+  return *this;
+}
+
 ExperimentBuilder& ExperimentBuilder::warmup_fraction(double fraction) {
   config_.sim.warmup_fraction = fraction;
   return *this;
@@ -120,6 +125,15 @@ ExperimentBuilder& ExperimentBuilder::from_cli(const util::Cli& cli) {
     seed(static_cast<std::uint64_t>(cli.get_or("seed", 0LL)));
   }
   if (cli.has("parallel")) parallel(cli.get_or("parallel", true));
+  if (cli.has("threads")) {
+    (void)require_value(cli, "threads");
+    const long long n = cli.get_or("threads", 0LL);
+    if (n < 0) {
+      throw util::SpecError(
+          "--threads must be >= 0 (0 = all cores, 1 = serial)");
+    }
+    threads(static_cast<std::size_t>(n));
+  }
   if (cli.has("warmup")) {
     (void)require_value(cli, "warmup");
     warmup_fraction(cli.get_or("warmup", 0.5));
@@ -164,9 +178,9 @@ ExperimentBuilder& ExperimentBuilder::from_cli(const util::Cli& cli) {
 }
 
 std::vector<std::string> ExperimentBuilder::cli_flags() {
-  return {"policy", "estimator", "scenario",   "objects", "requests",
-          "zipf",   "runs",      "seed",       "parallel", "warmup",
-          "viewing", "patching", "cache-frac", "e"};
+  return {"policy",  "estimator", "scenario",   "objects", "requests",
+          "zipf",    "runs",      "seed",       "parallel", "threads",
+          "warmup",  "viewing",   "patching",   "cache-frac", "e"};
 }
 
 std::string ExperimentBuilder::cli_help() {
@@ -177,7 +191,7 @@ std::string ExperimentBuilder::cli_help() {
       "  --scenario=<spec>    bandwidth scenario (default constant)\n"
       "  --cache-frac=F       cache size as fraction of corpus\n"
       "  --objects=N --requests=N --runs=N --zipf=A --seed=S\n"
-      "  --warmup=F --parallel=0|1 --viewing --patching\n"
+      "  --warmup=F --parallel=0|1 --threads=N --viewing --patching\n"
       "  --e=E                legacy: e parameter for hybrid/pbv specs\n\n" +
       registry::help();
 }

@@ -45,6 +45,9 @@ class ExperimentBuilder {
   ExperimentBuilder& runs(std::size_t n);
   ExperimentBuilder& seed(std::uint64_t seed);
   ExperimentBuilder& parallel(bool on);
+  /// Worker threads for the execution engine (0 = all cores, 1 =
+  /// serial). Results are identical for every value; see core/sweep.h.
+  ExperimentBuilder& threads(std::size_t n);
   ExperimentBuilder& warmup_fraction(double fraction);
   ExperimentBuilder& viewing(bool on);
   ExperimentBuilder& patching(bool on);

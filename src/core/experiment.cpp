@@ -1,10 +1,9 @@
 #include "core/experiment.h"
 
 #include <cmath>
-#include <future>
 #include <stdexcept>
 
-#include "stats/summary.h"
+#include "core/sweep.h"
 
 namespace sc::core {
 
@@ -32,97 +31,16 @@ Scenario timeseries_scenario(net::MeasuredPath path) {
                   net::VariationMode::kTimeSeries};
 }
 
-namespace {
-
-struct RunOutcome {
-  double traffic = 0.0;
-  double delay = 0.0;
-  double quality = 0.0;
-  double value = 0.0;
-  double hit = 0.0;
-  double immediate = 0.0;
-  double fill = 0.0;
-  double occupancy = 0.0;
-};
-
-RunOutcome one_run(const ExperimentConfig& config, const Scenario& scenario,
-                   std::size_t run_index) {
-  util::Rng run_rng(util::splitmix64(config.base_seed + 0x9e37 * run_index));
-  util::Rng workload_rng = run_rng.fork("workload");
-  const workload::Workload w =
-      workload::generate_workload(config.workload, workload_rng);
-
-  sim::SimulationConfig sim_config = config.sim;
-  sim_config.seed = run_rng.fork("paths").seed();
-  sim_config.path_config.mode = scenario.mode;
-
-  sim::Simulator simulator(w, scenario.base, scenario.ratio, sim_config);
-  const sim::SimulationResult r = simulator.run();
-
-  RunOutcome out;
-  out.traffic = r.metrics.traffic_reduction_ratio();
-  out.delay = r.metrics.average_delay_s();
-  out.quality = r.metrics.average_quality();
-  out.value = r.metrics.total_added_value();
-  out.hit = r.metrics.hit_ratio();
-  out.immediate = r.metrics.immediate_ratio();
-  out.fill = r.metrics.fill_bytes();
-  out.occupancy = r.final_occupancy_bytes;
-  return out;
-}
-
-}  // namespace
-
 AveragedMetrics run_experiment(const ExperimentConfig& config,
                                const Scenario& scenario) {
   if (config.runs == 0) {
     throw std::invalid_argument("run_experiment: runs == 0");
   }
-  std::vector<RunOutcome> outcomes(config.runs);
-  if (config.parallel && config.runs > 1) {
-    std::vector<std::future<RunOutcome>> futures;
-    futures.reserve(config.runs);
-    for (std::size_t r = 0; r < config.runs; ++r) {
-      futures.push_back(std::async(std::launch::async, one_run,
-                                   std::cref(config), std::cref(scenario), r));
-    }
-    for (std::size_t r = 0; r < config.runs; ++r) {
-      outcomes[r] = futures[r].get();
-    }
-  } else {
-    for (std::size_t r = 0; r < config.runs; ++r) {
-      outcomes[r] = one_run(config, scenario, r);
-    }
-  }
-
-  stats::RunningStats traffic, delay, quality, value, hit, immediate, fill,
-      occupancy;
-  for (const auto& o : outcomes) {
-    traffic.add(o.traffic);
-    delay.add(o.delay);
-    quality.add(o.quality);
-    value.add(o.value);
-    hit.add(o.hit);
-    immediate.add(o.immediate);
-    fill.add(o.fill);
-    occupancy.add(o.occupancy);
-  }
-
-  AveragedMetrics m;
-  m.runs = config.runs;
-  m.traffic_reduction = traffic.mean();
-  m.traffic_reduction_sd = traffic.stddev();
-  m.delay_s = delay.mean();
-  m.delay_s_sd = delay.stddev();
-  m.quality = quality.mean();
-  m.quality_sd = quality.stddev();
-  m.added_value = value.mean();
-  m.added_value_sd = value.stddev();
-  m.hit_ratio = hit.mean();
-  m.immediate_ratio = immediate.mean();
-  m.fill_bytes = fill.mean();
-  m.occupancy_bytes = occupancy.mean();
-  return m;
+  // A single-cell sweep: replications share the engine's task list (and
+  // its pool), and callers that sweep many configurations should use
+  // SweepRunner directly to additionally share workloads across cells.
+  SweepRunner runner(config, scenario);
+  return runner.run({SweepCell{}}).front();
 }
 
 double capacity_for_fraction(const workload::CatalogConfig& catalog,

@@ -50,8 +50,13 @@ struct ExperimentConfig {
   /// Independent replications; the paper averages ten runs per point.
   std::size_t runs = 10;
   std::uint64_t base_seed = 42;
-  /// Run replications on a thread pool (results independent of ordering).
+  /// Run replications on a thread pool. Results are bit-identical to the
+  /// serial path regardless (see core/sweep.h).
   bool parallel = true;
+  /// Worker count when parallel: 0 = the process-wide shared pool
+  /// (util::ThreadPool::default_threads()), 1 = inline serial, else a
+  /// dedicated pool of that size.
+  std::size_t threads = 0;
 };
 
 /// Run `config.runs` independent replications (fresh workload and path

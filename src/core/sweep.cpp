@@ -1,0 +1,181 @@
+#include "core/sweep.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/registry.h"
+#include "stats/summary.h"
+#include "util/thread_pool.h"
+
+namespace sc::core {
+
+namespace {
+
+/// Raw per-replication measurements, reduced into AveragedMetrics in run
+/// order (the fold order matters for floating-point bit-identity).
+struct RunOutcome {
+  double traffic = 0.0;
+  double delay = 0.0;
+  double quality = 0.0;
+  double value = 0.0;
+  double hit = 0.0;
+  double immediate = 0.0;
+  double fill = 0.0;
+  double occupancy = 0.0;
+};
+
+/// One simulation over an already-generated workload. Pure function of
+/// its arguments: safe to run from any thread in any order.
+RunOutcome simulate_one(const workload::Workload& w, const Scenario& scenario,
+                        sim::SimulationConfig sim_config,
+                        std::uint64_t path_seed) {
+  sim_config.seed = path_seed;
+  sim_config.path_config.mode = scenario.mode;
+  sim::Simulator simulator(w, scenario.base, scenario.ratio, sim_config);
+  const sim::SimulationResult r = simulator.run();
+
+  RunOutcome out;
+  out.traffic = r.metrics.traffic_reduction_ratio();
+  out.delay = r.metrics.average_delay_s();
+  out.quality = r.metrics.average_quality();
+  out.value = r.metrics.total_added_value();
+  out.hit = r.metrics.hit_ratio();
+  out.immediate = r.metrics.immediate_ratio();
+  out.fill = r.metrics.fill_bytes();
+  out.occupancy = r.final_occupancy_bytes;
+  return out;
+}
+
+/// The per-replication seed stream, identical to the original serial
+/// run_experiment derivation: every cell with the same run index shares
+/// one workload seed and one path seed (the paired-seed design).
+util::Rng run_rng(std::uint64_t base_seed, std::size_t run_index) {
+  return util::Rng(util::splitmix64(base_seed + 0x9e37 * run_index));
+}
+
+AveragedMetrics reduce(const RunOutcome* outcomes, std::size_t runs) {
+  stats::RunningStats traffic, delay, quality, value, hit, immediate, fill,
+      occupancy;
+  for (std::size_t r = 0; r < runs; ++r) {
+    const RunOutcome& o = outcomes[r];
+    traffic.add(o.traffic);
+    delay.add(o.delay);
+    quality.add(o.quality);
+    value.add(o.value);
+    hit.add(o.hit);
+    immediate.add(o.immediate);
+    fill.add(o.fill);
+    occupancy.add(o.occupancy);
+  }
+
+  AveragedMetrics m;
+  m.runs = runs;
+  m.traffic_reduction = traffic.mean();
+  m.traffic_reduction_sd = traffic.stddev();
+  m.delay_s = delay.mean();
+  m.delay_s_sd = delay.stddev();
+  m.quality = quality.mean();
+  m.quality_sd = quality.stddev();
+  m.added_value = value.mean();
+  m.added_value_sd = value.stddev();
+  m.hit_ratio = hit.mean();
+  m.immediate_ratio = immediate.mean();
+  m.fill_bytes = fill.mean();
+  m.occupancy_bytes = occupancy.mean();
+  return m;
+}
+
+}  // namespace
+
+SweepRunner::SweepRunner(ExperimentConfig base, Scenario scenario)
+    : base_(std::move(base)), scenario_(std::move(scenario)) {
+  if (base_.runs == 0) {
+    throw std::invalid_argument("SweepRunner: runs == 0");
+  }
+}
+
+std::vector<AveragedMetrics> SweepRunner::run(
+    const std::vector<SweepCell>& cells) const {
+  if (cells.empty()) return {};
+  const std::size_t runs = base_.runs;
+
+  // Resolve each cell against the base config, validating specs eagerly
+  // so a typo fails here rather than inside a pool task.
+  std::vector<sim::SimulationConfig> sims(cells.size());
+  std::vector<double> cell_alpha(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    sims[c] = base_.sim;
+    if (!cells[c].policy.empty()) sims[c].policy = cells[c].policy;
+    registry::validate(registry::Kind::kPolicy, sims[c].policy);
+    if (cells[c].cache_fraction >= 0) {
+      sims[c].cache_capacity_bytes = capacity_for_fraction(
+          base_.workload.catalog, cells[c].cache_fraction);
+    }
+    cell_alpha[c] = cells[c].zipf_alpha >= 0 ? cells[c].zipf_alpha
+                                             : base_.workload.trace.zipf_alpha;
+  }
+  registry::validate(registry::Kind::kEstimator, base_.sim.estimator);
+
+  // Distinct alphas, in order of first appearance; each (alpha, run)
+  // workload is generated exactly once and shared by every cell.
+  std::vector<double> alphas;
+  std::vector<std::size_t> alpha_of_cell(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    std::size_t a = 0;
+    while (a < alphas.size() && alphas[a] != cell_alpha[c]) ++a;
+    if (a == alphas.size()) alphas.push_back(cell_alpha[c]);
+    alpha_of_cell[c] = a;
+  }
+
+  std::vector<std::uint64_t> path_seeds(runs);
+  for (std::size_t r = 0; r < runs; ++r) {
+    path_seeds[r] = run_rng(base_.base_seed, r).fork("paths").seed();
+  }
+
+  std::vector<std::shared_ptr<const workload::Workload>> workloads(
+      alphas.size() * runs);
+  const auto generate = [&](std::size_t task) {
+    const std::size_t a = task / runs;
+    const std::size_t r = task % runs;
+    workload::WorkloadConfig wcfg = base_.workload;
+    wcfg.trace.zipf_alpha = alphas[a];
+    util::Rng workload_rng = run_rng(base_.base_seed, r).fork("workload");
+    workloads[task] = std::make_shared<const workload::Workload>(
+        workload::generate_workload(wcfg, workload_rng));
+  };
+
+  std::vector<RunOutcome> outcomes(cells.size() * runs);
+  const auto simulate = [&](std::size_t task) {
+    const std::size_t c = task / runs;
+    const std::size_t r = task % runs;
+    outcomes[task] = simulate_one(*workloads[alpha_of_cell[c] * runs + r],
+                                  scenario_, sims[c], path_seeds[r]);
+  };
+
+  const bool serial =
+      !base_.parallel || base_.threads == 1 || cells.size() * runs == 1;
+  if (serial) {
+    for (std::size_t t = 0; t < workloads.size(); ++t) generate(t);
+    for (std::size_t t = 0; t < outcomes.size(); ++t) simulate(t);
+  } else {
+    std::unique_ptr<util::ThreadPool> owned;
+    util::ThreadPool* pool;
+    if (base_.threads == 0) {
+      pool = &util::ThreadPool::shared();
+    } else {
+      owned = std::make_unique<util::ThreadPool>(base_.threads);
+      pool = owned.get();
+    }
+    pool->parallel_for(workloads.size(), generate);
+    pool->parallel_for(outcomes.size(), simulate);
+  }
+
+  std::vector<AveragedMetrics> results;
+  results.reserve(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    results.push_back(reduce(&outcomes[c * runs], runs));
+  }
+  return results;
+}
+
+}  // namespace sc::core

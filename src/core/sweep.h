@@ -1,0 +1,62 @@
+// Sweep-scale parallel execution engine.
+//
+// A figure bench evaluates a grid of (policy, zipf-alpha, cache-fraction)
+// cells, each averaged over `runs` paired-seed replications. Running the
+// grid one run_experiment call at a time regenerates the same seeded
+// workloads for every cell and leaves cores idle between sweep points.
+// SweepRunner instead:
+//
+//   1. generates each (alpha, replication) workload exactly once and
+//      shares it immutably (std::shared_ptr<const Workload>) across all
+//      policies and cache fractions — the paired-seed design guarantees
+//      every cell would have generated the identical workload anyway;
+//   2. flattens the whole grid into one (cell x replication) task list
+//      executed on a single util::ThreadPool, so parallelism spans the
+//      entire sweep instead of one sweep point.
+//
+// Results are BIT-IDENTICAL to the serial path: every task is a pure
+// function of (workload, seeds, config), tasks write into preallocated
+// slots, and per-cell reduction always folds replications in run order.
+// Thread count and scheduling order therefore cannot affect any metric.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace sc::core {
+
+/// One sweep grid cell. Fields left at their sentinel defaults inherit
+/// the base ExperimentConfig's values.
+struct SweepCell {
+  /// Replacement policy spec ("" = base.sim.policy).
+  std::string policy;
+  /// Trace popularity skew (NaN / omit via negative = base alpha).
+  double zipf_alpha = -1.0;
+  /// Cache size as a fraction of the expected corpus size (negative =
+  /// keep base.sim.cache_capacity_bytes as-is).
+  double cache_fraction = -1.0;
+};
+
+class SweepRunner {
+ public:
+  /// `base` supplies the workload shape, simulation config (estimator,
+  /// warmup, viewing/patching), replication count, base seed, and the
+  /// parallel/threads execution knobs shared by every cell.
+  SweepRunner(ExperimentConfig base, Scenario scenario);
+
+  /// Evaluate every cell; result[i] corresponds to cells[i]. Workloads
+  /// are shared across cells per (alpha, replication); execution uses
+  /// base.parallel/base.threads (threads == 0 -> the process-wide shared
+  /// pool, threads == 1 -> inline serial).
+  [[nodiscard]] std::vector<AveragedMetrics> run(
+      const std::vector<SweepCell>& cells) const;
+
+ private:
+  ExperimentConfig base_;
+  Scenario scenario_;
+};
+
+}  // namespace sc::core

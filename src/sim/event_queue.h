@@ -2,49 +2,60 @@
 //
 // The request trace drives the simulation, but some effects are deferred:
 // a passive bandwidth estimator only learns a transfer's throughput when
-// the transfer *completes*. The EventQueue orders such callbacks by
-// simulation time with FIFO tie-breaking.
+// the transfer *completes*. BasicEventQueue orders such deferred payloads
+// by simulation time with FIFO tie-breaking (a monotone sequence number).
+//
+// The payload type is a template parameter so the simulator's hot path
+// can defer a POD ObservationEvent (path id + throughput, drained
+// straight into the estimator) without a heap-allocated std::function per
+// event. The heap is an explicit std::vector managed with std::push_heap
+// / std::pop_heap, so a popped event is *moved* out of storage (the old
+// std::priority_queue could only copy from its const top()) and storage
+// is reused across events: in steady state scheduling allocates nothing.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <limits>
+#include <utility>
 #include <vector>
 
 namespace sc::sim {
 
-class EventQueue {
+template <typename Payload>
+class BasicEventQueue {
  public:
-  using Action = std::function<void(double /*now_s*/)>;
-
-  /// Schedule `action` at absolute simulation time `time_s`.
-  void schedule(double time_s, Action action) {
-    events_.push(Event{time_s, next_seq_++, std::move(action)});
+  /// Schedule `payload` at absolute simulation time `time_s`.
+  void schedule(double time_s, Payload payload) {
+    events_.push_back(Event{time_s, next_seq_++, std::move(payload)});
+    std::push_heap(events_.begin(), events_.end(), Later{});
   }
 
-  /// Run every event with time <= `until_s`, in (time, insertion) order.
-  /// Events may schedule further events; those are honored if they also
-  /// fall within the horizon.
-  void run_until(double until_s) {
-    while (!events_.empty() && events_.top().time <= until_s) {
-      // std::priority_queue::top() is const; move out via const_cast-free
-      // copy of the handler (cheap: one std::function).
-      Event ev = events_.top();
-      events_.pop();
+  /// Deliver every event with time <= `until_s` to `fn(now_s, payload&)`,
+  /// in (time, insertion) order. Handlers may schedule further events;
+  /// those are honored if they also fall within the horizon.
+  template <typename Fn>
+  void run_until(double until_s, Fn&& fn) {
+    while (!events_.empty() && events_.front().time <= until_s) {
+      std::pop_heap(events_.begin(), events_.end(), Later{});
+      Event ev = std::move(events_.back());
+      events_.pop_back();
       now_ = ev.time;
-      ev.action(ev.time);
+      fn(ev.time, ev.payload);
     }
   }
 
   /// Drain the queue completely.
-  void run_all() {
-    while (!events_.empty()) {
-      Event ev = events_.top();
-      events_.pop();
-      now_ = ev.time;
-      ev.action(ev.time);
-    }
+  template <typename Fn>
+  void run_all(Fn&& fn) {
+    run_until(std::numeric_limits<double>::infinity(), std::forward<Fn>(fn));
   }
+
+  /// Pre-size the backing storage (hot paths can avoid even the initial
+  /// amortized growth).
+  void reserve(std::size_t n) { events_.reserve(n); }
 
   [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
@@ -54,16 +65,60 @@ class EventQueue {
   struct Event {
     double time;
     std::uint64_t seq;
-    Action action;
-    bool operator>(const Event& other) const noexcept {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
+    Payload payload;
+  };
+  /// Max-heap comparator that surfaces the *earliest* (time, seq) event
+  /// at front(); seq keeps same-timestamp events FIFO.
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::vector<Event> events_;
   std::uint64_t next_seq_ = 0;
   double now_ = 0.0;
+};
+
+/// The simulator's deferred estimator observation: a completed origin
+/// transfer on `path` that achieved `throughput` bytes/second. POD — no
+/// per-event allocation.
+struct ObservationEvent {
+  std::size_t path = 0;  // net::PathId
+  double throughput = 0.0;
+};
+
+using ObservationQueue = BasicEventQueue<ObservationEvent>;
+
+/// Generic callback queue (legacy interface, kept for tests and
+/// extensions that defer arbitrary work). Each event carries a
+/// std::function; prefer BasicEventQueue with a POD payload on hot paths.
+class EventQueue {
+ public:
+  using Action = std::function<void(double /*now_s*/)>;
+
+  void schedule(double time_s, Action action) {
+    queue_.schedule(time_s, std::move(action));
+  }
+
+  /// Run every event with time <= `until_s`, in (time, insertion) order.
+  void run_until(double until_s) {
+    queue_.run_until(until_s,
+                     [](double now, Action& action) { action(now); });
+  }
+
+  /// Drain the queue completely.
+  void run_all() {
+    queue_.run_all([](double now, Action& action) { action(now); });
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return queue_.size(); }
+  [[nodiscard]] double now() const noexcept { return queue_.now(); }
+
+ private:
+  BasicEventQueue<Action> queue_;
 };
 
 }  // namespace sc::sim

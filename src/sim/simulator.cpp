@@ -70,10 +70,17 @@ SimulationResult Simulator::run() {
                                      rng.fork("estimator"));
 
   cache::PartialStore store(config_.cache_capacity_bytes);
+  store.reserve(catalog.size());
   auto policy =
       core::registry::make_policy(config_.policy, catalog, *estimator);
 
-  EventQueue events;
+  // Deferred transfer-completion observations are POD (path, throughput)
+  // pairs drained straight into the estimator: no per-event allocation.
+  ObservationQueue events;
+  events.reserve(64);
+  const auto observe = [&estimator](double now, const ObservationEvent& ev) {
+    estimator->observe(ev.path, ev.throughput, now);
+  };
   MetricsCollector metrics;
   const auto warm_count = static_cast<std::size_t>(
       static_cast<double>(requests.size()) * config_.warmup_fraction);
@@ -86,7 +93,7 @@ SimulationResult Simulator::run() {
   for (std::size_t idx = 0; idx < requests.size(); ++idx) {
     const auto& req = requests[idx];
     // Deliver pending transfer-completion observations first.
-    events.run_until(req.time_s);
+    events.run_until(req.time_s, observe);
 
     const auto& obj = catalog.object(req.object);
     const double bw = paths.sample_bandwidth(obj.path, req.time_s);
@@ -138,13 +145,8 @@ SimulationResult Simulator::run() {
     // Passive estimators learn this transfer's throughput at completion.
     if (outcome.bytes_from_origin > 0) {
       const double done = req.time_s + outcome.origin_transfer_s;
-      const net::PathId path = obj.path;
-      const double throughput = outcome.origin_throughput;
       events.schedule(done,
-                      [estimator = estimator.get(), path,
-                       throughput](double now) {
-                        estimator->observe(path, throughput, now);
-                      });
+                      ObservationEvent{obj.path, outcome.origin_throughput});
     }
 
     // Replacement decisions happen after the request is served.
@@ -156,7 +158,7 @@ SimulationResult Simulator::run() {
       metrics.record_fill(cached_after - cached_before);
     }
   }
-  events.run_all();
+  events.run_all(observe);
 
   SimulationResult result;
   result.policy_name = policy->name();

@@ -6,9 +6,62 @@
 
 namespace sc::stats {
 
-ZipfLike::ZipfLike(std::size_t n, double alpha) : n_(n), alpha_(alpha) {
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) throw std::invalid_argument("AliasTable: empty weights");
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0 || !std::isfinite(w)) {
+      throw std::invalid_argument("AliasTable: weights must be finite, >= 0");
+    }
+    total += w;
+  }
+  if (total <= 0) throw std::invalid_argument("AliasTable: zero total mass");
+
+  // Vose's method: scale masses to mean 1, then pair each under-full
+  // bucket with an over-full donor.
+  prob_.assign(n, 1.0);
+  alias_.resize(n);
+  std::vector<double> scaled(n);
+  std::vector<std::size_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    alias_[i] = i;
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    const std::size_t l = large.back();
+    small.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers (rounding) keep prob 1.0: they never divert to an alias.
+}
+
+namespace {
+
+std::vector<double> zipf_weights(std::size_t n, double alpha) {
   if (n == 0) throw std::invalid_argument("ZipfLike: n must be positive");
   if (alpha < 0) throw std::invalid_argument("ZipfLike: alpha must be >= 0");
+  std::vector<double> w(n);
+  for (std::size_t r = 1; r <= n; ++r) {
+    w[r - 1] = std::pow(static_cast<double>(r), -alpha);
+  }
+  return w;
+}
+
+}  // namespace
+
+ZipfLike::ZipfLike(std::size_t n, double alpha)
+    : n_(n), alpha_(alpha), alias_(zipf_weights(n, alpha)) {
   cdf_.resize(n);
   double sum = 0.0;
   for (std::size_t r = 1; r <= n; ++r) {
@@ -19,7 +72,7 @@ ZipfLike::ZipfLike(std::size_t n, double alpha) : n_(n), alpha_(alpha) {
   cdf_.back() = 1.0;  // guard against rounding
 }
 
-std::size_t ZipfLike::sample(util::Rng& rng) const {
+std::size_t ZipfLike::sample_cdf(util::Rng& rng) const {
   const double u = rng.uniform();
   const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
   return static_cast<std::size_t>(it - cdf_.begin()) + 1;

@@ -10,17 +10,56 @@
 
 namespace sc::stats {
 
+/// O(1) sampling from an arbitrary finite discrete distribution via the
+/// alias method (Vose's stable construction). Build is O(n); every
+/// sample consumes exactly one uniform draw and does two array reads —
+/// no binary search, no allocation.
+class AliasTable {
+ public:
+  /// `weights` are unnormalized non-negative masses; at least one must
+  /// be positive.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Sample an index in [0, size()).
+  [[nodiscard]] std::size_t sample(util::Rng& rng) const {
+    // One uniform split into (bucket, acceptance) parts.
+    const double scaled = rng.uniform() * static_cast<double>(prob_.size());
+    std::size_t bucket = static_cast<std::size_t>(scaled);
+    if (bucket >= prob_.size()) bucket = prob_.size() - 1;  // u ~ 1 edge
+    const double frac = scaled - static_cast<double>(bucket);
+    return frac < prob_[bucket] ? bucket : alias_[bucket];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;         // acceptance threshold per bucket
+  std::vector<std::size_t> alias_;   // overflow target per bucket
+};
+
 /// Zipf-like popularity over ranks 1..N: P(rank r) ∝ r^-alpha.
 ///
 /// This is the popularity model of the paper (§3.2): "the relative
 /// popularity of an object is proportional to r^-alpha", default
-/// alpha = 0.73. Sampling is O(log N) via a precomputed CDF.
+/// alpha = 0.73. sample() is O(1) via a precomputed alias table;
+/// sample_cdf() keeps the original O(log N) inverse-CDF backend for
+/// paired-distribution tests. Both consume exactly one uniform draw per
+/// sample, so downstream draws stay aligned across backends; the *rank*
+/// produced for a given draw differs (the alias method is not an
+/// inversion), which changed generated traces once when the alias
+/// backend became the default — see docs/PERF.md.
 class ZipfLike {
  public:
   ZipfLike(std::size_t n, double alpha);
 
-  /// Sample a rank in [1, n].
-  [[nodiscard]] std::size_t sample(util::Rng& rng) const;
+  /// Sample a rank in [1, n] in O(1).
+  [[nodiscard]] std::size_t sample(util::Rng& rng) const {
+    return alias_.sample(rng) + 1;
+  }
+
+  /// Original inverse-CDF sampling (O(log n) binary search). Same
+  /// distribution as sample(); kept as the reference backend.
+  [[nodiscard]] std::size_t sample_cdf(util::Rng& rng) const;
 
   /// Probability of the given rank (1-based).
   [[nodiscard]] double pmf(std::size_t rank) const;
@@ -32,6 +71,7 @@ class ZipfLike {
   std::size_t n_;
   double alpha_;
   std::vector<double> cdf_;  // cdf_[r-1] = P(rank <= r)
+  AliasTable alias_;
 };
 
 /// Lognormal distribution: exp(N(mu, sigma^2)).

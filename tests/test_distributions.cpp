@@ -48,6 +48,69 @@ TEST(ZipfLike, SamplingMatchesPmf) {
   }
 }
 
+TEST(ZipfLike, AliasMatchesCdfBackendByChiSquare) {
+  // The O(1) alias backend must draw from the same distribution as the
+  // reference inverse-CDF backend. Chi-square against the exact pmf:
+  // df = 49; the 99.9th percentile of chi2(49) is ~85.4, use 90.
+  const std::size_t kRanks = 50;
+  const ZipfLike z(kRanks, 0.73);
+  constexpr int kN = 400000;
+  for (const bool use_alias : {true, false}) {
+    util::Rng rng(use_alias ? 17 : 18);
+    std::vector<int> counts(kRanks + 1, 0);
+    for (int i = 0; i < kN; ++i) {
+      counts[use_alias ? z.sample(rng) : z.sample_cdf(rng)]++;
+    }
+    double chi2 = 0.0;
+    for (std::size_t r = 1; r <= kRanks; ++r) {
+      const double expected = kN * z.pmf(r);
+      const double d = counts[r] - expected;
+      chi2 += d * d / expected;
+    }
+    EXPECT_LT(chi2, 90.0) << (use_alias ? "alias" : "cdf") << " backend";
+  }
+}
+
+TEST(ZipfLike, BothBackendsConsumeOneUniformPerSample) {
+  // sample() and sample_cdf() must advance the RNG identically so that
+  // downstream draws (arrival times, durations) stay aligned across
+  // backends; only the returned ranks differ. (Switching the default
+  // backend to alias was a documented one-time trace change; see
+  // docs/PERF.md.)
+  const ZipfLike z(100, 0.73);
+  util::Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    (void)z.sample(a);
+    (void)z.sample_cdf(b);
+  }
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(AliasTable, DegenerateAndInvalidWeights) {
+  util::Rng rng(7);
+  const AliasTable single({5.0});
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(single.sample(rng), 0u);
+  const AliasTable point({0.0, 3.0, 0.0});
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(point.sample(rng), 1u);
+
+  EXPECT_THROW(AliasTable({}), std::invalid_argument);
+  EXPECT_THROW(AliasTable({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(AliasTable({1.0, -0.5}), std::invalid_argument);
+}
+
+TEST(AliasTable, UniformAndSkewedMasses) {
+  util::Rng rng(9);
+  const AliasTable t({1.0, 2.0, 1.0});  // P = {0.25, 0.5, 0.25}
+  constexpr int kN = 200000;
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < kN; ++i) counts[t.sample(rng)]++;
+  EXPECT_NEAR(counts[0] / double(kN), 0.25, 0.01);
+  EXPECT_NEAR(counts[1] / double(kN), 0.50, 0.01);
+  EXPECT_NEAR(counts[2] / double(kN), 0.25, 0.01);
+}
+
 TEST(ZipfLike, RejectsBadParameters) {
   EXPECT_THROW(ZipfLike(0, 0.5), std::invalid_argument);
   EXPECT_THROW(ZipfLike(10, -0.1), std::invalid_argument);

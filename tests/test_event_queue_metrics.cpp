@@ -64,6 +64,51 @@ TEST(EventQueue, NestedSchedulingWithinHorizon) {
   EXPECT_EQ(q.size(), 1u);
 }
 
+TEST(ObservationQueue, PodEventsDrainInTimeThenFifoOrder) {
+  // Regression for the POD specialization: same-timestamp events must
+  // keep insertion (FIFO) order, exactly like the callback queue.
+  ObservationQueue q;
+  q.reserve(8);
+  q.schedule(2.0, ObservationEvent{20, 1.0});
+  q.schedule(1.0, ObservationEvent{10, 1.0});
+  q.schedule(1.0, ObservationEvent{11, 2.0});
+  q.schedule(1.0, ObservationEvent{12, 3.0});
+  q.schedule(0.5, ObservationEvent{5, 1.0});
+
+  std::vector<std::size_t> paths;
+  std::vector<double> times;
+  q.run_until(1.0, [&](double now, const ObservationEvent& ev) {
+    times.push_back(now);
+    paths.push_back(ev.path);
+  });
+  EXPECT_EQ(paths, (std::vector<std::size_t>{5, 10, 11, 12}));
+  EXPECT_EQ(times, (std::vector<double>{0.5, 1.0, 1.0, 1.0}));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_DOUBLE_EQ(q.now(), 1.0);
+
+  q.run_all([&](double, const ObservationEvent& ev) {
+    paths.push_back(ev.path);
+  });
+  EXPECT_EQ(paths.back(), 20u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ObservationQueue, PayloadsSurviveInterleavedScheduling) {
+  ObservationQueue q;
+  // Interleave schedule/run to exercise heap reuse of popped slots.
+  std::vector<double> seen;
+  q.schedule(1.0, ObservationEvent{1, 10.0});
+  q.schedule(3.0, ObservationEvent{3, 30.0});
+  q.run_until(1.5, [&](double, const ObservationEvent& ev) {
+    seen.push_back(ev.throughput);
+  });
+  q.schedule(2.0, ObservationEvent{2, 20.0});
+  q.run_all([&](double, const ObservationEvent& ev) {
+    seen.push_back(ev.throughput);
+  });
+  EXPECT_EQ(seen, (std::vector<double>{10.0, 20.0, 30.0}));
+}
+
 TEST(Metrics, AccumulatesPerRequestOutcomes) {
   MetricsCollector m;
   ServiceOutcome hit;

@@ -101,11 +101,13 @@ TEST(Patching, SharesConcurrentStreams) {
                   rp.metrics.bytes_from_cache(),
               rn.metrics.bytes_from_origin() + rn.metrics.bytes_from_cache(),
               1.0);
-  // Backbone reduction strictly improves; cache-only reduction is equal.
+  // Backbone reduction strictly improves; cache-only reduction is equal
+  // (mathematically: patching moves bytes between the origin and shared
+  // accumulators, so the sums agree only up to summation order).
   EXPECT_GT(rp.metrics.backbone_reduction_ratio(),
             rn.metrics.backbone_reduction_ratio());
-  EXPECT_DOUBLE_EQ(rp.metrics.traffic_reduction_ratio(),
-                   rn.metrics.traffic_reduction_ratio());
+  EXPECT_NEAR(rp.metrics.traffic_reduction_ratio(),
+              rn.metrics.traffic_reduction_ratio(), 1e-12);
 }
 
 TEST(Patching, NoSharingWhenRequestsNeverOverlap) {

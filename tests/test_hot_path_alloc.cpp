@@ -1,0 +1,94 @@
+// Steady-state allocation regression for the simulator hot path.
+//
+// The per-request path — event queue (POD observations), partial store
+// (dense array), policy heap (pre-reserved), bandwidth sampling (alias
+// table / empirical lookup) — must not allocate. We can't hook the
+// middle of a run, but we can assert the scaling consequence: doubling
+// the trace length must not add allocations, because everything that
+// allocates (workload, catalog, policy, estimator, path table) is
+// sized by the catalog, not the trace. Global operator new is replaced
+// with a counting wrapper for this binary only.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "core/experiment.h"
+#include "sim/simulator.h"
+#include "workload/generator.h"
+
+namespace {
+std::atomic<std::uint64_t> g_news{0};
+}
+
+void* operator new(std::size_t size) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace sc::sim {
+namespace {
+
+workload::Workload make_workload(std::size_t requests) {
+  workload::WorkloadConfig cfg;
+  cfg.catalog.num_objects = 300;
+  cfg.trace.num_requests = requests;
+  util::Rng rng(42);
+  return workload::generate_workload(cfg, rng);
+}
+
+std::uint64_t allocations_for_run(const workload::Workload& w,
+                                  const std::string& policy,
+                                  const std::string& estimator) {
+  const auto base = core::constant_scenario().base;
+  const auto ratio = core::constant_scenario().ratio;
+  SimulationConfig cfg;
+  cfg.cache_capacity_bytes =
+      core::capacity_for_fraction(workload::CatalogConfig{}, 0.001);
+  cfg.policy = policy;
+  cfg.estimator = estimator;
+  Simulator simulator(w, base, ratio, cfg);
+  const std::uint64_t before = g_news.load();
+  (void)simulator.run();
+  return g_news.load() - before;
+}
+
+TEST(HotPathAllocations, DoNotScaleWithTraceLength) {
+  const auto short_trace = make_workload(5000);
+  const auto long_trace = make_workload(20000);
+
+  for (const char* policy : {"pb", "if", "lru"}) {
+    // Warm once so lazy registry/static setup doesn't count.
+    (void)allocations_for_run(short_trace, policy, "oracle");
+    const auto a_short = allocations_for_run(short_trace, policy, "oracle");
+    const auto a_long = allocations_for_run(long_trace, policy, "oracle");
+    // 4x the requests may not cost more than a sliver of extra
+    // allocations (event-queue storage growing to its steady size).
+    EXPECT_LE(a_long, a_short + 64)
+        << policy << ": " << a_short << " allocs at 5k requests vs "
+        << a_long << " at 20k";
+  }
+}
+
+TEST(HotPathAllocations, PassiveEstimatorPathIsAllocationFreeToo) {
+  // The EWMA estimator exercises the deferred ObservationEvent path for
+  // every origin transfer; it must not bring back per-event allocation.
+  const auto short_trace = make_workload(5000);
+  const auto long_trace = make_workload(20000);
+  (void)allocations_for_run(short_trace, "pb", "ewma:alpha=0.3");
+  const auto a_short = allocations_for_run(short_trace, "pb", "ewma:alpha=0.3");
+  const auto a_long = allocations_for_run(long_trace, "pb", "ewma:alpha=0.3");
+  EXPECT_LE(a_long, a_short + 64)
+      << a_short << " allocs at 5k requests vs " << a_long << " at 20k";
+}
+
+}  // namespace
+}  // namespace sc::sim

@@ -1,0 +1,142 @@
+// The sweep execution engine's core guarantee: thread count and
+// scheduling order never change any metric. A parallel sweep must be
+// bit-identical to the serial path, and a sweep cell must be
+// bit-identical to a standalone run_experiment of the same
+// configuration (the shared workloads are exactly the ones each cell
+// would have generated itself).
+
+#include "core/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "util/spec.h"
+
+namespace sc::core {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg;
+  cfg.workload.catalog.num_objects = 200;
+  cfg.workload.trace.num_requests = 4000;
+  cfg.runs = 3;
+  cfg.base_seed = 101;
+  return cfg;
+}
+
+std::vector<SweepCell> fig5_shaped_cells() {
+  // A miniature Fig-5 grid: 3 policies x 2 cache fractions.
+  std::vector<SweepCell> cells;
+  for (const char* policy : {"if", "pb", "ib"}) {
+    for (const double fraction : {0.01, 0.05}) {
+      cells.push_back(SweepCell{policy, -1.0, fraction});
+    }
+  }
+  return cells;
+}
+
+void expect_bit_identical(const AveragedMetrics& a, const AveragedMetrics& b) {
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.traffic_reduction, b.traffic_reduction);
+  EXPECT_EQ(a.traffic_reduction_sd, b.traffic_reduction_sd);
+  EXPECT_EQ(a.delay_s, b.delay_s);
+  EXPECT_EQ(a.delay_s_sd, b.delay_s_sd);
+  EXPECT_EQ(a.quality, b.quality);
+  EXPECT_EQ(a.quality_sd, b.quality_sd);
+  EXPECT_EQ(a.added_value, b.added_value);
+  EXPECT_EQ(a.added_value_sd, b.added_value_sd);
+  EXPECT_EQ(a.hit_ratio, b.hit_ratio);
+  EXPECT_EQ(a.immediate_ratio, b.immediate_ratio);
+  EXPECT_EQ(a.fill_bytes, b.fill_bytes);
+  EXPECT_EQ(a.occupancy_bytes, b.occupancy_bytes);
+}
+
+TEST(SweepRunner, ParallelBitIdenticalToSerial) {
+  const auto cells = fig5_shaped_cells();
+  const auto scenario = constant_scenario();
+
+  ExperimentConfig serial_cfg = small_config();
+  serial_cfg.threads = 1;
+  const auto serial = SweepRunner(serial_cfg, scenario).run(cells);
+
+  ExperimentConfig parallel_cfg = small_config();
+  parallel_cfg.threads = 8;
+  const auto parallel = SweepRunner(parallel_cfg, scenario).run(cells);
+
+  ExperimentConfig off_cfg = small_config();
+  off_cfg.parallel = false;
+  const auto off = SweepRunner(off_cfg, scenario).run(cells);
+
+  ASSERT_EQ(serial.size(), cells.size());
+  ASSERT_EQ(parallel.size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    expect_bit_identical(serial[i], parallel[i]);
+    expect_bit_identical(serial[i], off[i]);
+  }
+}
+
+TEST(SweepRunner, CellMatchesStandaloneRunExperiment) {
+  const auto scenario = constant_scenario();
+  ExperimentConfig cfg = small_config();
+
+  SweepCell cell;
+  cell.policy = "pb";
+  cell.cache_fraction = 0.05;
+  const auto swept = SweepRunner(cfg, scenario).run({cell}).front();
+
+  cfg.sim.policy = "pb";
+  cfg.sim.cache_capacity_bytes =
+      capacity_for_fraction(cfg.workload.catalog, 0.05);
+  const auto standalone = run_experiment(cfg, scenario);
+  expect_bit_identical(swept, standalone);
+}
+
+TEST(SweepRunner, CellsInheritBaseDefaults) {
+  const auto scenario = constant_scenario();
+  ExperimentConfig cfg = small_config();
+  cfg.sim.policy = "ib";
+  cfg.sim.cache_capacity_bytes =
+      capacity_for_fraction(cfg.workload.catalog, 0.02);
+  // An all-default cell is exactly the base experiment.
+  const auto inherited = SweepRunner(cfg, scenario).run({SweepCell{}}).front();
+  const auto direct = run_experiment(cfg, scenario);
+  expect_bit_identical(inherited, direct);
+}
+
+TEST(SweepRunner, AlphaCellsShareNothingAcrossDistinctAlphas) {
+  // Different alphas are different workloads: metrics must differ.
+  const auto scenario = constant_scenario();
+  std::vector<SweepCell> cells;
+  cells.push_back(SweepCell{"pb", 0.5, 0.05});
+  cells.push_back(SweepCell{"pb", 1.2, 0.05});
+  const auto r = SweepRunner(small_config(), scenario).run(cells);
+  EXPECT_NE(r[0].traffic_reduction, r[1].traffic_reduction);
+}
+
+TEST(SweepRunner, EmptyCellListYieldsEmptyResult) {
+  EXPECT_TRUE(
+      SweepRunner(small_config(), constant_scenario()).run({}).empty());
+}
+
+TEST(SweepRunner, RejectsZeroRuns) {
+  ExperimentConfig cfg = small_config();
+  cfg.runs = 0;
+  EXPECT_THROW(SweepRunner(cfg, constant_scenario()),
+               std::invalid_argument);
+}
+
+TEST(SweepRunner, BadPolicySpecFailsEagerly) {
+  std::vector<SweepCell> cells;
+  cells.push_back(SweepCell{"no-such-policy", -1.0, 0.05});
+  SweepRunner runner(small_config(), constant_scenario());
+  EXPECT_THROW((void)runner.run(cells), util::SpecError);
+}
+
+TEST(RunExperiment, StillRejectsZeroRuns) {
+  ExperimentConfig cfg = small_config();
+  cfg.runs = 0;
+  EXPECT_THROW((void)run_experiment(cfg, constant_scenario()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sc::core
