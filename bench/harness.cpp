@@ -59,7 +59,8 @@ SweepTelemetry g_last_telemetry;
 const SweepTelemetry& last_sweep_telemetry() { return g_last_telemetry; }
 
 FigureConfig parse_figure_args(int argc, char** argv,
-                               const std::string& default_csv) {
+                               const std::string& default_csv,
+                               const std::vector<std::string>& extra_flags) {
   const util::Cli cli(argc, argv);
   if (cli.has("help")) {
     std::printf(
@@ -78,9 +79,13 @@ FigureConfig parse_figure_args(int argc, char** argv,
         core::registry::help().c_str());
     std::exit(0);
   }
-  cli.check_unknown({"quick", "runs", "requests", "objects", "zipf", "seed",
-                     "csv", "json", "threads", "parallel", "policy",
-                     "estimator", "scenario", "help"});
+  std::vector<std::string> known = {"quick",    "runs",     "requests",
+                                    "objects",  "zipf",     "seed",
+                                    "csv",      "json",     "threads",
+                                    "parallel", "policy",   "estimator",
+                                    "scenario", "help"};
+  known.insert(known.end(), extra_flags.begin(), extra_flags.end());
+  cli.check_unknown(known);
   FigureConfig cfg;
   if (cli.get_or("quick", false)) {
     cfg.runs = 4;
@@ -193,9 +198,10 @@ std::vector<SweepPoint> sweep_alpha_and_cache(
   }
 
   core::SweepRunner runner(base_experiment(config), scenario);
+  core::SweepStats stats;
   const std::uint64_t allocs_before = allocation_count();
   const auto start = std::chrono::steady_clock::now();
-  const auto metrics = runner.run(cells);
+  const auto metrics = runner.run(cells, &stats);
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start;
   for (std::size_t i = 0; i < points.size(); ++i) {
@@ -206,7 +212,8 @@ std::vector<SweepPoint> sweep_alpha_and_cache(
   t.wall_s = elapsed.count();
   t.simulations = cells.size() * config.runs;
   t.requests_simulated = t.simulations * config.requests;
-  t.workloads_generated = alphas.size() * config.runs;
+  t.workloads_generated = stats.workloads_generated;
+  t.path_models_built = stats.path_models_built;
   t.threads = !config.parallel || config.threads == 1
                   ? 1
                   : (config.threads == 0 ? util::ThreadPool::default_threads()
@@ -238,6 +245,7 @@ void write_bench_json(const FigureConfig& config,
       "  \"objects\": %zu,\n"
       "  \"simulations\": %zu,\n"
       "  \"workloads_generated\": %zu,\n"
+      "  \"path_models_built\": %zu,\n"
       "  \"requests_simulated\": %zu,\n"
       "  \"wall_s\": %.6f,\n"
       "  \"requests_per_sec\": %.0f,\n"
@@ -246,7 +254,8 @@ void write_bench_json(const FigureConfig& config,
       "}\n",
       config.bench_name.c_str(), telemetry.threads, config.runs,
       config.requests, config.objects, telemetry.simulations,
-      telemetry.workloads_generated, telemetry.requests_simulated,
+      telemetry.workloads_generated, telemetry.path_models_built,
+      telemetry.requests_simulated,
       telemetry.wall_s, telemetry.wall_s > 0 ? reqs / telemetry.wall_s : 0.0,
       static_cast<unsigned long long>(telemetry.allocations),
       reqs > 0 ? static_cast<double>(telemetry.allocations) / reqs : 0.0);

@@ -60,9 +60,12 @@ struct FigureConfig {
 
 /// Parse common flags; `default_csv` names the output series file.
 /// Handles --help (prints usage + the component registry and exits) and
-/// rejects unknown flags.
-[[nodiscard]] FigureConfig parse_figure_args(int argc, char** argv,
-                                             const std::string& default_csv);
+/// rejects unknown flags. `extra_flags` names bench-specific flags
+/// (e.g. fig06's --alphas) so they pass the unknown-flag check; the
+/// bench reads them from its own util::Cli.
+[[nodiscard]] FigureConfig parse_figure_args(
+    int argc, char** argv, const std::string& default_csv,
+    const std::vector<std::string>& extra_flags = {});
 
 /// One policy to evaluate.
 struct PolicySpec {
@@ -131,6 +134,7 @@ struct SweepTelemetry {
   std::size_t simulations = 0;         // cells x replications
   std::size_t requests_simulated = 0;  // simulations x trace length
   std::size_t workloads_generated = 0; // distinct (alpha, replication)
+  std::size_t path_models_built = 0;   // shared: one per replication
   std::size_t threads = 0;             // resolved worker count
   std::uint64_t allocations = 0;       // operator new calls in the sweep
 };

@@ -90,6 +90,13 @@ class IndexedMinHeap {
     return id;
   }
 
+  /// Drop every entry in O(size) (vs. O(n log n) for repeated pop_min),
+  /// keeping the backing storage for reuse.
+  void clear() noexcept {
+    for (const Entry& e : heap_) pos_[e.id] = kNpos;
+    heap_.clear();
+  }
+
   /// Remove an arbitrary contained id.
   void remove(std::size_t id) {
     const std::size_t p = pos_.at(id);

@@ -1,154 +1,33 @@
 #include "cache/policy.h"
 
-#include <algorithm>
-#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
 namespace sc::cache {
 
-namespace {
-/// Slack (bytes) below which size differences are treated as zero. One
-/// byte: cache sizes run to ~10^11 bytes, where the double ulp is ~10^-5,
-/// so a sub-byte epsilon would be swallowed by rounding (and a sub-byte
-/// trim cannot change occupancy anyway).
-constexpr double kEps = 1.0;
-}  // namespace
-
-UtilityPolicy::UtilityPolicy(const workload::Catalog& catalog,
-                             net::BandwidthEstimator& estimator)
-    : catalog_(&catalog),
-      estimator_(&estimator),
-      freq_(catalog.size(), 0.0),
-      heap_(catalog.size()) {}
-
-void UtilityPolicy::reset() {
-  std::fill(freq_.begin(), freq_.end(), 0.0);
-  while (!heap_.empty()) heap_.pop_min();
-}
-
-void UtilityPolicy::on_access(ObjectId id, double now_s, PartialStore& store) {
-  before_access(id, now_s);
-  const StreamObject& obj = catalog_->object(id);
-  freq_[id] += 1.0;
-  const double bw = estimator_->estimate(obj.path, now_s);
-  const double u = utility(obj, freq_[id], bw);
-  const double desired =
-      std::min(desired_bytes(obj, bw), obj.size_bytes);
-  const double have = store.cached(id);
-
-  // Case 1: the policy no longer wants this object (e.g. the bandwidth
-  // estimate improved past the bit-rate). Drop any cached prefix.
-  if (u <= 0.0 || desired <= kEps) {
-    if (have > 0.0) {
-      store.erase(id);
-      heap_.remove(id);
-    }
-    return;
-  }
-
-  // Case 2: cached more than currently desired (estimate drifted): shrink.
-  if (have > desired + kEps) {
-    if (integral()) {
-      // Integral policies only ever hold whole objects; a shrunken target
-      // below the full size means "keep the whole object" semantics no
-      // longer apply -- keep it (conservative) and just refresh the key.
-      heap_.update(id, u);
-      return;
-    }
-    store.set_cached(id, desired);
-    heap_.update(id, u);
-    return;
-  }
-
-  if (have > 0.0) heap_.update(id, u);
-
-  const double need = desired - have;
-  if (need <= kEps) return;
-
-  // Evict strictly-lower-utility victims until the growth fits.
-  while (store.free_space() + kEps < need && !heap_.empty()) {
-    const ObjectId victim = heap_.min_id();
-    if (victim == id) break;  // everything else cached is more valuable
-    if (heap_.min_key() >= u) break;
-    const double free_before = store.free_space();
-    const double victim_bytes = store.cached(victim);
-    const double still_needed = need - free_before;
-    if (integral() || still_needed >= victim_bytes - kEps) {
-      store.erase(victim);
-      heap_.remove(victim);
-    } else {
-      // Partial policies may trim a victim's prefix tail: the remaining
-      // shorter prefix keeps the same utility (the key does not depend on
-      // the cached amount).
-      store.set_cached(victim, victim_bytes - still_needed);
-    }
-    if (store.free_space() <= free_before) break;  // rounding: no progress
-  }
-
-  const double grant = std::min(need, store.free_space());
-  if (grant <= kEps) return;
-  if (integral() && grant + kEps < need) {
-    // All-or-nothing admission for whole-object policies.
-    return;
-  }
-  store.set_cached(id, have + grant);
-  heap_.upsert(id, u);
-}
-
-HybridPolicy::HybridPolicy(const workload::Catalog& catalog,
-                           net::BandwidthEstimator& estimator, double e)
-    : UtilityPolicy(catalog, estimator), e_(e) {
+HybridKernel::HybridKernel(double e) : e_(e) {
   if (e < 0.0 || e > 1.0) {
     throw std::invalid_argument("HybridPolicy: e must be in [0, 1]");
   }
 }
 
-std::string HybridPolicy::name() const {
+std::string HybridKernel::name() const {
   std::ostringstream ss;
   ss << "Hybrid(e=" << e_ << ")";
   return ss.str();
 }
 
-PbvPolicy::PbvPolicy(const workload::Catalog& catalog,
-                     net::BandwidthEstimator& estimator, double e)
-    : UtilityPolicy(catalog, estimator), e_(e) {
+PbvKernel::PbvKernel(double e) : e_(e) {
   if (e < 0.0 || e > 1.0) {
     throw std::invalid_argument("PbvPolicy: e must be in [0, 1]");
   }
 }
 
-std::string PbvPolicy::name() const {
+std::string PbvKernel::name() const {
   if (e_ == 1.0) return "PB-V";
   std::ostringstream ss;
   ss << "PB-V(e=" << e_ << ")";
   return ss.str();
-}
-
-double PbvPolicy::utility(const StreamObject& o, double freq,
-                          double bandwidth) const {
-  const double deficit = (o.bitrate - e_ * bandwidth) * o.duration_s;
-  if (deficit <= 0.0) return 0.0;
-  return freq * o.value / deficit;
-}
-
-LruPolicy::LruPolicy(const workload::Catalog& catalog,
-                     net::BandwidthEstimator& estimator)
-    : UtilityPolicy(catalog, estimator), last_access_(catalog.size(), 0.0) {}
-
-void LruPolicy::before_access(ObjectId id, double /*now_s*/) {
-  clock_ += 1.0;  // logical clock: strictly increasing per access
-  last_access_[id] = clock_;
-}
-
-void LruPolicy::reset() {
-  UtilityPolicy::reset();
-  std::fill(last_access_.begin(), last_access_.end(), 0.0);
-  clock_ = 0.0;
-}
-
-double LruPolicy::utility(const StreamObject& o, double, double) const {
-  return last_access_[o.id];
 }
 
 }  // namespace sc::cache

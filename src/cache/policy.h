@@ -5,11 +5,23 @@
 // scalar *utility* (the selection key) and a *desired cached size*
 // (whole object for the Integral family, (r_i - b_i) * T_i for the
 // Partial family), and keep the highest-utility objects cached using a
-// priority queue with O(log n) updates. UtilityPolicy implements that
-// engine once; the concrete policies (IF, PB, IB, Hybrid, PB-V, IB-V,
-// LRU, LFU) specialize utility() / desired_bytes() / integral().
+// priority queue with O(log n) updates.
+//
+// The engine is devirtualized: UtilityPolicy<Kernel> implements the
+// admission/eviction loop once as a template over a small *kernel* type
+// whose utility() / desired_bytes() / kIntegral members are plain
+// (non-virtual) and inline into the loop. Per-object data is read
+// through the catalog's structure-of-arrays view (workload::CatalogView)
+// so an access touches a few contiguous doubles instead of a whole
+// StreamObject. Virtual dispatch survives only at the simulator
+// boundary (CachePolicy::on_access — one indirect call per request).
+//
+// The concrete policy names (IfPolicy, PbPolicy, ...) are aliases of
+// UtilityPolicy<Kernel> instantiations, constructed exactly as before:
+// Policy(catalog, estimator[, e]).
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,6 +33,7 @@
 
 namespace sc::cache {
 
+using workload::CatalogView;
 using workload::StreamObject;
 
 /// Interface seen by the simulator.
@@ -42,104 +55,94 @@ class CachePolicy {
   virtual void reset() = 0;
 };
 
-/// Shared heap-based engine. Admission evicts strictly-lower-utility
-/// victims only (so the cache never trades better content for worse), and
-/// respects whole-object semantics for integral policies.
-class UtilityPolicy : public CachePolicy {
+/// Non-template part of the utility engine: learned frequencies, the
+/// priority queue, and the SoA catalog view. Hosts the state so the
+/// template below stays header-only and small.
+class UtilityPolicyBase : public CachePolicy {
  public:
-  UtilityPolicy(const workload::Catalog& catalog,
-                net::BandwidthEstimator& estimator);
+  UtilityPolicyBase(const workload::Catalog& catalog,
+                    net::BandwidthEstimator& estimator)
+      : catalog_(&catalog),
+        view_(catalog.view()),
+        estimator_(&estimator),
+        freq_(catalog.size(), 0.0),
+        heap_(catalog.size()) {}
 
-  void on_access(ObjectId id, double now_s, PartialStore& store) final;
-  void reset() override;
+  void reset() override {
+    std::fill(freq_.begin(), freq_.end(), 0.0);
+    heap_.clear();
+  }
 
   /// Request count observed for `id` (F_i).
   [[nodiscard]] double frequency(ObjectId id) const { return freq_.at(id); }
 
  protected:
-  /// Called at the start of on_access, before utilities are computed
-  /// (hook for recency bookkeeping such as LRU's logical clock).
-  virtual void before_access(ObjectId /*id*/, double /*now_s*/) {}
-
-  /// Selection key; larger = keep. Values <= 0 mean "do not cache".
-  [[nodiscard]] virtual double utility(const StreamObject& o, double freq,
-                                       double bandwidth) const = 0;
-
-  /// Bytes the policy wants cached for this object (prefix size).
-  /// Values <= 0 mean "do not cache".
-  [[nodiscard]] virtual double desired_bytes(const StreamObject& o,
-                                             double bandwidth) const = 0;
-
-  /// Whole-object admission/eviction (Integral family)?
-  [[nodiscard]] virtual bool integral() const = 0;
-
   [[nodiscard]] const workload::Catalog& catalog() const noexcept {
     return *catalog_;
   }
 
- private:
   const workload::Catalog* catalog_;
+  CatalogView view_;
   net::BandwidthEstimator* estimator_;
   std::vector<double> freq_;
   IndexedMinHeap heap_;
 };
 
+/// Default no-op hooks; kernels inherit and shadow what they need.
+/// Utilities and desired sizes <= 0 mean "do not cache".
+struct KernelBase {
+  /// Pre-size any per-object kernel state (LRU's recency array).
+  void bind(const CatalogView&) {}
+  /// Recency bookkeeping before utilities are computed.
+  void before_access(ObjectId, double) {}
+  /// Forget learned kernel state.
+  void reset() {}
+};
+
 /// IF: Integral Frequency-based caching. Utility F_i, whole objects.
 /// Network-oblivious baseline (equivalent to in-cache LFU).
-class IfPolicy final : public UtilityPolicy {
- public:
-  using UtilityPolicy::UtilityPolicy;
-  [[nodiscard]] std::string name() const override { return "IF"; }
-
- protected:
-  [[nodiscard]] double utility(const StreamObject&, double freq,
-                               double) const override {
+struct IfKernel : KernelBase {
+  static constexpr bool kIntegral = true;
+  [[nodiscard]] std::string name() const { return "IF"; }
+  [[nodiscard]] double utility(const CatalogView&, ObjectId, double freq,
+                               double) const {
     return freq;
   }
-  [[nodiscard]] double desired_bytes(const StreamObject& o,
-                                     double) const override {
-    return o.size_bytes;
+  [[nodiscard]] double desired_bytes(const CatalogView& v, ObjectId id,
+                                     double) const {
+    return v.size_bytes[id];
   }
-  [[nodiscard]] bool integral() const override { return true; }
 };
 
 /// PB: Partial Bandwidth-based caching (§2.4). Skips objects whose
 /// bandwidth already supports streaming (r_i <= b_i); otherwise utility
 /// F_i / b_i and cached prefix (r_i - b_i) * T_i.
-class PbPolicy final : public UtilityPolicy {
- public:
-  using UtilityPolicy::UtilityPolicy;
-  [[nodiscard]] std::string name() const override { return "PB"; }
-
- protected:
-  [[nodiscard]] double utility(const StreamObject& o, double freq,
-                               double bandwidth) const override {
-    return o.bitrate <= bandwidth ? 0.0 : freq / bandwidth;
+struct PbKernel : KernelBase {
+  static constexpr bool kIntegral = false;
+  [[nodiscard]] std::string name() const { return "PB"; }
+  [[nodiscard]] double utility(const CatalogView& v, ObjectId id, double freq,
+                               double bandwidth) const {
+    return v.bitrate[id] <= bandwidth ? 0.0 : freq / bandwidth;
   }
-  [[nodiscard]] double desired_bytes(const StreamObject& o,
-                                     double bandwidth) const override {
-    return (o.bitrate - bandwidth) * o.duration_s;
+  [[nodiscard]] double desired_bytes(const CatalogView& v, ObjectId id,
+                                     double bandwidth) const {
+    return (v.bitrate[id] - bandwidth) * v.duration_s[id];
   }
-  [[nodiscard]] bool integral() const override { return false; }
 };
 
 /// IB: Integral Bandwidth-based caching (§2.5). Same selection key as PB
 /// but caches whole objects (the most conservative over-provisioning).
-class IbPolicy final : public UtilityPolicy {
- public:
-  using UtilityPolicy::UtilityPolicy;
-  [[nodiscard]] std::string name() const override { return "IB"; }
-
- protected:
-  [[nodiscard]] double utility(const StreamObject& o, double freq,
-                               double bandwidth) const override {
-    return o.bitrate <= bandwidth ? 0.0 : freq / bandwidth;
+struct IbKernel : KernelBase {
+  static constexpr bool kIntegral = true;
+  [[nodiscard]] std::string name() const { return "IB"; }
+  [[nodiscard]] double utility(const CatalogView& v, ObjectId id, double freq,
+                               double bandwidth) const {
+    return v.bitrate[id] <= bandwidth ? 0.0 : freq / bandwidth;
   }
-  [[nodiscard]] double desired_bytes(const StreamObject& o,
-                                     double) const override {
-    return o.size_bytes;
+  [[nodiscard]] double desired_bytes(const CatalogView& v, ObjectId id,
+                                     double) const {
+    return v.size_bytes[id];
   }
-  [[nodiscard]] bool integral() const override { return true; }
 };
 
 /// Hybrid(e): PB with the bandwidth *underestimated* by factor e in the
@@ -147,25 +150,20 @@ class IbPolicy final : public UtilityPolicy {
 /// at the object size. e = 1 reproduces PB; e = 0 caches whole objects
 /// (IB-like, except objects with abundant bandwidth are still admitted
 /// only when space permits, via the low F/b key).
-class HybridPolicy final : public UtilityPolicy {
- public:
-  HybridPolicy(const workload::Catalog& catalog,
-               net::BandwidthEstimator& estimator, double e);
-
-  [[nodiscard]] std::string name() const override;
+struct HybridKernel : KernelBase {
+  static constexpr bool kIntegral = false;
+  explicit HybridKernel(double e);
+  [[nodiscard]] std::string name() const;
   [[nodiscard]] double e() const noexcept { return e_; }
-
- protected:
-  [[nodiscard]] double utility(const StreamObject& o, double freq,
-                               double bandwidth) const override {
-    return o.bitrate <= e_ * bandwidth ? 0.0 : freq / bandwidth;
+  [[nodiscard]] double utility(const CatalogView& v, ObjectId id, double freq,
+                               double bandwidth) const {
+    return v.bitrate[id] <= e_ * bandwidth ? 0.0 : freq / bandwidth;
   }
-  [[nodiscard]] double desired_bytes(const StreamObject& o,
-                                     double bandwidth) const override {
-    return std::min(o.size_bytes,
-                    (o.bitrate - e_ * bandwidth) * o.duration_s);
+  [[nodiscard]] double desired_bytes(const CatalogView& v, ObjectId id,
+                                     double bandwidth) const {
+    return std::min(v.size_bytes[id],
+                    (v.bitrate[id] - e_ * bandwidth) * v.duration_s[id]);
   }
-  [[nodiscard]] bool integral() const override { return false; }
 
  private:
   double e_;
@@ -175,23 +173,23 @@ class HybridPolicy final : public UtilityPolicy {
 /// F_i * V_i / (T_i r_i - T_i b_i); cached prefix (r_i - b_i) * T_i so a
 /// hit can start instantly. Supports the Fig-12 estimator e the same way
 /// Hybrid does.
-class PbvPolicy final : public UtilityPolicy {
- public:
-  PbvPolicy(const workload::Catalog& catalog,
-            net::BandwidthEstimator& estimator, double e = 1.0);
-
-  [[nodiscard]] std::string name() const override;
+struct PbvKernel : KernelBase {
+  static constexpr bool kIntegral = false;
+  explicit PbvKernel(double e = 1.0);
+  [[nodiscard]] std::string name() const;
   [[nodiscard]] double e() const noexcept { return e_; }
-
- protected:
-  [[nodiscard]] double utility(const StreamObject& o, double freq,
-                               double bandwidth) const override;
-  [[nodiscard]] double desired_bytes(const StreamObject& o,
-                                     double bandwidth) const override {
-    return std::min(o.size_bytes,
-                    (o.bitrate - e_ * bandwidth) * o.duration_s);
+  [[nodiscard]] double utility(const CatalogView& v, ObjectId id, double freq,
+                               double bandwidth) const {
+    const double deficit =
+        (v.bitrate[id] - e_ * bandwidth) * v.duration_s[id];
+    if (deficit <= 0.0) return 0.0;
+    return freq * v.value[id] / deficit;
   }
-  [[nodiscard]] bool integral() const override { return false; }
+  [[nodiscard]] double desired_bytes(const CatalogView& v, ObjectId id,
+                                     double bandwidth) const {
+    return std::min(v.size_bytes[id],
+                    (v.bitrate[id] - e_ * bandwidth) * v.duration_s[id]);
+  }
 
  private:
   double e_;
@@ -201,42 +199,41 @@ class PbvPolicy final : public UtilityPolicy {
 /// with key F_i * V_i / (T_i r_i * b_i): prefers low bandwidth, high
 /// value, small size. (The paper's typography is ambiguous here; see
 /// DESIGN.md §2 and the bench_ablation key-variant study.)
-class IbvPolicy final : public UtilityPolicy {
- public:
-  using UtilityPolicy::UtilityPolicy;
-  [[nodiscard]] std::string name() const override { return "IB-V"; }
-
- protected:
-  [[nodiscard]] double utility(const StreamObject& o, double freq,
-                               double bandwidth) const override {
-    if (o.bitrate <= bandwidth) return 0.0;
-    return freq * o.value / (o.size_bytes * bandwidth);
+struct IbvKernel : KernelBase {
+  static constexpr bool kIntegral = true;
+  [[nodiscard]] std::string name() const { return "IB-V"; }
+  [[nodiscard]] double utility(const CatalogView& v, ObjectId id, double freq,
+                               double bandwidth) const {
+    if (v.bitrate[id] <= bandwidth) return 0.0;
+    return freq * v.value[id] / (v.size_bytes[id] * bandwidth);
   }
-  [[nodiscard]] double desired_bytes(const StreamObject& o,
-                                     double) const override {
-    return o.size_bytes;
+  [[nodiscard]] double desired_bytes(const CatalogView& v, ObjectId id,
+                                     double) const {
+    return v.size_bytes[id];
   }
-  [[nodiscard]] bool integral() const override { return true; }
 };
 
 /// LRU over whole objects (network-oblivious baseline, §3.3).
-class LruPolicy final : public UtilityPolicy {
- public:
-  LruPolicy(const workload::Catalog& catalog,
-            net::BandwidthEstimator& estimator);
-
-  [[nodiscard]] std::string name() const override { return "LRU"; }
-  void reset() override;
-
- protected:
-  void before_access(ObjectId id, double now_s) override;
-  [[nodiscard]] double utility(const StreamObject& o, double,
-                               double) const override;
-  [[nodiscard]] double desired_bytes(const StreamObject& o,
-                                     double) const override {
-    return o.size_bytes;
+struct LruKernel : KernelBase {
+  static constexpr bool kIntegral = true;
+  [[nodiscard]] std::string name() const { return "LRU"; }
+  void bind(const CatalogView& v) { last_access_.assign(v.size, 0.0); }
+  void before_access(ObjectId id, double /*now_s*/) {
+    clock_ += 1.0;  // logical clock: strictly increasing per access
+    last_access_[id] = clock_;
   }
-  [[nodiscard]] bool integral() const override { return true; }
+  void reset() {
+    std::fill(last_access_.begin(), last_access_.end(), 0.0);
+    clock_ = 0.0;
+  }
+  [[nodiscard]] double utility(const CatalogView&, ObjectId id, double,
+                               double) const {
+    return last_access_[id];
+  }
+  [[nodiscard]] double desired_bytes(const CatalogView& v, ObjectId id,
+                                     double) const {
+    return v.size_bytes[id];
+  }
 
  private:
   std::vector<double> last_access_;
@@ -245,21 +242,122 @@ class LruPolicy final : public UtilityPolicy {
 
 /// LFU over whole objects: identical to IF by construction; provided as a
 /// named baseline for the metrics discussion in §3.3.
-class LfuPolicy final : public UtilityPolicy {
- public:
-  using UtilityPolicy::UtilityPolicy;
-  [[nodiscard]] std::string name() const override { return "LFU"; }
-
- protected:
-  [[nodiscard]] double utility(const StreamObject&, double freq,
-                               double) const override {
-    return freq;
-  }
-  [[nodiscard]] double desired_bytes(const StreamObject& o,
-                                     double) const override {
-    return o.size_bytes;
-  }
-  [[nodiscard]] bool integral() const override { return true; }
+struct LfuKernel : IfKernel {
+  [[nodiscard]] std::string name() const { return "LFU"; }
 };
+
+/// Shared heap-based engine over a policy kernel. Admission evicts
+/// strictly-lower-utility victims only (so the cache never trades better
+/// content for worse), and respects whole-object semantics for integral
+/// kernels. The kernel calls compile to direct (inlined) code.
+template <typename Kernel>
+class UtilityPolicy final : public UtilityPolicyBase {
+ public:
+  template <typename... KernelArgs>
+  explicit UtilityPolicy(const workload::Catalog& catalog,
+                         net::BandwidthEstimator& estimator,
+                         KernelArgs&&... kernel_args)
+      : UtilityPolicyBase(catalog, estimator),
+        kernel_(std::forward<KernelArgs>(kernel_args)...) {
+    kernel_.bind(view_);
+  }
+
+  [[nodiscard]] std::string name() const override { return kernel_.name(); }
+
+  void reset() override {
+    UtilityPolicyBase::reset();
+    kernel_.reset();
+  }
+
+  [[nodiscard]] const Kernel& kernel() const noexcept { return kernel_; }
+
+  void on_access(ObjectId id, double now_s, PartialStore& store) override {
+    /// Slack (bytes) below which size differences are treated as zero.
+    /// One byte: cache sizes run to ~10^11 bytes, where the double ulp
+    /// is ~10^-5, so a sub-byte epsilon would be swallowed by rounding
+    /// (and a sub-byte trim cannot change occupancy anyway).
+    constexpr double kEps = 1.0;
+
+    kernel_.before_access(id, now_s);
+    freq_[id] += 1.0;
+    const double bw = estimator_->estimate(view_.path[id], now_s);
+    const double u = kernel_.utility(view_, id, freq_[id], bw);
+    const double desired =
+        std::min(kernel_.desired_bytes(view_, id, bw), view_.size_bytes[id]);
+    const double have = store.cached(id);
+
+    // Case 1: the policy no longer wants this object (e.g. the bandwidth
+    // estimate improved past the bit-rate). Drop any cached prefix.
+    if (u <= 0.0 || desired <= kEps) {
+      if (have > 0.0) {
+        store.erase(id);
+        heap_.remove(id);
+      }
+      return;
+    }
+
+    // Case 2: cached more than currently desired (estimate drifted):
+    // shrink.
+    if (have > desired + kEps) {
+      if constexpr (Kernel::kIntegral) {
+        // Integral policies only ever hold whole objects; a shrunken
+        // target below the full size means "keep the whole object"
+        // semantics no longer apply -- keep it (conservative) and just
+        // refresh the key.
+        heap_.update(id, u);
+        return;
+      }
+      store.set_cached(id, desired);
+      heap_.update(id, u);
+      return;
+    }
+
+    if (have > 0.0) heap_.update(id, u);
+
+    const double need = desired - have;
+    if (need <= kEps) return;
+
+    // Evict strictly-lower-utility victims until the growth fits.
+    while (store.free_space() + kEps < need && !heap_.empty()) {
+      const ObjectId victim = heap_.min_id();
+      if (victim == id) break;  // everything else cached is more valuable
+      if (heap_.min_key() >= u) break;
+      const double free_before = store.free_space();
+      const double victim_bytes = store.cached(victim);
+      const double still_needed = need - free_before;
+      if (Kernel::kIntegral || still_needed >= victim_bytes - kEps) {
+        store.erase(victim);
+        heap_.remove(victim);
+      } else {
+        // Partial policies may trim a victim's prefix tail: the remaining
+        // shorter prefix keeps the same utility (the key does not depend
+        // on the cached amount).
+        store.set_cached(victim, victim_bytes - still_needed);
+      }
+      if (store.free_space() <= free_before) break;  // rounding: no progress
+    }
+
+    const double grant = std::min(need, store.free_space());
+    if (grant <= kEps) return;
+    if (Kernel::kIntegral && grant + kEps < need) {
+      // All-or-nothing admission for whole-object policies.
+      return;
+    }
+    store.set_cached(id, have + grant);
+    heap_.upsert(id, u);
+  }
+
+ private:
+  Kernel kernel_;
+};
+
+using IfPolicy = UtilityPolicy<IfKernel>;
+using PbPolicy = UtilityPolicy<PbKernel>;
+using IbPolicy = UtilityPolicy<IbKernel>;
+using HybridPolicy = UtilityPolicy<HybridKernel>;
+using PbvPolicy = UtilityPolicy<PbvKernel>;
+using IbvPolicy = UtilityPolicy<IbvKernel>;
+using LruPolicy = UtilityPolicy<LruKernel>;
+using LfuPolicy = UtilityPolicy<LfuKernel>;
 
 }  // namespace sc::cache

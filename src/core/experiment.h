@@ -57,6 +57,12 @@ struct ExperimentConfig {
   /// (util::ThreadPool::default_threads()), 1 = inline serial, else a
   /// dedicated pool of that size.
   std::size_t threads = 0;
+  /// Build one immutable net::PathModel per replication and share it
+  /// across every sweep cell (means depend only on the replication seed;
+  /// see docs/PERF.md). `false` rebuilds the model inside every
+  /// simulation — bit-identical results, only slower; kept as a
+  /// regression-test oracle and diagnostic escape hatch.
+  bool share_path_models = true;
 };
 
 /// Run `config.runs` independent replications (fresh workload and path

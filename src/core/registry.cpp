@@ -186,11 +186,7 @@ Tables make_builtins() {
        "active TCP-model probing with overhead accounting",
        {"interval_s", "train_packets"}},
       [](const util::Spec& spec, EstimatorContext& ctx) {
-        std::vector<double> means;
-        means.reserve(ctx.paths.size());
-        for (net::PathId p = 0; p < ctx.paths.size(); ++p) {
-          means.push_back(ctx.paths.mean_bandwidth(p));
-        }
+        const std::vector<double>& means = ctx.paths.means();
         net::ProbeConfig probe_config;
         probe_config.train_packets = static_cast<std::size_t>(
             spec.get_int("train_packets",
@@ -294,9 +290,14 @@ std::unique_ptr<net::BandwidthEstimator> make_estimator(
 }
 
 std::unique_ptr<net::BandwidthEstimator> make_estimator(
-    const std::string& spec, const net::PathTable& paths, util::Rng rng) {
+    const std::string& spec, const net::PathModel& paths, util::Rng rng) {
   return make_estimator(util::Spec::parse(spec),
                         EstimatorContext{paths, std::move(rng)});
+}
+
+std::unique_ptr<net::BandwidthEstimator> make_estimator(
+    const std::string& spec, const net::PathTable& paths, util::Rng rng) {
+  return make_estimator(spec, paths.model(), std::move(rng));
 }
 
 Scenario make_scenario(const util::Spec& spec) {

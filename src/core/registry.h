@@ -53,10 +53,12 @@ struct PolicyContext {
   net::BandwidthEstimator& estimator;
 };
 
-/// What an estimator factory gets to work with. `paths` must outlive the
-/// constructed estimator; `rng` seeds any stochastic measurement process.
+/// What an estimator factory gets to work with. `paths` is the immutable
+/// half of the path state (shared across simulations) and must outlive
+/// the constructed estimator; `rng` seeds any stochastic measurement
+/// process.
 struct EstimatorContext {
-  const net::PathTable& paths;
+  const net::PathModel& paths;
   util::Rng rng;
 };
 
@@ -83,6 +85,9 @@ void register_scenario(ComponentInfo info, ScenarioFactory factory);
     net::BandwidthEstimator& estimator);
 [[nodiscard]] std::unique_ptr<net::BandwidthEstimator> make_estimator(
     const util::Spec& spec, EstimatorContext context);
+[[nodiscard]] std::unique_ptr<net::BandwidthEstimator> make_estimator(
+    const std::string& spec, const net::PathModel& paths, util::Rng rng);
+/// Convenience for pre-split call sites holding a PathTable.
 [[nodiscard]] std::unique_ptr<net::BandwidthEstimator> make_estimator(
     const std::string& spec, const net::PathTable& paths, util::Rng rng);
 [[nodiscard]] Scenario make_scenario(const util::Spec& spec);

@@ -25,14 +25,21 @@ struct RunOutcome {
 };
 
 /// One simulation over an already-generated workload. Pure function of
-/// its arguments: safe to run from any thread in any order.
+/// its arguments: safe to run from any thread in any order. `path_model`
+/// may be null, in which case the simulator draws its own (bit-identical
+/// by the PathModel RNG-snapshot contract).
 RunOutcome simulate_one(const workload::Workload& w, const Scenario& scenario,
                         sim::SimulationConfig sim_config,
-                        std::uint64_t path_seed) {
+                        std::uint64_t path_seed,
+                        std::shared_ptr<const net::PathModel> path_model) {
   sim_config.seed = path_seed;
   sim_config.path_config.mode = scenario.mode;
-  sim::Simulator simulator(w, scenario.base, scenario.ratio, sim_config);
-  const sim::SimulationResult r = simulator.run();
+  sim::SimulationResult r;
+  if (path_model != nullptr) {
+    r = sim::Simulator(w, std::move(path_model), sim_config).run();
+  } else {
+    r = sim::Simulator(w, scenario.base, scenario.ratio, sim_config).run();
+  }
 
   RunOutcome out;
   out.traffic = r.metrics.traffic_reduction_ratio();
@@ -95,7 +102,8 @@ SweepRunner::SweepRunner(ExperimentConfig base, Scenario scenario)
 }
 
 std::vector<AveragedMetrics> SweepRunner::run(
-    const std::vector<SweepCell>& cells) const {
+    const std::vector<SweepCell>& cells, SweepStats* stats) const {
+  if (stats != nullptr) *stats = SweepStats{};
   if (cells.empty()) return {};
   const std::size_t runs = base_.runs;
 
@@ -144,18 +152,49 @@ std::vector<AveragedMetrics> SweepRunner::run(
         workload::generate_workload(wcfg, workload_rng));
   };
 
+  // One immutable path model per replication, shared by every cell: the
+  // per-path mean draws depend only on (base_seed, r) and the scenario,
+  // never on the cell's policy, alpha, or cache fraction. A disabled
+  // toggle leaves the vector null and every simulation draws its own —
+  // bit-identical by construction (regression-tested in test_sweep.cpp).
+  const bool share_models = base_.share_path_models;
+  std::vector<std::shared_ptr<const net::PathModel>> path_models(
+      share_models ? runs : 0);
+  net::PathModelConfig path_config = base_.sim.path_config;
+  path_config.mode = scenario_.mode;
+  const std::size_t n_paths = base_.workload.catalog.num_objects;
+  const auto build_model = [&](std::size_t r) {
+    // Exactly the simulator's own derivation: Rng(seed).fork("paths").
+    util::Rng rng(path_seeds[r]);
+    path_models[r] = std::make_shared<const net::PathModel>(
+        n_paths, scenario_.base, scenario_.ratio, path_config,
+        rng.fork("paths"));
+  };
+
+  // Workload generation and model construction are independent; one task
+  // list covers both so the pool drains them together.
+  const std::size_t setup_tasks = workloads.size() + path_models.size();
+  const auto setup = [&](std::size_t task) {
+    if (task < workloads.size()) {
+      generate(task);
+    } else {
+      build_model(task - workloads.size());
+    }
+  };
+
   std::vector<RunOutcome> outcomes(cells.size() * runs);
   const auto simulate = [&](std::size_t task) {
     const std::size_t c = task / runs;
     const std::size_t r = task % runs;
-    outcomes[task] = simulate_one(*workloads[alpha_of_cell[c] * runs + r],
-                                  scenario_, sims[c], path_seeds[r]);
+    outcomes[task] = simulate_one(
+        *workloads[alpha_of_cell[c] * runs + r], scenario_, sims[c],
+        path_seeds[r], share_models ? path_models[r] : nullptr);
   };
 
   const bool serial =
       !base_.parallel || base_.threads == 1 || cells.size() * runs == 1;
   if (serial) {
-    for (std::size_t t = 0; t < workloads.size(); ++t) generate(t);
+    for (std::size_t t = 0; t < setup_tasks; ++t) setup(t);
     for (std::size_t t = 0; t < outcomes.size(); ++t) simulate(t);
   } else {
     std::unique_ptr<util::ThreadPool> owned;
@@ -166,8 +205,14 @@ std::vector<AveragedMetrics> SweepRunner::run(
       owned = std::make_unique<util::ThreadPool>(base_.threads);
       pool = owned.get();
     }
-    pool->parallel_for(workloads.size(), generate);
+    pool->parallel_for(setup_tasks, setup);
     pool->parallel_for(outcomes.size(), simulate);
+  }
+
+  if (stats != nullptr) {
+    stats->workloads_generated = workloads.size();
+    stats->path_models_built =
+        share_models ? runs : cells.size() * runs;
   }
 
   std::vector<AveragedMetrics> results;

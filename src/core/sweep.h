@@ -40,6 +40,17 @@ struct SweepCell {
   double cache_fraction = -1.0;
 };
 
+/// What one SweepRunner::run call actually constructed (vs. the
+/// cells x replications a naive grid would have built). Benches surface
+/// these in their BENCH_*.json perf records.
+struct SweepStats {
+  /// Distinct (alpha, replication) workloads generated.
+  std::size_t workloads_generated = 0;
+  /// Immutable net::PathModel instances built: one per replication when
+  /// sharing (the default), one per simulation otherwise.
+  std::size_t path_models_built = 0;
+};
+
 class SweepRunner {
  public:
   /// `base` supplies the workload shape, simulation config (estimator,
@@ -48,11 +59,13 @@ class SweepRunner {
   SweepRunner(ExperimentConfig base, Scenario scenario);
 
   /// Evaluate every cell; result[i] corresponds to cells[i]. Workloads
-  /// are shared across cells per (alpha, replication); execution uses
-  /// base.parallel/base.threads (threads == 0 -> the process-wide shared
-  /// pool, threads == 1 -> inline serial).
+  /// are shared across cells per (alpha, replication) and path models
+  /// per replication (unless base.share_path_models is off); execution
+  /// uses base.parallel/base.threads (threads == 0 -> the process-wide
+  /// shared pool, threads == 1 -> inline serial). `stats`, when given,
+  /// receives construction counts for perf records.
   [[nodiscard]] std::vector<AveragedMetrics> run(
-      const std::vector<SweepCell>& cells) const;
+      const std::vector<SweepCell>& cells, SweepStats* stats = nullptr) const;
 
  private:
   ExperimentConfig base_;

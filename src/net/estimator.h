@@ -31,6 +31,12 @@ class BandwidthEstimator {
   /// `path` finishing at simulation time `now_s`.
   virtual void observe(PathId path, double throughput, double now_s) = 0;
 
+  /// Whether observe() has any effect. Purely active / oracle schemes
+  /// return false so the simulator can skip scheduling per-transfer
+  /// completion events entirely (their delivery order is the only thing
+  /// the events control, and a no-op observer cannot tell).
+  [[nodiscard]] virtual bool uses_observations() const { return true; }
+
   /// Current estimate for `path` (bytes/second); must be positive.
   [[nodiscard]] virtual double estimate(PathId path, double now_s) = 0;
 
@@ -39,17 +45,22 @@ class BandwidthEstimator {
 };
 
 /// Knows the true per-path mean (upper bound on estimator quality).
+/// Consults the immutable PathModel only, so one shared model can feed
+/// any number of concurrent estimators.
 class OracleEstimator final : public BandwidthEstimator {
  public:
-  explicit OracleEstimator(const PathTable& paths) : paths_(&paths) {}
+  explicit OracleEstimator(const PathModel& paths) : paths_(&paths) {}
+  /// Convenience for pre-split call sites holding a PathTable.
+  explicit OracleEstimator(const PathTable& paths) : paths_(&paths.model()) {}
 
   void observe(PathId, double, double) override {}
+  [[nodiscard]] bool uses_observations() const override { return false; }
   [[nodiscard]] double estimate(PathId path, double) override {
     return paths_->mean_bandwidth(path);
   }
 
  private:
-  const PathTable* paths_;
+  const PathModel* paths_;
 };
 
 /// Passive EWMA over observed transfer throughput.
@@ -99,6 +110,7 @@ class ActiveProbeEstimator final : public BandwidthEstimator {
                        double reprobe_interval_s, util::Rng rng);
 
   void observe(PathId, double, double) override {}  // purely active
+  [[nodiscard]] bool uses_observations() const override { return false; }
   [[nodiscard]] double estimate(PathId path, double now_s) override;
   [[nodiscard]] std::size_t overhead_packets() const override {
     return overhead_packets_;

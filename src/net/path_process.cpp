@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace sc::net {
 
@@ -26,56 +27,70 @@ double Ar1RatioProcess::step(util::Rng& rng) {
   return value_;
 }
 
-PathTable::PathTable(std::size_t n_paths,
+PathModel::PathModel(std::size_t n_paths,
                      const stats::EmpiricalDistribution& base,
                      const stats::EmpiricalDistribution& ratio,
-                     PathTableConfig config, util::Rng rng)
-    : config_(config), ratio_(ratio), rng_(std::move(rng)) {
-  if (n_paths == 0) throw std::invalid_argument("PathTable: n_paths == 0");
+                     PathModelConfig config, util::Rng rng)
+    : config_(config), ratio_(ratio), sampler_rng_(std::move(rng)) {
+  if (n_paths == 0) throw std::invalid_argument("PathModel: n_paths == 0");
   means_.reserve(n_paths);
   for (std::size_t i = 0; i < n_paths; ++i) {
-    means_.push_back(base.sample(rng_));
+    means_.push_back(base.sample(sampler_rng_));
   }
-  if (config_.mode == VariationMode::kTimeSeries) {
-    const double sigma = ratio_.cov();  // unit mean => stddev == CoV
-    series_.reserve(n_paths);
-    for (std::size_t i = 0; i < n_paths; ++i) {
+  // Unit mean => stddev == CoV. Precomputed even outside kTimeSeries so
+  // samplers never need the ratio bins at construction.
+  ar1_sigma_ = ratio_.cov();
+}
+
+namespace {
+const PathModel& require_model(const std::shared_ptr<const PathModel>& m) {
+  if (m == nullptr) throw std::invalid_argument("PathSampler: null model");
+  return *m;
+}
+}  // namespace
+
+PathSampler::PathSampler(std::shared_ptr<const PathModel> model)
+    : model_(std::move(model)), rng_(require_model(model_).sampler_rng()) {
+  const PathModelConfig& config = model_->config();
+  if (config.mode == VariationMode::kTimeSeries) {
+    const std::size_t n = model_->size();
+    series_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
       series_.push_back(TimeSeriesState{
-          Ar1RatioProcess(config_.ar1_phi, sigma, config_.min_ratio,
-                          config_.max_ratio),
+          Ar1RatioProcess(config.ar1_phi, model_->ar1_sigma(),
+                          config.min_ratio, config.max_ratio),
           0.0});
     }
   }
 }
 
-double PathTable::mean_bandwidth(PathId path) const { return means_.at(path); }
-
-double PathTable::sample_bandwidth(PathId path, double now_s) {
-  const double mean = means_.at(path);
-  switch (config_.mode) {
+double PathSampler::sample_bandwidth(PathId path, double now_s) {
+  const PathModelConfig& config = model_->config();
+  const double mean = model_->mean_bandwidth(path);
+  switch (config.mode) {
     case VariationMode::kConstant:
       return mean;
     case VariationMode::kIidRatio: {
-      const double r = std::clamp(ratio_.sample(rng_), config_.min_ratio,
-                                  config_.max_ratio);
+      const double r = std::clamp(model_->ratio().sample(rng_),
+                                  config.min_ratio, config.max_ratio);
       return mean * r;
     }
     case VariationMode::kTimeSeries: {
       auto& st = series_.at(path);
       // Advance the AR(1) chain by however many whole timesteps elapsed.
       const double elapsed = now_s - st.last_step_time;
-      const auto steps = static_cast<long long>(
-          std::floor(elapsed / config_.timestep_s));
+      const auto steps =
+          static_cast<long long>(std::floor(elapsed / config.timestep_s));
       for (long long k = 0; k < std::min<long long>(steps, 1024); ++k) {
         st.process.step(rng_);
       }
       if (steps > 0) {
-        st.last_step_time += static_cast<double>(steps) * config_.timestep_s;
+        st.last_step_time += static_cast<double>(steps) * config.timestep_s;
       }
       return mean * st.process.current();
     }
   }
-  throw std::logic_error("PathTable: unknown variation mode");
+  throw std::logic_error("PathSampler: unknown variation mode");
 }
 
 }  // namespace sc::net

@@ -10,9 +10,23 @@
 //   kTimeSeries - an AR(1) ratio process refreshed on a fixed timestep,
 //                 matching the 4-minute sampling of the measured paths in
 //                 Fig 4 (our extension; the paper's figures use kIidRatio).
+//
+// The state is split so sweeps can share the expensive part:
+//
+//   PathModel   - immutable: the drawn per-path means, the ratio model,
+//                 and the configuration. Built once per replication and
+//                 shared across every sweep cell via shared_ptr<const>
+//                 (the paired-seed design makes the means a function of
+//                 the replication seed only — see docs/PERF.md).
+//   PathSampler - cheap per-simulation state: the variability RNG stream
+//                 and the AR(1) chains. Constructed from a model in O(n)
+//                 with no distribution sampling.
+//   PathTable   - DEPRECATED convenience owning one model + one sampler
+//                 with the pre-split API; kept for examples and tools.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "stats/empirical.h"
@@ -48,8 +62,8 @@ class Ar1RatioProcess {
   double value_ = 1.0;
 };
 
-/// Configuration of a PathTable.
-struct PathTableConfig {
+/// Configuration of a PathModel.
+struct PathModelConfig {
   VariationMode mode = VariationMode::kConstant;
   /// AR(1) lag-1 autocorrelation (kTimeSeries only).
   double ar1_phi = 0.7;
@@ -61,29 +75,74 @@ struct PathTableConfig {
   double max_ratio = 4.0;
 };
 
-/// The table of all cache<->origin paths in a simulation: per-path mean
-/// bandwidth plus instantaneous sampling under the configured mode.
-class PathTable {
+/// Pre-split name; PathTableConfig and PathModelConfig are the same type.
+using PathTableConfig = PathModelConfig;
+
+/// The immutable part of a path table: per-path mean bandwidths drawn
+/// once from the base model, plus the ratio model and configuration.
+/// Thread-safe to share (const) across concurrent simulations.
+class PathModel {
  public:
   /// Draw `n_paths` means from `base` and configure variability from the
-  /// unit-mean `ratio` model.
-  PathTable(std::size_t n_paths, const stats::EmpiricalDistribution& base,
-            const stats::EmpiricalDistribution& ratio, PathTableConfig config,
+  /// unit-mean `ratio` model. The RNG state left after drawing the means
+  /// is snapshotted so every PathSampler continues the exact stream a
+  /// monolithic construction would have used (bit-identical results).
+  PathModel(std::size_t n_paths, const stats::EmpiricalDistribution& base,
+            const stats::EmpiricalDistribution& ratio, PathModelConfig config,
             util::Rng rng);
 
   [[nodiscard]] std::size_t size() const noexcept { return means_.size(); }
 
   /// True long-run mean bandwidth of a path (bytes/second). This is the
   /// quantity an *oracle* estimator would report.
-  [[nodiscard]] double mean_bandwidth(PathId path) const;
+  [[nodiscard]] double mean_bandwidth(PathId path) const {
+    return means_.at(path);
+  }
+
+  /// Contiguous per-path means (SoA access for estimator setup).
+  [[nodiscard]] const std::vector<double>& means() const noexcept {
+    return means_;
+  }
+
+  [[nodiscard]] VariationMode mode() const noexcept { return config_.mode; }
+  [[nodiscard]] const PathModelConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const stats::EmpiricalDistribution& ratio() const noexcept {
+    return ratio_;
+  }
+
+  /// Stationary AR(1) sigma (the ratio model's CoV; unit mean => CoV ==
+  /// stddev). Precomputed so samplers start without touching the bins.
+  [[nodiscard]] double ar1_sigma() const noexcept { return ar1_sigma_; }
+
+  /// RNG state immediately after the mean draws; PathSampler copies it.
+  [[nodiscard]] const util::Rng& sampler_rng() const noexcept {
+    return sampler_rng_;
+  }
+
+ private:
+  PathModelConfig config_;
+  stats::EmpiricalDistribution ratio_;
+  std::vector<double> means_;
+  double ar1_sigma_ = 0.0;
+  util::Rng sampler_rng_;
+};
+
+/// Per-simulation mutable sampling state over a shared immutable model:
+/// the variability RNG stream plus (kTimeSeries only) the AR(1) chains.
+class PathSampler {
+ public:
+  explicit PathSampler(std::shared_ptr<const PathModel> model);
+
+  [[nodiscard]] const PathModel& model() const noexcept { return *model_; }
+  [[nodiscard]] std::size_t size() const noexcept { return model_->size(); }
+  [[nodiscard]] double mean_bandwidth(PathId path) const {
+    return model_->mean_bandwidth(path);
+  }
 
   /// Instantaneous bandwidth at simulation time `now_s` (bytes/second).
   [[nodiscard]] double sample_bandwidth(PathId path, double now_s);
-
-  [[nodiscard]] VariationMode mode() const noexcept { return config_.mode; }
-  [[nodiscard]] const PathTableConfig& config() const noexcept {
-    return config_;
-  }
 
  private:
   struct TimeSeriesState {
@@ -91,11 +150,45 @@ class PathTable {
     double last_step_time = 0.0;
   };
 
-  PathTableConfig config_;
-  stats::EmpiricalDistribution ratio_;
-  std::vector<double> means_;
-  std::vector<TimeSeriesState> series_;  // kTimeSeries only
+  std::shared_ptr<const PathModel> model_;
   util::Rng rng_;
+  std::vector<TimeSeriesState> series_;  // kTimeSeries only
+};
+
+/// DEPRECATED: pre-split convenience owning one PathModel + one
+/// PathSampler behind the old monolithic API. New code (and anything
+/// that shares path state across simulations) should hold a
+/// shared_ptr<const PathModel> and construct PathSamplers from it.
+class PathTable {
+ public:
+  PathTable(std::size_t n_paths, const stats::EmpiricalDistribution& base,
+            const stats::EmpiricalDistribution& ratio, PathTableConfig config,
+            util::Rng rng)
+      : model_(std::make_shared<const PathModel>(n_paths, base, ratio, config,
+                                                 std::move(rng))),
+        sampler_(model_) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return model_->size(); }
+  [[nodiscard]] double mean_bandwidth(PathId path) const {
+    return model_->mean_bandwidth(path);
+  }
+  [[nodiscard]] double sample_bandwidth(PathId path, double now_s) {
+    return sampler_.sample_bandwidth(path, now_s);
+  }
+  [[nodiscard]] VariationMode mode() const noexcept { return model_->mode(); }
+  [[nodiscard]] const PathModelConfig& config() const noexcept {
+    return model_->config();
+  }
+
+  /// The shared immutable half.
+  [[nodiscard]] const PathModel& model() const noexcept { return *model_; }
+  [[nodiscard]] std::shared_ptr<const PathModel> model_ptr() const noexcept {
+    return model_;
+  }
+
+ private:
+  std::shared_ptr<const PathModel> model_;
+  PathSampler sampler_;
 };
 
 }  // namespace sc::net

@@ -1,62 +1,4 @@
+// sim/delivery.h is header-only (the formulas are inline so the
+// simulator's hot loop sees them); this TU just anchors the header's
+// compilation for the library target.
 #include "sim/delivery.h"
-
-#include <algorithm>
-#include <cmath>
-#include <stdexcept>
-
-namespace sc::sim {
-
-namespace {
-// A deficit below one byte is rounding noise, not a real shortfall: an
-// exactly-provisioned prefix x = (r - b) * T evaluates the deficit
-// S - T*b - x to +-ulp, and treating +ulp as "not immediate" would
-// silently forfeit the request's added value (and a whole quality layer).
-constexpr double kByteEps = 1.0;
-}  // namespace
-
-double service_delay(double duration_s, double bitrate, double bandwidth,
-                     double cached_bytes) {
-  if (bandwidth <= 0) throw std::invalid_argument("service_delay: bw <= 0");
-  const double deficit =
-      duration_s * bitrate - duration_s * bandwidth - cached_bytes;
-  return deficit > kByteEps ? deficit / bandwidth : 0.0;
-}
-
-double stream_quality(double duration_s, double bitrate, double bandwidth,
-                      double cached_bytes) {
-  if (bandwidth <= 0) throw std::invalid_argument("stream_quality: bw <= 0");
-  const double size = duration_s * bitrate;
-  if (size <= 0) return 1.0;
-  const double supported = duration_s * bandwidth + cached_bytes;
-  if (supported + kByteEps >= size) return 1.0;
-  return supported / size;
-}
-
-double quantize_quality(double quality, int layers) {
-  if (layers <= 0) throw std::invalid_argument("quantize_quality: layers");
-  const double q = std::clamp(quality, 0.0, 1.0);
-  return std::floor(q * layers) / layers;
-}
-
-ServiceOutcome deliver(const workload::StreamObject& obj, double bandwidth,
-                       double cached_prefix_bytes, int quality_layers) {
-  if (bandwidth <= 0) throw std::invalid_argument("deliver: bandwidth <= 0");
-  const double cached = std::clamp(cached_prefix_bytes, 0.0, obj.size_bytes);
-
-  ServiceOutcome out;
-  out.delay_s = service_delay(obj.duration_s, obj.bitrate, bandwidth, cached);
-  out.quality_continuous =
-      stream_quality(obj.duration_s, obj.bitrate, bandwidth, cached);
-  out.quality = quantize_quality(out.quality_continuous, quality_layers);
-  out.immediate = out.delay_s <= 0.0;
-  out.bytes_from_cache = cached;
-  out.bytes_from_origin = obj.size_bytes - cached;
-  // The origin connection ships the remainder at rate `bandwidth`; it is
-  // also what a passive measurement of this transfer would observe.
-  out.origin_transfer_s =
-      out.bytes_from_origin > 0 ? out.bytes_from_origin / bandwidth : 0.0;
-  out.origin_throughput = out.bytes_from_origin > 0 ? bandwidth : 0.0;
-  return out;
-}
-
-}  // namespace sc::sim

@@ -14,6 +14,10 @@
 // different currencies, so exactly one of them is degraded per request.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
 #include "workload/object_catalog.h"
 
 namespace sc::sim {
@@ -39,23 +43,78 @@ struct ServiceOutcome {
   double origin_throughput = 0.0;  // what a passive estimator observes
 };
 
-/// Compute the outcome of serving `obj` with `cached_prefix_bytes` cached
-/// and instantaneous origin bandwidth `bandwidth` (bytes/second, > 0).
-[[nodiscard]] ServiceOutcome deliver(const workload::StreamObject& obj,
-                                     double bandwidth,
-                                     double cached_prefix_bytes,
-                                     int quality_layers = kDefaultQualityLayers);
+// The delivery formulas are inline: deliver() runs once per simulated
+// request, and keeping the arithmetic visible to the simulator's
+// translation unit removes a cross-TU call chain from the hot loop.
+
+/// A deficit below one byte is rounding noise, not a real shortfall: an
+/// exactly-provisioned prefix x = (r - b) * T evaluates the deficit
+/// S - T*b - x to +-ulp, and treating +ulp as "not immediate" would
+/// silently forfeit the request's added value (and a whole quality
+/// layer).
+inline constexpr double kDeliveryByteEps = 1.0;
 
 /// The §2.2 delay formula alone (exposed for tests and offline solvers).
-[[nodiscard]] double service_delay(double duration_s, double bitrate,
-                                   double bandwidth, double cached_bytes);
+[[nodiscard]] inline double service_delay(double duration_s, double bitrate,
+                                          double bandwidth,
+                                          double cached_bytes) {
+  if (bandwidth <= 0) throw std::invalid_argument("service_delay: bw <= 0");
+  const double deficit =
+      duration_s * bitrate - duration_s * bandwidth - cached_bytes;
+  return deficit > kDeliveryByteEps ? deficit / bandwidth : 0.0;
+}
 
 /// The §3.3 quality formula alone (continuous supported fraction).
-[[nodiscard]] double stream_quality(double duration_s, double bitrate,
-                                    double bandwidth, double cached_bytes);
+[[nodiscard]] inline double stream_quality(double duration_s, double bitrate,
+                                           double bandwidth,
+                                           double cached_bytes) {
+  if (bandwidth <= 0) throw std::invalid_argument("stream_quality: bw <= 0");
+  const double size = duration_s * bitrate;
+  if (size <= 0) return 1.0;
+  const double supported = duration_s * bandwidth + cached_bytes;
+  if (supported + kDeliveryByteEps >= size) return 1.0;
+  return supported / size;
+}
 
 /// Quantize a supported fraction to the number of fully-supported layers:
 /// floor(q * layers) / layers.
-[[nodiscard]] double quantize_quality(double quality, int layers);
+[[nodiscard]] inline double quantize_quality(double quality, int layers) {
+  if (layers <= 0) throw std::invalid_argument("quantize_quality: layers");
+  const double q = std::clamp(quality, 0.0, 1.0);
+  return std::floor(q * layers) / layers;
+}
+
+/// Compute the outcome of serving an object with `cached_prefix_bytes`
+/// cached and instantaneous origin bandwidth `bandwidth` (bytes/second,
+/// > 0). The scalar form is the hot-path entry point (fed from the
+/// catalog's SoA view); the StreamObject form delegates to it.
+[[nodiscard]] inline ServiceOutcome deliver(
+    double duration_s, double bitrate, double size_bytes, double bandwidth,
+    double cached_prefix_bytes, int quality_layers = kDefaultQualityLayers) {
+  if (bandwidth <= 0) throw std::invalid_argument("deliver: bandwidth <= 0");
+  const double cached = std::clamp(cached_prefix_bytes, 0.0, size_bytes);
+
+  ServiceOutcome out;
+  out.delay_s = service_delay(duration_s, bitrate, bandwidth, cached);
+  out.quality_continuous =
+      stream_quality(duration_s, bitrate, bandwidth, cached);
+  out.quality = quantize_quality(out.quality_continuous, quality_layers);
+  out.immediate = out.delay_s <= 0.0;
+  out.bytes_from_cache = cached;
+  out.bytes_from_origin = size_bytes - cached;
+  // The origin connection ships the remainder at rate `bandwidth`; it is
+  // also what a passive measurement of this transfer would observe.
+  out.origin_transfer_s =
+      out.bytes_from_origin > 0 ? out.bytes_from_origin / bandwidth : 0.0;
+  out.origin_throughput = out.bytes_from_origin > 0 ? bandwidth : 0.0;
+  return out;
+}
+
+[[nodiscard]] inline ServiceOutcome deliver(
+    const workload::StreamObject& obj, double bandwidth,
+    double cached_prefix_bytes, int quality_layers = kDefaultQualityLayers) {
+  return deliver(obj.duration_s, obj.bitrate, obj.size_bytes, bandwidth,
+                 cached_prefix_bytes, quality_layers);
+}
 
 }  // namespace sc::sim

@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "cache/store.h"
 #include "core/registry.h"
 #include "net/estimator.h"
+#include "sim/delivery.h"
 #include "sim/event_queue.h"
 
 namespace sc::sim {
@@ -36,10 +37,28 @@ Simulator::Simulator(const workload::Workload& workload,
                      const stats::EmpiricalDistribution& base_bandwidth,
                      const stats::EmpiricalDistribution& ratio_model,
                      SimulationConfig config)
+    : Simulator(workload, &base_bandwidth, &ratio_model, nullptr,
+                std::move(config)) {}
+
+Simulator::Simulator(const workload::Workload& workload,
+                     std::shared_ptr<const net::PathModel> path_model,
+                     SimulationConfig config)
+    : Simulator(workload, nullptr, nullptr, std::move(path_model),
+                std::move(config)) {}
+
+Simulator::Simulator(const workload::Workload& workload,
+                     const stats::EmpiricalDistribution* base_bandwidth,
+                     const stats::EmpiricalDistribution* ratio_model,
+                     std::shared_ptr<const net::PathModel> path_model,
+                     SimulationConfig config)
     : workload_(&workload),
-      base_(base_bandwidth),
-      ratio_(ratio_model),
-      config_(config) {
+      path_model_(std::move(path_model)),
+      config_(std::move(config)) {
+  if (base_bandwidth != nullptr) base_.emplace(*base_bandwidth);
+  if (ratio_model != nullptr) ratio_.emplace(*ratio_model);
+  if (path_model_ == nullptr && !base_.has_value()) {
+    throw std::invalid_argument("Simulator: null path model");
+  }
   if (config_.cache_capacity_bytes < 0) {
     throw std::invalid_argument("Simulator: negative cache capacity");
   }
@@ -48,6 +67,11 @@ Simulator::Simulator(const workload::Workload& workload,
   }
   if (workload.requests.empty()) {
     throw std::invalid_argument("Simulator: empty request trace");
+  }
+  if (path_model_ != nullptr &&
+      path_model_->size() != workload.catalog.size()) {
+    throw std::invalid_argument(
+        "Simulator: shared path model size != catalog size");
   }
   // Fail fast on bad component specs (util::SpecError derives from
   // std::invalid_argument) instead of deep inside run().
@@ -59,14 +83,26 @@ Simulator::Simulator(const workload::Workload& workload,
 SimulationResult Simulator::run() {
   const auto& catalog = workload_->catalog;
   const auto& requests = workload_->requests;
+  const workload::CatalogView view = catalog.view();
 
   util::Rng rng(config_.seed);
-  net::PathTable paths(catalog.size(), base_, ratio_, config_.path_config,
-                       rng.fork("paths"));
+  // Shared immutable means + per-run sampler. Without a shared model the
+  // draws happen here, from the same seed stream a shared builder uses.
+  std::shared_ptr<const net::PathModel> model = path_model_;
+  if (model == nullptr) {
+    model = std::make_shared<const net::PathModel>(
+        catalog.size(), *base_, *ratio_, config_.path_config,
+        rng.fork("paths"));
+  }
+  net::PathSampler paths(model);
+  // Constant-bandwidth scenarios (the paper's main setting) sample the
+  // mean directly: no switch, no sampler state, one contiguous load.
+  const bool constant_bw = model->mode() == net::VariationMode::kConstant;
+  const double* path_means = model->means().data();
 
   // Build the configured estimator and policy through the registry.
   std::unique_ptr<net::BandwidthEstimator> estimator =
-      core::registry::make_estimator(config_.estimator, paths,
+      core::registry::make_estimator(config_.estimator, *model,
                                      rng.fork("estimator"));
 
   cache::PartialStore store(config_.cache_capacity_bytes);
@@ -81,13 +117,24 @@ SimulationResult Simulator::run() {
   const auto observe = [&estimator](double now, const ObservationEvent& ev) {
     estimator->observe(ev.path, ev.throughput, now);
   };
+  // Oracle / purely-active estimators discard observations; skip the
+  // per-transfer event traffic for them entirely (the queue stays empty,
+  // so run_until degenerates to one size check per request).
+  const bool estimator_observes = estimator->uses_observations();
   MetricsCollector metrics;
   const auto warm_count = static_cast<std::size_t>(
       static_cast<double>(requests.size()) * config_.warmup_fraction);
 
   // Patching: per-object in-flight origin stream, paced at the playout
-  // rate (first element: pacing start, second: completion time).
-  std::unordered_map<workload::ObjectId, std::pair<double, double>> in_flight;
+  // rate. Dense per-object slots (ids are dense) keep the lookup a
+  // single array access and the loop allocation-free; end == 0 means "no
+  // stream in flight" (every real completion time is > 0).
+  struct InFlight {
+    double start = 0.0;
+    double end = 0.0;
+  };
+  std::vector<InFlight> in_flight;
+  if (config_.patching.enabled) in_flight.resize(catalog.size());
   util::Rng viewing_rng = rng.fork("viewing");
 
   for (std::size_t idx = 0; idx < requests.size(); ++idx) {
@@ -95,10 +142,16 @@ SimulationResult Simulator::run() {
     // Deliver pending transfer-completion observations first.
     events.run_until(req.time_s, observe);
 
-    const auto& obj = catalog.object(req.object);
-    const double bw = paths.sample_bandwidth(obj.path, req.time_s);
-    const double cached_before = store.cached(req.object);
-    ServiceOutcome outcome = deliver(obj, bw, cached_before);
+    const workload::ObjectId id = req.object;
+    const double duration_s = view.duration_s[id];
+    const double bitrate = view.bitrate[id];
+    const double size_bytes = view.size_bytes[id];
+    const double bw = constant_bw
+                          ? path_means[view.path[id]]
+                          : paths.sample_bandwidth(view.path[id], req.time_s);
+    const double cached_before = store.cached(id);
+    ServiceOutcome outcome =
+        deliver(duration_s, bitrate, size_bytes, bw, cached_before);
 
     // Client interactivity: scale the byte accounting (not the startup
     // metrics) by the viewed fraction of the stream.
@@ -107,7 +160,7 @@ SimulationResult Simulator::run() {
       if (viewing_rng.uniform() >= config_.viewing.complete_probability) {
         fraction = viewing_rng.uniform(config_.viewing.min_fraction, 1.0);
       }
-      const double viewed = fraction * obj.size_bytes;
+      const double viewed = fraction * size_bytes;
       outcome.bytes_from_cache = std::min(outcome.bytes_from_cache, viewed);
       outcome.bytes_from_origin =
           std::max(0.0, viewed - outcome.bytes_from_cache);
@@ -118,12 +171,10 @@ SimulationResult Simulator::run() {
     // Patching: share the tail of an in-flight transmission of the same
     // object; only the missed prefix still needs the origin.
     if (config_.patching.enabled && outcome.bytes_from_origin > 0) {
-      const auto it = in_flight.find(req.object);
-      if (it != in_flight.end() && req.time_s < it->second.second) {
-        const double stream_start = it->second.first;
+      InFlight& flight = in_flight[id];
+      if (req.time_s < flight.end) {
         const double remaining_shareable = std::min(
-            obj.size_bytes,
-            obj.bitrate * (stream_start + obj.duration_s - req.time_s));
+            size_bytes, bitrate * (flight.start + duration_s - req.time_s));
         const double shared = std::min(outcome.bytes_from_origin,
                                        std::max(0.0, remaining_shareable));
         outcome.bytes_shared = shared;
@@ -135,25 +186,26 @@ SimulationResult Simulator::run() {
       if (outcome.bytes_from_origin > 0) {
         // This request starts (or replaces) the object's shared stream,
         // paced at the playout rate for the object's duration.
-        in_flight[req.object] = {req.time_s, req.time_s + obj.duration_s};
+        flight.start = req.time_s;
+        flight.end = req.time_s + duration_s;
       }
     }
 
     const bool measured = idx >= warm_count;
-    if (measured) metrics.record(outcome, obj.value);
+    if (measured) metrics.record(outcome, view.value[id]);
 
     // Passive estimators learn this transfer's throughput at completion.
-    if (outcome.bytes_from_origin > 0) {
+    if (estimator_observes && outcome.bytes_from_origin > 0) {
       const double done = req.time_s + outcome.origin_transfer_s;
-      events.schedule(done,
-                      ObservationEvent{obj.path, outcome.origin_throughput});
+      events.schedule(
+          done, ObservationEvent{view.path[id], outcome.origin_throughput});
     }
 
     // Replacement decisions happen after the request is served.
-    policy->on_access(req.object, req.time_s, store);
+    policy->on_access(id, req.time_s, store);
 
     // Growth of this object's prefix is origin->cache fill traffic.
-    const double cached_after = store.cached(req.object);
+    const double cached_after = store.cached(id);
     if (measured && cached_after > cached_before) {
       metrics.record_fill(cached_after - cached_before);
     }

@@ -9,7 +9,19 @@ namespace sc::workload {
 
 Catalog::Catalog(std::vector<StreamObject> objects, CatalogConfig config)
     : objects_(std::move(objects)), config_(config) {
-  for (const auto& o : objects_) total_bytes_ += o.size_bytes;
+  soa_duration_s_.reserve(objects_.size());
+  soa_bitrate_.reserve(objects_.size());
+  soa_size_bytes_.reserve(objects_.size());
+  soa_value_.reserve(objects_.size());
+  soa_path_.reserve(objects_.size());
+  for (const auto& o : objects_) {
+    total_bytes_ += o.size_bytes;
+    soa_duration_s_.push_back(o.duration_s);
+    soa_bitrate_.push_back(o.bitrate);
+    soa_size_bytes_.push_back(o.size_bytes);
+    soa_value_.push_back(o.value);
+    soa_path_.push_back(o.path);
+  }
 }
 
 Catalog Catalog::generate(const CatalogConfig& config, util::Rng& rng) {

@@ -48,6 +48,20 @@ struct CatalogConfig {
   }
 };
 
+/// Structure-of-arrays view over a Catalog: one contiguous array per hot
+/// field, indexed by ObjectId. The per-request policy/simulator loop
+/// reads 3-5 doubles per access through this view instead of pulling a
+/// whole 56-byte StreamObject through the cache. Plain pointers into the
+/// owning Catalog; valid for the catalog's lifetime.
+struct CatalogView {
+  const double* duration_s = nullptr;  // T_i
+  const double* bitrate = nullptr;     // r_i, bytes/second
+  const double* size_bytes = nullptr;  // S_i
+  const double* value = nullptr;       // V_i, dollars
+  const net::PathId* path = nullptr;   // origin path per object
+  std::size_t size = 0;
+};
+
 /// Immutable object catalog.
 class Catalog {
  public:
@@ -69,6 +83,18 @@ class Catalog {
     return objects_;
   }
 
+  /// SoA view for the hot loop (see CatalogView). Cheap to copy.
+  [[nodiscard]] CatalogView view() const noexcept {
+    CatalogView v;
+    v.duration_s = soa_duration_s_.data();
+    v.bitrate = soa_bitrate_.data();
+    v.size_bytes = soa_size_bytes_.data();
+    v.value = soa_value_.data();
+    v.path = soa_path_.data();
+    v.size = objects_.size();
+    return v;
+  }
+
   /// Sum of all object sizes (the paper's "total unique object size").
   [[nodiscard]] double total_bytes() const noexcept { return total_bytes_; }
 
@@ -80,6 +106,13 @@ class Catalog {
   Catalog(std::vector<StreamObject> objects, CatalogConfig config);
 
   std::vector<StreamObject> objects_;
+  // SoA mirrors of the hot StreamObject fields, built once at
+  // construction (the catalog is immutable afterwards).
+  std::vector<double> soa_duration_s_;
+  std::vector<double> soa_bitrate_;
+  std::vector<double> soa_size_bytes_;
+  std::vector<double> soa_value_;
+  std::vector<net::PathId> soa_path_;
   CatalogConfig config_;
   double total_bytes_ = 0.0;
 };

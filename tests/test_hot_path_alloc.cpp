@@ -47,7 +47,9 @@ workload::Workload make_workload(std::size_t requests) {
 
 std::uint64_t allocations_for_run(const workload::Workload& w,
                                   const std::string& policy,
-                                  const std::string& estimator) {
+                                  const std::string& estimator,
+                                  bool patching = false,
+                                  bool viewing = false) {
   const auto base = core::constant_scenario().base;
   const auto ratio = core::constant_scenario().ratio;
   SimulationConfig cfg;
@@ -55,6 +57,8 @@ std::uint64_t allocations_for_run(const workload::Workload& w,
       core::capacity_for_fraction(workload::CatalogConfig{}, 0.001);
   cfg.policy = policy;
   cfg.estimator = estimator;
+  cfg.patching.enabled = patching;
+  cfg.viewing.enabled = viewing;
   Simulator simulator(w, base, ratio, cfg);
   const std::uint64_t before = g_news.load();
   (void)simulator.run();
@@ -76,6 +80,23 @@ TEST(HotPathAllocations, DoNotScaleWithTraceLength) {
         << policy << ": " << a_short << " allocs at 5k requests vs "
         << a_long << " at 20k";
   }
+}
+
+TEST(HotPathAllocations, PatchingAndViewingScenariosAreAllocationFreeToo) {
+  // The patching in-flight table is a dense per-object vector (sized by
+  // the catalog, filled before the loop) and viewing only draws from a
+  // pre-forked RNG, so enabling both must not reintroduce per-request
+  // allocation (the old per-request std::unordered_map did).
+  const auto short_trace = make_workload(5000);
+  const auto long_trace = make_workload(20000);
+  (void)allocations_for_run(short_trace, "pb", "oracle", /*patching=*/true,
+                            /*viewing=*/true);
+  const auto a_short = allocations_for_run(short_trace, "pb", "oracle", true,
+                                           true);
+  const auto a_long = allocations_for_run(long_trace, "pb", "oracle", true,
+                                          true);
+  EXPECT_LE(a_long, a_short + 64)
+      << a_short << " allocs at 5k requests vs " << a_long << " at 20k";
 }
 
 TEST(HotPathAllocations, PassiveEstimatorPathIsAllocationFreeToo) {

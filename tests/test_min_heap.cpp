@@ -82,6 +82,24 @@ TEST(IndexedMinHeap, DuplicateAndAbsentOperationsThrow) {
   EXPECT_THROW((void)empty.pop_min(), std::out_of_range);
 }
 
+TEST(IndexedMinHeap, ClearEmptiesAndStaysUsable) {
+  IndexedMinHeap heap(8);
+  for (std::size_t i = 0; i < 8; ++i) heap.push(i, static_cast<double>(i));
+  heap.clear();
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(heap.size(), 0u);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_FALSE(heap.contains(i));
+  EXPECT_TRUE(heap.check_invariants());
+  // Ids are reusable immediately after clear().
+  heap.push(3, 2.0);
+  heap.push(5, 1.0);
+  EXPECT_EQ(heap.pop_min(), 5u);
+  EXPECT_EQ(heap.pop_min(), 3u);
+  // Clearing an empty heap is a no-op.
+  heap.clear();
+  EXPECT_TRUE(heap.check_invariants());
+}
+
 TEST(IndexedMinHeap, EqualKeysAllPop) {
   IndexedMinHeap heap(4);
   for (std::size_t i = 0; i < 4; ++i) heap.push(i, 1.0);

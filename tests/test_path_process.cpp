@@ -137,5 +137,76 @@ TEST(PathTable, RejectsEmptyAndOutOfRange) {
   EXPECT_THROW((void)table.sample_bandwidth(99, 0.0), std::out_of_range);
 }
 
+TEST(PathModel, SamplersFromOneModelReplayTheMonolithicStream) {
+  // The split's bit-identity contract: a PathSampler over a shared model
+  // draws exactly the sequence a monolithic PathTable (same seed) draws,
+  // because the model snapshots its RNG state after the mean draws.
+  PathModelConfig cfg;
+  cfg.mode = VariationMode::kIidRatio;
+  const auto model = std::make_shared<const PathModel>(
+      20, nlanr_base_model(), nlanr_variability_model(), cfg, util::Rng(42));
+  PathTable table(20, nlanr_base_model(), nlanr_variability_model(), cfg,
+                  util::Rng(42));
+
+  PathSampler sampler(model);
+  for (int i = 0; i < 500; ++i) {
+    const PathId p = static_cast<PathId>(i % 20);
+    const double t = 10.0 * i;
+    ASSERT_EQ(sampler.sample_bandwidth(p, t), table.sample_bandwidth(p, t))
+        << "draw " << i;
+  }
+}
+
+TEST(PathModel, IndependentSamplersDoNotPerturbEachOther) {
+  // Two samplers over one shared model are fully independent: advancing
+  // one must not change the other's stream (each carries its own copy of
+  // the snapshotted RNG). This is what makes one model safe to share
+  // across concurrent simulations.
+  PathModelConfig cfg;
+  cfg.mode = VariationMode::kIidRatio;
+  const auto model = std::make_shared<const PathModel>(
+      5, nlanr_base_model(), nlanr_variability_model(), cfg, util::Rng(7));
+
+  PathSampler alone(model);
+  std::vector<double> expected;
+  for (int i = 0; i < 100; ++i) {
+    expected.push_back(alone.sample_bandwidth(i % 5, static_cast<double>(i)));
+  }
+
+  PathSampler a(model), b(model);
+  for (int i = 0; i < 100; ++i) {
+    (void)b.sample_bandwidth((i * 3) % 5, static_cast<double>(i));  // noise
+    EXPECT_EQ(a.sample_bandwidth(i % 5, static_cast<double>(i)), expected[i])
+        << "draw " << i;
+  }
+}
+
+TEST(PathModel, ExposesContiguousMeans) {
+  PathModelConfig cfg;
+  const PathModel model(10, nlanr_base_model(), constant_variability_model(),
+                        cfg, util::Rng(3));
+  ASSERT_EQ(model.means().size(), 10u);
+  for (PathId p = 0; p < model.size(); ++p) {
+    EXPECT_EQ(model.means()[p], model.mean_bandwidth(p));
+  }
+  EXPECT_THROW(PathSampler(nullptr), std::invalid_argument);
+}
+
+TEST(PathModel, TimeSeriesSamplersRebuildAr1Chains) {
+  // kTimeSeries state (the AR(1) chains) lives in the sampler, not the
+  // model: two samplers advance their chains independently yet
+  // identically from the shared snapshot.
+  PathModelConfig cfg;
+  cfg.mode = VariationMode::kTimeSeries;
+  cfg.timestep_s = 10.0;
+  const auto model = std::make_shared<const PathModel>(
+      4, nlanr_base_model(), nlanr_variability_model(), cfg, util::Rng(11));
+  PathSampler a(model), b(model);
+  for (int i = 0; i < 50; ++i) {
+    const double t = 10.0 * i;
+    EXPECT_EQ(a.sample_bandwidth(i % 4, t), b.sample_bandwidth(i % 4, t));
+  }
+}
+
 }  // namespace
 }  // namespace sc::net

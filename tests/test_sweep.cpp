@@ -102,6 +102,53 @@ TEST(SweepRunner, CellsInheritBaseDefaults) {
   expect_bit_identical(inherited, direct);
 }
 
+TEST(SweepRunner, SharedPathModelsBitIdenticalToPerCellConstruction) {
+  // The tentpole guarantee of the PathModel split: one immutable model
+  // per replication, shared by every cell, produces exactly the metrics
+  // of per-simulation model construction (the model snapshots its
+  // post-draw RNG state, so samplers continue the identical stream).
+  const auto cells = fig5_shaped_cells();
+  // Exercise the iid-ratio sampler path too, not just constant means.
+  const auto scenario = measured_variability_scenario();
+
+  ExperimentConfig shared_cfg = small_config();
+  shared_cfg.share_path_models = true;
+  SweepStats shared_stats;
+  const auto shared =
+      SweepRunner(shared_cfg, scenario).run(cells, &shared_stats);
+
+  ExperimentConfig unshared_cfg = small_config();
+  unshared_cfg.share_path_models = false;
+  SweepStats unshared_stats;
+  const auto unshared =
+      SweepRunner(unshared_cfg, scenario).run(cells, &unshared_stats);
+
+  ASSERT_EQ(shared.size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    expect_bit_identical(shared[i], unshared[i]);
+  }
+  // One model per replication when sharing, one per simulation when not.
+  EXPECT_EQ(shared_stats.path_models_built, shared_cfg.runs);
+  EXPECT_EQ(unshared_stats.path_models_built, cells.size() * shared_cfg.runs);
+}
+
+TEST(SweepRunner, StatsCountWorkloadsAndModels) {
+  // A 2-alpha x 2-policy grid over 3 runs: 4 workloads per run share
+  // nothing across alphas, but all 4 cells share one path model per run.
+  std::vector<SweepCell> cells;
+  for (const char* policy : {"pb", "ib"}) {
+    for (const double alpha : {0.6, 1.1}) {
+      cells.push_back(SweepCell{policy, alpha, 0.05});
+    }
+  }
+  SweepStats stats;
+  const auto r =
+      SweepRunner(small_config(), constant_scenario()).run(cells, &stats);
+  ASSERT_EQ(r.size(), cells.size());
+  EXPECT_EQ(stats.workloads_generated, 2u * 3u);  // alphas x runs
+  EXPECT_EQ(stats.path_models_built, 3u);         // runs only
+}
+
 TEST(SweepRunner, AlphaCellsShareNothingAcrossDistinctAlphas) {
   // Different alphas are different workloads: metrics must differ.
   const auto scenario = constant_scenario();

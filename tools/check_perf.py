@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_*.json perf record against the committed baseline.
+
+Usage: check_perf.py FRESH_JSON BASELINE_JSON [--max-regression=0.25]
+
+FRESH_JSON is one record as written by a bench binary's --json flag.
+BASELINE_JSON is the committed trajectory file (a JSON array of records,
+or a single record); the *last* entry is the baseline.
+
+Exits non-zero when the fresh `requests_per_sec` falls more than
+--max-regression below the baseline, unless SC_PERF_WARN_ONLY is set to
+a non-empty value (shared CI runners have noisy clocks; dedicated boxes
+should leave the gate hard). `allocations_per_request` is gated the same
+way but hard-fails regardless of the toggle: allocation counts are
+deterministic, so a regression there is a code change, not noise.
+"""
+
+import json
+import os
+import sys
+
+
+def load_record(path):
+    with open(path) as f:
+        data = json.load(f)
+    if isinstance(data, list):
+        if not data:
+            sys.exit(f"error: {path} is an empty array")
+        return data[-1]
+    return data
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    if len(args) != 2:
+        sys.exit(__doc__)
+    max_regression = 0.25
+    for a in argv[1:]:
+        if a.startswith("--max-regression="):
+            max_regression = float(a.split("=", 1)[1])
+        elif a.startswith("--"):
+            sys.exit(f"error: unknown flag {a.split('=', 1)[0]} "
+                     "(known: --max-regression=FRACTION)")
+
+    fresh = load_record(args[0])
+    base = load_record(args[1])
+    warn_only = bool(os.environ.get("SC_PERF_WARN_ONLY"))
+
+    failed = False
+
+    rps_fresh = float(fresh["requests_per_sec"])
+    rps_base = float(base["requests_per_sec"])
+    ratio = rps_fresh / rps_base if rps_base > 0 else float("inf")
+    print(f"requests_per_sec: fresh {rps_fresh:,.0f} vs baseline "
+          f"{rps_base:,.0f} ({ratio:.2f}x)")
+    if ratio < 1.0 - max_regression:
+        msg = (f"requests_per_sec regressed {(1.0 - ratio) * 100:.1f}% "
+               f"(> {max_regression * 100:.0f}% allowed)")
+        if warn_only:
+            print(f"::warning::{msg} [SC_PERF_WARN_ONLY set; not failing]")
+        else:
+            print(f"error: {msg}")
+            failed = True
+
+    apr_fresh = float(fresh["allocations_per_request"])
+    apr_base = float(base["allocations_per_request"])
+    print(f"allocations_per_request: fresh {apr_fresh:.6f} vs baseline "
+          f"{apr_base:.6f}")
+    if apr_base >= 0 and apr_fresh > apr_base * (1.0 + max_regression) \
+            and apr_fresh - apr_base > 1e-6:
+        print(f"error: allocations_per_request regressed "
+              f"{apr_fresh / apr_base if apr_base else float('inf'):.2f}x "
+              f"(deterministic; gate ignores SC_PERF_WARN_ONLY)")
+        failed = True
+
+    if failed:
+        return 1
+    print("perf gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
