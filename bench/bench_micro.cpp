@@ -53,9 +53,10 @@ void BM_PolicyOnAccess(benchmark::State& state) {
   wcfg.catalog.num_objects = 5000;
   wcfg.trace.num_requests = 20000;
   const auto w = workload::generate_workload(wcfg, rng);
-  net::PathTableConfig pcfg;
-  net::PathTable paths(w.catalog.size(), net::nlanr_base_model(),
-                       net::constant_variability_model(), pcfg, rng.fork());
+  net::PathModelConfig pcfg;
+  const net::PathModel paths(w.catalog.size(), net::nlanr_base_model(),
+                             net::constant_variability_model(), pcfg,
+                             rng.fork());
   net::OracleEstimator estimator(paths);
   cache::PartialStore store(
       core::capacity_for_fraction(wcfg.catalog, 0.08));
@@ -77,9 +78,10 @@ void BM_RegistryMakePolicy(benchmark::State& state) {
   workload::WorkloadConfig wcfg;
   wcfg.catalog.num_objects = 5000;
   const auto catalog = workload::Catalog::generate(wcfg.catalog, rng);
-  net::PathTableConfig pcfg;
-  net::PathTable paths(catalog.size(), net::nlanr_base_model(),
-                       net::constant_variability_model(), pcfg, rng.fork());
+  net::PathModelConfig pcfg;
+  const net::PathModel paths(catalog.size(), net::nlanr_base_model(),
+                             net::constant_variability_model(), pcfg,
+                             rng.fork());
   net::OracleEstimator estimator(paths);
   for (auto _ : state) {
     benchmark::DoNotOptimize(

@@ -55,12 +55,12 @@ StallStats run_policy(const std::string& policy_spec,
   const auto scenario = bench::scenario_for(cfg, "timeseries:path=taiwan");
   const auto& base = scenario.base;
   const auto& ratio = scenario.ratio;
-  net::PathTableConfig pcfg;
+  net::PathModelConfig pcfg;
   pcfg.mode = net::VariationMode::kConstant;
-  net::PathTable paths(w.catalog.size(), base, ratio, pcfg,
-                       util::Rng(scfg.seed).fork("paths"));
+  const auto paths = std::make_shared<const net::PathModel>(
+      w.catalog.size(), base, ratio, pcfg, util::Rng(scfg.seed).fork("paths"));
   const auto estimator = core::registry::make_estimator(
-      cfg.estimator, paths, util::Rng(scfg.seed).fork("estimator"));
+      cfg.estimator, *paths, util::Rng(scfg.seed).fork("estimator"));
   cache::PartialStore store(scfg.cache_capacity_bytes);
   auto policy =
       core::registry::make_policy(policy_spec, w.catalog, *estimator);
@@ -75,7 +75,7 @@ StallStats run_policy(const std::string& policy_spec,
   std::size_t stall_free = 0, sessions = 0, covered = 0;
   for (std::size_t id = 0; id < w.catalog.size() && sessions < 400; id += 7) {
     const auto& obj = w.catalog.object(id);
-    const double mean_bw = paths.mean_bandwidth(obj.path);
+    const double mean_bw = paths->mean_bandwidth(obj.path);
     if (obj.bitrate <= mean_bw) continue;  // uninteresting: never stalls
     net::Ar1RatioProcess process(0.8, sigma, 0.1, 3.0);
     util::Rng prng = session_rng.fork(std::to_string(id));

@@ -12,6 +12,12 @@
 #include "core/sweep.h"
 #include "util/thread_pool.h"
 
+// Resolved by CMake (1 only when check_ipo_supported passed and the
+// build type is Release); default off for non-CMake builds.
+#ifndef SC_LTO
+#define SC_LTO 0
+#endif
+
 // ---------------------------------------------------------------------
 // Global allocation counter. Every bench binary links this translation
 // unit, so operator new is replaced process-wide with a malloc wrapper
@@ -247,6 +253,7 @@ void write_bench_json(const FigureConfig& config,
       "  \"workloads_generated\": %zu,\n"
       "  \"path_models_built\": %zu,\n"
       "  \"requests_simulated\": %zu,\n"
+      "  \"lto\": %s,\n"
       "  \"wall_s\": %.6f,\n"
       "  \"requests_per_sec\": %.0f,\n"
       "  \"allocations\": %llu,\n"
@@ -256,6 +263,9 @@ void write_bench_json(const FigureConfig& config,
       config.requests, config.objects, telemetry.simulations,
       telemetry.workloads_generated, telemetry.path_models_built,
       telemetry.requests_simulated,
+      // Resolved build flag (CMake's check_ipo_supported gate), so
+      // trajectory records are comparable across build configurations.
+      SC_LTO ? "true" : "false",
       telemetry.wall_s, telemetry.wall_s > 0 ? reqs / telemetry.wall_s : 0.0,
       static_cast<unsigned long long>(telemetry.allocations),
       reqs > 0 ? static_cast<double>(telemetry.allocations) / reqs : 0.0);

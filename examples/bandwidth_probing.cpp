@@ -34,15 +34,14 @@ int run_main(int argc, char** argv) {
   util::Rng rng(17);
   const auto base = net::nlanr_base_model();
   const auto ratio = net::measured_variability_model();
-  net::PathTableConfig pcfg;
+  net::PathModelConfig pcfg;
   pcfg.mode = net::VariationMode::kIidRatio;
-  net::PathTable paths(n_paths, base, ratio, pcfg, rng.fork("paths"));
+  const auto model = std::make_shared<const net::PathModel>(
+      n_paths, base, ratio, pcfg, rng.fork("paths"));
+  net::PathSampler paths(model);
 
   // --- Estimator accuracy against the true means --------------------------
-  std::vector<double> means;
-  for (std::size_t p = 0; p < n_paths; ++p) {
-    means.push_back(paths.mean_bandwidth(p));
-  }
+  const std::vector<double>& means = model->means();
   net::ProbeModel probe_model(means, net::ProbeConfig{}, rng.fork("probe"));
   net::ActiveProbeEstimator active(probe_model, /*reprobe_interval_s=*/60.0,
                                    rng.fork("active"));

@@ -34,7 +34,7 @@ int run_main(int argc, char** argv) {
   // (--scenario=...); the default matches the paper's NLANR models.
   const auto truth = core::registry::make_scenario(
       cli.get_or("scenario", std::string("nlanr")));
-  net::PathTableConfig pcfg;
+  net::PathModelConfig pcfg;
   pcfg.mode = truth.mode;
   const auto& truth_base = truth.base;
   const auto& truth_ratio = truth.ratio;
@@ -42,8 +42,9 @@ int run_main(int argc, char** argv) {
   scfg.num_requests =
       static_cast<std::size_t>(cli.get_or("requests", 40000LL));
   scfg.num_servers = static_cast<std::size_t>(cli.get_or("servers", 300LL));
-  net::PathTable paths(scfg.num_servers, truth_base, truth_ratio, pcfg,
-                       rng.fork("paths"));
+  const auto path_model = std::make_shared<const net::PathModel>(
+      scfg.num_servers, truth_base, truth_ratio, pcfg, rng.fork("paths"));
+  net::PathSampler paths(path_model);
 
   const auto log_path =
       std::filesystem::temp_directory_path() / "sc_proxy_access.log";

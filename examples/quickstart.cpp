@@ -34,19 +34,23 @@ int run_main(int argc, char** argv) {
   const workload::Workload w = workload::generate_workload(wcfg, rng);
 
   // 2. Internet paths to the origin servers, from a registered scenario
-  //    spec (default: NLANR means, measured-path variability).
+  //    spec (default: NLANR means, measured-path variability). The
+  //    immutable model (per-path means) is shareable; the sampler holds
+  //    this run's variability stream.
   const auto scenario = core::registry::make_scenario(
       cli.get_or("scenario", std::string("measured")));
-  net::PathTableConfig pcfg;
+  net::PathModelConfig pcfg;
   pcfg.mode = scenario.mode;
-  net::PathTable paths(w.catalog.size(), scenario.base, scenario.ratio, pcfg,
-                       rng.fork("paths"));
+  const auto model = std::make_shared<const net::PathModel>(
+      w.catalog.size(), scenario.base, scenario.ratio, pcfg,
+      rng.fork("paths"));
+  net::PathSampler paths(model);
 
   // 3. The accelerator: a partial-object store managed by a
   //    network-aware policy, fed by a bandwidth estimator — both
   //    addressed by spec strings.
   const auto estimator = core::registry::make_estimator(
-      cli.get_or("estimator", std::string("ewma:alpha=0.3")), paths,
+      cli.get_or("estimator", std::string("ewma:alpha=0.3")), *model,
       rng.fork("estimator"));
   core::AcceleratorConfig acfg;
   acfg.capacity_bytes = net::from_gb(cli.get_or("cache-gb", 8.0));

@@ -41,11 +41,16 @@ struct PolicyParams {
 
 /// Parse "IF", "PB", "IB", "Hybrid", "PB-V", "IB-V", "LRU", "LFU"
 /// (case-insensitive). Throws std::invalid_argument for unknown names.
-[[nodiscard]] PolicyKind parse_policy_kind(const std::string& name);
+[[nodiscard, deprecated(
+    "resolve a spec string through core::registry instead")]] PolicyKind
+parse_policy_kind(const std::string& name);
 
 /// Instantiate a policy. `catalog` and `estimator` must outlive it.
-[[nodiscard]] std::unique_ptr<CachePolicy> make_policy(
-    PolicyKind kind, const workload::Catalog& catalog,
-    net::BandwidthEstimator& estimator, const PolicyParams& params = {});
+[[nodiscard, deprecated(
+    "construct through core::registry::make_policy(spec, ...) "
+    "instead")]] std::unique_ptr<CachePolicy>
+make_policy(PolicyKind kind, const workload::Catalog& catalog,
+            net::BandwidthEstimator& estimator,
+            const PolicyParams& params = {});
 
 }  // namespace sc::cache

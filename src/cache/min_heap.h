@@ -97,6 +97,15 @@ class IndexedMinHeap {
     heap_.clear();
   }
 
+  /// Re-initialize for a (possibly different) id capacity, reusing the
+  /// backing storage: after reset the heap is indistinguishable from a
+  /// freshly constructed IndexedMinHeap(id_capacity).
+  void reset(std::size_t id_capacity) {
+    heap_.clear();
+    pos_.assign(id_capacity, kNpos);
+    heap_.reserve(id_capacity);
+  }
+
   /// Remove an arbitrary contained id.
   void remove(std::size_t id) {
     const std::size_t p = pos_.at(id);

@@ -36,6 +36,12 @@ namespace sc::cache {
 using workload::CatalogView;
 using workload::StreamObject;
 
+/// Default bandwidth under-estimation factor `e` for the Hybrid /
+/// PB-V(e) kernels when a spec omits it. Shared by the registry
+/// factories and the monomorphized dispatch table (both must agree or
+/// their bit-identity contract breaks).
+inline constexpr double kDefaultKernelE = 1.0;
+
 /// Interface seen by the simulator.
 class CachePolicy {
  public:
@@ -77,6 +83,21 @@ class UtilityPolicyBase : public CachePolicy {
   [[nodiscard]] double frequency(ObjectId id) const { return freq_.at(id); }
 
  protected:
+  /// Re-target the engine at a new catalog + estimator and forget the
+  /// shared learned state, reusing the frequency and heap storage.
+  /// Protected on purpose: rebinding must go through the derived
+  /// UtilityPolicy<Kernel>::rebind, which additionally resets kernel
+  /// state (e.g. LRU recency) — calling this half alone through a base
+  /// reference would silently carry kernel state across simulations.
+  void rebind_base(const workload::Catalog& catalog,
+                   net::BandwidthEstimator& estimator) {
+    catalog_ = &catalog;
+    view_ = catalog.view();
+    estimator_ = &estimator;
+    freq_.assign(catalog.size(), 0.0);
+    heap_.reset(catalog.size());
+  }
+
   [[nodiscard]] const workload::Catalog& catalog() const noexcept {
     return *catalog_;
   }
@@ -175,7 +196,7 @@ struct HybridKernel : KernelBase {
 /// Hybrid does.
 struct PbvKernel : KernelBase {
   static constexpr bool kIntegral = false;
-  explicit PbvKernel(double e = 1.0);
+  explicit PbvKernel(double e = kDefaultKernelE);
   [[nodiscard]] std::string name() const;
   [[nodiscard]] double e() const noexcept { return e_; }
   [[nodiscard]] double utility(const CatalogView& v, ObjectId id, double freq,
@@ -271,7 +292,32 @@ class UtilityPolicy final : public UtilityPolicyBase {
 
   [[nodiscard]] const Kernel& kernel() const noexcept { return kernel_; }
 
+  /// Re-target at a new catalog + estimator and forget all learned
+  /// state — the shared engine half (frequencies, heap) and the
+  /// kernel's own per-object state (e.g. LRU recency) — reusing every
+  /// piece of storage (arena reuse across the simulations one worker
+  /// executes). After rebind the policy is indistinguishable from a
+  /// freshly constructed one.
+  void rebind(const workload::Catalog& catalog,
+              net::BandwidthEstimator& estimator) {
+    rebind_base(catalog, estimator);
+    kernel_.bind(view_);
+    kernel_.reset();
+  }
+
   void on_access(ObjectId id, double now_s, PartialStore& store) override {
+    access(id, now_s, store, *estimator_);
+  }
+
+  /// The admission/eviction body, templated over the estimator's static
+  /// type. The virtual on_access boundary instantiates it with the
+  /// BandwidthEstimator interface; the monomorphized run loop passes the
+  /// concrete estimator kernel instead, so the per-request estimate()
+  /// call — the last virtual call inside the loop — compiles to direct
+  /// inlined code.
+  template <typename Estimator>
+  void access(ObjectId id, double now_s, PartialStore& store,
+              Estimator& estimator) {
     /// Slack (bytes) below which size differences are treated as zero.
     /// One byte: cache sizes run to ~10^11 bytes, where the double ulp
     /// is ~10^-5, so a sub-byte epsilon would be swallowed by rounding
@@ -280,7 +326,7 @@ class UtilityPolicy final : public UtilityPolicyBase {
 
     kernel_.before_access(id, now_s);
     freq_[id] += 1.0;
-    const double bw = estimator_->estimate(view_.path[id], now_s);
+    const double bw = estimator.estimate(view_.path[id], now_s);
     const double u = kernel_.utility(view_, id, freq_[id], bw);
     const double desired =
         std::min(kernel_.desired_bytes(view_, id, bw), view_.size_bytes[id]);

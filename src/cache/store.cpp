@@ -50,6 +50,14 @@ void PartialStore::clear() {
   count_ = 0;
 }
 
+void PartialStore::reset(double capacity_bytes) {
+  if (capacity_bytes < 0) {
+    throw std::invalid_argument("PartialStore: negative capacity");
+  }
+  capacity_ = capacity_bytes;
+  clear();
+}
+
 std::vector<std::pair<ObjectId, double>> PartialStore::contents() const {
   std::vector<std::pair<ObjectId, double>> out;
   out.reserve(count_);

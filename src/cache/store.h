@@ -58,6 +58,11 @@ class PartialStore {
   /// Drop everything (keeps the id array's storage).
   void clear();
 
+  /// Drop everything and adopt a new capacity (arena reuse across
+  /// simulations). Equivalent to constructing PartialStore(capacity)
+  /// except the id array's storage is kept.
+  void reset(double capacity_bytes);
+
   /// Snapshot of (id, cached bytes) pairs, sorted by id. Materialized on
   /// each call; intended for tests and reporting, not the hot path.
   [[nodiscard]] std::vector<std::pair<ObjectId, double>> contents() const;

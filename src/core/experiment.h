@@ -46,6 +46,9 @@ struct AveragedMetrics {
 
 struct ExperimentConfig {
   workload::WorkloadConfig workload{};
+  /// Per-simulation knobs: component specs, capacity, extensions, and
+  /// sim::SimulationConfig::monomorphize (set `sim.monomorphize =
+  /// false` to force the virtual-dispatch regression oracle).
   sim::SimulationConfig sim{};
   /// Independent replications; the paper averages ten runs per point.
   std::size_t runs = 10;

@@ -115,40 +115,54 @@ net::MeasuredPath measured_path_for(const util::Spec& spec) {
 Tables make_builtins() {
   Tables t;
 
-  // ---- policies (delegating to the cache factory) -----------------------
-  const auto enum_policy = [](cache::PolicyKind kind) {
-    return [kind](const util::Spec& spec, const PolicyContext& ctx) {
-      cache::PolicyParams params;
-      params.e = spec.get_double("e", 1.0);
-      return cache::make_policy(kind, ctx.catalog, ctx.estimator, params);
+  // ---- policies ---------------------------------------------------------
+  // Constructed directly as UtilityPolicy instantiations — the same
+  // types the deprecated enum factory (cache/factory.h) builds, and the
+  // same types the monomorphized dispatch table (sim/arena.h) caches.
+  const auto simple_policy = [](auto kernel_tag) {
+    using Kernel = decltype(kernel_tag);
+    return [](const util::Spec&, const PolicyContext& ctx)
+               -> std::unique_ptr<cache::CachePolicy> {
+      return std::make_unique<cache::UtilityPolicy<Kernel>>(ctx.catalog,
+                                                            ctx.estimator);
     };
   };
   t.policies.add(Kind::kPolicy,
                  {"if", {}, "integral frequency-based (in-cache LFU)", {}},
-                 enum_policy(cache::PolicyKind::kIF));
+                 simple_policy(cache::IfKernel{}));
   t.policies.add(Kind::kPolicy,
                  {"pb", {}, "partial bandwidth-based prefix caching", {}},
-                 enum_policy(cache::PolicyKind::kPB));
+                 simple_policy(cache::PbKernel{}));
   t.policies.add(Kind::kPolicy,
                  {"ib", {}, "integral bandwidth-based whole objects", {}},
-                 enum_policy(cache::PolicyKind::kIB));
+                 simple_policy(cache::IbKernel{}));
   t.policies.add(
       Kind::kPolicy,
       {"hybrid", {}, "PB with bandwidth underestimated by e", {"e"}},
-      enum_policy(cache::PolicyKind::kHybrid));
+      [](const util::Spec& spec, const PolicyContext& ctx)
+          -> std::unique_ptr<cache::CachePolicy> {
+        return std::make_unique<cache::HybridPolicy>(
+            ctx.catalog, ctx.estimator,
+            spec.get_double("e", cache::kDefaultKernelE));
+      });
   t.policies.add(
       Kind::kPolicy,
       {"pbv", {"pb-v"}, "partial bandwidth-value-based caching", {"e"}},
-      enum_policy(cache::PolicyKind::kPBV));
+      [](const util::Spec& spec, const PolicyContext& ctx)
+          -> std::unique_ptr<cache::CachePolicy> {
+        return std::make_unique<cache::PbvPolicy>(
+            ctx.catalog, ctx.estimator,
+            spec.get_double("e", cache::kDefaultKernelE));
+      });
   t.policies.add(Kind::kPolicy,
                  {"ibv", {"ib-v"}, "integral bandwidth-value-based", {}},
-                 enum_policy(cache::PolicyKind::kIBV));
+                 simple_policy(cache::IbvKernel{}));
   t.policies.add(Kind::kPolicy,
                  {"lru", {}, "whole-object LRU baseline", {}},
-                 enum_policy(cache::PolicyKind::kLRU));
+                 simple_policy(cache::LruKernel{}));
   t.policies.add(Kind::kPolicy,
                  {"lfu", {}, "whole-object LFU baseline", {}},
-                 enum_policy(cache::PolicyKind::kLFU));
+                 simple_policy(cache::LfuKernel{}));
 
   // ---- estimators -------------------------------------------------------
   t.estimators.add(
@@ -165,8 +179,10 @@ Tables make_builtins() {
        {"alpha", "prior_kbps"}},
       [](const util::Spec& spec, EstimatorContext& ctx) {
         return std::make_unique<net::PassiveEwmaEstimator>(
-            ctx.paths.size(), spec.get_double("alpha", 0.3),
-            net::from_kb(spec.get_double("prior_kbps", 50.0)));
+            ctx.paths.size(),
+            spec.get_double("alpha", net::estimator_defaults::kEwmaAlpha),
+            net::from_kb(spec.get_double(
+                "prior_kbps", net::estimator_defaults::kPriorKbps)));
       });
   t.estimators.add(
       Kind::kEstimator,
@@ -177,7 +193,8 @@ Tables make_builtins() {
       [](const util::Spec& spec, EstimatorContext& ctx) {
         return std::make_unique<net::LastSampleEstimator>(
             ctx.paths.size(),
-            net::from_kb(spec.get_double("prior_kbps", 50.0)));
+            net::from_kb(spec.get_double(
+                "prior_kbps", net::estimator_defaults::kPriorKbps)));
       });
   t.estimators.add(
       Kind::kEstimator,
@@ -194,7 +211,9 @@ Tables make_builtins() {
         auto model = std::make_unique<net::ProbeModel>(
             means, probe_config, ctx.rng.fork("probe"));
         return std::make_unique<net::ActiveProbeEstimator>(
-            std::move(model), spec.get_double("interval_s", 3600.0),
+            std::move(model),
+            spec.get_double("interval_s",
+                            net::estimator_defaults::kProbeIntervalS),
             ctx.rng.fork("probe-rng"));
       });
 
@@ -295,10 +314,13 @@ std::unique_ptr<net::BandwidthEstimator> make_estimator(
                         EstimatorContext{paths, std::move(rng)});
 }
 
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 std::unique_ptr<net::BandwidthEstimator> make_estimator(
     const std::string& spec, const net::PathTable& paths, util::Rng rng) {
   return make_estimator(spec, paths.model(), std::move(rng));
 }
+#pragma GCC diagnostic pop
 
 Scenario make_scenario(const util::Spec& spec) {
   ScenarioFactory factory;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/registry.h"
+#include "sim/arena.h"
 #include "stats/summary.h"
 #include "util/thread_pool.h"
 
@@ -24,23 +25,7 @@ struct RunOutcome {
   double occupancy = 0.0;
 };
 
-/// One simulation over an already-generated workload. Pure function of
-/// its arguments: safe to run from any thread in any order. `path_model`
-/// may be null, in which case the simulator draws its own (bit-identical
-/// by the PathModel RNG-snapshot contract).
-RunOutcome simulate_one(const workload::Workload& w, const Scenario& scenario,
-                        sim::SimulationConfig sim_config,
-                        std::uint64_t path_seed,
-                        std::shared_ptr<const net::PathModel> path_model) {
-  sim_config.seed = path_seed;
-  sim_config.path_config.mode = scenario.mode;
-  sim::SimulationResult r;
-  if (path_model != nullptr) {
-    r = sim::Simulator(w, std::move(path_model), sim_config).run();
-  } else {
-    r = sim::Simulator(w, scenario.base, scenario.ratio, sim_config).run();
-  }
-
+RunOutcome extract_outcome(const sim::SimulationResult& r) {
   RunOutcome out;
   out.traffic = r.metrics.traffic_reduction_ratio();
   out.delay = r.metrics.average_delay_s();
@@ -51,6 +36,46 @@ RunOutcome simulate_one(const workload::Workload& w, const Scenario& scenario,
   out.fill = r.metrics.fill_bytes();
   out.occupancy = r.final_occupancy_bytes;
   return out;
+}
+
+/// One simulation over an already-generated workload. A pure function of
+/// (workload, seeds, config): safe to run from any thread in any order.
+/// `path_model` may be null, in which case the engine draws its own
+/// (bit-identical by the PathModel RNG-snapshot contract). `arena` is
+/// the executing worker's private engine cache: the monomorphized path
+/// reuses its components and run state across every simulation the
+/// worker executes (`sim_config.path_config.mode` was already resolved
+/// against the scenario by SweepRunner::run). Out-of-table specs and
+/// monomorphize == false take the virtual-fallback Simulator, fresh
+/// construction per simulation, exactly as before arenas existed.
+RunOutcome simulate_one(const workload::Workload& w, const Scenario& scenario,
+                        const sim::SimulationConfig& sim_config,
+                        std::uint64_t path_seed,
+                        std::shared_ptr<const net::PathModel> path_model,
+                        sim::SimulationArena& arena) {
+  if (sim_config.monomorphize) {
+    if (sim::MonoEngineBase* engine =
+            sim::acquire_mono_engine(arena, sim_config)) {
+      sim::MonoRunContext context;
+      context.workload = &w;
+      context.model = std::move(path_model);
+      context.base = &scenario.base;
+      context.ratio = &scenario.ratio;
+      context.config = &sim_config;
+      context.seed = path_seed;
+      return extract_outcome(engine->run(context));
+    }
+  }
+  sim::SimulationConfig config = sim_config;
+  config.seed = path_seed;
+  config.monomorphize = false;  // the dispatch decision was already made
+  sim::SimulationResult r;
+  if (path_model != nullptr) {
+    r = sim::Simulator(w, std::move(path_model), config).run();
+  } else {
+    r = sim::Simulator(w, scenario.base, scenario.ratio, config).run();
+  }
+  return extract_outcome(r);
 }
 
 /// The per-replication seed stream, identical to the original serial
@@ -108,13 +133,26 @@ std::vector<AveragedMetrics> SweepRunner::run(
   const std::size_t runs = base_.runs;
 
   // Resolve each cell against the base config, validating specs eagerly
-  // so a typo fails here rather than inside a pool task.
+  // so a typo fails here rather than inside a pool task. Each *distinct*
+  // policy spec is validated once (cells repeat a handful of policies
+  // across fractions/alphas, and a validation parse allocates).
   std::vector<sim::SimulationConfig> sims(cells.size());
   std::vector<double> cell_alpha(cells.size());
+  std::vector<const std::string*> validated;
+  const auto validate_policy_once = [&validated](const std::string& spec) {
+    for (const std::string* seen : validated) {
+      if (*seen == spec) return;
+    }
+    registry::validate(registry::Kind::kPolicy, spec);
+    validated.push_back(&spec);
+  };
   for (std::size_t c = 0; c < cells.size(); ++c) {
     sims[c] = base_.sim;
+    // Resolve the scenario's variation mode up front so simulation tasks
+    // can reference the cell config without copying it per replication.
+    sims[c].path_config.mode = scenario_.mode;
     if (!cells[c].policy.empty()) sims[c].policy = cells[c].policy;
-    registry::validate(registry::Kind::kPolicy, sims[c].policy);
+    validate_policy_once(sims[c].policy);
     if (cells[c].cache_fraction >= 0) {
       sims[c].cache_capacity_bytes = capacity_for_fraction(
           base_.workload.catalog, cells[c].cache_fraction);
@@ -183,19 +221,25 @@ std::vector<AveragedMetrics> SweepRunner::run(
   };
 
   std::vector<RunOutcome> outcomes(cells.size() * runs);
-  const auto simulate = [&](std::size_t task) {
+  // One simulation arena per worker slot: each worker caches the
+  // monomorphized engines (and their reusable event queue / store /
+  // heap / estimator state) for the spec pairs it executes, so
+  // steady-state sweep allocations are O(workers x distinct specs), not
+  // O(cells x replications).
+  const auto simulate = [&](sim::SimulationArena& arena, std::size_t task) {
     const std::size_t c = task / runs;
     const std::size_t r = task % runs;
     outcomes[task] = simulate_one(
         *workloads[alpha_of_cell[c] * runs + r], scenario_, sims[c],
-        path_seeds[r], share_models ? path_models[r] : nullptr);
+        path_seeds[r], share_models ? path_models[r] : nullptr, arena);
   };
 
   const bool serial =
       !base_.parallel || base_.threads == 1 || cells.size() * runs == 1;
   if (serial) {
+    sim::SimulationArena arena;
     for (std::size_t t = 0; t < setup_tasks; ++t) setup(t);
-    for (std::size_t t = 0; t < outcomes.size(); ++t) simulate(t);
+    for (std::size_t t = 0; t < outcomes.size(); ++t) simulate(arena, t);
   } else {
     std::unique_ptr<util::ThreadPool> owned;
     util::ThreadPool* pool;
@@ -205,8 +249,12 @@ std::vector<AveragedMetrics> SweepRunner::run(
       owned = std::make_unique<util::ThreadPool>(base_.threads);
       pool = owned.get();
     }
+    std::vector<sim::SimulationArena> arenas(pool->slot_count());
     pool->parallel_for(setup_tasks, setup);
-    pool->parallel_for(outcomes.size(), simulate);
+    pool->parallel_for_slots(outcomes.size(),
+                             [&](std::size_t slot, std::size_t task) {
+                               simulate(arenas[slot], task);
+                             });
   }
 
   if (stats != nullptr) {

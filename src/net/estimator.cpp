@@ -4,8 +4,7 @@
 
 namespace sc::net {
 
-PassiveEwmaEstimator::PassiveEwmaEstimator(std::size_t n_paths, double alpha,
-                                           double prior)
+EwmaKernel::EwmaKernel(std::size_t n_paths, double alpha, double prior)
     : alpha_(alpha), prior_(prior), estimates_(n_paths, -1.0) {
   if (alpha <= 0 || alpha > 1) {
     throw std::invalid_argument("PassiveEwmaEstimator: alpha must be (0, 1]");
@@ -15,43 +14,15 @@ PassiveEwmaEstimator::PassiveEwmaEstimator(std::size_t n_paths, double alpha,
   }
 }
 
-void PassiveEwmaEstimator::observe(PathId path, double throughput,
-                                   double /*now_s*/) {
-  if (throughput <= 0) return;
-  double& e = estimates_.at(path);
-  if (e <= 0) {
-    e = throughput;
-    ++observed_count_;
-  } else {
-    e = alpha_ * throughput + (1.0 - alpha_) * e;
-  }
-}
-
-double PassiveEwmaEstimator::estimate(PathId path, double /*now_s*/) {
-  const double e = estimates_.at(path);
-  return e > 0 ? e : prior_;
-}
-
-LastSampleEstimator::LastSampleEstimator(std::size_t n_paths, double prior)
+LastSampleKernel::LastSampleKernel(std::size_t n_paths, double prior)
     : prior_(prior), last_(n_paths, -1.0) {
   if (prior <= 0) {
     throw std::invalid_argument("LastSampleEstimator: prior must be > 0");
   }
 }
 
-void LastSampleEstimator::observe(PathId path, double throughput,
-                                  double /*now_s*/) {
-  if (throughput > 0) last_.at(path) = throughput;
-}
-
-double LastSampleEstimator::estimate(PathId path, double /*now_s*/) {
-  const double e = last_.at(path);
-  return e > 0 ? e : prior_;
-}
-
-ActiveProbeEstimator::ActiveProbeEstimator(const ProbeModel& model,
-                                           double reprobe_interval_s,
-                                           util::Rng rng)
+ProbeKernel::ProbeKernel(const ProbeModel& model, double reprobe_interval_s,
+                         util::Rng rng)
     : model_(&model),
       reprobe_interval_s_(reprobe_interval_s),
       rng_(std::move(rng)),
@@ -62,9 +33,8 @@ ActiveProbeEstimator::ActiveProbeEstimator(const ProbeModel& model,
   }
 }
 
-ActiveProbeEstimator::ActiveProbeEstimator(std::unique_ptr<ProbeModel> model,
-                                           double reprobe_interval_s,
-                                           util::Rng rng)
+ProbeKernel::ProbeKernel(std::unique_ptr<ProbeModel> model,
+                         double reprobe_interval_s, util::Rng rng)
     : owned_model_(std::move(model)),
       model_(owned_model_.get()),
       reprobe_interval_s_(reprobe_interval_s),
@@ -79,16 +49,16 @@ ActiveProbeEstimator::ActiveProbeEstimator(std::unique_ptr<ProbeModel> model,
   }
 }
 
-double ActiveProbeEstimator::estimate(PathId path, double now_s) {
-  double& cached = cached_.at(path);
-  double& when = probe_time_.at(path);
-  if (cached <= 0 || now_s - when >= reprobe_interval_s_) {
-    const ProbeResult r = model_->probe(path, rng_);
-    cached = r.estimated_bandwidth;
-    when = now_s;
-    overhead_packets_ += r.packets_sent;
+void ProbeKernel::rebind(std::unique_ptr<ProbeModel> model, util::Rng rng) {
+  if (!model) {
+    throw std::invalid_argument("ActiveProbeEstimator: null probe model");
   }
-  return cached;
+  owned_model_ = std::move(model);
+  model_ = owned_model_.get();
+  rng_ = std::move(rng);
+  cached_.assign(model_->size(), -1.0);
+  probe_time_.assign(model_->size(), -1.0);
+  overhead_packets_ = 0;
 }
 
 }  // namespace sc::net

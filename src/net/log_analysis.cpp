@@ -147,7 +147,7 @@ stats::EmpiricalDistribution LogAnalyzer::ratio_model(std::size_t bins) const {
 }
 
 std::size_t write_synthetic_log(const std::filesystem::path& path,
-                                PathTable& paths,
+                                PathSampler& paths,
                                 const SyntheticLogConfig& config,
                                 util::Rng& rng) {
   std::ofstream out(path);

@@ -132,7 +132,7 @@ struct SyntheticLogConfig {
 /// truth to be validated against (see tests and the proxy_log_study
 /// example).
 std::size_t write_synthetic_log(const std::filesystem::path& path,
-                                PathTable& paths,
+                                PathSampler& paths,
                                 const SyntheticLogConfig& config,
                                 util::Rng& rng);
 

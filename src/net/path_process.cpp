@@ -51,6 +51,20 @@ const PathModel& require_model(const std::shared_ptr<const PathModel>& m) {
 
 PathSampler::PathSampler(std::shared_ptr<const PathModel> model)
     : model_(std::move(model)), rng_(require_model(model_).sampler_rng()) {
+  rebuild_series();
+}
+
+void PathSampler::rebind(std::shared_ptr<const PathModel> model) {
+  model_ = std::move(model);
+  rng_ = require_model(model_).sampler_rng();
+  rebuild_series();
+}
+
+void PathSampler::rebuild_series() {
+  // One implementation for construction and rebinding keeps the arena
+  // bit-identity contract (rebound == fresh) trivially true; clear() +
+  // reserve() keep the storage so steady-state rebinds allocate nothing.
+  series_.clear();
   const PathModelConfig& config = model_->config();
   if (config.mode == VariationMode::kTimeSeries) {
     const std::size_t n = model_->size();

@@ -135,6 +135,11 @@ class PathSampler {
  public:
   explicit PathSampler(std::shared_ptr<const PathModel> model);
 
+  /// Restart over a (possibly different) model, reusing the AR(1) chain
+  /// storage: after rebind the sampler draws exactly the stream a freshly
+  /// constructed PathSampler(model) would draw.
+  void rebind(std::shared_ptr<const PathModel> model);
+
   [[nodiscard]] const PathModel& model() const noexcept { return *model_; }
   [[nodiscard]] std::size_t size() const noexcept { return model_->size(); }
   [[nodiscard]] double mean_bandwidth(PathId path) const {
@@ -150,6 +155,10 @@ class PathSampler {
     double last_step_time = 0.0;
   };
 
+  /// (Re)build the AR(1) chains from the current model — shared by the
+  /// constructor and rebind() so the two can never drift apart.
+  void rebuild_series();
+
   std::shared_ptr<const PathModel> model_;
   util::Rng rng_;
   std::vector<TimeSeriesState> series_;  // kTimeSeries only
@@ -159,7 +168,9 @@ class PathSampler {
 /// PathSampler behind the old monolithic API. New code (and anything
 /// that shares path state across simulations) should hold a
 /// shared_ptr<const PathModel> and construct PathSamplers from it.
-class PathTable {
+class [[deprecated(
+    "hold a shared_ptr<const PathModel> and construct a PathSampler from "
+    "it")]] PathTable {
  public:
   PathTable(std::size_t n_paths, const stats::EmpiricalDistribution& base,
             const stats::EmpiricalDistribution& ratio, PathTableConfig config,
@@ -185,6 +196,8 @@ class PathTable {
   [[nodiscard]] std::shared_ptr<const PathModel> model_ptr() const noexcept {
     return model_;
   }
+  /// The owned mutable half (for APIs that migrated to PathSampler).
+  [[nodiscard]] PathSampler& sampler() noexcept { return sampler_; }
 
  private:
   std::shared_ptr<const PathModel> model_;

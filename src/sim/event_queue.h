@@ -57,6 +57,15 @@ class BasicEventQueue {
   /// amortized growth).
   void reserve(std::size_t n) { events_.reserve(n); }
 
+  /// Drop all pending events and restart the sequence counter and clock,
+  /// keeping the backing storage: after clear() the queue behaves exactly
+  /// like a freshly constructed one (arena reuse across simulations).
+  void clear() noexcept {
+    events_.clear();
+    next_seq_ = 0;
+    now_ = 0.0;
+  }
+
   [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
   [[nodiscard]] double now() const noexcept { return now_; }

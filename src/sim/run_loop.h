@@ -1,0 +1,251 @@
+// The per-request simulation loop, as a template over the policy and
+// estimator's *static* types.
+//
+// There is exactly one implementation of the trace-driven request loop
+// (§3 methodology: warmup half, measured half, deferred completion
+// observations, viewing/patching extensions). It is instantiated twice:
+//
+//   - the virtual fallback (sim/simulator.cpp): Policy = the
+//     cache::CachePolicy interface, Estimator = the
+//     net::BandwidthEstimator interface. This is the regression oracle
+//     and the path user-registered (out-of-dispatch-table) components
+//     run on.
+//   - the monomorphized engines (sim/monomorphize.cpp): Policy = a
+//     MonoPolicyRef over a concrete cache::UtilityPolicy<Kernel>,
+//     Estimator = a concrete estimator kernel. Every per-request call
+//     (estimate, observe, utility, admission) inlines, and the
+//     "schedule a completion event?" branch resolves at compile time
+//     via ObservationTraits.
+//
+// Because both instantiations execute the identical expressions in the
+// identical order over the identical RNG streams, their results are
+// bit-identical (tests/test_mono.cpp asserts this for every registered
+// policy x estimator pair).
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "cache/store.h"
+#include "net/path_process.h"
+#include "sim/delivery.h"
+#include "sim/event_queue.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "workload/generator.h"
+
+namespace sc::sim {
+
+/// Compile-time view of an estimator's observation behavior. The primary
+/// template covers the virtual interface (runtime query); the
+/// specialization picks up kernel types that expose the
+/// kUsesObservations constant, letting the loop drop the event-schedule
+/// branch entirely for oracle/probe kernels.
+template <typename Estimator, typename = void>
+struct ObservationTraits {
+  /// True when the estimator type proves at compile time that
+  /// observations are discarded.
+  static constexpr bool kStaticallyDiscards = false;
+  [[nodiscard]] static bool uses(const Estimator& estimator) {
+    return estimator.uses_observations();
+  }
+};
+
+template <typename Estimator>
+struct ObservationTraits<
+    Estimator, std::void_t<decltype(Estimator::kUsesObservations)>> {
+  static constexpr bool kStaticallyDiscards = !Estimator::kUsesObservations;
+  [[nodiscard]] static constexpr bool uses(const Estimator&) {
+    return Estimator::kUsesObservations;
+  }
+};
+
+/// Per-object in-flight origin stream (patching extension), paced at the
+/// playout rate. Dense per-object slots (ids are dense) keep the lookup a
+/// single array access and the loop allocation-free; end == 0 means "no
+/// stream in flight" (every real completion time is > 0).
+struct InFlightStream {
+  double start = 0.0;
+  double end = 0.0;
+};
+
+/// The reusable mutable state of one simulation run: everything the
+/// request loop mutates that is sized by the catalog rather than learned
+/// per run. A sim::SimulationArena keeps one RunState per cached engine
+/// so back-to-back simulations reuse the storage; reset() restores every
+/// piece to its freshly-constructed state.
+struct RunState {
+  ObservationQueue events;
+  cache::PartialStore store{0.0};
+  std::vector<InFlightStream> in_flight;
+  std::optional<net::PathSampler> paths;
+
+  /// Prepare for a run over `model` (bit-identical to building each
+  /// member from scratch; storage reused).
+  void reset(std::shared_ptr<const net::PathModel> model,
+             std::size_t n_objects, double capacity_bytes, bool patching) {
+    events.clear();
+    events.reserve(64);
+    store.reset(capacity_bytes);
+    store.reserve(n_objects);
+    if (patching) {
+      in_flight.assign(n_objects, InFlightStream{});
+    } else {
+      in_flight.clear();
+    }
+    if (paths.has_value()) {
+      paths->rebind(std::move(model));
+    } else {
+      paths.emplace(std::move(model));
+    }
+  }
+};
+
+/// Execute the full trace and return measured-window metrics.
+///
+/// `rng` must be the run's root stream (Rng(seed), with "paths" already
+/// forked off by the caller if it built the model here); the loop forks
+/// only the tag-keyed "viewing" child, so fork order elsewhere cannot
+/// perturb it. `policy` needs on_access(id, now_s, store) and name();
+/// `estimator` needs observe(path, throughput, now_s) and
+/// overhead_packets(), plus either uses_observations() or the kernel
+/// kUsesObservations constant.
+template <typename Policy, typename Estimator>
+[[nodiscard]] SimulationResult run_request_loop(
+    const workload::Workload& workload, const SimulationConfig& config,
+    RunState& state, Policy& policy, Estimator& estimator, util::Rng& rng) {
+  const auto& catalog = workload.catalog;
+  const auto& requests = workload.requests;
+  const workload::CatalogView view = catalog.view();
+
+  net::PathSampler& paths = *state.paths;
+  const net::PathModel& model = paths.model();
+  // Constant-bandwidth scenarios (the paper's main setting) sample the
+  // mean directly: no switch, no sampler state, one contiguous load.
+  const bool constant_bw = model.mode() == net::VariationMode::kConstant;
+  const double* path_means = model.means().data();
+  // One up-front scan keeps the unchecked fast-path read below safe for
+  // hand-built catalogs whose per-object path ids exceed the model
+  // (generated catalogs always use path == id < size).
+  for (std::size_t i = 0; i < view.size; ++i) {
+    if (view.path[i] >= model.size()) {
+      throw std::out_of_range("run_request_loop: object path id " +
+                              std::to_string(view.path[i]) +
+                              " outside the path model");
+    }
+  }
+
+  cache::PartialStore& store = state.store;
+  ObservationQueue& events = state.events;
+
+  // Deferred transfer-completion observations are POD (path, throughput)
+  // pairs drained straight into the estimator: no per-event allocation.
+  const auto observe = [&estimator](double now, const ObservationEvent& ev) {
+    estimator.observe(ev.path, ev.throughput, now);
+  };
+  // Oracle / purely-active estimators discard observations; skip the
+  // per-transfer event traffic for them entirely (the queue stays empty,
+  // so run_until degenerates to one size check per request). For kernel
+  // estimators this is a compile-time constant.
+  const bool estimator_observes = ObservationTraits<Estimator>::uses(estimator);
+  MetricsCollector metrics;
+  const auto warm_count = static_cast<std::size_t>(
+      static_cast<double>(requests.size()) * config.warmup_fraction);
+
+  std::vector<InFlightStream>& in_flight = state.in_flight;
+  util::Rng viewing_rng = rng.fork("viewing");
+
+  for (std::size_t idx = 0; idx < requests.size(); ++idx) {
+    const auto& req = requests[idx];
+    // Deliver pending transfer-completion observations first.
+    events.run_until(req.time_s, observe);
+
+    const workload::ObjectId id = req.object;
+    const double duration_s = view.duration_s[id];
+    const double bitrate = view.bitrate[id];
+    const double size_bytes = view.size_bytes[id];
+    const double bw = constant_bw
+                          ? path_means[view.path[id]]
+                          : paths.sample_bandwidth(view.path[id], req.time_s);
+    const double cached_before = store.cached(id);
+    ServiceOutcome outcome =
+        deliver(duration_s, bitrate, size_bytes, bw, cached_before);
+
+    // Client interactivity: scale the byte accounting (not the startup
+    // metrics) by the viewed fraction of the stream.
+    if (config.viewing.enabled) {
+      double fraction = 1.0;
+      if (viewing_rng.uniform() >= config.viewing.complete_probability) {
+        fraction = viewing_rng.uniform(config.viewing.min_fraction, 1.0);
+      }
+      const double viewed = fraction * size_bytes;
+      outcome.bytes_from_cache = std::min(outcome.bytes_from_cache, viewed);
+      outcome.bytes_from_origin =
+          std::max(0.0, viewed - outcome.bytes_from_cache);
+      outcome.origin_transfer_s =
+          outcome.bytes_from_origin > 0 ? outcome.bytes_from_origin / bw : 0.0;
+    }
+
+    // Patching: share the tail of an in-flight transmission of the same
+    // object; only the missed prefix still needs the origin.
+    if (config.patching.enabled && outcome.bytes_from_origin > 0) {
+      InFlightStream& flight = in_flight[id];
+      if (req.time_s < flight.end) {
+        const double remaining_shareable = std::min(
+            size_bytes, bitrate * (flight.start + duration_s - req.time_s));
+        const double shared = std::min(outcome.bytes_from_origin,
+                                       std::max(0.0, remaining_shareable));
+        outcome.bytes_shared = shared;
+        outcome.bytes_from_origin -= shared;
+        outcome.origin_transfer_s = outcome.bytes_from_origin > 0
+                                        ? outcome.bytes_from_origin / bw
+                                        : 0.0;
+      }
+      if (outcome.bytes_from_origin > 0) {
+        // This request starts (or replaces) the object's shared stream,
+        // paced at the playout rate for the object's duration.
+        flight.start = req.time_s;
+        flight.end = req.time_s + duration_s;
+      }
+    }
+
+    const bool measured = idx >= warm_count;
+    if (measured) metrics.record(outcome, view.value[id]);
+
+    // Passive estimators learn this transfer's throughput at completion.
+    if constexpr (!ObservationTraits<Estimator>::kStaticallyDiscards) {
+      if (estimator_observes && outcome.bytes_from_origin > 0) {
+        const double done = req.time_s + outcome.origin_transfer_s;
+        events.schedule(
+            done, ObservationEvent{view.path[id], outcome.origin_throughput});
+      }
+    }
+
+    // Replacement decisions happen after the request is served.
+    policy.on_access(id, req.time_s, store);
+
+    // Growth of this object's prefix is origin->cache fill traffic.
+    const double cached_after = store.cached(id);
+    if (measured && cached_after > cached_before) {
+      metrics.record_fill(cached_after - cached_before);
+    }
+  }
+  events.run_all(observe);
+
+  SimulationResult result;
+  result.policy_name = policy.name();
+  result.metrics = metrics;
+  result.warmup_requests = warm_count;
+  result.measured_requests = requests.size() - warm_count;
+  result.final_occupancy_bytes = store.used();
+  result.final_cached_objects = store.object_count();
+  result.estimator_overhead_packets = estimator.overhead_packets();
+  return result;
+}
+
+}  // namespace sc::sim

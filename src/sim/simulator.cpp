@@ -1,15 +1,13 @@
 #include "sim/simulator.h"
 
-#include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <utility>
-#include <vector>
 
-#include "cache/store.h"
 #include "core/registry.h"
 #include "net/estimator.h"
-#include "sim/delivery.h"
-#include "sim/event_queue.h"
+#include "sim/arena.h"
+#include "sim/run_loop.h"
 
 namespace sc::sim {
 
@@ -80,10 +78,30 @@ Simulator::Simulator(const workload::Workload& workload,
                            config_.estimator);
 }
 
-SimulationResult Simulator::run() {
+SimulationResult Simulator::run() { return run(nullptr); }
+
+SimulationResult Simulator::run(SimulationArena* arena) {
+  if (config_.monomorphize) {
+    // Use the caller's per-worker arena when given (sweep workers reuse
+    // engines across simulations); otherwise a run-local one.
+    std::optional<SimulationArena> local;
+    SimulationArena& cache = arena != nullptr ? *arena : local.emplace();
+    if (MonoEngineBase* engine = acquire_mono_engine(cache, config_)) {
+      MonoRunContext context;
+      context.workload = workload_;
+      context.model = path_model_;
+      context.base = base_.has_value() ? &*base_ : nullptr;
+      context.ratio = ratio_.has_value() ? &*ratio_ : nullptr;
+      context.config = &config_;
+      context.seed = config_.seed;
+      return engine->run(context);
+    }
+  }
+  return run_fallback();
+}
+
+SimulationResult Simulator::run_fallback() {
   const auto& catalog = workload_->catalog;
-  const auto& requests = workload_->requests;
-  const workload::CatalogView view = catalog.view();
 
   util::Rng rng(config_.seed);
   // Shared immutable means + per-run sampler. Without a shared model the
@@ -94,133 +112,22 @@ SimulationResult Simulator::run() {
         catalog.size(), *base_, *ratio_, config_.path_config,
         rng.fork("paths"));
   }
-  net::PathSampler paths(model);
-  // Constant-bandwidth scenarios (the paper's main setting) sample the
-  // mean directly: no switch, no sampler state, one contiguous load.
-  const bool constant_bw = model->mode() == net::VariationMode::kConstant;
-  const double* path_means = model->means().data();
 
   // Build the configured estimator and policy through the registry.
   std::unique_ptr<net::BandwidthEstimator> estimator =
       core::registry::make_estimator(config_.estimator, *model,
                                      rng.fork("estimator"));
-
-  cache::PartialStore store(config_.cache_capacity_bytes);
-  store.reserve(catalog.size());
   auto policy =
       core::registry::make_policy(config_.policy, catalog, *estimator);
 
-  // Deferred transfer-completion observations are POD (path, throughput)
-  // pairs drained straight into the estimator: no per-event allocation.
-  ObservationQueue events;
-  events.reserve(64);
-  const auto observe = [&estimator](double now, const ObservationEvent& ev) {
-    estimator->observe(ev.path, ev.throughput, now);
-  };
-  // Oracle / purely-active estimators discard observations; skip the
-  // per-transfer event traffic for them entirely (the queue stays empty,
-  // so run_until degenerates to one size check per request).
-  const bool estimator_observes = estimator->uses_observations();
-  MetricsCollector metrics;
-  const auto warm_count = static_cast<std::size_t>(
-      static_cast<double>(requests.size()) * config_.warmup_fraction);
-
-  // Patching: per-object in-flight origin stream, paced at the playout
-  // rate. Dense per-object slots (ids are dense) keep the lookup a
-  // single array access and the loop allocation-free; end == 0 means "no
-  // stream in flight" (every real completion time is > 0).
-  struct InFlight {
-    double start = 0.0;
-    double end = 0.0;
-  };
-  std::vector<InFlight> in_flight;
-  if (config_.patching.enabled) in_flight.resize(catalog.size());
-  util::Rng viewing_rng = rng.fork("viewing");
-
-  for (std::size_t idx = 0; idx < requests.size(); ++idx) {
-    const auto& req = requests[idx];
-    // Deliver pending transfer-completion observations first.
-    events.run_until(req.time_s, observe);
-
-    const workload::ObjectId id = req.object;
-    const double duration_s = view.duration_s[id];
-    const double bitrate = view.bitrate[id];
-    const double size_bytes = view.size_bytes[id];
-    const double bw = constant_bw
-                          ? path_means[view.path[id]]
-                          : paths.sample_bandwidth(view.path[id], req.time_s);
-    const double cached_before = store.cached(id);
-    ServiceOutcome outcome =
-        deliver(duration_s, bitrate, size_bytes, bw, cached_before);
-
-    // Client interactivity: scale the byte accounting (not the startup
-    // metrics) by the viewed fraction of the stream.
-    if (config_.viewing.enabled) {
-      double fraction = 1.0;
-      if (viewing_rng.uniform() >= config_.viewing.complete_probability) {
-        fraction = viewing_rng.uniform(config_.viewing.min_fraction, 1.0);
-      }
-      const double viewed = fraction * size_bytes;
-      outcome.bytes_from_cache = std::min(outcome.bytes_from_cache, viewed);
-      outcome.bytes_from_origin =
-          std::max(0.0, viewed - outcome.bytes_from_cache);
-      outcome.origin_transfer_s =
-          outcome.bytes_from_origin > 0 ? outcome.bytes_from_origin / bw : 0.0;
-    }
-
-    // Patching: share the tail of an in-flight transmission of the same
-    // object; only the missed prefix still needs the origin.
-    if (config_.patching.enabled && outcome.bytes_from_origin > 0) {
-      InFlight& flight = in_flight[id];
-      if (req.time_s < flight.end) {
-        const double remaining_shareable = std::min(
-            size_bytes, bitrate * (flight.start + duration_s - req.time_s));
-        const double shared = std::min(outcome.bytes_from_origin,
-                                       std::max(0.0, remaining_shareable));
-        outcome.bytes_shared = shared;
-        outcome.bytes_from_origin -= shared;
-        outcome.origin_transfer_s = outcome.bytes_from_origin > 0
-                                        ? outcome.bytes_from_origin / bw
-                                        : 0.0;
-      }
-      if (outcome.bytes_from_origin > 0) {
-        // This request starts (or replaces) the object's shared stream,
-        // paced at the playout rate for the object's duration.
-        flight.start = req.time_s;
-        flight.end = req.time_s + duration_s;
-      }
-    }
-
-    const bool measured = idx >= warm_count;
-    if (measured) metrics.record(outcome, view.value[id]);
-
-    // Passive estimators learn this transfer's throughput at completion.
-    if (estimator_observes && outcome.bytes_from_origin > 0) {
-      const double done = req.time_s + outcome.origin_transfer_s;
-      events.schedule(
-          done, ObservationEvent{view.path[id], outcome.origin_throughput});
-    }
-
-    // Replacement decisions happen after the request is served.
-    policy->on_access(id, req.time_s, store);
-
-    // Growth of this object's prefix is origin->cache fill traffic.
-    const double cached_after = store.cached(id);
-    if (measured && cached_after > cached_before) {
-      metrics.record_fill(cached_after - cached_before);
-    }
-  }
-  events.run_all(observe);
-
-  SimulationResult result;
-  result.policy_name = policy->name();
-  result.metrics = metrics;
-  result.warmup_requests = warm_count;
-  result.measured_requests = requests.size() - warm_count;
-  result.final_occupancy_bytes = store.used();
-  result.final_cached_objects = store.object_count();
-  result.estimator_overhead_packets = estimator->overhead_packets();
-  return result;
+  RunState state;
+  state.reset(std::move(model), catalog.size(), config_.cache_capacity_bytes,
+              config_.patching.enabled);
+  // The loop body is shared with the monomorphized engines
+  // (sim/run_loop.h); this instantiation dispatches through the virtual
+  // CachePolicy / BandwidthEstimator interfaces.
+  return run_request_loop(*workload_, config_, state, *policy, *estimator,
+                          rng);
 }
 
 }  // namespace sc::sim

@@ -69,9 +69,18 @@ struct SimulationConfig {
   ViewingConfig viewing{};
   PatchingConfig patching{};
 
-  net::PathTableConfig path_config{};    // constant / iid / AR(1) variation
+  net::PathModelConfig path_config{};    // constant / iid / AR(1) variation
   double warmup_fraction = 0.5;          // fraction of trace used to warm
   std::uint64_t seed = 1;                // path means + variability streams
+
+  /// Run on the monomorphized engine when the (policy, estimator) pair
+  /// is covered by the built-in dispatch table (sim/arena.h): the
+  /// request loop is compiled per concrete kernel pair, so estimate()
+  /// and the admission path are inlined with no virtual dispatch.
+  /// Results are bit-identical either way; `false` forces the virtual
+  /// fallback path, kept as a regression oracle. Out-of-table
+  /// (user-registered) specs always take the fallback path.
+  bool monomorphize = true;
 };
 
 struct SimulationResult {
@@ -83,6 +92,8 @@ struct SimulationResult {
   std::size_t final_cached_objects = 0;
   std::size_t estimator_overhead_packets = 0;
 };
+
+class SimulationArena;
 
 /// One simulation run over a fixed workload.
 class Simulator {
@@ -111,7 +122,16 @@ class Simulator {
   /// Execute the full trace and return measured-window metrics.
   [[nodiscard]] SimulationResult run();
 
+  /// As run(), reusing `arena`'s cached monomorphized engine (and its
+  /// event queue / store / heap / estimator storage) when the config's
+  /// (policy, estimator) pair is in the dispatch table. Sweep workers
+  /// pass their per-worker arena so back-to-back simulations allocate
+  /// nothing; a null arena uses a run-local one.
+  [[nodiscard]] SimulationResult run(SimulationArena* arena);
+
  private:
+  [[nodiscard]] SimulationResult run_fallback();
+
   Simulator(const workload::Workload& workload,
             const stats::EmpiricalDistribution* base_bandwidth,
             const stats::EmpiricalDistribution* ratio_model,

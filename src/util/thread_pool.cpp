@@ -70,9 +70,15 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
+  parallel_for_slots(n,
+                     [&fn](std::size_t /*slot*/, std::size_t i) { fn(i); });
+}
+
+void ThreadPool::parallel_for_slots(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
   if (n == 1) {
-    fn(0);
+    fn(0, 0);
     return;
   }
 
@@ -84,7 +90,7 @@ void ThreadPool::parallel_for(std::size_t n,
     std::atomic<std::size_t> finished{0};
     std::atomic<bool> aborted{false};
     std::size_t n = 0;
-    const std::function<void(std::size_t)>* fn = nullptr;
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
     std::mutex m;
     std::condition_variable done;
     std::exception_ptr error;
@@ -93,13 +99,17 @@ void ThreadPool::parallel_for(std::size_t n,
   state->n = n;
   state->fn = &fn;
 
-  const auto drive = [](const std::shared_ptr<LoopState>& s) {
+  // Each participating thread drives the loop under a distinct slot id
+  // (caller 0, helper h -> h + 1), so `fn` may index per-slot scratch
+  // state without locks: a slot is never driven concurrently.
+  const auto drive = [](const std::shared_ptr<LoopState>& s,
+                        std::size_t slot) {
     for (;;) {
       const std::size_t i = s->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= s->n) break;
       if (!s->aborted.load(std::memory_order_relaxed)) {
         try {
-          (*s->fn)(i);
+          (*s->fn)(slot, i);
         } catch (...) {
           std::lock_guard<std::mutex> lock(s->m);
           if (!s->error) s->error = std::current_exception();
@@ -118,9 +128,9 @@ void ThreadPool::parallel_for(std::size_t n,
   const std::size_t helpers =
       std::min(thread_count(), n - 1);  // caller drives too
   for (std::size_t h = 0; h < helpers; ++h) {
-    submit([state, drive] { drive(state); });
+    submit([state, drive, h] { drive(state, h + 1); });
   }
-  drive(state);
+  drive(state, 0);
 
   std::unique_lock<std::mutex> lock(state->m);
   state->done.wait(lock, [&] {

@@ -51,6 +51,22 @@ class ThreadPool {
   /// is rethrown here once in-flight iterations have drained.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// As parallel_for, but `fn(slot, i)` additionally receives the worker
+  /// slot executing the iteration: 0 for the calling thread, 1..
+  /// thread_count() for pool workers. Within one call a slot is driven
+  /// by exactly one thread at a time, so slot-indexed scratch state
+  /// (e.g. core::SweepRunner's per-worker sim::SimulationArena) needs no
+  /// synchronization. Slots are at most `slot_count()`.
+  void parallel_for_slots(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Upper bound (exclusive) on the slot index parallel_for_slots passes:
+  /// the workers plus the calling thread.
+  [[nodiscard]] std::size_t slot_count() const noexcept {
+    return workers_.size() + 1;
+  }
+
   /// Process-wide pool, created on first use with `default_threads()`
   /// workers. The sweep engine and run_experiment share it so nested
   /// parallelism never oversubscribes the machine.

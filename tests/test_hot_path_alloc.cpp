@@ -16,6 +16,7 @@
 #include <new>
 
 #include "core/experiment.h"
+#include "core/sweep.h"
 #include "sim/simulator.h"
 #include "workload/generator.h"
 
@@ -97,6 +98,47 @@ TEST(HotPathAllocations, PatchingAndViewingScenariosAreAllocationFreeToo) {
                                           true);
   EXPECT_LE(a_long, a_short + 64)
       << a_short << " allocs at 5k requests vs " << a_long << " at 20k";
+}
+
+TEST(HotPathAllocations, SweepAllocationsDoNotScaleWithCellCount) {
+  // The arena guarantee: with per-worker engine caches, per-simulation
+  // setup (event queue, store, policy heap, estimator state) is
+  // reset()-reused, so quadrupling the number of sweep cells — same
+  // policies, more cache fractions — must not add allocations beyond
+  // fixed per-sweep bookkeeping (result vectors sized by the grid).
+  core::ExperimentConfig cfg;
+  cfg.workload.catalog.num_objects = 300;
+  cfg.workload.trace.num_requests = 4000;
+  cfg.runs = 2;
+  cfg.threads = 1;
+  const auto scenario = core::constant_scenario();
+
+  const auto cells_for = [](std::size_t fractions) {
+    std::vector<core::SweepCell> cells;
+    for (const char* policy : {"pb", "if", "lru"}) {
+      for (std::size_t f = 1; f <= fractions; ++f) {
+        cells.push_back(
+            core::SweepCell{policy, -1.0, 0.01 * static_cast<double>(f)});
+      }
+    }
+    return cells;
+  };
+  const auto small_grid = cells_for(2);   // 6 cells
+  const auto large_grid = cells_for(8);   // 24 cells
+
+  core::SweepRunner runner(cfg, scenario);
+  const auto allocations_for = [&](const std::vector<core::SweepCell>& cells) {
+    (void)runner.run(cells);  // warm lazy registry/static setup
+    const std::uint64_t before = g_news.load();
+    (void)runner.run(cells);
+    return g_news.load() - before;
+  };
+
+  const auto a_small = allocations_for(small_grid);
+  const auto a_large = allocations_for(large_grid);
+  EXPECT_LE(a_large, a_small + 64)
+      << a_small << " allocs at " << small_grid.size() << " cells vs "
+      << a_large << " at " << large_grid.size();
 }
 
 TEST(HotPathAllocations, PassiveEstimatorPathIsAllocationFreeToo) {

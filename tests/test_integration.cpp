@@ -125,17 +125,15 @@ TEST(PaperShapes, OnlinePbApproachesOfflineOptimum) {
   util::Rng run_rng(util::splitmix64(cfg.base_seed));
   util::Rng wl_rng = run_rng.fork("workload");
   const auto w = workload::generate_workload(cfg.workload, wl_rng);
-  net::PathTableConfig pcfg;
-  net::PathTable paths(w.catalog.size(), constant_scenario().base,
-                       constant_scenario().ratio, pcfg,
-                       util::Rng(run_rng.fork("paths").seed()).fork("paths"));
+  net::PathModelConfig pcfg;
+  const net::PathModel paths(
+      w.catalog.size(), constant_scenario().base, constant_scenario().ratio,
+      pcfg, util::Rng(run_rng.fork("paths").seed()).fork("paths"));
 
   cache::OfflineInputs inputs;
   const auto counts = workload::request_counts(w);
   inputs.lambda.assign(counts.begin(), counts.end());
-  for (std::size_t p = 0; p < w.catalog.size(); ++p) {
-    inputs.bandwidth.push_back(paths.mean_bandwidth(p));
-  }
+  inputs.bandwidth = paths.means();
   const auto opt = cache::optimal_fractional(w.catalog, inputs,
                                              cfg.sim.cache_capacity_bytes);
 

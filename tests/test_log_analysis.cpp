@@ -95,10 +95,12 @@ TEST(LogAnalyzer, ServerMeansGroupCorrectly) {
 /// §3.1 pipeline validated against ground truth.
 TEST(LogPipeline, RecoversGroundTruthModels) {
   util::Rng rng(31);
-  PathTableConfig pcfg;
+  PathModelConfig pcfg;
   pcfg.mode = VariationMode::kIidRatio;
-  PathTable paths(100, nlanr_base_model(), nlanr_variability_model(), pcfg,
-                  rng.fork("paths"));
+  const auto model = std::make_shared<const PathModel>(
+      100, nlanr_base_model(), nlanr_variability_model(), pcfg,
+      rng.fork("paths"));
+  PathSampler paths(model);
 
   const auto log_path =
       std::filesystem::temp_directory_path() / "sc_synthetic_access.log";
@@ -130,10 +132,12 @@ TEST(LogPipeline, RecoversGroundTruthModels) {
 
 TEST(LogPipeline, ConstantPathsYieldNarrowRatios) {
   util::Rng rng(33);
-  PathTableConfig pcfg;
+  PathModelConfig pcfg;
   pcfg.mode = VariationMode::kConstant;
-  PathTable paths(50, nlanr_base_model(), constant_variability_model(), pcfg,
-                  rng.fork("paths"));
+  const auto model = std::make_shared<const PathModel>(
+      50, nlanr_base_model(), constant_variability_model(), pcfg,
+      rng.fork("paths"));
+  PathSampler paths(model);
   const auto log_path =
       std::filesystem::temp_directory_path() / "sc_const_access.log";
   SyntheticLogConfig scfg;

@@ -1,0 +1,255 @@
+// Dispatch-path identity: the monomorphized engines (sim/arena.h) must
+// be observationally indistinguishable from the virtual-fallback path.
+//
+// The two paths share one loop body (sim/run_loop.h) and construct their
+// components with identical parameters and RNG streams, so their results
+// are not merely close — they are field-identical, for every registered
+// (policy, estimator) pair, and arena reuse across back-to-back
+// simulations is bit-identical to fresh construction.
+
+#include "sim/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+#include "core/sweep.h"
+
+namespace sc::sim {
+namespace {
+
+core::ExperimentConfig small_config() {
+  core::ExperimentConfig cfg;
+  cfg.workload.catalog.num_objects = 120;
+  cfg.workload.trace.num_requests = 3000;
+  cfg.runs = 2;
+  cfg.base_seed = 77;
+  cfg.sim.cache_capacity_bytes =
+      core::capacity_for_fraction(cfg.workload.catalog, 0.05);
+  return cfg;
+}
+
+void expect_bit_identical(const core::AveragedMetrics& a,
+                          const core::AveragedMetrics& b,
+                          const std::string& label) {
+  EXPECT_EQ(a.runs, b.runs) << label;
+  EXPECT_EQ(a.traffic_reduction, b.traffic_reduction) << label;
+  EXPECT_EQ(a.traffic_reduction_sd, b.traffic_reduction_sd) << label;
+  EXPECT_EQ(a.delay_s, b.delay_s) << label;
+  EXPECT_EQ(a.delay_s_sd, b.delay_s_sd) << label;
+  EXPECT_EQ(a.quality, b.quality) << label;
+  EXPECT_EQ(a.quality_sd, b.quality_sd) << label;
+  EXPECT_EQ(a.added_value, b.added_value) << label;
+  EXPECT_EQ(a.added_value_sd, b.added_value_sd) << label;
+  EXPECT_EQ(a.hit_ratio, b.hit_ratio) << label;
+  EXPECT_EQ(a.immediate_ratio, b.immediate_ratio) << label;
+  EXPECT_EQ(a.fill_bytes, b.fill_bytes) << label;
+  EXPECT_EQ(a.occupancy_bytes, b.occupancy_bytes) << label;
+}
+
+void expect_results_identical(const SimulationResult& a,
+                              const SimulationResult& b,
+                              const std::string& label) {
+  EXPECT_EQ(a.policy_name, b.policy_name) << label;
+  EXPECT_EQ(a.warmup_requests, b.warmup_requests) << label;
+  EXPECT_EQ(a.measured_requests, b.measured_requests) << label;
+  EXPECT_EQ(a.final_occupancy_bytes, b.final_occupancy_bytes) << label;
+  EXPECT_EQ(a.final_cached_objects, b.final_cached_objects) << label;
+  EXPECT_EQ(a.estimator_overhead_packets, b.estimator_overhead_packets)
+      << label;
+  EXPECT_EQ(a.metrics.traffic_reduction_ratio(),
+            b.metrics.traffic_reduction_ratio())
+      << label;
+  EXPECT_EQ(a.metrics.average_delay_s(), b.metrics.average_delay_s()) << label;
+  EXPECT_EQ(a.metrics.average_quality(), b.metrics.average_quality()) << label;
+  EXPECT_EQ(a.metrics.total_added_value(), b.metrics.total_added_value())
+      << label;
+  EXPECT_EQ(a.metrics.hit_ratio(), b.metrics.hit_ratio()) << label;
+  EXPECT_EQ(a.metrics.immediate_ratio(), b.metrics.immediate_ratio()) << label;
+  EXPECT_EQ(a.metrics.fill_bytes(), b.metrics.fill_bytes()) << label;
+}
+
+TEST(MonoDispatch, CoversEveryBuiltinPairAndAliases) {
+  // Every registered builtin spelling — canonical names AND aliases on
+  // both axes — must resolve to a monomorphized engine (aliases are
+  // resolved through the registry, so one added there is covered here
+  // automatically).
+  const auto spellings = [](core::registry::Kind kind) {
+    std::vector<std::string> out;
+    for (const auto& info : core::registry::list(kind)) {
+      // Skip components this test binary registers itself (they are
+      // out-of-table by design; see UserRegisteredSpecsFallBack).
+      if (info.name.rfind("test-", 0) == 0) continue;
+      out.push_back(info.name);
+      out.insert(out.end(), info.aliases.begin(), info.aliases.end());
+    }
+    return out;
+  };
+  SimulationConfig cfg;
+  for (const auto& policy : spellings(core::registry::Kind::kPolicy)) {
+    for (const auto& estimator :
+         spellings(core::registry::Kind::kEstimator)) {
+      cfg.policy = policy;
+      cfg.estimator = estimator;
+      EXPECT_TRUE(mono_dispatchable(cfg)) << policy << " x " << estimator;
+    }
+  }
+  cfg.policy = "pb-v:e=0.7";
+  cfg.estimator = "passive-ewma";
+  EXPECT_TRUE(mono_dispatchable(cfg));
+  cfg.policy = "no-such-policy";
+  EXPECT_FALSE(mono_dispatchable(cfg));
+}
+
+TEST(MonoDispatch, FieldIdenticalToFallbackForEveryRegisteredPair) {
+  // The tentpole contract: for every registered (policy, estimator)
+  // pair — parameterized variants included — the monomorphized path and
+  // the virtual-fallback regression oracle produce field-identical
+  // AveragedMetrics. Exercised under iid bandwidth variability so the
+  // sampler stream, estimator observations, and value policies all
+  // participate.
+  const auto scenario = core::measured_variability_scenario();
+  std::vector<std::string> policies =
+      core::registry::names(core::registry::Kind::kPolicy);
+  policies.push_back("hybrid:e=0.5");
+  policies.push_back("pbv:e=0.7");
+  std::vector<std::string> estimators =
+      core::registry::names(core::registry::Kind::kEstimator);
+  estimators.push_back("ewma:alpha=0.5,prior_kbps=80");
+  estimators.push_back("probe:interval_s=600");
+
+  for (const auto& policy : policies) {
+    for (const auto& estimator : estimators) {
+      core::ExperimentConfig cfg = small_config();
+      cfg.sim.policy = policy;
+      cfg.sim.estimator = estimator;
+
+      cfg.sim.monomorphize = true;
+      const auto mono = core::run_experiment(cfg, scenario);
+      cfg.sim.monomorphize = false;
+      const auto fallback = core::run_experiment(cfg, scenario);
+      expect_bit_identical(mono, fallback, policy + " x " + estimator);
+    }
+  }
+}
+
+TEST(MonoDispatch, ExtensionsRunIdenticallyThroughTheMonoPath) {
+  // Viewing + patching change the loop's byte accounting; both paths
+  // must agree there too.
+  const auto scenario = core::constant_scenario();
+  core::ExperimentConfig cfg = small_config();
+  cfg.sim.policy = "pb";
+  cfg.sim.viewing.enabled = true;
+  cfg.sim.patching.enabled = true;
+
+  cfg.sim.monomorphize = true;
+  const auto mono = core::run_experiment(cfg, scenario);
+  cfg.sim.monomorphize = false;
+  const auto fallback = core::run_experiment(cfg, scenario);
+  expect_bit_identical(mono, fallback, "pb + viewing + patching");
+}
+
+TEST(MonoDispatch, SweepGridIdenticalWithAndWithoutMonomorphization) {
+  // Whole-grid regression: shared workloads + shared path models + the
+  // per-worker arena path vs the PR-3-era fallback across a mixed grid.
+  std::vector<core::SweepCell> cells;
+  for (const char* policy : {"pb", "ib", "lru"}) {
+    for (const double fraction : {0.01, 0.05}) {
+      cells.push_back(core::SweepCell{policy, -1.0, fraction});
+    }
+  }
+  const auto scenario = core::measured_variability_scenario();
+
+  core::ExperimentConfig mono_cfg = small_config();
+  mono_cfg.sim.monomorphize = true;
+  const auto mono = core::SweepRunner(mono_cfg, scenario).run(cells);
+
+  core::ExperimentConfig fallback_cfg = small_config();
+  fallback_cfg.sim.monomorphize = false;
+  const auto fallback = core::SweepRunner(fallback_cfg, scenario).run(cells);
+
+  ASSERT_EQ(mono.size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    expect_bit_identical(mono[i], fallback[i], cells[i].policy);
+  }
+}
+
+TEST(MonoDispatch, ArenaReuseBitIdenticalToFreshConstruction) {
+  // A worker's arena re-runs back-to-back simulations — different
+  // workloads, seeds, capacities, interleaved (policy, estimator) pairs
+  // — on rebound engines. Every rebound run must equal the run a fresh
+  // arena (fresh engine, fresh state) produces.
+  const auto scenario = core::measured_variability_scenario();
+  const struct {
+    const char* policy;
+    const char* estimator;
+    std::size_t objects;
+    std::uint64_t seed;
+    double fraction;
+  } runs[] = {
+      {"pb", "oracle", 150, 1, 0.05},
+      {"lru", "ewma:alpha=0.3", 150, 2, 0.02},
+      {"pb", "oracle", 100, 3, 0.08},  // same engine, new catalog size
+      {"hybrid:e=0.5", "probe:interval_s=600", 150, 4, 0.05},
+      {"pb", "oracle", 150, 1, 0.05},  // exact repeat of the first run
+  };
+
+  SimulationArena reused;
+  for (const auto& r : runs) {
+    workload::WorkloadConfig wcfg;
+    wcfg.catalog.num_objects = r.objects;
+    wcfg.trace.num_requests = 3000;
+    util::Rng wl_rng(r.seed);
+    const auto w = workload::generate_workload(wcfg, wl_rng);
+
+    SimulationConfig cfg;
+    cfg.policy = r.policy;
+    cfg.estimator = r.estimator;
+    cfg.cache_capacity_bytes =
+        core::capacity_for_fraction(wcfg.catalog, r.fraction);
+    cfg.path_config.mode = scenario.mode;
+    cfg.seed = r.seed * 101;
+
+    Simulator reused_sim(w, scenario.base, scenario.ratio, cfg);
+    const auto via_reused = reused_sim.run(&reused);
+
+    SimulationArena fresh;
+    Simulator fresh_sim(w, scenario.base, scenario.ratio, cfg);
+    const auto via_fresh = fresh_sim.run(&fresh);
+
+    expect_results_identical(via_reused, via_fresh,
+                             std::string(r.policy) + " x " + r.estimator);
+  }
+  // Engines were cached per distinct (policy, estimator) pair.
+  EXPECT_EQ(reused.size(), 3u);
+}
+
+TEST(MonoDispatch, UserRegisteredSpecsFallBackAndMatchBuiltins) {
+  // A self-registered policy constructing the very same PbPolicy type is
+  // out of the dispatch table, so it runs on the virtual fallback — and
+  // must still produce exactly the metrics the monomorphized built-in
+  // "pb" produces.
+  static const core::registry::PolicyRegistrar registrar(
+      {"test-mono-pb", {}, "test-only PB clone (fallback path)", {}},
+      [](const util::Spec&, const core::registry::PolicyContext& ctx) {
+        return std::make_unique<cache::PbPolicy>(ctx.catalog, ctx.estimator);
+      });
+  (void)registrar;
+
+  SimulationConfig probe_cfg;
+  probe_cfg.policy = "test-mono-pb";
+  EXPECT_FALSE(mono_dispatchable(probe_cfg));
+
+  const auto scenario = core::measured_variability_scenario();
+  core::ExperimentConfig cfg = small_config();
+  cfg.sim.policy = "test-mono-pb";
+  const auto custom = core::run_experiment(cfg, scenario);
+  cfg.sim.policy = "pb";
+  const auto builtin = core::run_experiment(cfg, scenario);
+  expect_bit_identical(custom, builtin, "test-mono-pb vs pb");
+}
+
+}  // namespace
+}  // namespace sc::sim

@@ -42,105 +42,153 @@ TEST(Ar1RatioProcess, RejectsBadParameters) {
   EXPECT_THROW(Ar1RatioProcess(0.5, 0.2, 0.0, 1.0), std::invalid_argument);
 }
 
-TEST(PathTable, ConstantModeReturnsMeans) {
-  PathTableConfig cfg;
+/// Most tests drive the path process through the split API: a shared
+/// immutable model plus one sampler. (The deprecated PathTable wrapper
+/// is exercised only by the pragma-guarded bridge test below.)
+std::shared_ptr<const PathModel> make_model(
+    std::size_t n_paths, const stats::EmpiricalDistribution& base,
+    const stats::EmpiricalDistribution& ratio, const PathModelConfig& cfg,
+    std::uint64_t seed) {
+  return std::make_shared<const PathModel>(n_paths, base, ratio, cfg,
+                                           util::Rng(seed));
+}
+
+TEST(PathProcess, ConstantModeReturnsMeans) {
+  PathModelConfig cfg;
   cfg.mode = VariationMode::kConstant;
-  PathTable table(50, nlanr_base_model(), constant_variability_model(), cfg,
-                  util::Rng(7));
-  for (PathId p = 0; p < table.size(); ++p) {
-    const double mean = table.mean_bandwidth(p);
+  const auto model = make_model(50, nlanr_base_model(),
+                                constant_variability_model(), cfg, 7);
+  PathSampler sampler(model);
+  for (PathId p = 0; p < model->size(); ++p) {
+    const double mean = model->mean_bandwidth(p);
     EXPECT_GT(mean, 0.0);
-    EXPECT_DOUBLE_EQ(table.sample_bandwidth(p, 0.0), mean);
-    EXPECT_DOUBLE_EQ(table.sample_bandwidth(p, 1e6), mean);
+    EXPECT_DOUBLE_EQ(sampler.sample_bandwidth(p, 0.0), mean);
+    EXPECT_DOUBLE_EQ(sampler.sample_bandwidth(p, 1e6), mean);
   }
 }
 
-TEST(PathTable, IidModePreservesMeanOnAverage) {
-  PathTableConfig cfg;
+TEST(PathProcess, IidModePreservesMeanOnAverage) {
+  PathModelConfig cfg;
   cfg.mode = VariationMode::kIidRatio;
-  PathTable table(1, nlanr_base_model(), nlanr_variability_model(), cfg,
-                  util::Rng(8));
-  const double mean = table.mean_bandwidth(0);
+  const auto model =
+      make_model(1, nlanr_base_model(), nlanr_variability_model(), cfg, 8);
+  PathSampler sampler(model);
+  const double mean = model->mean_bandwidth(0);
   stats::RunningStats rs;
-  for (int i = 0; i < 200000; ++i) rs.add(table.sample_bandwidth(0, 0.0));
+  for (int i = 0; i < 200000; ++i) rs.add(sampler.sample_bandwidth(0, 0.0));
   EXPECT_NEAR(rs.mean() / mean, 1.0, 0.02);
   EXPECT_GT(rs.cov(), 0.3);  // variability flows through
 }
 
-TEST(PathTable, IidSamplesClamped) {
-  PathTableConfig cfg;
+TEST(PathProcess, IidSamplesClamped) {
+  PathModelConfig cfg;
   cfg.mode = VariationMode::kIidRatio;
   cfg.min_ratio = 0.5;
   cfg.max_ratio = 1.5;
-  PathTable table(1, abundant_base_model(100.0), nlanr_variability_model(),
-                  cfg, util::Rng(9));
+  const auto model = make_model(1, abundant_base_model(100.0),
+                                nlanr_variability_model(), cfg, 9);
+  PathSampler sampler(model);
   for (int i = 0; i < 5000; ++i) {
-    const double b = table.sample_bandwidth(0, 0.0);
+    const double b = sampler.sample_bandwidth(0, 0.0);
     ASSERT_GE(b, 100.0 * 0.5 * 0.99);
     ASSERT_LE(b, 100.0 * 1.5 * 1.01);
   }
 }
 
-TEST(PathTable, TimeSeriesAdvancesOnTimestep) {
-  PathTableConfig cfg;
+TEST(PathProcess, TimeSeriesAdvancesOnTimestep) {
+  PathModelConfig cfg;
   cfg.mode = VariationMode::kTimeSeries;
   cfg.timestep_s = 100.0;
   cfg.ar1_phi = 0.7;
-  PathTable table(1, abundant_base_model(1000.0),
-                  measured_path_model(MeasuredPath::kTaiwan), cfg,
-                  util::Rng(10));
+  const auto model = make_model(1, abundant_base_model(1000.0),
+                                measured_path_model(MeasuredPath::kTaiwan),
+                                cfg, 10);
+  PathSampler sampler(model);
   // Within one timestep the value is frozen.
-  const double b0 = table.sample_bandwidth(0, 0.0);
-  EXPECT_DOUBLE_EQ(table.sample_bandwidth(0, 50.0), b0);
+  const double b0 = sampler.sample_bandwidth(0, 0.0);
+  EXPECT_DOUBLE_EQ(sampler.sample_bandwidth(0, 50.0), b0);
   // Across many steps the series must actually move.
   bool moved = false;
   double prev = b0;
   for (int k = 1; k <= 50; ++k) {
-    const double b = table.sample_bandwidth(0, k * 100.0);
+    const double b = sampler.sample_bandwidth(0, k * 100.0);
     if (b != prev) moved = true;
     prev = b;
   }
   EXPECT_TRUE(moved);
 }
 
-TEST(PathTable, TimeSeriesStationaryMeanNearPathMean) {
-  PathTableConfig cfg;
+TEST(PathProcess, TimeSeriesStationaryMeanNearPathMean) {
+  PathModelConfig cfg;
   cfg.mode = VariationMode::kTimeSeries;
   cfg.timestep_s = 1.0;
-  PathTable table(1, abundant_base_model(500.0),
-                  measured_path_model(MeasuredPath::kHongKong), cfg,
-                  util::Rng(11));
+  const auto model = make_model(1, abundant_base_model(500.0),
+                                measured_path_model(MeasuredPath::kHongKong),
+                                cfg, 11);
+  PathSampler sampler(model);
   stats::RunningStats rs;
   for (int k = 0; k < 50000; ++k) {
-    rs.add(table.sample_bandwidth(0, static_cast<double>(k)));
+    rs.add(sampler.sample_bandwidth(0, static_cast<double>(k)));
   }
   EXPECT_NEAR(rs.mean() / 500.0, 1.0, 0.03);
 }
 
-TEST(PathTable, DistinctPathsGetDistinctMeans) {
-  PathTableConfig cfg;
-  PathTable table(100, nlanr_base_model(), constant_variability_model(), cfg,
-                  util::Rng(12));
+TEST(PathProcess, DistinctPathsGetDistinctMeans) {
+  PathModelConfig cfg;
+  const auto model = make_model(100, nlanr_base_model(),
+                                constant_variability_model(), cfg, 12);
   stats::RunningStats rs;
-  for (PathId p = 0; p < table.size(); ++p) rs.add(table.mean_bandwidth(p));
+  for (PathId p = 0; p < model->size(); ++p) rs.add(model->mean_bandwidth(p));
   EXPECT_GT(rs.cov(), 0.3);  // heterogeneous, as in Fig 2
 }
 
-TEST(PathTable, RejectsEmptyAndOutOfRange) {
-  PathTableConfig cfg;
-  EXPECT_THROW(PathTable(0, nlanr_base_model(), constant_variability_model(),
+TEST(PathProcess, RejectsEmptyAndOutOfRange) {
+  PathModelConfig cfg;
+  EXPECT_THROW(PathModel(0, nlanr_base_model(), constant_variability_model(),
                          cfg, util::Rng(1)),
                std::invalid_argument);
-  PathTable table(3, nlanr_base_model(), constant_variability_model(), cfg,
-                  util::Rng(1));
-  EXPECT_THROW((void)table.mean_bandwidth(3), std::out_of_range);
-  EXPECT_THROW((void)table.sample_bandwidth(99, 0.0), std::out_of_range);
+  const auto model = make_model(3, nlanr_base_model(),
+                                constant_variability_model(), cfg, 1);
+  PathSampler sampler(model);
+  EXPECT_THROW((void)model->mean_bandwidth(3), std::out_of_range);
+  EXPECT_THROW((void)sampler.sample_bandwidth(99, 0.0), std::out_of_range);
 }
 
+TEST(PathProcess, RebindReplaysAFreshSamplersStream) {
+  // The arena-reuse contract: a rebound sampler draws exactly the stream
+  // a freshly constructed sampler over the same model draws, for both
+  // stateless (iid) and stateful (AR(1) chain) modes.
+  for (const VariationMode mode :
+       {VariationMode::kIidRatio, VariationMode::kTimeSeries}) {
+    PathModelConfig cfg;
+    cfg.mode = mode;
+    cfg.timestep_s = 10.0;
+    const auto first = make_model(8, nlanr_base_model(),
+                                  nlanr_variability_model(), cfg, 21);
+    const auto second = make_model(8, nlanr_base_model(),
+                                   nlanr_variability_model(), cfg, 22);
+    PathSampler reused(first);
+    for (int i = 0; i < 200; ++i) {  // advance: rebind must erase this
+      (void)reused.sample_bandwidth(i % 8, 10.0 * i);
+    }
+    reused.rebind(second);
+    PathSampler fresh(second);
+    for (int i = 0; i < 200; ++i) {
+      const PathId p = static_cast<PathId>(i % 8);
+      const double t = 10.0 * i;
+      ASSERT_EQ(reused.sample_bandwidth(p, t), fresh.sample_bandwidth(p, t))
+          << "mode " << static_cast<int>(mode) << " draw " << i;
+    }
+  }
+}
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 TEST(PathModel, SamplersFromOneModelReplayTheMonolithicStream) {
   // The split's bit-identity contract: a PathSampler over a shared model
-  // draws exactly the sequence a monolithic PathTable (same seed) draws,
-  // because the model snapshots its RNG state after the mean draws.
+  // draws exactly the sequence the monolithic (deprecated) PathTable
+  // with the same seed draws, because the model snapshots its RNG state
+  // after the mean draws.
   PathModelConfig cfg;
   cfg.mode = VariationMode::kIidRatio;
   const auto model = std::make_shared<const PathModel>(
@@ -156,6 +204,7 @@ TEST(PathModel, SamplersFromOneModelReplayTheMonolithicStream) {
         << "draw " << i;
   }
 }
+#pragma GCC diagnostic pop
 
 TEST(PathModel, IndependentSamplersDoNotPerturbEachOther) {
   // Two samplers over one shared model are fully independent: advancing

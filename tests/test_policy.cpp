@@ -4,7 +4,10 @@
 
 #include <memory>
 
+#include <cctype>
+
 #include "cache/factory.h"
+#include "core/registry.h"
 #include "net/estimator.h"
 #include "workload/object_catalog.h"
 
@@ -265,6 +268,10 @@ TEST(UtilityPolicy, ResetClearsLearnedState) {
   EXPECT_DOUBLE_EQ(store.cached(0), 600.0);
 }
 
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// Bridge regression coverage for the deprecated enum factory; new code
+// constructs through core::registry spec strings.
 TEST(Factory, CreatesEveryKindWithCorrectName) {
   const auto catalog = make_catalog(1);
   FakeEstimator est({4.0});
@@ -292,16 +299,17 @@ TEST(Factory, ParsesNamesCaseInsensitive) {
   EXPECT_EQ(parse_policy_kind("Hybrid"), PolicyKind::kHybrid);
   EXPECT_THROW((void)parse_policy_kind("nope"), std::invalid_argument);
 }
+#pragma GCC diagnostic pop
 
 /// Property sweep: under random access patterns and volatile bandwidth
-/// estimates, every policy keeps (1) occupancy within capacity, and
-/// (2) only prefixes of real objects cached.
-class PolicyInvariants
-    : public ::testing::TestWithParam<std::tuple<PolicyKind, double>> {};
+/// estimates, every policy (constructed by registry spec string) keeps
+/// (1) occupancy within capacity, and (2) only prefixes of real objects
+/// cached.
+class PolicyInvariants : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(PolicyInvariants, CapacityAndPrefixBoundsHold) {
-  const auto [kind, e] = GetParam();
-  util::Rng rng(util::fnv1a64(to_string(kind)) + static_cast<std::uint64_t>(e * 10));
+  const std::string spec = GetParam();
+  util::Rng rng(util::fnv1a64(spec));
 
   // Heterogeneous catalog: durations 10..400 s.
   std::vector<StreamObject> objects;
@@ -322,9 +330,7 @@ TEST_P(PolicyInvariants, CapacityAndPrefixBoundsHold) {
   for (auto& b : bw) b = rng.uniform(2.0, 20.0);
   FakeEstimator est(bw);
 
-  PolicyParams params;
-  params.e = e;
-  auto policy = make_policy(kind, catalog, est, params);
+  auto policy = core::registry::make_policy(spec, catalog, est);
   PartialStore store(3000.0);
 
   for (int step = 0; step < 5000; ++step) {
@@ -347,30 +353,20 @@ TEST_P(PolicyInvariants, CapacityAndPrefixBoundsHold) {
 }
 
 std::string invariant_case_name(
-    const ::testing::TestParamInfo<std::tuple<PolicyKind, double>>& info) {
-  const auto kind = std::get<0>(info.param);
-  const auto e = std::get<1>(info.param);
-  std::string name = to_string(kind);
+    const ::testing::TestParamInfo<const char*>& info) {
+  std::string name = info.param;
   for (char& c : name) {
-    if (c == '-') c = '_';
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
   }
-  return name + "_e" + std::to_string(static_cast<int>(e * 10));
+  return name;
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    AllPolicies, PolicyInvariants,
-    ::testing::Values(std::make_tuple(PolicyKind::kIF, 1.0),
-                      std::make_tuple(PolicyKind::kPB, 1.0),
-                      std::make_tuple(PolicyKind::kIB, 1.0),
-                      std::make_tuple(PolicyKind::kHybrid, 0.0),
-                      std::make_tuple(PolicyKind::kHybrid, 0.3),
-                      std::make_tuple(PolicyKind::kHybrid, 0.7),
-                      std::make_tuple(PolicyKind::kPBV, 1.0),
-                      std::make_tuple(PolicyKind::kPBV, 0.5),
-                      std::make_tuple(PolicyKind::kIBV, 1.0),
-                      std::make_tuple(PolicyKind::kLRU, 1.0),
-                      std::make_tuple(PolicyKind::kLFU, 1.0)),
-    invariant_case_name);
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyInvariants,
+                         ::testing::Values("if", "pb", "ib", "hybrid:e=0",
+                                           "hybrid:e=0.3", "hybrid:e=0.7",
+                                           "pbv", "pbv:e=0.5", "ibv", "lru",
+                                           "lfu"),
+                         invariant_case_name);
 
 }  // namespace
 }  // namespace sc::cache

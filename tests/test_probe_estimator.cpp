@@ -128,13 +128,13 @@ TEST(LastSample, TracksLatestOnly) {
 }
 
 TEST(Oracle, ReturnsTruePathMean) {
-  PathTableConfig cfg;
+  PathModelConfig cfg;
   cfg.mode = VariationMode::kIidRatio;
-  PathTable table(5, nlanr_base_model(), nlanr_variability_model(), cfg,
-                  util::Rng(6));
-  OracleEstimator est(table);
+  const PathModel model(5, nlanr_base_model(), nlanr_variability_model(), cfg,
+                        util::Rng(6));
+  OracleEstimator est(model);
   for (PathId p = 0; p < 5; ++p) {
-    EXPECT_DOUBLE_EQ(est.estimate(p, 123.0), table.mean_bandwidth(p));
+    EXPECT_DOUBLE_EQ(est.estimate(p, 123.0), model.mean_bandwidth(p));
   }
   EXPECT_EQ(est.overhead_packets(), 0u);
 }

@@ -24,16 +24,16 @@ workload::Catalog small_catalog() {
   return workload::Catalog::generate(cfg, rng);
 }
 
-net::PathTable small_paths(std::size_t n) {
-  return net::PathTable(n, net::nlanr_base_model(),
-                        net::constant_variability_model(),
-                        net::PathTableConfig{}, util::Rng(4));
+std::shared_ptr<const net::PathModel> small_paths(std::size_t n) {
+  return std::make_shared<const net::PathModel>(
+      n, net::nlanr_base_model(), net::constant_variability_model(),
+      net::PathModelConfig{}, util::Rng(4));
 }
 
 TEST(Registry, PolicySpecsConstructCorrectPolicies) {
   const auto catalog = small_catalog();
-  auto paths = small_paths(catalog.size());
-  net::OracleEstimator estimator(paths);
+  const auto paths = small_paths(catalog.size());
+  net::OracleEstimator estimator(*paths);
 
   const std::vector<std::pair<std::string, std::string>> cases = {
       {"if", "IF"},           {"pb", "PB"},
@@ -52,8 +52,8 @@ TEST(Registry, PolicySpecsConstructCorrectPolicies) {
 
 TEST(Registry, UnknownPolicyListsAlternativesAndSuggests) {
   const auto catalog = small_catalog();
-  auto paths = small_paths(catalog.size());
-  net::OracleEstimator estimator(paths);
+  const auto paths = small_paths(catalog.size());
+  net::OracleEstimator estimator(*paths);
   try {
     (void)registry::make_policy("hybird:e=0.5", catalog, estimator);
     FAIL() << "expected SpecError";
@@ -72,8 +72,8 @@ TEST(Registry, UnknownPolicyListsAlternativesAndSuggests) {
 
 TEST(Registry, UnknownParameterRejected) {
   const auto catalog = small_catalog();
-  auto paths = small_paths(catalog.size());
-  net::OracleEstimator estimator(paths);
+  const auto paths = small_paths(catalog.size());
+  net::OracleEstimator estimator(*paths);
   try {
     (void)registry::make_policy("hybrid:x=1", catalog, estimator);
     FAIL() << "expected SpecError";
@@ -88,10 +88,14 @@ TEST(Registry, UnknownParameterRejected) {
       std::invalid_argument);
 }
 
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 TEST(Registry, EveryPolicyKindReachableViaSpec) {
+  // Bridge regression for the deprecated enum API: every PolicyKind maps
+  // onto a registry spec that constructs the same policy.
   const auto catalog = small_catalog();
-  auto paths = small_paths(catalog.size());
-  net::OracleEstimator estimator(paths);
+  const auto paths = small_paths(catalog.size());
+  net::OracleEstimator estimator(*paths);
   cache::PolicyParams params;
   params.e = 0.5;
   for (const auto kind :
@@ -105,6 +109,7 @@ TEST(Registry, EveryPolicyKindReachableViaSpec) {
     EXPECT_EQ(via_registry->name(), via_enum->name()) << spec;
   }
 }
+#pragma GCC diagnostic pop
 
 TEST(Registry, EveryEstimatorKindReachableViaSpec) {
   for (const auto kind :
@@ -119,28 +124,28 @@ TEST(Registry, EveryEstimatorKindReachableViaSpec) {
 }
 
 TEST(Registry, EstimatorFactoriesApplyParams) {
-  auto paths = small_paths(8);
+  const auto paths = small_paths(8);
 
   // Unseen paths fall back to the configured prior (KiB/s).
-  auto ewma = registry::make_estimator("ewma:alpha=0.5,prior_kbps=80", paths,
+  auto ewma = registry::make_estimator("ewma:alpha=0.5,prior_kbps=80", *paths,
                                        util::Rng(7));
   EXPECT_DOUBLE_EQ(ewma->estimate(0, 0.0), 80.0 * 1024.0);
 
-  auto last = registry::make_estimator("last:prior_kbps=10", paths,
+  auto last = registry::make_estimator("last:prior_kbps=10", *paths,
                                        util::Rng(7));
   EXPECT_DOUBLE_EQ(last->estimate(0, 0.0), 10.0 * 1024.0);
 
   // Probing incurs packet overhead on first estimate.
-  auto probe = registry::make_estimator("probe:interval_s=60", paths,
+  auto probe = registry::make_estimator("probe:interval_s=60", *paths,
                                         util::Rng(7));
   (void)probe->estimate(0, 0.0);
   EXPECT_GT(probe->overhead_packets(), 0u);
 
-  auto oracle = registry::make_estimator("oracle", paths, util::Rng(7));
-  EXPECT_DOUBLE_EQ(oracle->estimate(3, 0.0), paths.mean_bandwidth(3));
+  auto oracle = registry::make_estimator("oracle", *paths, util::Rng(7));
+  EXPECT_DOUBLE_EQ(oracle->estimate(3, 0.0), paths->mean_bandwidth(3));
 
   EXPECT_THROW(
-      (void)registry::make_estimator("ewma:beta=1", paths, util::Rng(7)),
+      (void)registry::make_estimator("ewma:beta=1", *paths, util::Rng(7)),
       util::SpecError);
 }
 

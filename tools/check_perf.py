@@ -13,6 +13,14 @@ a non-empty value (shared CI runners have noisy clocks; dedicated boxes
 should leave the gate hard). `allocations_per_request` is gated the same
 way but hard-fails regardless of the toggle: allocation counts are
 deterministic, so a regression there is a code change, not noise.
+
+Records carry the resolved `lto` build flag. A mismatch never softens
+the gate — it is reported, but both directions stay hard: a fresh
+build that GAINED LTO and still regressed is certainly slower in
+same-config terms (the optimization advantage can only mask
+regressions, not cause them), and a fresh build that LOST LTO is
+itself a regression worth failing on (e.g. check_ipo_supported
+silently breaking on a CI toolchain update).
 """
 
 import json
@@ -45,6 +53,18 @@ def main(argv):
     fresh = load_record(args[0])
     base = load_record(args[1])
     warn_only = bool(os.environ.get("SC_PERF_WARN_ONLY"))
+    # Surface LTO mismatches; the gate stays hard in both directions
+    # (see the docstring for why neither can produce a false positive
+    # worth suppressing).
+    fresh_lto = bool(fresh.get("lto"))
+    base_lto = bool(base.get("lto"))
+    if fresh_lto and not base_lto:
+        print("note: fresh record gained LTO over the baseline; a "
+              "regression despite that advantage is certainly real")
+    elif base_lto and not fresh_lto:
+        print("note: fresh build lost LTO relative to the baseline "
+              "(check_ipo_supported failing?); that loss is itself a "
+              "regression")
 
     failed = False
 
