@@ -80,7 +80,10 @@ FigureConfig parse_figure_args(int argc, char** argv,
         "  --parallel=0|1       run the sweep on a thread pool\n"
         "  --policy=<spec>      override the figure's policy set\n"
         "  --estimator=<spec>   bandwidth estimator (default oracle)\n"
-        "  --scenario=<spec>    override the figure's scenario\n\n%s",
+        "  --scenario=<spec>    override the figure's scenario\n"
+        "                       (trace:file=PATH replays a recorded trace)\n"
+        "  --interactivity=<s>  session dynamics: full | exp:mean=S |\n"
+        "                       empirical | trace (default full)\n\n%s",
         cli.program().c_str(), default_csv.c_str(),
         core::registry::help().c_str());
     std::exit(0);
@@ -89,7 +92,7 @@ FigureConfig parse_figure_args(int argc, char** argv,
                                     "objects",  "zipf",     "seed",
                                     "csv",      "json",     "threads",
                                     "parallel", "policy",   "estimator",
-                                    "scenario", "help"};
+                                    "scenario", "interactivity", "help"};
   known.insert(known.end(), extra_flags.begin(), extra_flags.end());
   cli.check_unknown(known);
   FigureConfig cfg;
@@ -121,6 +124,9 @@ FigureConfig parse_figure_args(int argc, char** argv,
   cfg.bench_name = slash == std::string::npos ? prog : prog.substr(slash + 1);
   cfg.estimator = cli.get_or("estimator", cfg.estimator);
   core::registry::validate(core::registry::Kind::kEstimator, cfg.estimator);
+  cfg.interactivity = cli.get_or("interactivity", cfg.interactivity);
+  // Fail fast on a bad session-dynamics spec, like the other axes.
+  (void)sim::InteractivityConfig::parse(cfg.interactivity);
   if (const auto v = cli.get("policy")) {
     core::registry::validate(core::registry::Kind::kPolicy, *v);
     cfg.policy_override = *v;
@@ -166,6 +172,7 @@ core::ExperimentConfig base_experiment(const FigureConfig& config) {
   e.parallel = config.parallel;
   e.threads = config.threads;
   e.sim.estimator = config.estimator;
+  e.sim.interactivity = sim::InteractivityConfig::parse(config.interactivity);
   return e;
 }
 
@@ -177,6 +184,43 @@ std::vector<SweepPoint> sweep_cache_sizes(
     const std::vector<double>& fractions) {
   return sweep_alpha_and_cache(config, scenario, policies,
                                {config.zipf_alpha}, fractions);
+}
+
+std::vector<core::AveragedMetrics> run_cells(
+    const FigureConfig& config, const core::Scenario& scenario,
+    const std::vector<core::SweepCell>& cells) {
+  core::SweepRunner runner(base_experiment(config), scenario);
+  core::SweepStats stats;
+  const std::uint64_t allocs_before = allocation_count();
+  const auto start = std::chrono::steady_clock::now();
+  auto metrics = runner.run(cells, &stats);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+
+  // Under trace replay the per-run shape comes from the file, not
+  // --requests/--objects; report the replayed values so requests/sec
+  // and the record's metadata stay honest.
+  SweepTelemetry t;
+  t.requests_per_run = scenario.replay != nullptr
+                           ? scenario.replay->requests.size()
+                           : config.requests;
+  t.objects = scenario.replay != nullptr ? scenario.replay->catalog.size()
+                                         : config.objects;
+  t.wall_s = elapsed.count();
+  t.simulations = cells.size() * config.runs;
+  t.requests_simulated = t.simulations * t.requests_per_run;
+  t.workloads_generated = stats.workloads_generated;
+  t.path_models_built = stats.path_models_built;
+  t.threads = !config.parallel || config.threads == 1
+                  ? 1
+                  : (config.threads == 0 ? util::ThreadPool::default_threads()
+                                         : config.threads);
+  t.allocations = allocation_count() - allocs_before;
+  g_last_telemetry = t;
+  if (!config.json_path.empty()) {
+    write_bench_json(config, t, config.json_path);
+  }
+  return metrics;
 }
 
 std::vector<SweepPoint> sweep_alpha_and_cache(
@@ -192,7 +236,7 @@ std::vector<SweepPoint> sweep_alpha_and_cache(
   for (const double alpha : alphas) {
     for (const auto& policy : policies) {
       for (const double fraction : fractions) {
-        cells.push_back(core::SweepCell{policy.spec, alpha, fraction});
+        cells.push_back(core::SweepCell{policy.spec, alpha, fraction, {}});
         SweepPoint p;
         p.policy = policy.label;
         p.cache_fraction = fraction;
@@ -203,31 +247,9 @@ std::vector<SweepPoint> sweep_alpha_and_cache(
     }
   }
 
-  core::SweepRunner runner(base_experiment(config), scenario);
-  core::SweepStats stats;
-  const std::uint64_t allocs_before = allocation_count();
-  const auto start = std::chrono::steady_clock::now();
-  const auto metrics = runner.run(cells, &stats);
-  const std::chrono::duration<double> elapsed =
-      std::chrono::steady_clock::now() - start;
+  const auto metrics = run_cells(config, scenario, cells);
   for (std::size_t i = 0; i < points.size(); ++i) {
     points[i].metrics = metrics[i];
-  }
-
-  SweepTelemetry t;
-  t.wall_s = elapsed.count();
-  t.simulations = cells.size() * config.runs;
-  t.requests_simulated = t.simulations * config.requests;
-  t.workloads_generated = stats.workloads_generated;
-  t.path_models_built = stats.path_models_built;
-  t.threads = !config.parallel || config.threads == 1
-                  ? 1
-                  : (config.threads == 0 ? util::ThreadPool::default_threads()
-                                         : config.threads);
-  t.allocations = allocation_count() - allocs_before;
-  g_last_telemetry = t;
-  if (!config.json_path.empty()) {
-    write_bench_json(config, t, config.json_path);
   }
   return points;
 }
@@ -260,7 +282,7 @@ void write_bench_json(const FigureConfig& config,
       "  \"allocations_per_request\": %.6f\n"
       "}\n",
       config.bench_name.c_str(), telemetry.threads, config.runs,
-      config.requests, config.objects, telemetry.simulations,
+      telemetry.requests_per_run, telemetry.objects, telemetry.simulations,
       telemetry.workloads_generated, telemetry.path_models_built,
       telemetry.requests_simulated,
       // Resolved build flag (CMake's check_ipo_supported gate), so

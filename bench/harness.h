@@ -11,6 +11,8 @@
 //   --policy <spec>      override the figure's policy set with one spec
 //   --estimator <spec>   bandwidth estimator spec (default "oracle")
 //   --scenario <spec>    override the figure's bandwidth scenario
+//                        ("trace:file=PATH" replays a recorded workload)
+//   --interactivity <s>  client session dynamics (default "full")
 //   --help               list flags and every registered component spec
 // and prints the paper-exhibit series as a table plus an ASCII chart.
 // Unknown flags fail with a did-you-mean suggestion.
@@ -28,6 +30,7 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "core/sweep.h"
 #include "util/cli.h"
 #include "util/csv.h"
 #include "util/table.h"
@@ -53,6 +56,9 @@ struct FigureConfig {
   std::string bench_name;
   /// Bandwidth estimator spec applied to every sweep point.
   std::string estimator = "oracle";
+  /// Client session dynamics spec applied to every sweep point
+  /// (sim/interactivity.h; "full" = whole-stream sessions).
+  std::string interactivity = "full";
   /// When set, replaces the figure's default policy set / scenario.
   std::optional<std::string> policy_override;
   std::optional<std::string> scenario_override;
@@ -112,6 +118,14 @@ struct SweepPoint {
     const std::vector<PolicySpec>& policies,
     const std::vector<double>& alphas, const std::vector<double>& fractions);
 
+/// Evaluate an explicit cell grid on one SweepRunner (for benches whose
+/// axis is not (policy, alpha, fraction) — e.g. bench_interactivity's
+/// session-dynamics modes). Timing/telemetry/--json handling is
+/// identical to the sweep_* helpers; result[i] corresponds to cells[i].
+[[nodiscard]] std::vector<core::AveragedMetrics> run_cells(
+    const FigureConfig& config, const core::Scenario& scenario,
+    const std::vector<core::SweepCell>& cells);
+
 /// Which metric a chart displays.
 enum class Metric { kTrafficReduction, kDelay, kQuality, kAddedValue };
 
@@ -133,6 +147,10 @@ struct SweepTelemetry {
   double wall_s = 0.0;
   std::size_t simulations = 0;         // cells x replications
   std::size_t requests_simulated = 0;  // simulations x trace length
+  /// Actual per-run trace length and catalog size: the CLI knobs, or
+  /// the replayed workload's real shape under a trace scenario.
+  std::size_t requests_per_run = 0;
+  std::size_t objects = 0;
   std::size_t workloads_generated = 0; // distinct (alpha, replication)
   std::size_t path_models_built = 0;   // shared: one per replication
   std::size_t threads = 0;             // resolved worker count

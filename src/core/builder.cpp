@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/registry.h"
+#include "core/sweep.h"
 
 namespace sc::core {
 
@@ -22,6 +23,7 @@ ExperimentBuilder& ExperimentBuilder::estimator(const std::string& spec) {
 ExperimentBuilder& ExperimentBuilder::scenario(const std::string& spec) {
   registry::validate(registry::Kind::kScenario, spec);
   scenario_ = spec;
+  built_scenario_.reset();
   return *this;
 }
 
@@ -86,6 +88,11 @@ ExperimentBuilder& ExperimentBuilder::patching(bool on) {
   return *this;
 }
 
+ExperimentBuilder& ExperimentBuilder::interactivity(const std::string& spec) {
+  config_.sim.interactivity = sim::InteractivityConfig::parse(spec);
+  return *this;
+}
+
 namespace {
 
 // Value flags must actually carry a value; a bare `--cache-frac` (value
@@ -140,6 +147,9 @@ ExperimentBuilder& ExperimentBuilder::from_cli(const util::Cli& cli) {
   }
   if (cli.has("viewing")) viewing(cli.get_or("viewing", false));
   if (cli.has("patching")) patching(cli.get_or("patching", false));
+  if (cli.has("interactivity")) {
+    interactivity(require_value(cli, "interactivity"));
+  }
   if (cli.has("cache-frac")) {
     (void)require_value(cli, "cache-frac");
     cache_fraction(cli.get_or("cache-frac", 0.0));
@@ -180,7 +190,8 @@ ExperimentBuilder& ExperimentBuilder::from_cli(const util::Cli& cli) {
 std::vector<std::string> ExperimentBuilder::cli_flags() {
   return {"policy",  "estimator", "scenario",   "objects", "requests",
           "zipf",    "runs",      "seed",       "parallel", "threads",
-          "warmup",  "viewing",   "patching",   "cache-frac", "e"};
+          "warmup",  "viewing",   "patching",   "interactivity",
+          "cache-frac", "e"};
 }
 
 std::string ExperimentBuilder::cli_help() {
@@ -192,6 +203,8 @@ std::string ExperimentBuilder::cli_help() {
       "  --cache-frac=F       cache size as fraction of corpus\n"
       "  --objects=N --requests=N --runs=N --zipf=A --seed=S\n"
       "  --warmup=F --parallel=0|1 --threads=N --viewing --patching\n"
+      "  --interactivity=<spec>  session dynamics: full | exp:mean=S |\n"
+      "                       empirical | trace (default full)\n"
       "  --e=E                legacy: e parameter for hybrid/pbv specs\n\n" +
       registry::help();
 }
@@ -199,18 +212,32 @@ std::string ExperimentBuilder::cli_help() {
 ExperimentConfig ExperimentBuilder::config() const {
   ExperimentConfig resolved = config_;
   if (cache_fraction_) {
+    // Under trace replay the catalog is known exactly; elsewhere keep
+    // the paper's expected-corpus convention (matching SweepRunner).
+    const Scenario& scenario = build_scenario_ref();
     resolved.sim.cache_capacity_bytes =
-        capacity_for_fraction(resolved.workload.catalog, *cache_fraction_);
+        scenario.replay != nullptr
+            ? *cache_fraction_ * scenario.replay->catalog.total_bytes()
+            : capacity_for_fraction(resolved.workload.catalog,
+                                    *cache_fraction_);
   }
   return resolved;
 }
 
+const Scenario& ExperimentBuilder::build_scenario_ref() const {
+  if (built_scenario_ == nullptr) {
+    built_scenario_ =
+        std::make_shared<const Scenario>(registry::make_scenario(scenario_));
+  }
+  return *built_scenario_;
+}
+
 Scenario ExperimentBuilder::build_scenario() const {
-  return registry::make_scenario(scenario_);
+  return build_scenario_ref();
 }
 
 AveragedMetrics ExperimentBuilder::run() const {
-  return run_experiment(config(), build_scenario());
+  return run_experiment(config(), build_scenario_ref());
 }
 
 }  // namespace sc::core

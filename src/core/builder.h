@@ -51,6 +51,9 @@ class ExperimentBuilder {
   ExperimentBuilder& warmup_fraction(double fraction);
   ExperimentBuilder& viewing(bool on);
   ExperimentBuilder& patching(bool on);
+  /// Client session dynamics spec ("full", "exp:mean=1800", "empirical",
+  /// "trace"; validated immediately — see sim/interactivity.h).
+  ExperimentBuilder& interactivity(const std::string& spec);
 
   /// Apply the shared flag set from a parsed command line. Flags not
   /// present keep their current values. `--e` (legacy Hybrid/PB-V
@@ -64,10 +67,15 @@ class ExperimentBuilder {
   /// Usage text for the shared flags plus the registry listing.
   [[nodiscard]] static std::string cli_help();
 
-  /// Resolved configuration (cache fraction applied to the catalog).
+  /// Resolved configuration. A cache *fraction* resolves against the
+  /// expected synthetic corpus size — or, under a trace-replay
+  /// scenario, against the replayed catalog's actual total size (which
+  /// loads the trace; the load is cached and shared with
+  /// build_scenario()/run()).
   [[nodiscard]] ExperimentConfig config() const;
 
-  /// The scenario this builder would run under.
+  /// The scenario this builder would run under. Built once per spec and
+  /// cached, so a trace-replay scenario's file is read a single time.
   [[nodiscard]] Scenario build_scenario() const;
 
   [[nodiscard]] const std::string& scenario_spec() const noexcept {
@@ -78,9 +86,15 @@ class ExperimentBuilder {
   [[nodiscard]] AveragedMetrics run() const;
 
  private:
+  [[nodiscard]] const Scenario& build_scenario_ref() const;
+
   ExperimentConfig config_{};
   std::string scenario_ = "constant";
   std::optional<double> cache_fraction_;
+  /// Lazily-built scenario for the current spec (invalidated by
+  /// scenario()); lets config() see a trace scenario's replayed catalog
+  /// without re-reading the file per call.
+  mutable std::shared_ptr<const Scenario> built_scenario_;
 };
 
 }  // namespace sc::core

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -14,12 +15,22 @@
 
 namespace sc::core {
 
-/// A bandwidth environment: base model + ratio model + variation mode.
+/// A bandwidth environment (base model + ratio model + variation mode),
+/// optionally replaying a recorded workload instead of the synthetic
+/// generator.
 struct Scenario {
   std::string name;
   stats::EmpiricalDistribution base;
   stats::EmpiricalDistribution ratio;
   net::VariationMode mode = net::VariationMode::kConstant;
+  /// Trace replay ("trace:file=PATH" scenarios): when non-null, every
+  /// sweep cell and replication replays this immutable workload instead
+  /// of generating one — the file is loaded once per registry::
+  /// make_scenario call and shared across the whole grid, so workload
+  /// shape knobs (objects/requests/zipf alpha) are ignored and
+  /// replications differ only in their bandwidth draws. Cache fractions
+  /// resolve against the replayed catalog's actual total size.
+  std::shared_ptr<const workload::Workload> replay;
 };
 
 /// NLANR base means, no time variation (Figs 5, 6, 10).

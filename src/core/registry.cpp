@@ -8,6 +8,7 @@
 #include "net/probe.h"
 #include "net/units.h"
 #include "net/variability.h"
+#include "workload/trace.h"
 
 namespace sc::core::registry {
 
@@ -248,6 +249,36 @@ Tables make_builtins() {
                                 "\"timeseries:path=...\" instead");
         }
         return timeseries_scenario(measured_path_for(spec));
+      });
+  t.scenarios.add(
+      Kind::kScenario,
+      {"trace",
+       {"replay"},
+       "replay a recorded workload trace (workload/trace.h format); "
+       "file=PATH is required, bw= names the bandwidth scenario "
+       "(default constant)",
+       {"file", "bw"}},
+      [](const util::Spec& spec) {
+        const std::string file = spec.get_string("file", "");
+        if (file.empty()) {
+          throw util::SpecError(
+              "scenario \"trace\" requires file=PATH "
+              "(e.g. --scenario=trace:file=workload.trace)");
+        }
+        const std::string bw = spec.get_string("bw", "constant");
+        // The bandwidth environment is any *other* registered scenario.
+        Scenario scenario = make_scenario(bw);
+        if (scenario.replay != nullptr) {
+          throw util::SpecError("scenario \"trace\": bw=" + bw +
+                                " must name a bandwidth scenario, not "
+                                "another trace");
+        }
+        // Loaded exactly once per make_scenario call: SweepRunner shares
+        // this immutable workload across every cell and replication.
+        scenario.replay = std::make_shared<const workload::Workload>(
+            workload::read_trace(file));
+        scenario.name = "trace(" + file + ")+" + scenario.name;
+        return scenario;
       });
 
   return t;

@@ -7,6 +7,7 @@
 //   estimators  "oracle" "ewma:alpha=0.3,prior_kbps=50" "last"
 //               "probe:interval_s=3600"
 //   scenarios   "constant" "nlanr" "measured" "timeseries:path=taiwan"
+//               "trace:file=workload.trace,bw=nlanr"  (trace replay)
 //
 // Unknown names fail with the list of registered alternatives (plus a
 // did-you-mean suggestion); unknown parameters fail listing the valid

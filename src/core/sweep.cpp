@@ -146,6 +146,9 @@ std::vector<AveragedMetrics> SweepRunner::run(
     registry::validate(registry::Kind::kPolicy, spec);
     validated.push_back(&spec);
   };
+  // Trace replay: one immutable workload, loaded when the scenario was
+  // made, shared by every cell and replication (no generation at all).
+  const workload::Workload* replay = scenario_.replay.get();
   for (std::size_t c = 0; c < cells.size(); ++c) {
     sims[c] = base_.sim;
     // Resolve the scenario's variation mode up front so simulation tasks
@@ -154,8 +157,17 @@ std::vector<AveragedMetrics> SweepRunner::run(
     if (!cells[c].policy.empty()) sims[c].policy = cells[c].policy;
     validate_policy_once(sims[c].policy);
     if (cells[c].cache_fraction >= 0) {
-      sims[c].cache_capacity_bytes = capacity_for_fraction(
-          base_.workload.catalog, cells[c].cache_fraction);
+      // A replayed catalog has a known actual size; the synthetic path
+      // keeps the paper's expected-corpus x-axis convention.
+      sims[c].cache_capacity_bytes =
+          replay != nullptr
+              ? cells[c].cache_fraction * replay->catalog.total_bytes()
+              : capacity_for_fraction(base_.workload.catalog,
+                                      cells[c].cache_fraction);
+    }
+    if (!cells[c].interactivity.empty()) {
+      sims[c].interactivity =
+          sim::InteractivityConfig::parse(cells[c].interactivity);
     }
     cell_alpha[c] = cells[c].zipf_alpha >= 0 ? cells[c].zipf_alpha
                                              : base_.workload.trace.zipf_alpha;
@@ -179,7 +191,7 @@ std::vector<AveragedMetrics> SweepRunner::run(
   }
 
   std::vector<std::shared_ptr<const workload::Workload>> workloads(
-      alphas.size() * runs);
+      replay != nullptr ? 0 : alphas.size() * runs);
   const auto generate = [&](std::size_t task) {
     const std::size_t a = task / runs;
     const std::size_t r = task % runs;
@@ -200,7 +212,9 @@ std::vector<AveragedMetrics> SweepRunner::run(
       share_models ? runs : 0);
   net::PathModelConfig path_config = base_.sim.path_config;
   path_config.mode = scenario_.mode;
-  const std::size_t n_paths = base_.workload.catalog.num_objects;
+  const std::size_t n_paths = replay != nullptr
+                                  ? replay->catalog.size()
+                                  : base_.workload.catalog.num_objects;
   const auto build_model = [&](std::size_t r) {
     // Exactly the simulator's own derivation: Rng(seed).fork("paths").
     util::Rng rng(path_seeds[r]);
@@ -229,9 +243,11 @@ std::vector<AveragedMetrics> SweepRunner::run(
   const auto simulate = [&](sim::SimulationArena& arena, std::size_t task) {
     const std::size_t c = task / runs;
     const std::size_t r = task % runs;
+    const workload::Workload& w =
+        replay != nullptr ? *replay : *workloads[alpha_of_cell[c] * runs + r];
     outcomes[task] = simulate_one(
-        *workloads[alpha_of_cell[c] * runs + r], scenario_, sims[c],
-        path_seeds[r], share_models ? path_models[r] : nullptr, arena);
+        w, scenario_, sims[c], path_seeds[r],
+        share_models ? path_models[r] : nullptr, arena);
   };
 
   const bool serial =

@@ -36,15 +36,22 @@ struct SweepCell {
   /// Trace popularity skew (NaN / omit via negative = base alpha).
   double zipf_alpha = -1.0;
   /// Cache size as a fraction of the expected corpus size (negative =
-  /// keep base.sim.cache_capacity_bytes as-is).
+  /// keep base.sim.cache_capacity_bytes as-is). Under a trace-replay
+  /// scenario the fraction resolves against the replayed catalog's
+  /// actual total size instead of the synthetic expectation.
   double cache_fraction = -1.0;
+  /// Client interactivity spec ("" = base.sim.interactivity; see
+  /// sim/interactivity.h) so one grid can sweep session-dynamics modes
+  /// while sharing workloads across them.
+  std::string interactivity;
 };
 
 /// What one SweepRunner::run call actually constructed (vs. the
 /// cells x replications a naive grid would have built). Benches surface
 /// these in their BENCH_*.json perf records.
 struct SweepStats {
-  /// Distinct (alpha, replication) workloads generated.
+  /// Distinct (alpha, replication) workloads generated (0 under a
+  /// trace-replay scenario, which shares one immutable workload).
   std::size_t workloads_generated = 0;
   /// Immutable net::PathModel instances built: one per replication when
   /// sharing (the default), one per simulation otherwise.

@@ -1,0 +1,58 @@
+#include "sim/interactivity.h"
+
+#include <sstream>
+
+namespace sc::sim {
+
+InteractivityConfig InteractivityConfig::parse(const std::string& spec) {
+  const util::Spec parsed = util::Spec::parse(spec);
+  InteractivityConfig config;
+  if (parsed.name == "full") {
+    config.mode = InteractivityMode::kFull;
+    parsed.require_only({});
+  } else if (parsed.name == "exp" || parsed.name == "exponential") {
+    config.mode = InteractivityMode::kExponential;
+    parsed.require_only({"mean"});
+    config.mean_s = parsed.get_double("mean", config.mean_s);
+    if (config.mean_s <= 0) {
+      throw util::SpecError("interactivity \"" + spec +
+                            "\": mean must be > 0 seconds");
+    }
+  } else if (parsed.name == "empirical") {
+    config.mode = InteractivityMode::kEmpirical;
+    parsed.require_only({});
+  } else if (parsed.name == "trace") {
+    config.mode = InteractivityMode::kTrace;
+    parsed.require_only({});
+  } else {
+    std::string message = "unknown interactivity mode \"" + parsed.name +
+                          "\" (known: full, exp:mean=SECONDS, empirical, "
+                          "trace)";
+    if (const auto suggestion = util::closest_match(
+            parsed.name, {"full", "exp", "exponential", "empirical",
+                          "trace"})) {
+      message += "; did you mean \"" + *suggestion + "\"?";
+    }
+    throw util::SpecError(message);
+  }
+  return config;
+}
+
+std::string InteractivityConfig::to_string() const {
+  switch (mode) {
+    case InteractivityMode::kFull:
+      return "full";
+    case InteractivityMode::kExponential: {
+      std::ostringstream out;
+      out << "exp:mean=" << mean_s;
+      return out.str();
+    }
+    case InteractivityMode::kEmpirical:
+      return "empirical";
+    case InteractivityMode::kTrace:
+      return "trace";
+  }
+  return "?";
+}
+
+}  // namespace sc::sim

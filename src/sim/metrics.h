@@ -20,6 +20,13 @@ class MetricsCollector {
   /// Record origin->cache fill traffic caused by an admission decision.
   void record_fill(double bytes) { fill_bytes_ += bytes; }
 
+  /// Record one session's viewed fraction (session dynamics; 1.0 and
+  /// truncated == false for whole-stream sessions).
+  void record_session(double viewed_fraction, bool truncated) {
+    viewed_fraction_.add(viewed_fraction);
+    if (truncated) ++truncated_;
+  }
+
   [[nodiscard]] std::size_t requests() const noexcept { return requests_; }
 
   /// Fraction of requested bytes served by the cache (§3.3).
@@ -65,6 +72,20 @@ class MetricsCollector {
   }
   [[nodiscard]] double fill_bytes() const noexcept { return fill_bytes_; }
 
+  /// Mean viewed fraction per session (1.0 when session dynamics are
+  /// disabled or every client watched through).
+  [[nodiscard]] double average_viewed_fraction() const {
+    return viewed_fraction_.count() > 0 ? viewed_fraction_.mean() : 1.0;
+  }
+
+  /// Fraction of measured sessions that departed before the stream's
+  /// end (0 when session dynamics are disabled).
+  [[nodiscard]] double truncated_ratio() const {
+    return requests_ > 0
+               ? static_cast<double>(truncated_) / static_cast<double>(requests_)
+               : 0.0;
+  }
+
   /// Full delay distribution (for percentile reporting).
   [[nodiscard]] const stats::RunningStats& delay_stats() const noexcept {
     return delay_;
@@ -77,6 +98,7 @@ class MetricsCollector {
   std::size_t requests_ = 0;
   std::size_t hits_ = 0;
   std::size_t immediate_ = 0;
+  std::size_t truncated_ = 0;
   double cache_bytes_ = 0.0;
   double origin_bytes_ = 0.0;
   double shared_bytes_ = 0.0;
@@ -85,6 +107,7 @@ class MetricsCollector {
   stats::RunningStats delay_;
   stats::RunningStats quality_;
   stats::RunningStats quality_quantized_;
+  stats::RunningStats viewed_fraction_;
 };
 
 }  // namespace sc::sim

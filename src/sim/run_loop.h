@@ -159,6 +159,17 @@ template <typename Policy, typename Estimator>
 
   std::vector<InFlightStream>& in_flight = state.in_flight;
   util::Rng viewing_rng = rng.fork("viewing");
+  // Session dynamics draw from their own tag-keyed stream so enabling
+  // them never perturbs the viewing/path/estimator streams (and "full"
+  // mode draws nothing at all, keeping it a field-identical oracle).
+  const bool interactive = config.interactivity.enabled();
+  if (interactive && config.viewing.enabled) {
+    throw std::invalid_argument(
+        "run_request_loop: ViewingConfig and a non-full interactivity "
+        "model are both session-length models and cannot be combined; "
+        "use --interactivity alone (it supersedes --viewing)");
+  }
+  util::Rng session_rng = rng.fork("session");
 
   for (std::size_t idx = 0; idx < requests.size(); ++idx) {
     const auto& req = requests[idx];
@@ -175,6 +186,27 @@ template <typename Policy, typename Estimator>
     const double cached_before = store.cached(id);
     ServiceOutcome outcome =
         deliver(duration_s, bitrate, size_bytes, bw, cached_before);
+
+    // Session dynamics: a client that departs after watching a fraction
+    // of the stream only needed the viewed prefix delivered. Re-derive
+    // the outcome over that prefix — startup delay and quality are what
+    // the client experienced for the part it watched, the origin
+    // connection is cancelled at departure (its completion observation
+    // below uses the truncated transfer), and byte accounting covers
+    // only shipped bytes.
+    double viewed_fraction = 1.0;
+    double session_s = duration_s;
+    if (interactive) {
+      viewed_fraction = sample_viewed_fraction(config.interactivity,
+                                               duration_s, req.view_s,
+                                               session_rng);
+      if (viewed_fraction < 1.0) {
+        session_s = viewed_fraction * duration_s;
+        const double viewed_bytes = session_s * bitrate;
+        outcome = deliver(session_s, bitrate, viewed_bytes, bw,
+                          std::min(cached_before, viewed_bytes));
+      }
+    }
 
     // Client interactivity: scale the byte accounting (not the startup
     // metrics) by the viewed fraction of the stream.
@@ -196,8 +228,12 @@ template <typename Policy, typename Estimator>
     if (config.patching.enabled && outcome.bytes_from_origin > 0) {
       InFlightStream& flight = in_flight[id];
       if (req.time_s < flight.end) {
-        const double remaining_shareable = std::min(
-            size_bytes, bitrate * (flight.start + duration_s - req.time_s));
+        // flight.end is start + the originating session's transmission
+        // time: the full playout duration, or its departure point when
+        // session dynamics truncated it (bit-identical to the old
+        // `flight.start + duration_s` expression for full sessions).
+        const double remaining_shareable =
+            std::min(size_bytes, bitrate * (flight.end - req.time_s));
         const double shared = std::min(outcome.bytes_from_origin,
                                        std::max(0.0, remaining_shareable));
         outcome.bytes_shared = shared;
@@ -208,14 +244,23 @@ template <typename Policy, typename Estimator>
       }
       if (outcome.bytes_from_origin > 0) {
         // This request starts (or replaces) the object's shared stream,
-        // paced at the playout rate for the object's duration.
+        // paced at the playout rate until the session ends (the full
+        // duration, or the client's early departure).
         flight.start = req.time_s;
-        flight.end = req.time_s + duration_s;
+        flight.end = req.time_s + session_s;
       }
     }
 
     const bool measured = idx >= warm_count;
-    if (measured) metrics.record(outcome, view.value[id]);
+    if (measured) {
+      metrics.record(outcome, view.value[id]);
+      // Session stats only when a session model is active: the
+      // accessors default to "every session full" on zero samples, so
+      // the disabled path pays nothing (its throughput is perf-gated).
+      if (interactive) {
+        metrics.record_session(viewed_fraction, viewed_fraction < 1.0);
+      }
+    }
 
     // Passive estimators learn this transfer's throughput at completion.
     if constexpr (!ObservationTraits<Estimator>::kStaticallyDiscards) {

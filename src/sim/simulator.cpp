@@ -66,6 +66,11 @@ Simulator::Simulator(const workload::Workload& workload,
   if (workload.requests.empty()) {
     throw std::invalid_argument("Simulator: empty request trace");
   }
+  if (config_.viewing.enabled && config_.interactivity.enabled()) {
+    throw std::invalid_argument(
+        "Simulator: ViewingConfig and a non-full interactivity model "
+        "cannot be combined; use the interactivity spec alone");
+  }
   if (path_model_ != nullptr &&
       path_model_->size() != workload.catalog.size()) {
     throw std::invalid_argument(

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "net/path_process.h"
+#include "sim/interactivity.h"
 #include "sim/metrics.h"
 #include "workload/generator.h"
 
@@ -68,6 +69,15 @@ struct SimulationConfig {
 
   ViewingConfig viewing{};
   PatchingConfig patching{};
+
+  /// Client session dynamics: per-request viewing duration model (see
+  /// sim/interactivity.h). The default ("full") is observationally
+  /// identical to the simulator before session dynamics existed and
+  /// serves as its regression oracle; "exp:mean=S", "empirical", and
+  /// "trace" truncate sessions, cancelling the remainder of in-flight
+  /// deliveries and re-deriving startup/quality/byte metrics over the
+  /// viewed prefix.
+  InteractivityConfig interactivity{};
 
   net::PathModelConfig path_config{};    // constant / iid / AR(1) variation
   double warmup_fraction = 0.5;          // fraction of trace used to warm

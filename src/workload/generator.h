@@ -13,10 +13,19 @@
 
 namespace sc::workload {
 
+/// Sentinel for Request::view_s: the session watched the whole stream
+/// (or the trace recorded no viewing duration).
+inline constexpr double kFullSession = -1.0;
+
 /// One client request.
 struct Request {
   double time_s = 0.0;  // arrival time since trace start
   ObjectId object = 0;
+  /// Recorded viewing duration of this session, seconds; kFullSession
+  /// (negative) when the client watched to the end / nothing was
+  /// recorded. Consumed by the simulator's "trace" interactivity mode;
+  /// every other mode ignores it (see sim/interactivity.h).
+  double view_s = kFullSession;
 };
 
 /// A complete workload: catalog + request trace.

@@ -4,8 +4,24 @@
 #include <iomanip>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
 namespace sc::workload {
+
+namespace {
+
+[[noreturn]] void fail(const std::filesystem::path& path,
+                       const std::string& what) {
+  throw std::runtime_error("read_trace: " + what + " in " + path.string());
+}
+
+std::string record_context(std::size_t objects_seen,
+                           std::size_t requests_seen) {
+  return " (after " + std::to_string(objects_seen) + " object and " +
+         std::to_string(requests_seen) + " request records)";
+}
+
+}  // namespace
 
 void write_trace(const Workload& workload,
                  const std::filesystem::path& path) {
@@ -13,7 +29,7 @@ void write_trace(const Workload& workload,
   if (!out) {
     throw std::runtime_error("write_trace: cannot open " + path.string());
   }
-  out << "streamcache-trace v1 " << workload.catalog.size() << ' '
+  out << "streamcache-trace v2 " << workload.catalog.size() << ' '
       << workload.requests.size() << '\n';
   out << std::setprecision(17);
   for (const auto& o : workload.catalog.objects()) {
@@ -21,7 +37,7 @@ void write_trace(const Workload& workload,
         << o.value << ' ' << o.path << '\n';
   }
   for (const auto& r : workload.requests) {
-    out << "R " << r.time_s << ' ' << r.object << '\n';
+    out << "R " << r.time_s << ' ' << r.object << ' ' << r.view_s << '\n';
   }
   if (!out) {
     throw std::runtime_error("write_trace: write failed on " + path.string());
@@ -36,9 +52,14 @@ Workload read_trace(const std::filesystem::path& path) {
   std::string magic, version;
   std::size_t num_objects = 0, num_requests = 0;
   in >> magic >> version >> num_objects >> num_requests;
-  if (magic != "streamcache-trace" || version != "v1") {
-    throw std::runtime_error("read_trace: bad magic in " + path.string());
+  if (!in || magic != "streamcache-trace") {
+    fail(path, "bad magic (expected \"streamcache-trace v1|v2 "
+               "<objects> <requests>\")");
   }
+  if (version != "v1" && version != "v2") {
+    fail(path, "unsupported version \"" + version + "\" (known: v1, v2)");
+  }
+  const bool has_view = version == "v2";
   std::vector<StreamObject> objects;
   objects.reserve(num_objects);
   std::vector<Request> requests;
@@ -50,26 +71,61 @@ Workload read_trace(const std::filesystem::path& path) {
     if (tag == "O") {
       StreamObject o;
       in >> o.id >> o.duration_s >> o.bitrate >> o.value >> o.path;
-      if (!in) throw std::runtime_error("read_trace: malformed object line");
+      if (!in) {
+        fail(path, "malformed or truncated object record" +
+                       record_context(objects.size(), requests.size()));
+      }
+      if (o.id != objects.size()) {
+        fail(path, "object ids must be dense and in order (got id " +
+                       std::to_string(o.id) + " for object #" +
+                       std::to_string(objects.size()) + ")");
+      }
+      // Simulations build one bandwidth path per catalog object; an
+      // out-of-range path id must fail here with the file named, not
+      // mid-sweep inside a worker task.
+      if (o.path >= num_objects) {
+        fail(path, "object " + std::to_string(o.id) + " names path " +
+                       std::to_string(o.path) +
+                       " outside the declared catalog of " +
+                       std::to_string(num_objects) + " paths");
+      }
+      // size_bytes and popularity_rank are derived by
+      // Catalog::from_objects below.
       objects.push_back(o);
     } else if (tag == "R") {
       Request r;
       in >> r.time_s >> r.object;
-      if (!in) throw std::runtime_error("read_trace: malformed request line");
+      if (has_view) in >> r.view_s;
+      if (!in) {
+        fail(path, "malformed or truncated request record" +
+                       record_context(objects.size(), requests.size()));
+      }
       if (r.object >= num_objects) {
-        throw std::runtime_error("read_trace: request to unknown object");
+        fail(path, "request #" + std::to_string(requests.size()) +
+                       " references object " + std::to_string(r.object) +
+                       " outside the declared catalog of " +
+                       std::to_string(num_objects));
       }
       if (r.time_s < last_time) {
-        throw std::runtime_error("read_trace: request times regress");
+        fail(path, "request times regress at request #" +
+                       std::to_string(requests.size()) + " (" +
+                       std::to_string(r.time_s) + " after " +
+                       std::to_string(last_time) + ")");
       }
       last_time = r.time_s;
       requests.push_back(r);
     } else {
-      throw std::runtime_error("read_trace: unknown record tag '" + tag + "'");
+      fail(path, "unknown record tag \"" + tag + "\"" +
+                     record_context(objects.size(), requests.size()));
     }
   }
   if (objects.size() != num_objects || requests.size() != num_requests) {
-    throw std::runtime_error("read_trace: record count mismatch");
+    fail(path, "record count mismatch (header declares " +
+                   std::to_string(num_objects) + " objects and " +
+                   std::to_string(num_requests) + " requests; file holds " +
+                   std::to_string(objects.size()) + " and " +
+                   std::to_string(requests.size()) +
+                   " — truncated file?)");
   }
   return Workload{Catalog::from_objects(std::move(objects)),
                   std::move(requests)};

@@ -1,6 +1,10 @@
 // Trace persistence: write/read a workload to a plain-text file so that
 // experiments can be replayed outside the generator (and so external
 // traces can be imported in the paper's format: one request per line).
+//
+// Replay a written trace from any bench/example binary with
+// `--scenario=trace:file=PATH` (see core/registry.h): the file is
+// loaded once per sweep grid and shared immutably across every cell.
 #pragma once
 
 #include <filesystem>
@@ -10,14 +14,20 @@
 namespace sc::workload {
 
 /// File format (text, line-oriented):
-///   line 1:    "streamcache-trace v1 <num_objects> <num_requests>"
+///   line 1:    "streamcache-trace v2 <num_objects> <num_requests>"
 ///   objects:   "O <id> <duration_s> <bitrate> <value> <path>"
-///   requests:  "R <time_s> <object_id>"
+///   requests:  "R <time_s> <object_id> <view_s>"
 /// Objects appear before requests; requests are in non-decreasing time.
+/// `view_s` is the session's recorded viewing duration (seconds);
+/// -1 means the client watched the whole stream (Request::kFullSession).
+/// Readers also accept the v1 format, whose request records carry no
+/// view_s column (every v1 session is a full session).
 void write_trace(const Workload& workload, const std::filesystem::path& path);
 
-/// Parse a trace file written by write_trace. Throws std::runtime_error on
-/// malformed input (bad magic, out-of-range object ids, time regressions).
+/// Parse a trace file written by write_trace (v1 or v2). Throws
+/// std::runtime_error on malformed input — bad magic, out-of-range
+/// object ids, time regressions, truncated files — naming the file and
+/// the offending record.
 [[nodiscard]] Workload read_trace(const std::filesystem::path& path);
 
 }  // namespace sc::workload

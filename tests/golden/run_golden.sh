@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Golden-CSV regression check: re-run a bench's quick grid and assert the
+# CSV is byte-identical to the committed golden, at --threads=1 and
+# --threads=4 (the engine's thread-invariance guarantee, enforced).
+#
+# usage: run_golden.sh BENCH_BINARY GOLDEN_CSV [EXTRA_BENCH_FLAGS...]
+#
+# To regenerate a golden after a *documented* trace-affecting change
+# (e.g. a ROADMAP-noted sampler update), see docs/PERF.md — in short:
+#   BENCH_BINARY --quick --threads=1 --csv=tests/golden/<name>.csv
+set -euo pipefail
+
+if [ "$#" -lt 2 ]; then
+  echo "usage: $0 BENCH_BINARY GOLDEN_CSV [EXTRA_BENCH_FLAGS...]" >&2
+  exit 2
+fi
+bin=$1
+golden=$2
+shift 2
+
+if [ ! -f "$golden" ]; then
+  echo "error: golden file $golden does not exist (generate it with" >&2
+  echo "  $bin --quick --threads=1 --csv=$golden)" >&2
+  exit 1
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+for threads in 1 4; do
+  out="$tmp/out_${threads}.csv"
+  "$bin" --quick --threads="$threads" --csv="$out" "$@" \
+      > "$tmp/log_${threads}.txt" 2>&1 || {
+    echo "error: $bin --quick --threads=$threads failed:" >&2
+    tail -20 "$tmp/log_${threads}.txt" >&2
+    exit 1
+  }
+  if ! cmp -s "$golden" "$out"; then
+    echo "golden-CSV mismatch: $bin --quick --threads=$threads" >&2
+    echo "  golden: $golden" >&2
+    echo "  first differing lines:" >&2
+    diff "$golden" "$out" | head -20 >&2 || true
+    echo "If this change to the series is intended and documented," >&2
+    echo "regenerate the golden (docs/PERF.md, 'Golden CSVs')." >&2
+    exit 1
+  fi
+done
+echo "golden CSV byte-identical at --threads=1 and --threads=4"

@@ -13,12 +13,15 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <filesystem>
 #include <new>
 
 #include "core/experiment.h"
+#include "core/registry.h"
 #include "core/sweep.h"
 #include "sim/simulator.h"
 #include "workload/generator.h"
+#include "workload/trace.h"
 
 namespace {
 std::atomic<std::uint64_t> g_news{0};
@@ -118,7 +121,7 @@ TEST(HotPathAllocations, SweepAllocationsDoNotScaleWithCellCount) {
     for (const char* policy : {"pb", "if", "lru"}) {
       for (std::size_t f = 1; f <= fractions; ++f) {
         cells.push_back(
-            core::SweepCell{policy, -1.0, 0.01 * static_cast<double>(f)});
+            core::SweepCell{policy, -1.0, 0.01 * static_cast<double>(f), {}});
       }
     }
     return cells;
@@ -139,6 +142,83 @@ TEST(HotPathAllocations, SweepAllocationsDoNotScaleWithCellCount) {
   EXPECT_LE(a_large, a_small + 64)
       << a_small << " allocs at " << small_grid.size() << " cells vs "
       << a_large << " at " << large_grid.size();
+}
+
+TEST(HotPathAllocations, TraceReplayLoadsOncePerGridNotPerCell) {
+  // The trace scenario's contract: the file is read once per
+  // make_scenario call into one immutable workload; SweepRunner shares
+  // it across every cell and replication, so quadrupling the grid must
+  // not add workload (or any other) allocations beyond fixed per-sweep
+  // bookkeeping — and a sweep over the replay generates zero workloads.
+  const auto w = make_workload(4000);
+  const auto trace_path =
+      std::filesystem::temp_directory_path() / "sc_alloc_trace.trace";
+  workload::write_trace(w, trace_path);
+  const auto scenario = core::registry::make_scenario(
+      "trace:file=" + trace_path.string());
+  std::filesystem::remove(trace_path);
+
+  core::ExperimentConfig cfg;
+  cfg.workload.catalog.num_objects = 300;
+  cfg.runs = 2;
+  cfg.threads = 1;
+
+  const auto cells_for = [](std::size_t fractions) {
+    std::vector<core::SweepCell> cells;
+    for (const char* policy : {"pb", "if", "lru"}) {
+      for (std::size_t f = 1; f <= fractions; ++f) {
+        cells.push_back(core::SweepCell{
+            policy, -1.0, 0.01 * static_cast<double>(f), {}});
+      }
+    }
+    return cells;
+  };
+  const auto small_grid = cells_for(2);   // 6 cells
+  const auto large_grid = cells_for(8);   // 24 cells
+
+  core::SweepRunner runner(cfg, scenario);
+  const auto allocations_for = [&](const std::vector<core::SweepCell>& cells) {
+    core::SweepStats stats;
+    (void)runner.run(cells, &stats);  // warm lazy registry/static setup
+    EXPECT_EQ(stats.workloads_generated, 0u);
+    const std::uint64_t before = g_news.load();
+    (void)runner.run(cells);
+    return g_news.load() - before;
+  };
+
+  const auto a_small = allocations_for(small_grid);
+  const auto a_large = allocations_for(large_grid);
+  EXPECT_LE(a_large, a_small + 64)
+      << a_small << " allocs at " << small_grid.size() << " cells vs "
+      << a_large << " at " << large_grid.size();
+}
+
+TEST(HotPathAllocations, SessionDynamicsAreAllocationFreeToo) {
+  // The interactivity draw is a pre-forked RNG stream plus constexpr
+  // inverse-CDF math: enabling it must not reintroduce per-request
+  // allocation.
+  const auto short_trace = make_workload(5000);
+  const auto long_trace = make_workload(20000);
+  const auto base = core::constant_scenario().base;
+  const auto ratio = core::constant_scenario().ratio;
+  const auto allocations_for = [&](const workload::Workload& w) {
+    SimulationConfig cfg;
+    cfg.cache_capacity_bytes =
+        core::capacity_for_fraction(workload::CatalogConfig{}, 0.001);
+    cfg.policy = "pb";
+    cfg.estimator = "oracle";
+    cfg.patching.enabled = true;
+    cfg.interactivity = InteractivityConfig::parse("empirical");
+    Simulator simulator(w, base, ratio, cfg);
+    const std::uint64_t before = g_news.load();
+    (void)simulator.run();
+    return g_news.load() - before;
+  };
+  (void)allocations_for(short_trace);  // warm lazy setup
+  const auto a_short = allocations_for(short_trace);
+  const auto a_long = allocations_for(long_trace);
+  EXPECT_LE(a_long, a_short + 64)
+      << a_short << " allocs at 5k requests vs " << a_long << " at 20k";
 }
 
 TEST(HotPathAllocations, PassiveEstimatorPathIsAllocationFreeToo) {

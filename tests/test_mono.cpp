@@ -11,11 +11,13 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "core/registry.h"
 #include "core/sweep.h"
+#include "workload/trace.h"
 
 namespace sc::sim {
 namespace {
@@ -151,13 +153,86 @@ TEST(MonoDispatch, ExtensionsRunIdenticallyThroughTheMonoPath) {
   expect_bit_identical(mono, fallback, "pb + viewing + patching");
 }
 
+TEST(MonoDispatch, EveryInteractivityModeRunsIdenticallyThroughTheMonoPath) {
+  // Session dynamics draw inside the shared loop body; mono and
+  // fallback must agree for every mode, with and without patching, and
+  // across the estimator kinds (observation scheduling interacts with
+  // the truncated transfers).
+  const auto scenario = core::measured_variability_scenario();
+  for (const char* mode : {"full", "exp:mean=900", "empirical", "trace"}) {
+    for (const bool patching : {false, true}) {
+      for (const char* estimator : {"oracle", "ewma:alpha=0.3"}) {
+        core::ExperimentConfig cfg = small_config();
+        cfg.sim.policy = "pb";
+        cfg.sim.estimator = estimator;
+        cfg.sim.patching.enabled = patching;
+        cfg.sim.interactivity = sim::InteractivityConfig::parse(mode);
+
+        cfg.sim.monomorphize = true;
+        const auto mono = core::run_experiment(cfg, scenario);
+        cfg.sim.monomorphize = false;
+        const auto fallback = core::run_experiment(cfg, scenario);
+        expect_bit_identical(mono, fallback,
+                             std::string("interactivity=") + mode +
+                                 (patching ? " + patching" : "") + " x " +
+                                 estimator);
+      }
+    }
+  }
+}
+
+TEST(MonoDispatch, TraceScenarioGridIdenticalWithAndWithoutMonomorphization) {
+  // The trace-replay scenario feeds one shared workload (with recorded
+  // per-session viewing durations) through the same two dispatch paths;
+  // a mixed grid over policies, fractions, and interactivity modes must
+  // be field-identical.
+  workload::WorkloadConfig wcfg;
+  wcfg.catalog.num_objects = 90;
+  wcfg.trace.num_requests = 2500;
+  util::Rng wl_rng(31);
+  auto recorded = workload::generate_workload(wcfg, wl_rng);
+  util::Rng view_rng(32);
+  for (auto& r : recorded.requests) {
+    if (view_rng.uniform() < 0.6) r.view_s = view_rng.uniform(15.0, 4000.0);
+  }
+  const auto trace_path =
+      std::filesystem::temp_directory_path() / "sc_mono_trace.trace";
+  workload::write_trace(recorded, trace_path);
+
+  const auto scenario = core::registry::make_scenario(
+      "trace:file=" + trace_path.string() + ",bw=measured");
+  std::filesystem::remove(trace_path);
+  ASSERT_NE(scenario.replay, nullptr);
+
+  std::vector<core::SweepCell> cells;
+  for (const char* policy : {"pb", "ib", "lru"}) {
+    for (const char* mode : {"full", "trace", "empirical"}) {
+      cells.push_back(core::SweepCell{policy, -1.0, 0.05, mode});
+    }
+  }
+
+  core::ExperimentConfig mono_cfg = small_config();
+  mono_cfg.sim.monomorphize = true;
+  const auto mono = core::SweepRunner(mono_cfg, scenario).run(cells);
+
+  core::ExperimentConfig fallback_cfg = small_config();
+  fallback_cfg.sim.monomorphize = false;
+  const auto fallback = core::SweepRunner(fallback_cfg, scenario).run(cells);
+
+  ASSERT_EQ(mono.size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    expect_bit_identical(mono[i], fallback[i],
+                         cells[i].policy + "/" + cells[i].interactivity);
+  }
+}
+
 TEST(MonoDispatch, SweepGridIdenticalWithAndWithoutMonomorphization) {
   // Whole-grid regression: shared workloads + shared path models + the
   // per-worker arena path vs the PR-3-era fallback across a mixed grid.
   std::vector<core::SweepCell> cells;
   for (const char* policy : {"pb", "ib", "lru"}) {
     for (const double fraction : {0.01, 0.05}) {
-      cells.push_back(core::SweepCell{policy, -1.0, fraction});
+      cells.push_back(core::SweepCell{policy, -1.0, fraction, {}});
     }
   }
   const auto scenario = core::measured_variability_scenario();
@@ -224,6 +299,56 @@ TEST(MonoDispatch, ArenaReuseBitIdenticalToFreshConstruction) {
   }
   // Engines were cached per distinct (policy, estimator) pair.
   EXPECT_EQ(reused.size(), 3u);
+}
+
+TEST(MonoDispatch, ArenaReuseBitIdenticalForTruncatedSessions) {
+  // Session dynamics add per-run draw state (the "session" RNG stream)
+  // and truncated in-flight bookkeeping; none of it may leak between a
+  // rebound engine's back-to-back runs. Interleave interactivity modes
+  // on one arena and compare every run against a fresh arena.
+  const auto scenario = core::measured_variability_scenario();
+  workload::WorkloadConfig wcfg;
+  wcfg.catalog.num_objects = 120;
+  wcfg.trace.num_requests = 3000;
+  util::Rng wl_rng(9);
+  auto w = workload::generate_workload(wcfg, wl_rng);
+  util::Rng view_rng(10);
+  for (auto& r : w.requests) {
+    if (view_rng.uniform() < 0.5) r.view_s = view_rng.uniform(10.0, 2000.0);
+  }
+
+  SimulationArena reused;
+  std::size_t run_no = 0;
+  for (const char* mode :
+       {"empirical", "full", "trace", "exp:mean=600", "empirical"}) {
+    SimulationConfig cfg;
+    cfg.policy = "pb";
+    cfg.estimator = "ewma:alpha=0.3";
+    cfg.cache_capacity_bytes = core::capacity_for_fraction(wcfg.catalog, 0.04);
+    cfg.path_config.mode = scenario.mode;
+    cfg.patching.enabled = true;
+    cfg.interactivity = InteractivityConfig::parse(mode);
+    cfg.seed = 500 + run_no++;
+
+    Simulator reused_sim(w, scenario.base, scenario.ratio, cfg);
+    const auto via_reused = reused_sim.run(&reused);
+
+    SimulationArena fresh;
+    Simulator fresh_sim(w, scenario.base, scenario.ratio, cfg);
+    const auto via_fresh = fresh_sim.run(&fresh);
+
+    expect_results_identical(via_reused, via_fresh,
+                             std::string("interactivity=") + mode);
+    EXPECT_EQ(via_reused.metrics.truncated_ratio(),
+              via_fresh.metrics.truncated_ratio())
+        << mode;
+    EXPECT_EQ(via_reused.metrics.average_viewed_fraction(),
+              via_fresh.metrics.average_viewed_fraction())
+        << mode;
+  }
+  // One cached engine: every mode reuses the same (policy, estimator)
+  // slot — interactivity is per-run config, not an engine key.
+  EXPECT_EQ(reused.size(), 1u);
 }
 
 TEST(MonoDispatch, UserRegisteredSpecsFallBackAndMatchBuiltins) {

@@ -9,7 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
+#include "core/registry.h"
 #include "util/spec.h"
+#include "workload/trace.h"
 
 namespace sc::core {
 namespace {
@@ -28,7 +32,7 @@ std::vector<SweepCell> fig5_shaped_cells() {
   std::vector<SweepCell> cells;
   for (const char* policy : {"if", "pb", "ib"}) {
     for (const double fraction : {0.01, 0.05}) {
-      cells.push_back(SweepCell{policy, -1.0, fraction});
+      cells.push_back(SweepCell{policy, -1.0, fraction, {}});
     }
   }
   return cells;
@@ -138,7 +142,7 @@ TEST(SweepRunner, StatsCountWorkloadsAndModels) {
   std::vector<SweepCell> cells;
   for (const char* policy : {"pb", "ib"}) {
     for (const double alpha : {0.6, 1.1}) {
-      cells.push_back(SweepCell{policy, alpha, 0.05});
+      cells.push_back(SweepCell{policy, alpha, 0.05, {}});
     }
   }
   SweepStats stats;
@@ -153,10 +157,78 @@ TEST(SweepRunner, AlphaCellsShareNothingAcrossDistinctAlphas) {
   // Different alphas are different workloads: metrics must differ.
   const auto scenario = constant_scenario();
   std::vector<SweepCell> cells;
-  cells.push_back(SweepCell{"pb", 0.5, 0.05});
-  cells.push_back(SweepCell{"pb", 1.2, 0.05});
+  cells.push_back(SweepCell{"pb", 0.5, 0.05, {}});
+  cells.push_back(SweepCell{"pb", 1.2, 0.05, {}});
   const auto r = SweepRunner(small_config(), scenario).run(cells);
   EXPECT_NE(r[0].traffic_reduction, r[1].traffic_reduction);
+}
+
+TEST(SweepRunner, TraceReplaySharesOneWorkloadAcrossEverything) {
+  // The trace scenario replays one immutable workload for every cell,
+  // alpha, and replication: zero workloads generated, alpha ignored,
+  // cache fractions resolved against the replayed catalog's actual
+  // size, and results bit-identical to simulating the in-memory
+  // workload directly.
+  workload::WorkloadConfig wcfg;
+  wcfg.catalog.num_objects = 150;
+  wcfg.trace.num_requests = 3000;
+  util::Rng rng(77);
+  const auto w = workload::generate_workload(wcfg, rng);
+  const auto trace_path =
+      std::filesystem::temp_directory_path() / "sc_sweep_replay.trace";
+  workload::write_trace(w, trace_path);
+  const auto scenario =
+      registry::make_scenario("trace:file=" + trace_path.string());
+  std::filesystem::remove(trace_path);
+  ASSERT_NE(scenario.replay, nullptr);
+  ASSERT_EQ(scenario.replay->requests.size(), w.requests.size());
+
+  std::vector<SweepCell> cells;
+  cells.push_back(SweepCell{"pb", -1.0, 0.05, {}});
+  cells.push_back(SweepCell{"pb", 0.9, 0.05, {}});  // alpha is ignored
+  cells.push_back(SweepCell{"ib", -1.0, 0.02, {}});
+  SweepStats stats;
+  const auto r = SweepRunner(small_config(), scenario).run(cells, &stats);
+  ASSERT_EQ(r.size(), cells.size());
+  EXPECT_EQ(stats.workloads_generated, 0u);
+  EXPECT_EQ(stats.path_models_built, small_config().runs);
+  // Replications replay the same requests; only bandwidth draws differ.
+  expect_bit_identical(r[0], r[1]);
+
+  // Bit-identity with simulating the in-memory workload directly: the
+  // replay path adds no transformation beyond file round-tripping.
+  ExperimentConfig direct_cfg = small_config();
+  direct_cfg.sim.policy = "pb";
+  direct_cfg.sim.cache_capacity_bytes =
+      0.05 * scenario.replay->catalog.total_bytes();
+  Scenario direct = constant_scenario();
+  direct.replay = std::make_shared<const workload::Workload>(w);
+  const auto direct_metrics = run_experiment(direct_cfg, direct);
+  expect_bit_identical(r[0], direct_metrics);
+}
+
+TEST(SweepRunner, TraceScenarioSpecErrors) {
+  EXPECT_THROW((void)registry::make_scenario("trace"), util::SpecError);
+  EXPECT_THROW((void)registry::make_scenario("trace:bw=nlanr"),
+               util::SpecError);
+  EXPECT_THROW((void)registry::make_scenario(
+                   "trace:file=/tmp/x.trace,frequency=2"),
+               util::SpecError);
+  // A trace replaying another trace as its bandwidth model is nonsense.
+  const auto p = std::filesystem::temp_directory_path() / "sc_bw_self.trace";
+  workload::WorkloadConfig wcfg;
+  wcfg.catalog.num_objects = 3;
+  wcfg.trace.num_requests = 5;
+  util::Rng rng(1);
+  workload::write_trace(workload::generate_workload(wcfg, rng), p);
+  EXPECT_THROW((void)registry::make_scenario("trace:file=" + p.string() +
+                                             ",bw=trace:file=" + p.string()),
+               util::SpecError);
+  std::filesystem::remove(p);
+  // Missing file: a useful runtime error, not a crash.
+  EXPECT_THROW(
+      (void)registry::make_scenario("trace:file=/no/such/file.trace"),
+      std::runtime_error);
 }
 
 TEST(SweepRunner, EmptyCellListYieldsEmptyResult) {
@@ -173,7 +245,7 @@ TEST(SweepRunner, RejectsZeroRuns) {
 
 TEST(SweepRunner, BadPolicySpecFailsEagerly) {
   std::vector<SweepCell> cells;
-  cells.push_back(SweepCell{"no-such-policy", -1.0, 0.05});
+  cells.push_back(SweepCell{"no-such-policy", -1.0, 0.05, {}});
   SweepRunner runner(small_config(), constant_scenario());
   EXPECT_THROW((void)runner.run(cells), util::SpecError);
 }

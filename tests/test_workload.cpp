@@ -150,6 +150,26 @@ TEST(Summarize, ReportsTable1Quantities) {
   EXPECT_GT(s.trace_span_s, 0.0);
 }
 
+void expect_workload_field_equal(const Workload& a, const Workload& b) {
+  ASSERT_EQ(b.catalog.size(), a.catalog.size());
+  ASSERT_EQ(b.requests.size(), a.requests.size());
+  for (std::size_t i = 0; i < a.catalog.size(); ++i) {
+    const auto& x = a.catalog.object(i);
+    const auto& y = b.catalog.object(i);
+    EXPECT_EQ(x.id, y.id);
+    EXPECT_DOUBLE_EQ(x.duration_s, y.duration_s);
+    EXPECT_DOUBLE_EQ(x.bitrate, y.bitrate);
+    EXPECT_DOUBLE_EQ(x.size_bytes, y.size_bytes);
+    EXPECT_DOUBLE_EQ(x.value, y.value);
+    EXPECT_EQ(x.path, y.path);
+  }
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_DOUBLE_EQ(b.requests[i].time_s, a.requests[i].time_s);
+    EXPECT_EQ(b.requests[i].object, a.requests[i].object);
+    EXPECT_DOUBLE_EQ(b.requests[i].view_s, a.requests[i].view_s);
+  }
+}
+
 TEST(TraceIo, RoundTripsExactly) {
   WorkloadConfig cfg;
   cfg.catalog.num_objects = 50;
@@ -162,24 +182,61 @@ TEST(TraceIo, RoundTripsExactly) {
   write_trace(w, path);
   const auto back = read_trace(path);
   std::filesystem::remove(path);
-
-  ASSERT_EQ(back.catalog.size(), w.catalog.size());
-  ASSERT_EQ(back.requests.size(), w.requests.size());
-  for (std::size_t i = 0; i < w.catalog.size(); ++i) {
-    const auto& a = w.catalog.object(i);
-    const auto& b = back.catalog.object(i);
-    EXPECT_DOUBLE_EQ(a.duration_s, b.duration_s);
-    EXPECT_DOUBLE_EQ(a.bitrate, b.bitrate);
-    EXPECT_DOUBLE_EQ(a.value, b.value);
-    EXPECT_EQ(a.path, b.path);
-  }
-  for (std::size_t i = 0; i < w.requests.size(); ++i) {
-    EXPECT_DOUBLE_EQ(back.requests[i].time_s, w.requests[i].time_s);
-    EXPECT_EQ(back.requests[i].object, w.requests[i].object);
-  }
+  expect_workload_field_equal(w, back);
 }
 
-TEST(TraceIo, RejectsMalformedFiles) {
+TEST(TraceIo, RoundTripPropertyOverRandomWorkloads) {
+  // Property test: any generated workload — varying shape, skew, and
+  // recorded viewing durations (a random mix of full and truncated
+  // sessions, including sub-second and fractional values exercising the
+  // full double precision of the writer) — must round-trip with field
+  // equality.
+  const auto path =
+      std::filesystem::temp_directory_path() / "sc_trace_property.txt";
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    util::Rng rng(seed * 1237);
+    WorkloadConfig cfg;
+    cfg.catalog.num_objects =
+        static_cast<std::size_t>(rng.uniform_int(3, 120));
+    cfg.trace.num_requests =
+        static_cast<std::size_t>(rng.uniform_int(1, 800));
+    cfg.trace.zipf_alpha = rng.uniform(0.4, 1.3);
+    cfg.trace.arrival_rate_per_s = rng.uniform(0.05, 3.0);
+    auto w = generate_workload(cfg, rng);
+    for (auto& r : w.requests) {
+      if (rng.uniform() < 0.5) {
+        r.view_s = rng.uniform(0.001, 10000.0);
+      }
+    }
+
+    write_trace(w, path);
+    const auto back = read_trace(path);
+    expect_workload_field_equal(w, back);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, ReadsLegacyV1Files) {
+  // v1 request records carry no viewing duration: every session is
+  // full-length after import.
+  const auto path = std::filesystem::temp_directory_path() / "sc_trace_v1.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("streamcache-trace v1 2 3\n"
+             "O 0 120 1024 2.5 0\n"
+             "O 1 60 512 7 1\n"
+             "R 0.5 1\nR 0.75 0\nR 4 1\n",
+             f);
+  std::fclose(f);
+  const auto w = read_trace(path);
+  std::filesystem::remove(path);
+  ASSERT_EQ(w.catalog.size(), 2u);
+  ASSERT_EQ(w.requests.size(), 3u);
+  EXPECT_DOUBLE_EQ(w.catalog.object(0).duration_s, 120.0);
+  EXPECT_DOUBLE_EQ(w.catalog.object(1).bitrate, 512.0);
+  for (const auto& r : w.requests) EXPECT_EQ(r.view_s, kFullSession);
+}
+
+TEST(TraceIo, RejectsMalformedFilesWithUsefulMessages) {
   const auto dir = std::filesystem::temp_directory_path();
   const auto write_file = [&](const std::string& name,
                               const std::string& body) {
@@ -189,28 +246,66 @@ TEST(TraceIo, RejectsMalformedFiles) {
     std::fclose(f);
     return p;
   };
+  // Every rejection must throw std::runtime_error whose message names
+  // the file and contains `hint` about what went wrong.
+  const auto expect_rejects = [](const std::filesystem::path& p,
+                                 const std::string& hint) {
+    try {
+      (void)read_trace(p);
+      FAIL() << p << ": expected runtime_error mentioning \"" << hint << "\"";
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(hint), std::string::npos) << what;
+      EXPECT_NE(what.find(p.filename().string()), std::string::npos) << what;
+    }
+  };
 
-  EXPECT_THROW(read_trace(dir / "sc_no_such_file.txt"), std::runtime_error);
+  EXPECT_THROW((void)read_trace(dir / "sc_no_such_file.txt"),
+               std::runtime_error);
 
-  const auto bad_magic = write_file("sc_bad_magic.txt", "not-a-trace v1 0 0\n");
-  EXPECT_THROW(read_trace(bad_magic), std::runtime_error);
+  expect_rejects(write_file("sc_bad_magic.txt", "not-a-trace v1 0 0\n"),
+                 "bad magic");
+  expect_rejects(write_file("sc_bad_version.txt",
+                            "streamcache-trace v9 0 0\n"),
+                 "unsupported version");
+  expect_rejects(
+      write_file("sc_bad_ref.txt",
+                 "streamcache-trace v2 1 1\nO 0 10 5 1 0\nR 1.0 7 -1\n"),
+      "outside the declared catalog");
+  expect_rejects(
+      write_file("sc_regress.txt",
+                 "streamcache-trace v2 1 2\nO 0 10 5 1 0\n"
+                 "R 2.0 0 -1\nR 1.0 0 -1\n"),
+      "times regress");
+  expect_rejects(
+      write_file("sc_count.txt", "streamcache-trace v2 2 0\nO 0 10 5 1 0\n"),
+      "record count mismatch");
+  // A file cut off mid-record (e.g. a partial copy) must say so.
+  expect_rejects(
+      write_file("sc_truncated.txt",
+                 "streamcache-trace v2 1 2\nO 0 10 5 1 0\nR 1.0 0 -1\nR 2.0\n"),
+      "truncated");
+  expect_rejects(
+      write_file("sc_truncated_obj.txt",
+                 "streamcache-trace v2 2 0\nO 0 10 5 1 0\nO 1 10\n"),
+      "truncated");
+  expect_rejects(
+      write_file("sc_sparse_ids.txt",
+                 "streamcache-trace v2 2 0\nO 0 10 5 1 0\nO 5 10 5 1 1\n"),
+      "dense");
+  expect_rejects(
+      write_file("sc_bad_path.txt",
+                 "streamcache-trace v2 1 0\nO 0 10 5 1 3\n"),
+      "outside the declared catalog");
+  expect_rejects(write_file("sc_bad_tag.txt",
+                            "streamcache-trace v2 0 0\nX 1 2 3\n"),
+                 "unknown record tag");
 
-  const auto bad_object_ref = write_file(
-      "sc_bad_ref.txt",
-      "streamcache-trace v1 1 1\nO 0 10 5 1 0\nR 1.0 7\n");
-  EXPECT_THROW(read_trace(bad_object_ref), std::runtime_error);
-
-  const auto time_regress = write_file(
-      "sc_regress.txt",
-      "streamcache-trace v1 1 2\nO 0 10 5 1 0\nR 2.0 0\nR 1.0 0\n");
-  EXPECT_THROW(read_trace(time_regress), std::runtime_error);
-
-  const auto wrong_count = write_file(
-      "sc_count.txt", "streamcache-trace v1 2 0\nO 0 10 5 1 0\n");
-  EXPECT_THROW(read_trace(wrong_count), std::runtime_error);
-
-  for (const auto& n : {"sc_bad_magic.txt", "sc_bad_ref.txt",
-                        "sc_regress.txt", "sc_count.txt"}) {
+  for (const auto& n :
+       {"sc_bad_magic.txt", "sc_bad_version.txt", "sc_bad_ref.txt",
+        "sc_regress.txt", "sc_count.txt", "sc_truncated.txt",
+        "sc_truncated_obj.txt", "sc_sparse_ids.txt", "sc_bad_path.txt",
+        "sc_bad_tag.txt"}) {
     std::filesystem::remove(dir / n);
   }
 }

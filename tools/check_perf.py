@@ -38,6 +38,20 @@ def load_record(path):
     return data
 
 
+def require(record, key, path):
+    """A gated field must exist and be numeric; a record written by an
+    older/newer bench or a truncated CI artifact should fail with the
+    field's name, not a KeyError traceback."""
+    if key not in record:
+        sys.exit(f"error: {path} is missing field \"{key}\" "
+                 "(not a BENCH_*.json perf record?)")
+    try:
+        return float(record[key])
+    except (TypeError, ValueError):
+        sys.exit(f"error: {path} field \"{key}\" is not numeric: "
+                 f"{record[key]!r}")
+
+
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     if len(args) != 2:
@@ -68,8 +82,8 @@ def main(argv):
 
     failed = False
 
-    rps_fresh = float(fresh["requests_per_sec"])
-    rps_base = float(base["requests_per_sec"])
+    rps_fresh = require(fresh, "requests_per_sec", args[0])
+    rps_base = require(base, "requests_per_sec", args[1])
     ratio = rps_fresh / rps_base if rps_base > 0 else float("inf")
     print(f"requests_per_sec: fresh {rps_fresh:,.0f} vs baseline "
           f"{rps_base:,.0f} ({ratio:.2f}x)")
@@ -82,8 +96,8 @@ def main(argv):
             print(f"error: {msg}")
             failed = True
 
-    apr_fresh = float(fresh["allocations_per_request"])
-    apr_base = float(base["allocations_per_request"])
+    apr_fresh = require(fresh, "allocations_per_request", args[0])
+    apr_base = require(base, "allocations_per_request", args[1])
     print(f"allocations_per_request: fresh {apr_fresh:.6f} vs baseline "
           f"{apr_base:.6f}")
     if apr_base >= 0 and apr_fresh > apr_base * (1.0 + max_regression) \

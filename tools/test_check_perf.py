@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/check_perf.py (stdlib unittest; wired into ctest
+as `check_perf_unit`).
+
+Covers the regression-threshold math on both gated metrics, the
+SC_PERF_WARN_ONLY downgrade (throughput only — the allocation gate stays
+hard), trajectory-array baseline handling, LTO mismatch notes, and the
+missing/malformed-field paths.
+"""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_perf  # noqa: E402
+
+
+def record(rps=1000.0, apr=0.001, lto=True, **extra):
+    rec = {"requests_per_sec": rps, "allocations_per_request": apr,
+           "lto": lto}
+    rec.update(extra)
+    return rec
+
+
+class CheckPerfTest(unittest.TestCase):
+    def setUp(self):
+        self._dir = tempfile.TemporaryDirectory()
+        os.environ.pop("SC_PERF_WARN_ONLY", None)
+
+    def tearDown(self):
+        self._dir.cleanup()
+        os.environ.pop("SC_PERF_WARN_ONLY", None)
+
+    def write(self, name, payload):
+        path = os.path.join(self._dir.name, name)
+        with open(path, "w") as f:
+            json.dump(payload, f)
+        return path
+
+    def run_main(self, fresh, base, *flags):
+        fresh_path = self.write("fresh.json", fresh)
+        base_path = self.write("base.json", base)
+        out = io.StringIO()
+        argv = ["check_perf.py", fresh_path, base_path, *flags]
+        with redirect_stdout(out):
+            code = check_perf.main(argv)
+        return code, out.getvalue()
+
+    # ---- regression-threshold math ------------------------------------
+
+    def test_passes_when_fresh_matches_baseline(self):
+        code, out = self.run_main(record(), record())
+        self.assertEqual(code, 0)
+        self.assertIn("perf gate: OK", out)
+
+    def test_small_rps_dip_within_threshold_passes(self):
+        # 25% allowed by default; a 20% dip is tolerated.
+        code, _ = self.run_main(record(rps=800.0), record(rps=1000.0))
+        self.assertEqual(code, 0)
+
+    def test_rps_regression_beyond_threshold_fails(self):
+        code, out = self.run_main(record(rps=700.0), record(rps=1000.0))
+        self.assertEqual(code, 1)
+        self.assertIn("requests_per_sec regressed 30.0%", out)
+
+    def test_custom_threshold_is_respected(self):
+        code, _ = self.run_main(record(rps=950.0), record(rps=1000.0),
+                                "--max-regression=0.02")
+        self.assertEqual(code, 1)
+        code, _ = self.run_main(record(rps=995.0), record(rps=1000.0),
+                                "--max-regression=0.02")
+        self.assertEqual(code, 0)
+
+    def test_improvement_always_passes(self):
+        code, _ = self.run_main(record(rps=5000.0), record(rps=1000.0))
+        self.assertEqual(code, 0)
+
+    # ---- SC_PERF_WARN_ONLY downgrade ----------------------------------
+
+    def test_warn_only_downgrades_rps_failure(self):
+        os.environ["SC_PERF_WARN_ONLY"] = "1"
+        code, out = self.run_main(record(rps=100.0), record(rps=1000.0))
+        self.assertEqual(code, 0)
+        self.assertIn("::warning::", out)
+        self.assertIn("not failing", out)
+
+    def test_allocation_gate_stays_hard_under_warn_only(self):
+        os.environ["SC_PERF_WARN_ONLY"] = "1"
+        code, out = self.run_main(record(apr=0.1), record(apr=0.001))
+        self.assertEqual(code, 1)
+        self.assertIn("allocations_per_request regressed", out)
+        self.assertIn("ignores SC_PERF_WARN_ONLY", out)
+
+    # ---- hard allocations gate ----------------------------------------
+
+    def test_allocation_regression_fails(self):
+        code, _ = self.run_main(record(apr=0.002), record(apr=0.001))
+        self.assertEqual(code, 1)
+
+    def test_allocation_noise_below_absolute_floor_passes(self):
+        # A relative blow-up of a near-zero count is not a regression
+        # while the absolute delta stays under 1e-6.
+        code, _ = self.run_main(record(apr=3e-7), record(apr=1e-7))
+        self.assertEqual(code, 0)
+
+    # ---- baseline trajectory arrays -----------------------------------
+
+    def test_baseline_array_uses_last_entry(self):
+        fresh = self.write("fresh.json", record(rps=900.0))
+        base = self.write("base.json",
+                          [record(rps=10.0), record(rps=1000.0)])
+        with redirect_stdout(io.StringIO()):
+            code = check_perf.main(["check_perf.py", fresh, base])
+        self.assertEqual(code, 0)
+
+    def test_empty_baseline_array_exits_with_message(self):
+        fresh = self.write("fresh.json", record())
+        base = self.write("base.json", [])
+        with self.assertRaises(SystemExit) as ctx:
+            with redirect_stdout(io.StringIO()):
+                check_perf.main(["check_perf.py", fresh, base])
+        self.assertIn("empty array", str(ctx.exception))
+
+    # ---- LTO mismatch notes (gate stays hard both ways) ---------------
+
+    def test_lto_loss_is_noted_and_still_gated(self):
+        code, out = self.run_main(record(rps=700.0, lto=False),
+                                  record(rps=1000.0, lto=True))
+        self.assertEqual(code, 1)
+        self.assertIn("lost LTO", out)
+
+    def test_lto_gain_is_noted(self):
+        code, out = self.run_main(record(rps=1000.0, lto=True),
+                                  record(rps=1000.0, lto=False))
+        self.assertEqual(code, 0)
+        self.assertIn("gained LTO", out)
+
+    # ---- missing / malformed fields -----------------------------------
+
+    def test_missing_rps_field_exits_with_field_name(self):
+        with self.assertRaises(SystemExit) as ctx:
+            self.run_main({"allocations_per_request": 0.0}, record())
+        self.assertIn("requests_per_sec", str(ctx.exception))
+        self.assertIn("missing field", str(ctx.exception))
+
+    def test_missing_allocation_field_in_baseline_exits(self):
+        base = record()
+        del base["allocations_per_request"]
+        with self.assertRaises(SystemExit) as ctx:
+            self.run_main(record(), base)
+        self.assertIn("allocations_per_request", str(ctx.exception))
+
+    def test_non_numeric_field_exits_with_message(self):
+        with self.assertRaises(SystemExit) as ctx:
+            self.run_main(record(rps="fast"), record())
+        self.assertIn("not numeric", str(ctx.exception))
+
+    def test_unknown_flag_exits(self):
+        with self.assertRaises(SystemExit) as ctx:
+            self.run_main(record(), record(), "--frobnicate=1")
+        self.assertIn("unknown flag", str(ctx.exception))
+
+
+if __name__ == "__main__":
+    unittest.main()
