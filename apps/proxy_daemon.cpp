@@ -1,0 +1,108 @@
+// proxy_daemon: the live partial-caching proxy.
+//
+// Serves the wire protocol (src/server/wire.h, docs/SERVER.md) on a
+// loopback TCP port, with the cache policy, bandwidth estimator, and
+// origin bandwidth scenario selected by the same registry spec strings
+// as every bench and example binary. Prints "LISTENING <port>" once
+// ready (CI and scripts key on that line), then serves until SIGINT or
+// SIGTERM, finishing with a stats summary.
+//
+//   proxy_daemon --port=4815 --policy=hybrid:e=0.5 --estimator=ewma
+//                --cache=0.05 --objects=2000 --seed=42
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "core/registry.h"
+#include "server/daemon.h"
+#include "util/cli.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+int run(int argc, char** argv) {
+  const sc::util::Cli cli(argc, argv);
+  if (cli.has("help")) {
+    std::printf(
+        "usage: %s [flags]\n\n"
+        "  --port=N             TCP port on 127.0.0.1 (default 0 = "
+        "ephemeral)\n"
+        "  --objects=N --seed=S catalog shape (clients with the same pair\n"
+        "                       derive identical object sizes)\n"
+        "  --policy=<spec>      replacement policy (default pb)\n"
+        "  --estimator=<spec>   bandwidth estimator (default oracle)\n"
+        "  --scenario=<spec>    origin bandwidth scenario (default "
+        "constant)\n"
+        "  --cache=F            capacity as a fraction of the corpus "
+        "(default 0.02)\n"
+        "  --cache-bytes=N      absolute capacity, overrides --cache\n"
+        "  --origin-latency-ms=F  fixed upstream stall per miss "
+        "(default 0)\n"
+        "  --origin-time-scale=F  wall seconds per simulated transfer "
+        "second\n"
+        "  --tick-ms=F          estimator ticker period (default 100)\n\n%s",
+        cli.program().c_str(), sc::core::registry::help().c_str());
+    return 0;
+  }
+  cli.check_unknown({"port", "objects", "seed", "policy", "estimator",
+                     "scenario", "cache", "cache-bytes", "origin-latency-ms",
+                     "origin-time-scale", "tick-ms", "help"});
+
+  sc::server::ServiceConfig config;
+  config.objects = static_cast<std::size_t>(cli.get_or("objects", 2000LL));
+  config.seed = static_cast<std::uint64_t>(cli.get_or("seed", 42LL));
+  config.policy = cli.get_or("policy", config.policy);
+  config.estimator = cli.get_or("estimator", config.estimator);
+  config.origin.scenario = cli.get_or("scenario", config.origin.scenario);
+  config.cache_fraction = cli.get_or("cache", config.cache_fraction);
+  config.cache_capacity_bytes = cli.get_or("cache-bytes", 0.0);
+  config.origin.latency_s = cli.get_or("origin-latency-ms", 0.0) / 1e3;
+  config.origin.time_scale = cli.get_or("origin-time-scale", 0.0);
+
+  sc::core::registry::validate(sc::core::registry::Kind::kPolicy,
+                               config.policy);
+  sc::core::registry::validate(sc::core::registry::Kind::kEstimator,
+                               config.estimator);
+  sc::core::registry::validate(sc::core::registry::Kind::kScenario,
+                               config.origin.scenario);
+
+  sc::server::DaemonConfig daemon_config;
+  daemon_config.port =
+      static_cast<std::uint16_t>(cli.get_or("port", 0LL));
+  daemon_config.tick_interval_s = cli.get_or("tick-ms", 100.0) / 1e3;
+
+  sc::server::ServiceEngine engine(config);
+  sc::server::ProxyDaemon daemon(engine, daemon_config);
+  daemon.start();
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  std::printf("LISTENING %u\n", daemon.port());
+  std::printf("policy=%s estimator=%s scenario=%s objects=%zu "
+              "capacity=%.0f bytes\n",
+              config.policy.c_str(), config.estimator.c_str(),
+              config.origin.scenario.c_str(), engine.catalog().size(),
+              engine.snapshot().capacity_bytes);
+  std::fflush(stdout);
+
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  daemon.stop();
+  std::printf("shutting down after %zu connections\n%s\n",
+              daemon.connections_accepted(), engine.stats_json().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sc::util::guarded_main(run, argc, argv);
+}

@@ -83,7 +83,9 @@ FigureConfig parse_figure_args(int argc, char** argv,
         "  --scenario=<spec>    override the figure's scenario\n"
         "                       (trace:file=PATH replays a recorded trace)\n"
         "  --interactivity=<s>  session dynamics: full | exp:mean=S |\n"
-        "                       empirical | trace (default full)\n\n%s",
+        "                       empirical | trace (default full)\n"
+        "  --latency-percentiles  report p50/p95/p99 of per-simulation\n"
+        "                       wall times after each sweep\n\n%s",
         cli.program().c_str(), default_csv.c_str(),
         core::registry::help().c_str());
     std::exit(0);
@@ -92,7 +94,8 @@ FigureConfig parse_figure_args(int argc, char** argv,
                                     "objects",  "zipf",     "seed",
                                     "csv",      "json",     "threads",
                                     "parallel", "policy",   "estimator",
-                                    "scenario", "interactivity", "help"};
+                                    "scenario", "interactivity", "help",
+                                    "latency-percentiles"};
   known.insert(known.end(), extra_flags.begin(), extra_flags.end());
   cli.check_unknown(known);
   FigureConfig cfg;
@@ -135,6 +138,7 @@ FigureConfig parse_figure_args(int argc, char** argv,
     core::registry::validate(core::registry::Kind::kScenario, *v);
     cfg.scenario_override = *v;
   }
+  cfg.latency_percentiles = cli.get_or("latency-percentiles", false);
   return cfg;
 }
 
@@ -216,11 +220,24 @@ std::vector<core::AveragedMetrics> run_cells(
                   : (config.threads == 0 ? util::ThreadPool::default_threads()
                                          : config.threads);
   t.allocations = allocation_count() - allocs_before;
+  t.sim_latency = stats::summarize_latencies(stats.sim_wall_s);
   g_last_telemetry = t;
+  if (config.latency_percentiles) {
+    print_latency_summary("per-simulation wall time", t.sim_latency);
+  }
   if (!config.json_path.empty()) {
     write_bench_json(config, t, config.json_path);
   }
   return metrics;
+}
+
+void print_latency_summary(const std::string& label,
+                           const stats::LatencySummary& s, double scale,
+                           const char* unit) {
+  std::printf(
+      "%s: n=%zu mean=%.3f%s p50=%.3f%s p95=%.3f%s p99=%.3f%s max=%.3f%s\n",
+      label.c_str(), s.count, s.mean * scale, unit, s.p50 * scale, unit,
+      s.p95 * scale, unit, s.p99 * scale, unit, s.max * scale, unit);
 }
 
 std::vector<SweepPoint> sweep_alpha_and_cache(

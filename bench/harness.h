@@ -31,6 +31,7 @@
 
 #include "core/experiment.h"
 #include "core/sweep.h"
+#include "stats/summary.h"
 #include "util/cli.h"
 #include "util/csv.h"
 #include "util/table.h"
@@ -62,6 +63,10 @@ struct FigureConfig {
   /// When set, replaces the figure's default policy set / scenario.
   std::optional<std::string> policy_override;
   std::optional<std::string> scenario_override;
+  /// --latency-percentiles: report p50/p95/p99 of per-simulation wall
+  /// times after each sweep (stats::summarize_latencies over
+  /// core::SweepStats::sim_wall_s).
+  bool latency_percentiles = false;
 };
 
 /// Parse common flags; `default_csv` names the output series file.
@@ -155,8 +160,19 @@ struct SweepTelemetry {
   std::size_t path_models_built = 0;   // shared: one per replication
   std::size_t threads = 0;             // resolved worker count
   std::uint64_t allocations = 0;       // operator new calls in the sweep
+  /// p50/p95/p99 of per-simulation wall times (count == simulations).
+  stats::LatencySummary sim_latency;
 };
 [[nodiscard]] const SweepTelemetry& last_sweep_telemetry();
+
+/// Print one latency summary line, e.g.
+///   "per-simulation wall time: n=40 mean=12.1ms p50=11.8ms p95=14.2ms
+///    p99=15.0ms". `scale` converts the stored seconds to the printed
+/// `unit` (default milliseconds). Shared by --latency-percentiles and
+/// bench_service.
+void print_latency_summary(const std::string& label,
+                           const stats::LatencySummary& s,
+                           double scale = 1e3, const char* unit = "ms");
 
 /// Total global operator new calls so far in this binary (the harness
 /// replaces operator new with a counting wrapper; see harness.cpp).

@@ -4,7 +4,6 @@
 #include <mutex>
 #include <utility>
 
-#include "cache/factory.h"
 #include "net/probe.h"
 #include "net/units.h"
 #include "net/variability.h"
@@ -118,8 +117,7 @@ Tables make_builtins() {
 
   // ---- policies ---------------------------------------------------------
   // Constructed directly as UtilityPolicy instantiations — the same
-  // types the deprecated enum factory (cache/factory.h) builds, and the
-  // same types the monomorphized dispatch table (sim/arena.h) caches.
+  // types the monomorphized dispatch table (sim/arena.h) caches.
   const auto simple_policy = [](auto kernel_tag) {
     using Kernel = decltype(kernel_tag);
     return [](const util::Spec&, const PolicyContext& ctx)
@@ -344,14 +342,6 @@ std::unique_ptr<net::BandwidthEstimator> make_estimator(
   return make_estimator(util::Spec::parse(spec),
                         EstimatorContext{paths, std::move(rng)});
 }
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-std::unique_ptr<net::BandwidthEstimator> make_estimator(
-    const std::string& spec, const net::PathTable& paths, util::Rng rng) {
-  return make_estimator(spec, paths.model(), std::move(rng));
-}
-#pragma GCC diagnostic pop
 
 Scenario make_scenario(const util::Spec& spec) {
   ScenarioFactory factory;

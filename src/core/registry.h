@@ -88,13 +88,6 @@ void register_scenario(ComponentInfo info, ScenarioFactory factory);
     const util::Spec& spec, EstimatorContext context);
 [[nodiscard]] std::unique_ptr<net::BandwidthEstimator> make_estimator(
     const std::string& spec, const net::PathModel& paths, util::Rng rng);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-/// Convenience for pre-split call sites holding a PathTable.
-[[deprecated("pass the PathModel (paths.model()) instead")]] [[nodiscard]]
-std::unique_ptr<net::BandwidthEstimator> make_estimator(
-    const std::string& spec, const net::PathTable& paths, util::Rng rng);
-#pragma GCC diagnostic pop
 [[nodiscard]] Scenario make_scenario(const util::Spec& spec);
 [[nodiscard]] Scenario make_scenario(const std::string& spec);
 

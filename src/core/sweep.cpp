@@ -1,5 +1,6 @@
 #include "core/sweep.h"
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -240,14 +241,24 @@ std::vector<AveragedMetrics> SweepRunner::run(
   // heap / estimator state) for the spec pairs it executes, so
   // steady-state sweep allocations are O(workers x distinct specs), not
   // O(cells x replications).
+  // Per-simulation wall times land in preallocated slots keyed by the
+  // deterministic task index, so collection is thread-safe and the
+  // reported distribution is scheduling-independent up to timing noise.
+  std::vector<double> sim_wall(stats != nullptr ? outcomes.size() : 0);
   const auto simulate = [&](sim::SimulationArena& arena, std::size_t task) {
     const std::size_t c = task / runs;
     const std::size_t r = task % runs;
     const workload::Workload& w =
         replay != nullptr ? *replay : *workloads[alpha_of_cell[c] * runs + r];
+    const auto start = std::chrono::steady_clock::now();
     outcomes[task] = simulate_one(
         w, scenario_, sims[c], path_seeds[r],
         share_models ? path_models[r] : nullptr, arena);
+    if (!sim_wall.empty()) {
+      sim_wall[task] = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+    }
   };
 
   const bool serial =
@@ -277,6 +288,7 @@ std::vector<AveragedMetrics> SweepRunner::run(
     stats->workloads_generated = workloads.size();
     stats->path_models_built =
         share_models ? runs : cells.size() * runs;
+    stats->sim_wall_s = std::move(sim_wall);
   }
 
   std::vector<AveragedMetrics> results;

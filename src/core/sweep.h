@@ -56,6 +56,11 @@ struct SweepStats {
   /// Immutable net::PathModel instances built: one per replication when
   /// sharing (the default), one per simulation otherwise.
   std::size_t path_models_built = 0;
+  /// Wall-clock seconds of each individual simulation, indexed by the
+  /// deterministic (cell * runs + replication) task slot regardless of
+  /// thread count or scheduling. Feeds the benches'
+  /// --latency-percentiles reporting (stats::summarize_latencies).
+  std::vector<double> sim_wall_s;
 };
 
 class SweepRunner {

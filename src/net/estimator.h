@@ -258,12 +258,6 @@ class KernelEstimator : public BandwidthEstimator {
 class OracleEstimator final : public KernelEstimator<OracleKernel> {
  public:
   explicit OracleEstimator(const PathModel& paths) : KernelEstimator(paths) {}
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  /// Convenience bridge for pre-split call sites holding a PathTable.
-  explicit OracleEstimator(const PathTable& paths)
-      : KernelEstimator(paths.model()) {}
-#pragma GCC diagnostic pop
 };
 
 class PassiveEwmaEstimator final : public KernelEstimator<EwmaKernel> {

@@ -21,8 +21,6 @@
 //   PathSampler - cheap per-simulation state: the variability RNG stream
 //                 and the AR(1) chains. Constructed from a model in O(n)
 //                 with no distribution sampling.
-//   PathTable   - DEPRECATED convenience owning one model + one sampler
-//                 with the pre-split API; kept for examples and tools.
 #pragma once
 
 #include <cstddef>
@@ -74,9 +72,6 @@ struct PathModelConfig {
   double min_ratio = 0.05;
   double max_ratio = 4.0;
 };
-
-/// Pre-split name; PathTableConfig and PathModelConfig are the same type.
-using PathTableConfig = PathModelConfig;
 
 /// The immutable part of a path table: per-path mean bandwidths drawn
 /// once from the base model, plus the ratio model and configuration.
@@ -162,46 +157,6 @@ class PathSampler {
   std::shared_ptr<const PathModel> model_;
   util::Rng rng_;
   std::vector<TimeSeriesState> series_;  // kTimeSeries only
-};
-
-/// DEPRECATED: pre-split convenience owning one PathModel + one
-/// PathSampler behind the old monolithic API. New code (and anything
-/// that shares path state across simulations) should hold a
-/// shared_ptr<const PathModel> and construct PathSamplers from it.
-class [[deprecated(
-    "hold a shared_ptr<const PathModel> and construct a PathSampler from "
-    "it")]] PathTable {
- public:
-  PathTable(std::size_t n_paths, const stats::EmpiricalDistribution& base,
-            const stats::EmpiricalDistribution& ratio, PathTableConfig config,
-            util::Rng rng)
-      : model_(std::make_shared<const PathModel>(n_paths, base, ratio, config,
-                                                 std::move(rng))),
-        sampler_(model_) {}
-
-  [[nodiscard]] std::size_t size() const noexcept { return model_->size(); }
-  [[nodiscard]] double mean_bandwidth(PathId path) const {
-    return model_->mean_bandwidth(path);
-  }
-  [[nodiscard]] double sample_bandwidth(PathId path, double now_s) {
-    return sampler_.sample_bandwidth(path, now_s);
-  }
-  [[nodiscard]] VariationMode mode() const noexcept { return model_->mode(); }
-  [[nodiscard]] const PathModelConfig& config() const noexcept {
-    return model_->config();
-  }
-
-  /// The shared immutable half.
-  [[nodiscard]] const PathModel& model() const noexcept { return *model_; }
-  [[nodiscard]] std::shared_ptr<const PathModel> model_ptr() const noexcept {
-    return model_;
-  }
-  /// The owned mutable half (for APIs that migrated to PathSampler).
-  [[nodiscard]] PathSampler& sampler() noexcept { return sampler_; }
-
- private:
-  std::shared_ptr<const PathModel> model_;
-  PathSampler sampler_;
 };
 
 }  // namespace sc::net

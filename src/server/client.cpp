@@ -1,0 +1,124 @@
+#include "server/client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "server/wire.h"
+
+namespace sc::server {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("ProxyClient: " + what);
+}
+
+}  // namespace
+
+ProxyClient::ProxyClient(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) fail(std::string("socket: ") + std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    fail("bad host address " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    fail("connect " + host + ": " + err);
+  }
+  // Mirror of the daemon's TCP_NODELAY: small request frames would
+  // otherwise sit in Nagle's buffer waiting for the delayed ACK.
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+ProxyClient::ProxyClient(ProxyClient&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+ProxyClient::~ProxyClient() { close(); }
+
+void ProxyClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+ProxyClient::GetReply ProxyClient::get(std::uint64_t object,
+                                       std::uint64_t offset,
+                                       std::uint64_t length) {
+  if (fd_ < 0) fail("get on closed client");
+  std::vector<std::uint8_t> frame;
+  frame.reserve(wire::kGetRequestSize);
+  wire::encode_get(frame, wire::GetRequest{object, offset, length});
+  if (!wire::write_frame(fd_, frame.data(), frame.size())) {
+    fail("get: write failed");
+  }
+  std::vector<std::uint8_t> body;
+  if (!wire::read_frame(fd_, body) || body.empty()) {
+    fail("get: no response");
+  }
+  GetReply reply;
+  reply.status = body[0];
+  if (reply.status != wire::kOk) return reply;
+  if (body.size() != wire::kGetResponseHeader + length) {
+    fail("get: malformed response");
+  }
+  reply.cache_bytes = wire::get_u64(body.data() + 1);
+  reply.origin_bytes = wire::get_u64(body.data() + 9);
+  reply.delay_s = wire::get_f64(body.data() + 17);
+  reply.data.assign(body.begin() +
+                        static_cast<std::ptrdiff_t>(wire::kGetResponseHeader),
+                    body.end());
+  return reply;
+}
+
+ProxyClient::StatReply ProxyClient::stat(std::uint64_t object) {
+  if (fd_ < 0) fail("stat on closed client");
+  std::vector<std::uint8_t> frame;
+  frame.push_back(wire::kOpStat);
+  wire::put_u64(frame, object);
+  if (!wire::write_frame(fd_, frame.data(), frame.size())) {
+    fail("stat: write failed");
+  }
+  std::vector<std::uint8_t> body;
+  if (!wire::read_frame(fd_, body) || body.empty()) {
+    fail("stat: no response");
+  }
+  StatReply reply;
+  reply.status = body[0];
+  if (reply.status != wire::kOk) return reply;
+  if (body.size() != wire::kStatResponseSize) fail("stat: malformed response");
+  reply.size_bytes = wire::get_u64(body.data() + 1);
+  reply.cached_bytes = wire::get_u64(body.data() + 9);
+  return reply;
+}
+
+std::string ProxyClient::stats() {
+  if (fd_ < 0) fail("stats on closed client");
+  const std::uint8_t op = wire::kOpStats;
+  if (!wire::write_frame(fd_, &op, 1)) fail("stats: write failed");
+  std::vector<std::uint8_t> body;
+  if (!wire::read_frame(fd_, body) || body.empty() ||
+      body[0] != wire::kOk) {
+    fail("stats: no response");
+  }
+  return std::string(body.begin() + 1, body.end());
+}
+
+}  // namespace sc::server

@@ -1,0 +1,56 @@
+// Minimal blocking client for the proxy daemon's wire protocol. One
+// ProxyClient is one TCP connection (and therefore one session run per
+// object, per the daemon's session mapping); it is not thread-safe —
+// concurrent load generators open one client per worker.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sc::server {
+
+class ProxyClient {
+ public:
+  /// Connect to the daemon at host:port (host is a dotted-quad IPv4
+  /// address, e.g. "127.0.0.1"). Throws std::runtime_error on failure.
+  ProxyClient(const std::string& host, std::uint16_t port);
+  ~ProxyClient();
+
+  ProxyClient(const ProxyClient&) = delete;
+  ProxyClient& operator=(const ProxyClient&) = delete;
+  ProxyClient(ProxyClient&& other) noexcept;
+
+  struct GetReply {
+    std::uint8_t status = 0;
+    std::uint64_t cache_bytes = 0;
+    std::uint64_t origin_bytes = 0;
+    double delay_s = 0.0;
+    std::vector<std::uint8_t> data;
+  };
+
+  struct StatReply {
+    std::uint8_t status = 0;
+    std::uint64_t size_bytes = 0;
+    std::uint64_t cached_bytes = 0;
+  };
+
+  /// Issue one range GET. Throws std::runtime_error on transport or
+  /// framing failure; protocol-level rejections come back in `status`.
+  [[nodiscard]] GetReply get(std::uint64_t object, std::uint64_t offset,
+                             std::uint64_t length);
+
+  [[nodiscard]] StatReply stat(std::uint64_t object);
+
+  /// The server's STATS JSON blob.
+  [[nodiscard]] std::string stats();
+
+  /// Close the connection early (the destructor does this too). The
+  /// daemon finalizes this connection's streaming session on close.
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace sc::server

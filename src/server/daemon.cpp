@@ -1,0 +1,224 @@
+#include "server/daemon.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "server/payload.h"
+#include "server/wire.h"
+
+namespace sc::server {
+
+namespace {
+
+/// Poll timeout for every cooperative-shutdown wait point.
+constexpr int kPollMs = 200;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("ProxyDaemon: " + what + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+ProxyDaemon::ProxyDaemon(ServiceEngine& engine, DaemonConfig config)
+    : engine_(engine), config_(config) {}
+
+ProxyDaemon::~ProxyDaemon() { stop(); }
+
+void ProxyDaemon::start() {
+  if (started_) throw std::runtime_error("ProxyDaemon: already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    fail("bind");
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, config_.listen_backlog) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    fail("listen");
+  }
+
+  started_ = true;
+  stop_.store(false, std::memory_order_relaxed);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  ticker_thread_ = std::thread([this] { ticker_loop(); });
+}
+
+void ProxyDaemon::stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_relaxed);
+  tick_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (ticker_thread_.joinable()) ticker_thread_.join();
+  // Connection threads observe stop_ at their next poll timeout.
+  std::vector<std::thread> conns;
+  {
+    const std::lock_guard<std::mutex> lock(conn_mu_);
+    conns.swap(conn_threads_);
+  }
+  for (std::thread& t : conns) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  started_ = false;
+}
+
+void ProxyDaemon::accept_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd p{listen_fd_, POLLIN, 0};
+    const int r = ::poll(&p, 1, kPollMs);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (r == 0) continue;
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    // Bound how long a stalled peer can pin a thread mid-frame; the
+    // idle case waits in poll(), not read(), so this only fires on
+    // genuinely wedged connections.
+    timeval tv{};
+    tv.tv_sec = 5;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    // Request/response framing with small request frames: without
+    // TCP_NODELAY, Nagle + delayed ACK turns every exchange into a
+    // ~40ms stall on loopback.
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_threads_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+}
+
+void ProxyDaemon::ticker_loop() {
+  std::unique_lock<std::mutex> lock(tick_mu_);
+  const auto interval = std::chrono::duration<double>(
+      std::max(config_.tick_interval_s, 1e-3));
+  while (!stop_.load(std::memory_order_relaxed)) {
+    tick_cv_.wait_for(lock, interval, [this] {
+      return stop_.load(std::memory_order_relaxed);
+    });
+    if (stop_.load(std::memory_order_relaxed)) return;
+    engine_.tick();
+  }
+}
+
+void ProxyDaemon::handle_connection(int fd) {
+  std::vector<std::uint8_t> body;
+  std::vector<std::uint8_t> reply;
+  // Per-connection session state: a contiguous run of GETs for one
+  // object is one streaming session (engine.h's offset == 0 contract).
+  bool streaming = false;
+  std::uint64_t session_object = 0;
+  std::uint64_t high_water = 0;
+
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd p{fd, POLLIN, 0};
+    const int r = ::poll(&p, 1, kPollMs);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (r == 0) continue;
+    if (!wire::read_frame(fd, body)) break;
+
+    reply.clear();
+    if (body.empty()) {
+      reply.push_back(wire::kBadRequest);
+    } else if (body[0] == wire::kOpGet) {
+      wire::GetRequest req;
+      if (!wire::decode_get(body.data(), body.size(), req)) {
+        reply.push_back(wire::kBadRequest);
+      } else {
+        const ServeResult res =
+            engine_.serve_range(req.object, req.offset, req.length);
+        if (res.status != wire::kOk) {
+          reply.push_back(res.status);
+        } else {
+          if (streaming && session_object != req.object) {
+            engine_.end_session(session_object, high_water);
+            high_water = 0;
+          }
+          streaming = true;
+          session_object = req.object;
+          high_water = std::max(high_water, req.offset + req.length);
+          // The upstream stall happens here — outside the engine lock,
+          // on this connection's thread only.
+          if (res.origin_wall_s > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(res.origin_wall_s));
+          }
+          reply.reserve(wire::kGetResponseHeader + req.length);
+          reply.push_back(wire::kOk);
+          wire::put_u64(reply, res.cache_bytes);
+          wire::put_u64(reply, res.origin_bytes);
+          wire::put_f64(reply, res.delay_s);
+          const std::size_t header = reply.size();
+          reply.resize(header + req.length);
+          fill_payload(req.object, req.offset, reply.data() + header,
+                       req.length);
+        }
+      }
+    } else if (body[0] == wire::kOpStat) {
+      if (body.size() != wire::kStatRequestSize) {
+        reply.push_back(wire::kBadRequest);
+      } else {
+        const std::uint64_t object = wire::get_u64(body.data() + 1);
+        if (object >= engine_.catalog().size()) {
+          reply.push_back(wire::kBadObject);
+        } else {
+          reply.push_back(wire::kOk);
+          wire::put_u64(reply, engine_.object_size(object));
+          wire::put_u64(reply, engine_.cached_bytes(object));
+        }
+      }
+    } else if (body[0] == wire::kOpStats) {
+      const std::string json = engine_.stats_json();
+      reply.push_back(wire::kOk);
+      reply.insert(reply.end(), json.begin(), json.end());
+    } else {
+      reply.push_back(wire::kBadRequest);
+    }
+    if (!wire::write_frame(fd, reply.data(), reply.size())) break;
+  }
+
+  if (streaming) engine_.end_session(session_object, high_water);
+  ::close(fd);
+}
+
+}  // namespace sc::server

@@ -1,0 +1,174 @@
+#include "server/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "core/registry.h"
+#include "server/wire.h"
+#include "sim/delivery.h"
+#include "util/rng.h"
+
+namespace sc::server {
+
+workload::Catalog ServiceEngine::make_catalog(std::size_t objects,
+                                              std::uint64_t seed) {
+  workload::CatalogConfig cfg;
+  cfg.num_objects = objects;
+  util::Rng root(seed);
+  util::Rng catalog_rng = root.fork("catalog");
+  return workload::Catalog::generate(cfg, catalog_rng);
+}
+
+ServiceEngine::ServiceEngine(ServiceConfig config)
+    : config_(std::move(config)),
+      catalog_(make_catalog(config_.objects, config_.seed)),
+      origin_(catalog_.size(), config_.origin, config_.seed),
+      estimator_(core::registry::make_estimator(
+          config_.estimator, origin_.model(),
+          util::Rng(config_.seed).fork("estimator"))),
+      policy_(core::registry::make_policy(config_.policy, catalog_,
+                                          *estimator_)),
+      store_(config_.cache_capacity_bytes > 0
+                 ? config_.cache_capacity_bytes
+                 : config_.cache_fraction * catalog_.total_bytes()),
+      start_(std::chrono::steady_clock::now()) {
+  store_.reserve(catalog_.size());
+  kernel_.emplace(*policy_, *estimator_, store_, events_);
+}
+
+std::uint64_t ServiceEngine::object_size(workload::ObjectId id) const {
+  return static_cast<std::uint64_t>(catalog_.object(id).size_bytes);
+}
+
+std::uint64_t ServiceEngine::cached_bytes(workload::ObjectId id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::uint64_t>(std::floor(store_.cached(id)));
+}
+
+double ServiceEngine::now_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+ServeResult ServiceEngine::serve_range(std::uint64_t object,
+                                       std::uint64_t offset,
+                                       std::uint64_t length) {
+  ServeResult res;
+  if (object >= catalog_.size()) {
+    res.status = wire::kBadObject;
+    return res;
+  }
+  const workload::StreamObject& obj = catalog_.object(object);
+  const std::uint64_t size = object_size(object);
+  if (length > wire::kMaxGetLength || offset > size ||
+      size - offset < length) {
+    res.status = wire::kBadRange;
+    return res;
+  }
+
+  const double now = now_s();
+  const std::lock_guard<std::mutex> lock(mu_);
+  // Deliver estimator observations that came due since the last entry.
+  kernel_->tick(now);
+
+  const double cached_prefix = kernel_->cached(object);
+  const double cached_in_range =
+      std::clamp(std::floor(cached_prefix) - static_cast<double>(offset), 0.0,
+                 static_cast<double>(length));
+  res.cache_bytes = static_cast<std::uint64_t>(cached_in_range);
+  res.origin_bytes = length - res.cache_bytes;
+
+  if (length > 0) {
+    // The §2.2 delivery model over the requested range: the range plays
+    // out for length / r_i seconds, its "cached prefix" is the part the
+    // store covers, the rest streams at the path's instantaneous
+    // bandwidth (simulated units, as everywhere else).
+    const double bw = origin_.bandwidth(obj.path, now);
+    const sim::ServiceOutcome outcome = sim::deliver(
+        static_cast<double>(length) / obj.bitrate, obj.bitrate,
+        static_cast<double>(length), bw, static_cast<double>(res.cache_bytes));
+    res.delay_s = outcome.delay_s;
+    metrics_.record(outcome, obj.value);
+    if (res.origin_bytes > 0) {
+      res.origin_wall_s =
+          origin_.wall_delay_s(static_cast<double>(res.origin_bytes), bw);
+      // Passive estimators learn the transfer's throughput when it
+      // completes — at a *wall-clock* time here, drained by tick().
+      if (kernel_->observes()) {
+        kernel_->record_transfer(obj.path, outcome.origin_throughput,
+                                 now + res.origin_wall_s);
+      }
+    }
+  }
+
+  // offset == 0 opens a session for this object: that is the "access"
+  // the paper's policies count. Continuation chunks (offset > 0) serve
+  // bytes but do not re-run admission, so a session streamed as N
+  // ranges updates frequencies and utilities once, like one simulated
+  // request.
+  if (offset == 0) {
+    const double after = kernel_->admit(object, now);
+    if (after > cached_prefix) {
+      metrics_.record_fill(after - cached_prefix);
+    }
+  }
+  res.status = wire::kOk;
+  return res;
+}
+
+void ServiceEngine::end_session(workload::ObjectId object,
+                                std::uint64_t high_water) {
+  if (object >= catalog_.size()) return;
+  const std::uint64_t size = object_size(object);
+  const double fraction =
+      size > 0 ? std::min(1.0, static_cast<double>(high_water) /
+                                   static_cast<double>(size))
+               : 1.0;
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++sessions_;
+  metrics_.record_session(fraction, fraction < 1.0);
+}
+
+void ServiceEngine::tick() {
+  const double now = now_s();
+  const std::lock_guard<std::mutex> lock(mu_);
+  kernel_->tick(now);
+}
+
+ServiceStats ServiceEngine::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ServiceStats s;
+  s.requests = metrics_.requests();
+  s.hit_ratio = metrics_.hit_ratio();
+  s.byte_hit_ratio = metrics_.traffic_reduction_ratio();
+  s.mean_delay_s = metrics_.average_delay_s();
+  s.occupancy_bytes = store_.used();
+  s.cached_objects = store_.object_count();
+  s.capacity_bytes = store_.capacity();
+  s.sessions = sessions_;
+  s.mean_viewed_fraction = metrics_.average_viewed_fraction();
+  s.estimator_overhead_packets = estimator_->overhead_packets();
+  return s;
+}
+
+std::string ServiceEngine::stats_json() const {
+  const ServiceStats s = snapshot();
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "{\"requests\": %zu, \"hit_ratio\": %.6f, "
+                "\"byte_hit_ratio\": %.6f, \"mean_delay_s\": %.6f, "
+                "\"occupancy_bytes\": %.0f, \"cached_objects\": %zu, "
+                "\"capacity_bytes\": %.0f, \"sessions\": %zu, "
+                "\"mean_viewed_fraction\": %.6f, "
+                "\"estimator_overhead_packets\": %zu}",
+                s.requests, s.hit_ratio, s.byte_hit_ratio, s.mean_delay_s,
+                s.occupancy_bytes, s.cached_objects, s.capacity_bytes,
+                s.sessions, s.mean_viewed_fraction,
+                s.estimator_overhead_packets);
+  return std::string(buf);
+}
+
+}  // namespace sc::server

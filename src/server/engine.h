@@ -1,0 +1,160 @@
+// The live serving engine: the paper's decision kernel under a wall
+// clock and a lock.
+//
+// ServiceEngine owns one instance of everything a cache node needs —
+// catalog, partial-prefix store, registry-built policy and bandwidth
+// estimator, deferred-observation queue, simulated origin, metrics —
+// and exposes the daemon-facing operations:
+//
+//   serve_range()  answer GET [off, off + len) of an object: split the
+//                  range into cached-prefix and origin bytes, run the
+//                  §2.2 delivery math for the range, feed the
+//                  estimator's completion observation, and (on a
+//                  session-opening request, offset == 0) run the
+//                  policy's admission/eviction decision.
+//   end_session()  map a closed connection's per-object streaming run
+//                  onto the session metrics (viewed fraction,
+//                  truncation).
+//   tick()         deliver due estimator observations at the current
+//                  wall time — the daemon's ticker calls this so
+//                  EWMA/probe estimators age on real seconds even when
+//                  no requests arrive.
+//
+// Lock discipline (see docs/SERVER.md): one mutex guards every decision
+// structure (store, policy, estimator, event queue, sampler, metrics).
+// Decision work per request is microseconds, so a single lock
+// outperforms anything finer at daemon scale; crucially, NO blocking
+// work happens under it — origin stalls are returned as a duration the
+// serving thread sleeps after unlocking, and socket IO never touches
+// the engine.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "cache/policy.h"
+#include "cache/store.h"
+#include "net/estimator.h"
+#include "server/origin.h"
+#include "sim/decision.h"
+#include "sim/metrics.h"
+#include "workload/object_catalog.h"
+
+namespace sc::server {
+
+struct ServiceConfig {
+  /// Catalog shape: `objects` objects generated from `seed` (the
+  /// workload::CatalogConfig defaults — Table 1's corpus). A client
+  /// with the same two values reconstructs the identical catalog, so
+  /// it can issue valid ranges without a metadata exchange (STAT
+  /// exists for clients that prefer to ask).
+  std::size_t objects = 2000;
+  std::uint64_t seed = 42;
+  /// Registry spec strings, exactly as on every bench/example binary.
+  std::string policy = "pb";
+  std::string estimator = "oracle";
+  /// Cache capacity as a fraction of the catalog's actual total size;
+  /// `cache_capacity_bytes > 0` overrides it with an absolute size.
+  double cache_fraction = 0.02;
+  double cache_capacity_bytes = 0.0;
+  OriginConfig origin{};
+};
+
+/// Everything the wire layer needs to answer one GET.
+struct ServeResult {
+  std::uint8_t status = 0;         // wire::kOk / kBadObject / kBadRange
+  std::uint64_t cache_bytes = 0;   // range bytes covered by the prefix
+  std::uint64_t origin_bytes = 0;  // range bytes fetched upstream
+  double delay_s = 0.0;            // §2.2 prefetch delay of the range
+  /// Wall-clock upstream stall; the caller sleeps this OUTSIDE the
+  /// engine lock before writing the response.
+  double origin_wall_s = 0.0;
+};
+
+/// A consistent point-in-time copy of the serving counters.
+struct ServiceStats {
+  std::size_t requests = 0;
+  double hit_ratio = 0.0;           // GETs with any cached prefix
+  double byte_hit_ratio = 0.0;      // bytes from cache / bytes requested
+  double mean_delay_s = 0.0;
+  double occupancy_bytes = 0.0;
+  std::size_t cached_objects = 0;
+  double capacity_bytes = 0.0;
+  std::size_t sessions = 0;
+  double mean_viewed_fraction = 1.0;
+  std::size_t estimator_overhead_packets = 0;
+};
+
+class ServiceEngine {
+ public:
+  explicit ServiceEngine(ServiceConfig config);
+
+  /// The catalog both ends of the protocol derive sizes from.
+  [[nodiscard]] const workload::Catalog& catalog() const noexcept {
+    return catalog_;
+  }
+  [[nodiscard]] const ServiceConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Deterministic catalog construction shared by the daemon and any
+  /// in-process client (bench_service): same (objects, seed) ->
+  /// byte-identical catalog.
+  [[nodiscard]] static workload::Catalog make_catalog(std::size_t objects,
+                                                      std::uint64_t seed);
+
+  /// Servable size of an object on the wire: its whole-byte size.
+  [[nodiscard]] std::uint64_t object_size(workload::ObjectId id) const;
+
+  /// Currently cached whole bytes of an object's prefix (the STAT op).
+  [[nodiscard]] std::uint64_t cached_bytes(workload::ObjectId id) const;
+
+  /// Seconds since engine construction (the engine's wall clock; every
+  /// decision timestamp is in these units).
+  [[nodiscard]] double now_s() const;
+
+  /// Serve GET object bytes [offset, offset + length). Validates the
+  /// range, runs the decision kernel under the lock, and returns the
+  /// byte split plus the upstream stall to sleep outside it. `length`
+  /// of zero is valid (a probe); ranges beyond the object or above
+  /// wire::kMaxGetLength are rejected.
+  [[nodiscard]] ServeResult serve_range(std::uint64_t object,
+                                        std::uint64_t offset,
+                                        std::uint64_t length);
+
+  /// A connection finished streaming `object` after fetching bytes up
+  /// to `high_water` (its largest offset + length). Records the
+  /// session's viewed fraction against the session metrics.
+  void end_session(workload::ObjectId object, std::uint64_t high_water);
+
+  /// Deliver estimator observations due at the current wall time.
+  void tick();
+
+  [[nodiscard]] ServiceStats snapshot() const;
+
+  /// The STATS endpoint's body: `snapshot()` as a small JSON object.
+  [[nodiscard]] std::string stats_json() const;
+
+ private:
+  using Kernel =
+      sim::DecisionKernel<cache::CachePolicy, net::BandwidthEstimator>;
+
+  ServiceConfig config_;
+  workload::Catalog catalog_;
+  SimulatedOrigin origin_;
+  std::unique_ptr<net::BandwidthEstimator> estimator_;
+  std::unique_ptr<cache::CachePolicy> policy_;
+  cache::PartialStore store_;
+  sim::ObservationQueue events_;
+  std::optional<Kernel> kernel_;
+  sim::MetricsCollector metrics_;
+  std::size_t sessions_ = 0;
+  std::chrono::steady_clock::time_point start_;
+  mutable std::mutex mu_;
+};
+
+}  // namespace sc::server

@@ -1,0 +1,32 @@
+#include "server/origin.h"
+
+#include <utility>
+
+#include "core/registry.h"
+#include "util/rng.h"
+
+namespace sc::server {
+
+namespace {
+
+std::shared_ptr<const net::PathModel> build_model(std::size_t n_paths,
+                                                  const std::string& scenario,
+                                                  std::uint64_t seed) {
+  const core::Scenario s = core::registry::make_scenario(scenario);
+  net::PathModelConfig config;
+  config.mode = s.mode;
+  util::Rng rng(seed);
+  return std::make_shared<const net::PathModel>(n_paths, s.base, s.ratio,
+                                                config, rng.fork("paths"));
+}
+
+}  // namespace
+
+SimulatedOrigin::SimulatedOrigin(std::size_t n_paths,
+                                 const OriginConfig& config,
+                                 std::uint64_t seed)
+    : config_(config),
+      model_(build_model(n_paths, config.scenario, seed)),
+      sampler_(model_) {}
+
+}  // namespace sc::server

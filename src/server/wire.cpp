@@ -1,0 +1,60 @@
+#include "server/wire.h"
+
+#include <cerrno>
+#include <unistd.h>
+
+namespace sc::server::wire {
+
+namespace {
+
+/// Write exactly `n` bytes, absorbing partial writes and EINTR.
+bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::write(fd, data + done, n - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (w == 0) return false;
+    done += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// Read exactly `n` bytes; false on EOF or a hard error.
+bool read_all(int fd, std::uint8_t* data, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::read(fd, data + done, n - done);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;
+    done += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool write_frame(int fd, const std::uint8_t* body, std::size_t n) {
+  std::uint8_t header[4];
+  const auto len = static_cast<std::uint32_t>(n);
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  }
+  return write_all(fd, header, sizeof header) && write_all(fd, body, n);
+}
+
+bool read_frame(int fd, std::vector<std::uint8_t>& body) {
+  std::uint8_t header[4];
+  if (!read_all(fd, header, sizeof header)) return false;
+  const std::uint32_t len = get_u32(header);
+  if (len > kMaxFrame) return false;
+  body.resize(len);
+  return len == 0 || read_all(fd, body.data(), len);
+}
+
+}  // namespace sc::server::wire

@@ -17,10 +17,20 @@
 //     "schedule a completion event?" branch resolves at compile time
 //     via ObservationTraits.
 //
+// The *decision* half of the loop — admission, utility eviction,
+// partial-prefix management, estimator observe/estimate with deferred
+// completion observations — lives in sim/decision.h as the
+// clock-agnostic DecisionKernel; this file contributes the *simulated
+// delivery* half (trace iteration, the §2.2 delivery model, session
+// dynamics, patching, metrics) and drives the kernel from the simulated
+// clock. The live proxy daemon (src/server/) drives the identical
+// kernel from the wall clock.
+//
 // Because both instantiations execute the identical expressions in the
 // identical order over the identical RNG streams, their results are
 // bit-identical (tests/test_mono.cpp asserts this for every registered
-// policy x estimator pair).
+// policy x estimator pair, and the golden CSVs under tests/golden/ pin
+// the series across refactors of this file).
 #pragma once
 
 #include <algorithm>
@@ -33,6 +43,7 @@
 
 #include "cache/store.h"
 #include "net/path_process.h"
+#include "sim/decision.h"
 #include "sim/delivery.h"
 #include "sim/event_queue.h"
 #include "sim/metrics.h"
@@ -40,30 +51,6 @@
 #include "workload/generator.h"
 
 namespace sc::sim {
-
-/// Compile-time view of an estimator's observation behavior. The primary
-/// template covers the virtual interface (runtime query); the
-/// specialization picks up kernel types that expose the
-/// kUsesObservations constant, letting the loop drop the event-schedule
-/// branch entirely for oracle/probe kernels.
-template <typename Estimator, typename = void>
-struct ObservationTraits {
-  /// True when the estimator type proves at compile time that
-  /// observations are discarded.
-  static constexpr bool kStaticallyDiscards = false;
-  [[nodiscard]] static bool uses(const Estimator& estimator) {
-    return estimator.uses_observations();
-  }
-};
-
-template <typename Estimator>
-struct ObservationTraits<
-    Estimator, std::void_t<decltype(Estimator::kUsesObservations)>> {
-  static constexpr bool kStaticallyDiscards = !Estimator::kUsesObservations;
-  [[nodiscard]] static constexpr bool uses(const Estimator&) {
-    return Estimator::kUsesObservations;
-  }
-};
 
 /// Per-object in-flight origin stream (patching extension), paced at the
 /// playout rate. Dense per-object slots (ids are dense) keep the lookup a
@@ -140,19 +127,15 @@ template <typename Policy, typename Estimator>
     }
   }
 
-  cache::PartialStore& store = state.store;
-  ObservationQueue& events = state.events;
-
-  // Deferred transfer-completion observations are POD (path, throughput)
-  // pairs drained straight into the estimator: no per-event allocation.
-  const auto observe = [&estimator](double now, const ObservationEvent& ev) {
-    estimator.observe(ev.path, ev.throughput, now);
-  };
+  // The clock-agnostic decision half (sim/decision.h); this loop owns
+  // the simulated clock and feeds it request arrival times.
+  DecisionKernel<Policy, Estimator> decisions(policy, estimator, state.store,
+                                              state.events);
   // Oracle / purely-active estimators discard observations; skip the
   // per-transfer event traffic for them entirely (the queue stays empty,
-  // so run_until degenerates to one size check per request). For kernel
+  // so tick() degenerates to one size check per request). For kernel
   // estimators this is a compile-time constant.
-  const bool estimator_observes = ObservationTraits<Estimator>::uses(estimator);
+  const bool estimator_observes = decisions.observes();
   MetricsCollector metrics;
   const auto warm_count = static_cast<std::size_t>(
       static_cast<double>(requests.size()) * config.warmup_fraction);
@@ -174,7 +157,7 @@ template <typename Policy, typename Estimator>
   for (std::size_t idx = 0; idx < requests.size(); ++idx) {
     const auto& req = requests[idx];
     // Deliver pending transfer-completion observations first.
-    events.run_until(req.time_s, observe);
+    decisions.tick(req.time_s);
 
     const workload::ObjectId id = req.object;
     const double duration_s = view.duration_s[id];
@@ -183,7 +166,7 @@ template <typename Policy, typename Estimator>
     const double bw = constant_bw
                           ? path_means[view.path[id]]
                           : paths.sample_bandwidth(view.path[id], req.time_s);
-    const double cached_before = store.cached(id);
+    const double cached_before = decisions.cached(id);
     ServiceOutcome outcome =
         deliver(duration_s, bitrate, size_bytes, bw, cached_before);
 
@@ -263,32 +246,28 @@ template <typename Policy, typename Estimator>
     }
 
     // Passive estimators learn this transfer's throughput at completion.
-    if constexpr (!ObservationTraits<Estimator>::kStaticallyDiscards) {
-      if (estimator_observes && outcome.bytes_from_origin > 0) {
-        const double done = req.time_s + outcome.origin_transfer_s;
-        events.schedule(
-            done, ObservationEvent{view.path[id], outcome.origin_throughput});
-      }
+    if (estimator_observes && outcome.bytes_from_origin > 0) {
+      decisions.record_transfer(view.path[id], outcome.origin_throughput,
+                                req.time_s + outcome.origin_transfer_s);
     }
 
     // Replacement decisions happen after the request is served.
-    policy.on_access(id, req.time_s, store);
+    const double cached_after = decisions.admit(id, req.time_s);
 
     // Growth of this object's prefix is origin->cache fill traffic.
-    const double cached_after = store.cached(id);
     if (measured && cached_after > cached_before) {
       metrics.record_fill(cached_after - cached_before);
     }
   }
-  events.run_all(observe);
+  decisions.drain();
 
   SimulationResult result;
   result.policy_name = policy.name();
   result.metrics = metrics;
   result.warmup_requests = warm_count;
   result.measured_requests = requests.size() - warm_count;
-  result.final_occupancy_bytes = store.used();
-  result.final_cached_objects = store.object_count();
+  result.final_occupancy_bytes = state.store.used();
+  result.final_cached_objects = state.store.object_count();
   result.estimator_overhead_packets = estimator.overhead_packets();
   return result;
 }

@@ -11,26 +11,6 @@
 
 namespace sc::sim {
 
-std::string to_string(EstimatorKind kind) {
-  switch (kind) {
-    case EstimatorKind::kOracle: return "oracle";
-    case EstimatorKind::kPassiveEwma: return "passive-ewma";
-    case EstimatorKind::kLastSample: return "last-sample";
-    case EstimatorKind::kActiveProbe: return "active-probe";
-  }
-  return "?";
-}
-
-std::string spec_for(EstimatorKind kind) {
-  switch (kind) {
-    case EstimatorKind::kOracle: return "oracle";
-    case EstimatorKind::kPassiveEwma: return "ewma";
-    case EstimatorKind::kLastSample: return "last";
-    case EstimatorKind::kActiveProbe: return "probe";
-  }
-  return "?";
-}
-
 Simulator::Simulator(const workload::Workload& workload,
                      const stats::EmpiricalDistribution& base_bandwidth,
                      const stats::EmpiricalDistribution& ratio_model,

@@ -18,18 +18,6 @@
 
 namespace sc::sim {
 
-/// How the cache learns per-path bandwidth (§2.7).
-/// DEPRECATED: configure estimators with a spec string instead
-/// ("oracle", "ewma:alpha=0.3", "last", "probe:interval_s=3600"); the
-/// enum remains for pre-registry call sites.
-enum class EstimatorKind { kOracle, kPassiveEwma, kLastSample, kActiveProbe };
-
-[[nodiscard]] std::string to_string(EstimatorKind kind);
-
-/// Registry spec string equivalent to `kind` (e.g. kPassiveEwma ->
-/// "ewma"); bridges the deprecated enum onto the spec API.
-[[nodiscard]] std::string spec_for(EstimatorKind kind);
-
 /// Client interactivity (extension; the paper's §5 cites measurement
 /// studies showing most sessions terminate early). When enabled, each
 /// request watches the whole stream with `complete_probability`,

@@ -65,6 +65,32 @@ double percentile(std::vector<double> values, double p) {
   return values[lo] * (1.0 - frac) + values[hi] * frac;
 }
 
+LatencySummary summarize_latencies(std::vector<double>& values) {
+  LatencySummary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.count = values.size();
+  s.min = values.front();
+  s.max = values.back();
+  RunningStats rs;
+  for (double v : values) rs.add(v);
+  s.mean = rs.mean();
+  // Same interpolated order statistic as percentile(), but on the
+  // already-sorted vector so all three cuts share one sort.
+  const auto cut = [&values](double p) {
+    if (values.size() == 1) return values[0];
+    const double pos = p / 100.0 * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    const auto hi = std::min(lo + 1, values.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+  };
+  s.p50 = cut(50.0);
+  s.p95 = cut(95.0);
+  s.p99 = cut(99.0);
+  return s;
+}
+
 double mean_of(const std::vector<double>& values) {
   RunningStats rs;
   for (double v : values) rs.add(v);

@@ -40,6 +40,27 @@ class RunningStats {
 /// statistics). p in [0, 100]. Sorts a copy; O(n log n).
 [[nodiscard]] double percentile(std::vector<double> values, double p);
 
+/// The latency summary every serving-side report uses: p50/p95/p99 via
+/// the same interpolation as percentile(), plus mean and extrema. One
+/// sort for all five figures. Shared by bench_service, the proxy
+/// daemon's stats endpoint, and the sweep benches'
+/// --latency-percentiles reporting.
+struct LatencySummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Summarize a sample vector (empty input -> all-zero summary, no
+/// throw: serving loops may legitimately record nothing). Sorts the
+/// vector in place — callers done with their samples avoid a copy;
+/// pass an explicit copy to keep the original order.
+[[nodiscard]] LatencySummary summarize_latencies(std::vector<double>& values);
+
 /// Mean of a vector (0 for empty input).
 [[nodiscard]] double mean_of(const std::vector<double>& values);
 

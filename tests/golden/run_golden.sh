@@ -3,6 +3,12 @@
 # CSV is byte-identical to the committed golden, at --threads=1 and
 # --threads=4 (the engine's thread-invariance guarantee, enforced).
 #
+# These CSVs are the repo's refactor oracle: structural changes to the
+# request loop must not move a single byte of simulator output. The PR 6
+# decision-kernel split (sim/run_loop.h -> sim/decision.h, reused by the
+# live proxy daemon in src/server/) was landed against exactly this
+# harness — if you are refactoring the sim/serve path, run these first.
+#
 # usage: run_golden.sh BENCH_BINARY GOLDEN_CSV [EXTRA_BENCH_FLAGS...]
 #
 # To regenerate a golden after a *documented* trace-affecting change

@@ -42,9 +42,8 @@ TEST(Ar1RatioProcess, RejectsBadParameters) {
   EXPECT_THROW(Ar1RatioProcess(0.5, 0.2, 0.0, 1.0), std::invalid_argument);
 }
 
-/// Most tests drive the path process through the split API: a shared
-/// immutable model plus one sampler. (The deprecated PathTable wrapper
-/// is exercised only by the pragma-guarded bridge test below.)
+/// All tests drive the path process through the split API: a shared
+/// immutable model plus per-simulation samplers.
 std::shared_ptr<const PathModel> make_model(
     std::size_t n_paths, const stats::EmpiricalDistribution& base,
     const stats::EmpiricalDistribution& ratio, const PathModelConfig& cfg,
@@ -182,29 +181,26 @@ TEST(PathProcess, RebindReplaysAFreshSamplersStream) {
   }
 }
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(PathModel, SamplersFromOneModelReplayTheMonolithicStream) {
-  // The split's bit-identity contract: a PathSampler over a shared model
-  // draws exactly the sequence the monolithic (deprecated) PathTable
-  // with the same seed draws, because the model snapshots its RNG state
-  // after the mean draws.
+TEST(PathModel, IdenticallySeededModelsReplayTheSameStream) {
+  // The split's determinism contract: the model snapshots its RNG state
+  // after the mean draws, so samplers over identically-seeded models
+  // replay bit-identical bandwidth streams.
   PathModelConfig cfg;
   cfg.mode = VariationMode::kIidRatio;
-  const auto model = std::make_shared<const PathModel>(
+  const auto a = std::make_shared<const PathModel>(
       20, nlanr_base_model(), nlanr_variability_model(), cfg, util::Rng(42));
-  PathTable table(20, nlanr_base_model(), nlanr_variability_model(), cfg,
-                  util::Rng(42));
+  const auto b = std::make_shared<const PathModel>(
+      20, nlanr_base_model(), nlanr_variability_model(), cfg, util::Rng(42));
 
-  PathSampler sampler(model);
+  PathSampler sa(a);
+  PathSampler sb(b);
   for (int i = 0; i < 500; ++i) {
     const PathId p = static_cast<PathId>(i % 20);
     const double t = 10.0 * i;
-    ASSERT_EQ(sampler.sample_bandwidth(p, t), table.sample_bandwidth(p, t))
+    ASSERT_EQ(sa.sample_bandwidth(p, t), sb.sample_bandwidth(p, t))
         << "draw " << i;
   }
 }
-#pragma GCC diagnostic pop
 
 TEST(PathModel, IndependentSamplersDoNotPerturbEachOther) {
   // Two samplers over one shared model are fully independent: advancing

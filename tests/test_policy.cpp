@@ -6,7 +6,6 @@
 
 #include <cctype>
 
-#include "cache/factory.h"
 #include "core/registry.h"
 #include "net/estimator.h"
 #include "workload/object_catalog.h"
@@ -267,39 +266,6 @@ TEST(UtilityPolicy, ResetClearsLearnedState) {
   policy.on_access(0, 1.0, store);  // works again from scratch
   EXPECT_DOUBLE_EQ(store.cached(0), 600.0);
 }
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-// Bridge regression coverage for the deprecated enum factory; new code
-// constructs through core::registry spec strings.
-TEST(Factory, CreatesEveryKindWithCorrectName) {
-  const auto catalog = make_catalog(1);
-  FakeEstimator est({4.0});
-  const std::vector<std::pair<PolicyKind, std::string>> expected = {
-      {PolicyKind::kIF, "IF"},     {PolicyKind::kPB, "PB"},
-      {PolicyKind::kIB, "IB"},     {PolicyKind::kPBV, "PB-V"},
-      {PolicyKind::kIBV, "IB-V"},  {PolicyKind::kLRU, "LRU"},
-      {PolicyKind::kLFU, "LFU"},
-  };
-  for (const auto& [kind, name] : expected) {
-    EXPECT_EQ(make_policy(kind, catalog, est)->name(), name);
-  }
-  PolicyParams params;
-  params.e = 0.5;
-  EXPECT_EQ(make_policy(PolicyKind::kHybrid, catalog, est, params)->name(),
-            "Hybrid(e=0.5)");
-  EXPECT_EQ(make_policy(PolicyKind::kPBV, catalog, est, params)->name(),
-            "PB-V(e=0.5)");
-}
-
-TEST(Factory, ParsesNamesCaseInsensitive) {
-  EXPECT_EQ(parse_policy_kind("pb"), PolicyKind::kPB);
-  EXPECT_EQ(parse_policy_kind("PB-V"), PolicyKind::kPBV);
-  EXPECT_EQ(parse_policy_kind("pbv"), PolicyKind::kPBV);
-  EXPECT_EQ(parse_policy_kind("Hybrid"), PolicyKind::kHybrid);
-  EXPECT_THROW((void)parse_policy_kind("nope"), std::invalid_argument);
-}
-#pragma GCC diagnostic pop
 
 /// Property sweep: under random access patterns and volatile bandwidth
 /// estimates, every policy (constructed by registry spec string) keeps

@@ -1,5 +1,5 @@
 // Registry + builder tests: spec-string construction of every component,
-// error quality, enum-API completeness, and the end-to-end acceptance
+// error quality, spec-name completeness, and the end-to-end acceptance
 // path ("hybrid:e=0.5" + "ewma:alpha=0.3" through a full experiment).
 
 #include "core/registry.h"
@@ -8,7 +8,6 @@
 
 #include <algorithm>
 
-#include "cache/factory.h"
 #include "core/builder.h"
 #include "net/bandwidth_model.h"
 #include "net/variability.h"
@@ -88,41 +87,33 @@ TEST(Registry, UnknownParameterRejected) {
       std::invalid_argument);
 }
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(Registry, EveryPolicyKindReachableViaSpec) {
-  // Bridge regression for the deprecated enum API: every PolicyKind maps
-  // onto a registry spec that constructs the same policy.
+TEST(Registry, EveryPolicySpecConstructsItsNamedPolicy) {
+  // Paper-table completeness: each §3 policy name resolves through the
+  // registry and reports the expected display name.
   const auto catalog = small_catalog();
   const auto paths = small_paths(catalog.size());
   net::OracleEstimator estimator(*paths);
-  cache::PolicyParams params;
-  params.e = 0.5;
-  for (const auto kind :
-       {cache::PolicyKind::kIF, cache::PolicyKind::kPB, cache::PolicyKind::kIB,
-        cache::PolicyKind::kHybrid, cache::PolicyKind::kPBV,
-        cache::PolicyKind::kIBV, cache::PolicyKind::kLRU,
-        cache::PolicyKind::kLFU}) {
-    const std::string spec = cache::spec_for(kind, params);
-    const auto via_registry = registry::make_policy(spec, catalog, estimator);
-    const auto via_enum = cache::make_policy(kind, catalog, estimator, params);
-    EXPECT_EQ(via_registry->name(), via_enum->name()) << spec;
-  }
-}
-#pragma GCC diagnostic pop
-
-TEST(Registry, EveryEstimatorKindReachableViaSpec) {
-  for (const auto kind :
-       {sim::EstimatorKind::kOracle, sim::EstimatorKind::kPassiveEwma,
-        sim::EstimatorKind::kLastSample, sim::EstimatorKind::kActiveProbe}) {
-    // Both the short spec name and the legacy to_string() name resolve.
-    EXPECT_NO_THROW(registry::validate(registry::Kind::kEstimator,
-                                       sim::spec_for(kind)));
-    EXPECT_NO_THROW(registry::validate(registry::Kind::kEstimator,
-                                       sim::to_string(kind)));
+  const std::vector<std::pair<std::string, std::string>> expected = {
+      {"if", "IF"},           {"pb", "PB"},
+      {"ib", "IB"},           {"hybrid:e=0.5", "Hybrid(e=0.5)"},
+      {"pbv:e=0.5", "PB-V(e=0.5)"}, {"ibv", "IB-V"},
+      {"lru", "LRU"},         {"lfu", "LFU"},
+  };
+  for (const auto& [spec, name] : expected) {
+    EXPECT_EQ(registry::make_policy(spec, catalog, estimator)->name(), name)
+        << spec;
   }
 }
 
+TEST(Registry, EveryEstimatorSpecAndLegacyAliasResolves) {
+  for (const char* spec : {"oracle", "ewma", "last", "probe",
+                           // legacy display names remain registered
+                           // aliases so old configs keep resolving
+                           "passive-ewma", "last-sample", "active-probe"}) {
+    EXPECT_NO_THROW(registry::validate(registry::Kind::kEstimator, spec))
+        << spec;
+  }
+}
 TEST(Registry, EstimatorFactoriesApplyParams) {
   const auto paths = small_paths(8);
 

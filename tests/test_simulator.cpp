@@ -188,16 +188,5 @@ TEST(Simulator, FillTrafficRecorded) {
   EXPECT_GT(r.metrics.fill_bytes(), 0.0);
 }
 
-TEST(Simulator, EstimatorKindNames) {
-  EXPECT_EQ(to_string(EstimatorKind::kOracle), "oracle");
-  EXPECT_EQ(to_string(EstimatorKind::kPassiveEwma), "passive-ewma");
-  EXPECT_EQ(to_string(EstimatorKind::kLastSample), "last-sample");
-  EXPECT_EQ(to_string(EstimatorKind::kActiveProbe), "active-probe");
-  EXPECT_EQ(spec_for(EstimatorKind::kOracle), "oracle");
-  EXPECT_EQ(spec_for(EstimatorKind::kPassiveEwma), "ewma");
-  EXPECT_EQ(spec_for(EstimatorKind::kLastSample), "last");
-  EXPECT_EQ(spec_for(EstimatorKind::kActiveProbe), "probe");
-}
-
 }  // namespace
 }  // namespace sc::sim

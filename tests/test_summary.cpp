@@ -120,5 +120,58 @@ TEST(Autocorrelation, InsufficientData) {
   EXPECT_DOUBLE_EQ(autocorrelation({1.0, 2.0}, 5), 0.0);
 }
 
+TEST(LatencySummary, KnownDistribution) {
+  // 1..100 shuffled: the cuts land on the interpolated order
+  // statistics 50.5 / 95.05 / 99.01 (same formula as percentile()).
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  util::Rng rng(9);
+  for (std::size_t i = xs.size(); i > 1; --i) {
+    std::swap(xs[i - 1],
+              xs[static_cast<std::size_t>(rng.uniform() *
+                                          static_cast<double>(i))]);
+  }
+  const LatencySummary s = summarize_latencies(xs);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.p50, 50.5);
+  EXPECT_DOUBLE_EQ(s.p95, 95.05);
+  EXPECT_DOUBLE_EQ(s.p99, 99.01);
+  // The input was sorted in place (the documented contract).
+  EXPECT_TRUE(std::is_sorted(xs.begin(), xs.end()));
+}
+
+TEST(LatencySummary, AgreesWithPercentileOnRandomData) {
+  util::Rng rng(17);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.uniform(0.0, 10.0));
+  const std::vector<double> copy = xs;
+  const LatencySummary s = summarize_latencies(xs);
+  EXPECT_DOUBLE_EQ(s.p50, percentile(copy, 50.0));
+  EXPECT_DOUBLE_EQ(s.p95, percentile(copy, 95.0));
+  EXPECT_DOUBLE_EQ(s.p99, percentile(copy, 99.0));
+}
+
+TEST(LatencySummary, EmptyAndSingle) {
+  std::vector<double> empty;
+  const LatencySummary z = summarize_latencies(empty);
+  EXPECT_EQ(z.count, 0u);
+  EXPECT_DOUBLE_EQ(z.mean, 0.0);
+  EXPECT_DOUBLE_EQ(z.p50, 0.0);
+  EXPECT_DOUBLE_EQ(z.p99, 0.0);
+
+  std::vector<double> one{4.2};
+  const LatencySummary s = summarize_latencies(one);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.2);
+  EXPECT_DOUBLE_EQ(s.min, 4.2);
+  EXPECT_DOUBLE_EQ(s.max, 4.2);
+  EXPECT_DOUBLE_EQ(s.p50, 4.2);
+  EXPECT_DOUBLE_EQ(s.p95, 4.2);
+  EXPECT_DOUBLE_EQ(s.p99, 4.2);
+}
+
 }  // namespace
 }  // namespace sc::stats
