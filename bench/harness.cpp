@@ -1,5 +1,7 @@
 #include "bench/harness.h"
 
+#include <sys/resource.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -58,8 +60,28 @@ std::uint64_t allocation_count() noexcept {
   return g_allocations.load(std::memory_order_relaxed);
 }
 
+double peak_rss_mb() noexcept {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+#ifdef __APPLE__
+  // macOS reports ru_maxrss in bytes; Linux in kilobytes.
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#endif
+}
+
 namespace {
 SweepTelemetry g_last_telemetry;
+
+workload::StreamingMode parse_streaming_mode(const std::string& mode) {
+  if (mode == "auto") return workload::StreamingMode::kAuto;
+  if (mode == "materialize") return workload::StreamingMode::kMaterialize;
+  if (mode == "stream") return workload::StreamingMode::kStream;
+  throw std::invalid_argument(
+      "--streaming must be auto, materialize, or stream (got \"" + mode +
+      "\")");
+}
 }  // namespace
 
 const SweepTelemetry& last_sweep_telemetry() { return g_last_telemetry; }
@@ -73,6 +95,11 @@ FigureConfig parse_figure_args(int argc, char** argv,
         "usage: %s [flags]\n\n"
         "  --quick              4 runs x 30,000 requests (CI smoke)\n"
         "  --runs=N --requests=N --objects=N --zipf=A --seed=S\n"
+        "                       counts accept 250k / 100M / 2G / 1e8 forms;\n"
+        "                       --num-requests is an alias for --requests\n"
+        "  --streaming=M        auto | materialize | stream (bit-identical;\n"
+        "                       stream regenerates workloads in O(chunk)\n"
+        "                       memory instead of materializing them)\n"
         "  --csv=PATH           series output (default %s)\n"
         "  --json=PATH          machine-readable perf record of the sweep\n"
         "  --threads=N          sweep workers (0 = all cores, 1 = serial;\n"
@@ -91,7 +118,8 @@ FigureConfig parse_figure_args(int argc, char** argv,
     std::exit(0);
   }
   std::vector<std::string> known = {"quick",    "runs",     "requests",
-                                    "objects",  "zipf",     "seed",
+                                    "num-requests", "objects", "zipf",
+                                    "seed",     "streaming",
                                     "csv",      "json",     "threads",
                                     "parallel", "policy",   "estimator",
                                     "scenario", "interactivity", "help",
@@ -104,12 +132,12 @@ FigureConfig parse_figure_args(int argc, char** argv,
     cfg.requests = 30000;
     cfg.objects = 2000;
   }
-  cfg.runs = static_cast<std::size_t>(
-      cli.get_or("runs", static_cast<long long>(cfg.runs)));
-  cfg.requests = static_cast<std::size_t>(
-      cli.get_or("requests", static_cast<long long>(cfg.requests)));
-  cfg.objects = static_cast<std::size_t>(
-      cli.get_or("objects", static_cast<long long>(cfg.objects)));
+  cfg.runs = cli.get_count("runs", cfg.runs);
+  cfg.requests = cli.get_count("requests", cfg.requests);
+  // --num-requests is an alias; when both are passed it wins (it is the
+  // more explicit spelling).
+  cfg.requests = cli.get_count("num-requests", cfg.requests);
+  cfg.objects = cli.get_count("objects", cfg.objects);
   cfg.zipf_alpha = cli.get_or("zipf", cfg.zipf_alpha);
   cfg.seed = static_cast<std::uint64_t>(
       cli.get_or("seed", static_cast<long long>(cfg.seed)));
@@ -130,6 +158,8 @@ FigureConfig parse_figure_args(int argc, char** argv,
   cfg.interactivity = cli.get_or("interactivity", cfg.interactivity);
   // Fail fast on a bad session-dynamics spec, like the other axes.
   (void)sim::InteractivityConfig::parse(cfg.interactivity);
+  cfg.streaming = cli.get_or("streaming", cfg.streaming);
+  (void)parse_streaming_mode(cfg.streaming);  // fail fast on typos
   if (const auto v = cli.get("policy")) {
     core::registry::validate(core::registry::Kind::kPolicy, *v);
     cfg.policy_override = *v;
@@ -177,6 +207,7 @@ core::ExperimentConfig base_experiment(const FigureConfig& config) {
   e.threads = config.threads;
   e.sim.estimator = config.estimator;
   e.sim.interactivity = sim::InteractivityConfig::parse(config.interactivity);
+  e.streaming = parse_streaming_mode(config.streaming);
   return e;
 }
 
@@ -205,11 +236,16 @@ std::vector<core::AveragedMetrics> run_cells(
   // --requests/--objects; report the replayed values so requests/sec
   // and the record's metadata stay honest.
   SweepTelemetry t;
-  t.requests_per_run = scenario.replay != nullptr
-                           ? scenario.replay->requests.size()
-                           : config.requests;
-  t.objects = scenario.replay != nullptr ? scenario.replay->catalog.size()
-                                         : config.objects;
+  if (scenario.replay != nullptr) {
+    t.requests_per_run = scenario.replay->requests.size();
+    t.objects = scenario.replay->catalog.size();
+  } else if (scenario.stream != nullptr) {
+    t.requests_per_run = scenario.stream->num_requests();
+    t.objects = scenario.stream->catalog().size();
+  } else {
+    t.requests_per_run = config.requests;
+    t.objects = config.objects;
+  }
   t.wall_s = elapsed.count();
   t.simulations = cells.size() * config.runs;
   t.requests_simulated = t.simulations * t.requests_per_run;
@@ -220,6 +256,7 @@ std::vector<core::AveragedMetrics> run_cells(
                   : (config.threads == 0 ? util::ThreadPool::default_threads()
                                          : config.threads);
   t.allocations = allocation_count() - allocs_before;
+  t.peak_rss_mb = peak_rss_mb();
   t.sim_latency = stats::summarize_latencies(stats.sim_wall_s);
   g_last_telemetry = t;
   if (config.latency_percentiles) {
@@ -296,7 +333,8 @@ void write_bench_json(const FigureConfig& config,
       "  \"wall_s\": %.6f,\n"
       "  \"requests_per_sec\": %.0f,\n"
       "  \"allocations\": %llu,\n"
-      "  \"allocations_per_request\": %.6f\n"
+      "  \"allocations_per_request\": %.6f,\n"
+      "  \"peak_rss_mb\": %.3f\n"
       "}\n",
       config.bench_name.c_str(), telemetry.threads, config.runs,
       telemetry.requests_per_run, telemetry.objects, telemetry.simulations,
@@ -307,7 +345,8 @@ void write_bench_json(const FigureConfig& config,
       SC_LTO ? "true" : "false",
       telemetry.wall_s, telemetry.wall_s > 0 ? reqs / telemetry.wall_s : 0.0,
       static_cast<unsigned long long>(telemetry.allocations),
-      reqs > 0 ? static_cast<double>(telemetry.allocations) / reqs : 0.0);
+      reqs > 0 ? static_cast<double>(telemetry.allocations) / reqs : 0.0,
+      telemetry.peak_rss_mb);
   std::fclose(f);
   std::printf("[perf record written to %s]\n", path.c_str());
 }

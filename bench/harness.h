@@ -3,8 +3,12 @@
 // Every bench binary accepts:
 //   --quick              4 runs x 30,000 requests (CI smoke; default off)
 //   --runs N             replications per point (default 10, as in the paper)
-//   --requests N         trace length (default 100,000)
+//   --requests N         trace length (default 100,000); counts accept
+//                        humanized forms: 250k, 100M, 2G, 1e8
+//                        (--num-requests is an alias)
 //   --objects N          catalog size (default 5,000)
+//   --streaming M        workload delivery: auto | materialize | stream
+//                        (bit-identical results; stream = O(chunk) memory)
 //   --threads N          sweep worker threads (0 = all cores, 1 = serial)
 //   --csv PATH           where to write the series (default <bench>.csv)
 //   --json PATH          machine-readable perf record of the sweep
@@ -60,6 +64,10 @@ struct FigureConfig {
   /// Client session dynamics spec applied to every sweep point
   /// (sim/interactivity.h; "full" = whole-stream sessions).
   std::string interactivity = "full";
+  /// Workload delivery mode: "auto" (stream above
+  /// workload::kAutoStreamThreshold requests), "materialize", or
+  /// "stream". Results are bit-identical across all three.
+  std::string streaming = "auto";
   /// When set, replaces the figure's default policy set / scenario.
   std::optional<std::string> policy_override;
   std::optional<std::string> scenario_override;
@@ -160,6 +168,11 @@ struct SweepTelemetry {
   std::size_t path_models_built = 0;   // shared: one per replication
   std::size_t threads = 0;             // resolved worker count
   std::uint64_t allocations = 0;       // operator new calls in the sweep
+  /// Process peak resident set (getrusage ru_maxrss) sampled after the
+  /// sweep, in MB. High-water mark, so it reflects the largest sweep the
+  /// process has run; the CI gate keys on this to catch O(num_requests)
+  /// memory regressions in the streaming path.
+  double peak_rss_mb = 0.0;
   /// p50/p95/p99 of per-simulation wall times (count == simulations).
   stats::LatencySummary sim_latency;
 };
@@ -177,6 +190,10 @@ void print_latency_summary(const std::string& label,
 /// Total global operator new calls so far in this binary (the harness
 /// replaces operator new with a counting wrapper; see harness.cpp).
 [[nodiscard]] std::uint64_t allocation_count() noexcept;
+
+/// Current process peak resident set size in MB (getrusage ru_maxrss;
+/// 0.0 if the call fails). A high-water mark: it never decreases.
+[[nodiscard]] double peak_rss_mb() noexcept;
 
 /// Write `telemetry` (plus workload shape from `config`) as a one-object
 /// JSON file — the BENCH_*.json format consumed by the CI perf-smoke

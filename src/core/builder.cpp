@@ -113,11 +113,11 @@ ExperimentBuilder& ExperimentBuilder::from_cli(const util::Cli& cli) {
   if (cli.has("scenario")) scenario(require_value(cli, "scenario"));
   if (cli.has("objects")) {
     (void)require_value(cli, "objects");
-    objects(static_cast<std::size_t>(cli.get_or("objects", 0LL)));
+    objects(cli.get_count("objects", 0));
   }
   if (cli.has("requests")) {
     (void)require_value(cli, "requests");
-    requests(static_cast<std::size_t>(cli.get_or("requests", 0LL)));
+    requests(cli.get_count("requests", 0));
   }
   if (cli.has("zipf")) {
     (void)require_value(cli, "zipf");
@@ -125,7 +125,7 @@ ExperimentBuilder& ExperimentBuilder::from_cli(const util::Cli& cli) {
   }
   if (cli.has("runs")) {
     (void)require_value(cli, "runs");
-    runs(static_cast<std::size_t>(cli.get_or("runs", 0LL)));
+    runs(cli.get_count("runs", 0));
   }
   if (cli.has("seed")) {
     (void)require_value(cli, "seed");
@@ -202,6 +202,7 @@ std::string ExperimentBuilder::cli_help() {
       "  --scenario=<spec>    bandwidth scenario (default constant)\n"
       "  --cache-frac=F       cache size as fraction of corpus\n"
       "  --objects=N --requests=N --runs=N --zipf=A --seed=S\n"
+      "                       counts accept 250k / 100M / 2G / 1e8 forms\n"
       "  --warmup=F --parallel=0|1 --threads=N --viewing --patching\n"
       "  --interactivity=<spec>  session dynamics: full | exp:mean=S |\n"
       "                       empirical | trace (default full)\n"
@@ -215,11 +216,16 @@ ExperimentConfig ExperimentBuilder::config() const {
     // Under trace replay the catalog is known exactly; elsewhere keep
     // the paper's expected-corpus convention (matching SweepRunner).
     const Scenario& scenario = build_scenario_ref();
-    resolved.sim.cache_capacity_bytes =
-        scenario.replay != nullptr
-            ? *cache_fraction_ * scenario.replay->catalog.total_bytes()
-            : capacity_for_fraction(resolved.workload.catalog,
-                                    *cache_fraction_);
+    if (scenario.replay != nullptr) {
+      resolved.sim.cache_capacity_bytes =
+          *cache_fraction_ * scenario.replay->catalog.total_bytes();
+    } else if (scenario.stream != nullptr) {
+      resolved.sim.cache_capacity_bytes =
+          *cache_fraction_ * scenario.stream->catalog().total_bytes();
+    } else {
+      resolved.sim.cache_capacity_bytes = capacity_for_fraction(
+          resolved.workload.catalog, *cache_fraction_);
+    }
   }
   return resolved;
 }

@@ -31,6 +31,12 @@ struct Scenario {
   /// replications differ only in their bandwidth draws. Cache fractions
   /// resolve against the replayed catalog's actual total size.
   std::shared_ptr<const workload::Workload> replay;
+  /// Streaming replay ("trace:file=PATH,stream=1"): like `replay`, but
+  /// only the catalog stays resident; request records re-stream from
+  /// disk chunk-wise inside each simulation (O(chunk) memory for
+  /// multi-GB traces). At most one of `replay`/`stream` is set; results
+  /// are field-identical between the two.
+  std::shared_ptr<const workload::RequestStream> stream;
 };
 
 /// NLANR base means, no time variation (Figs 5, 6, 10).
@@ -77,6 +83,13 @@ struct ExperimentConfig {
   /// simulation — bit-identical results, only slower; kept as a
   /// regression-test oracle and diagnostic escape hatch.
   bool share_path_models = true;
+  /// How per-(alpha, run) workloads reach the simulations: materialized
+  /// request vectors (O(num_requests) memory each) or regenerating
+  /// streams (O(stream_chunk) memory; each simulation re-derives the
+  /// byte-identical sequence from the shared per-(alpha, run) RNG
+  /// snapshot). kAuto streams above workload::kAutoStreamThreshold
+  /// requests. Results are bit-identical across all three modes.
+  workload::StreamingMode streaming = workload::StreamingMode::kAuto;
 };
 
 /// Run `config.runs` independent replications (fresh workload and path

@@ -254,8 +254,10 @@ Tables make_builtins() {
        {"replay"},
        "replay a recorded workload trace (workload/trace.h format); "
        "file=PATH is required, bw= names the bandwidth scenario "
-       "(default constant)",
-       {"file", "bw"}},
+       "(default constant), stream=1 keeps only the catalog resident "
+       "and re-streams request records from disk chunk-wise (O(chunk) "
+       "memory for multi-GB traces)",
+       {"file", "bw", "stream"}},
       [](const util::Spec& spec) {
         const std::string file = spec.get_string("file", "");
         if (file.empty()) {
@@ -266,15 +268,21 @@ Tables make_builtins() {
         const std::string bw = spec.get_string("bw", "constant");
         // The bandwidth environment is any *other* registered scenario.
         Scenario scenario = make_scenario(bw);
-        if (scenario.replay != nullptr) {
+        if (scenario.replay != nullptr || scenario.stream != nullptr) {
           throw util::SpecError("scenario \"trace\": bw=" + bw +
                                 " must name a bandwidth scenario, not "
                                 "another trace");
         }
-        // Loaded exactly once per make_scenario call: SweepRunner shares
-        // this immutable workload across every cell and replication.
-        scenario.replay = std::make_shared<const workload::Workload>(
-            workload::read_trace(file));
+        // Loaded (or, under stream=1, validated and indexed) exactly
+        // once per make_scenario call: SweepRunner shares the resulting
+        // immutable stream across every cell and replication.
+        if (spec.get_double("stream", 0.0) != 0.0) {
+          scenario.stream = std::make_shared<const workload::RequestStream>(
+              workload::RequestStream::trace_file(file));
+        } else {
+          scenario.replay = std::make_shared<const workload::Workload>(
+              workload::read_trace(file));
+        }
         scenario.name = "trace(" + file + ")+" + scenario.name;
         return scenario;
       });

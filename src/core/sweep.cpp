@@ -39,17 +39,20 @@ RunOutcome extract_outcome(const sim::SimulationResult& r) {
   return out;
 }
 
-/// One simulation over an already-generated workload. A pure function of
-/// (workload, seeds, config): safe to run from any thread in any order.
-/// `path_model` may be null, in which case the engine draws its own
-/// (bit-identical by the PathModel RNG-snapshot contract). `arena` is
-/// the executing worker's private engine cache: the monomorphized path
-/// reuses its components and run state across every simulation the
-/// worker executes (`sim_config.path_config.mode` was already resolved
-/// against the scenario by SweepRunner::run). Out-of-table specs and
-/// monomorphize == false take the virtual-fallback Simulator, fresh
-/// construction per simulation, exactly as before arenas existed.
-RunOutcome simulate_one(const workload::Workload& w, const Scenario& scenario,
+/// One simulation over an already-built request stream. A pure function
+/// of (stream, seeds, config): safe to run from any thread in any order
+/// (cursors carry all iteration state, so concurrent simulations can
+/// share one stream). `path_model` may be null, in which case the
+/// engine draws its own (bit-identical by the PathModel RNG-snapshot
+/// contract). `arena` is the executing worker's private engine cache:
+/// the monomorphized path reuses its components and run state across
+/// every simulation the worker executes (`sim_config.path_config.mode`
+/// was already resolved against the scenario by SweepRunner::run).
+/// Out-of-table specs and monomorphize == false take the
+/// virtual-fallback Simulator, fresh construction per simulation,
+/// exactly as before arenas existed.
+RunOutcome simulate_one(const workload::RequestStream& stream,
+                        const Scenario& scenario,
                         const sim::SimulationConfig& sim_config,
                         std::uint64_t path_seed,
                         std::shared_ptr<const net::PathModel> path_model,
@@ -58,7 +61,7 @@ RunOutcome simulate_one(const workload::Workload& w, const Scenario& scenario,
     if (sim::MonoEngineBase* engine =
             sim::acquire_mono_engine(arena, sim_config)) {
       sim::MonoRunContext context;
-      context.workload = &w;
+      context.stream = &stream;
       context.model = std::move(path_model);
       context.base = &scenario.base;
       context.ratio = &scenario.ratio;
@@ -72,9 +75,9 @@ RunOutcome simulate_one(const workload::Workload& w, const Scenario& scenario,
   config.monomorphize = false;  // the dispatch decision was already made
   sim::SimulationResult r;
   if (path_model != nullptr) {
-    r = sim::Simulator(w, std::move(path_model), config).run();
+    r = sim::Simulator(stream, std::move(path_model), config).run();
   } else {
-    r = sim::Simulator(w, scenario.base, scenario.ratio, config).run();
+    r = sim::Simulator(stream, scenario.base, scenario.ratio, config).run();
   }
   return extract_outcome(r);
 }
@@ -147,9 +150,16 @@ std::vector<AveragedMetrics> SweepRunner::run(
     registry::validate(registry::Kind::kPolicy, spec);
     validated.push_back(&spec);
   };
-  // Trace replay: one immutable workload, loaded when the scenario was
-  // made, shared by every cell and replication (no generation at all).
-  const workload::Workload* replay = scenario_.replay.get();
+  // Trace replay: one immutable request stream, loaded when the
+  // scenario was made, shared by every cell and replication (no
+  // generation at all). A materialized `replay` workload is wrapped in
+  // a replay stream; `scenario_.stream` (trace:...,stream=1) is used
+  // as-is and re-reads the file chunk-wise inside each simulation.
+  std::shared_ptr<const workload::RequestStream> fixed = scenario_.stream;
+  if (fixed == nullptr && scenario_.replay != nullptr) {
+    fixed = std::make_shared<const workload::RequestStream>(
+        workload::RequestStream::replay(scenario_.replay));
+  }
   for (std::size_t c = 0; c < cells.size(); ++c) {
     sims[c] = base_.sim;
     // Resolve the scenario's variation mode up front so simulation tasks
@@ -161,8 +171,8 @@ std::vector<AveragedMetrics> SweepRunner::run(
       // A replayed catalog has a known actual size; the synthetic path
       // keeps the paper's expected-corpus x-axis convention.
       sims[c].cache_capacity_bytes =
-          replay != nullptr
-              ? cells[c].cache_fraction * replay->catalog.total_bytes()
+          fixed != nullptr
+              ? cells[c].cache_fraction * fixed->catalog().total_bytes()
               : capacity_for_fraction(base_.workload.catalog,
                                       cells[c].cache_fraction);
     }
@@ -191,16 +201,37 @@ std::vector<AveragedMetrics> SweepRunner::run(
     path_seeds[r] = run_rng(base_.base_seed, r).fork("paths").seed();
   }
 
-  std::vector<std::shared_ptr<const workload::Workload>> workloads(
-      replay != nullptr ? 0 : alphas.size() * runs);
+  // Workload materialization policy (see ExperimentConfig::streaming):
+  // short traces are cheaper to generate once per (alpha, run) and
+  // replay from memory; long traces become regenerating streams whose
+  // simulations re-derive the identical sequence in O(chunk) memory.
+  const bool materialize =
+      base_.streaming == workload::StreamingMode::kMaterialize ||
+      (base_.streaming == workload::StreamingMode::kAuto &&
+       base_.workload.trace.num_requests <= workload::kAutoStreamThreshold);
+  std::vector<std::shared_ptr<const workload::RequestStream>> streams(
+      fixed != nullptr ? 0 : alphas.size() * runs);
   const auto generate = [&](std::size_t task) {
     const std::size_t a = task / runs;
     const std::size_t r = task % runs;
     workload::WorkloadConfig wcfg = base_.workload;
     wcfg.trace.zipf_alpha = alphas[a];
     util::Rng workload_rng = run_rng(base_.base_seed, r).fork("workload");
-    workloads[task] = std::make_shared<const workload::Workload>(
-        workload::generate_workload(wcfg, workload_rng));
+    if (materialize) {
+      streams[task] = std::make_shared<const workload::RequestStream>(
+          workload::RequestStream::replay(
+              std::make_shared<const workload::Workload>(
+                  workload::generate_workload(wcfg, workload_rng))));
+    } else {
+      // The catalog consumes the head of the workload stream exactly as
+      // generate_workload would; the stream snapshots the post-catalog
+      // state so cursors regenerate the byte-identical request tail.
+      auto catalog = std::make_shared<const workload::Catalog>(
+          workload::Catalog::generate(wcfg.catalog, workload_rng));
+      streams[task] = std::make_shared<const workload::RequestStream>(
+          workload::RequestStream::synthetic(std::move(catalog), wcfg.trace,
+                                             std::move(workload_rng)));
+    }
   };
 
   // One immutable path model per replication, shared by every cell: the
@@ -213,8 +244,8 @@ std::vector<AveragedMetrics> SweepRunner::run(
       share_models ? runs : 0);
   net::PathModelConfig path_config = base_.sim.path_config;
   path_config.mode = scenario_.mode;
-  const std::size_t n_paths = replay != nullptr
-                                  ? replay->catalog.size()
+  const std::size_t n_paths = fixed != nullptr
+                                  ? fixed->catalog().size()
                                   : base_.workload.catalog.num_objects;
   const auto build_model = [&](std::size_t r) {
     // Exactly the simulator's own derivation: Rng(seed).fork("paths").
@@ -226,12 +257,12 @@ std::vector<AveragedMetrics> SweepRunner::run(
 
   // Workload generation and model construction are independent; one task
   // list covers both so the pool drains them together.
-  const std::size_t setup_tasks = workloads.size() + path_models.size();
+  const std::size_t setup_tasks = streams.size() + path_models.size();
   const auto setup = [&](std::size_t task) {
-    if (task < workloads.size()) {
+    if (task < streams.size()) {
       generate(task);
     } else {
-      build_model(task - workloads.size());
+      build_model(task - streams.size());
     }
   };
 
@@ -248,11 +279,11 @@ std::vector<AveragedMetrics> SweepRunner::run(
   const auto simulate = [&](sim::SimulationArena& arena, std::size_t task) {
     const std::size_t c = task / runs;
     const std::size_t r = task % runs;
-    const workload::Workload& w =
-        replay != nullptr ? *replay : *workloads[alpha_of_cell[c] * runs + r];
+    const workload::RequestStream& stream =
+        fixed != nullptr ? *fixed : *streams[alpha_of_cell[c] * runs + r];
     const auto start = std::chrono::steady_clock::now();
     outcomes[task] = simulate_one(
-        w, scenario_, sims[c], path_seeds[r],
+        stream, scenario_, sims[c], path_seeds[r],
         share_models ? path_models[r] : nullptr, arena);
     if (!sim_wall.empty()) {
       sim_wall[task] = std::chrono::duration<double>(
@@ -285,7 +316,7 @@ std::vector<AveragedMetrics> SweepRunner::run(
   }
 
   if (stats != nullptr) {
-    stats->workloads_generated = workloads.size();
+    stats->workloads_generated = streams.size();
     stats->path_models_built =
         share_models ? runs : cells.size() * runs;
     stats->sim_wall_s = std::move(sim_wall);

@@ -6,10 +6,13 @@
 // workloads for every cell and leaves cores idle between sweep points.
 // SweepRunner instead:
 //
-//   1. generates each (alpha, replication) workload exactly once and
-//      shares it immutably (std::shared_ptr<const Workload>) across all
-//      policies and cache fractions — the paired-seed design guarantees
-//      every cell would have generated the identical workload anyway;
+//   1. builds each (alpha, replication) workload exactly once and
+//      shares it immutably across all policies and cache fractions as a
+//      workload::RequestStream — a materialized vector for short
+//      traces, a regenerating O(chunk)-memory stream for long ones
+//      (ExperimentConfig::streaming) — the paired-seed design
+//      guarantees every cell would have generated the identical
+//      workload anyway;
 //   2. flattens the whole grid into one (cell x replication) task list
 //      executed on a single util::ThreadPool, so parallelism spans the
 //      entire sweep instead of one sweep point.
@@ -50,8 +53,10 @@ struct SweepCell {
 /// cells x replications a naive grid would have built). Benches surface
 /// these in their BENCH_*.json perf records.
 struct SweepStats {
-  /// Distinct (alpha, replication) workloads generated (0 under a
-  /// trace-replay scenario, which shares one immutable workload).
+  /// Distinct (alpha, replication) workload streams built — each either
+  /// a materialized vector or a regenerating stream, per
+  /// ExperimentConfig::streaming (0 under a trace scenario, which
+  /// shares one immutable stream across the grid).
   std::size_t workloads_generated = 0;
   /// Immutable net::PathModel instances built: one per replication when
   /// sharing (the default), one per simulation otherwise.

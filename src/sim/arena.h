@@ -39,7 +39,10 @@ namespace sc::sim {
 /// Strings and heavyweight state are referenced, not copied, so building
 /// a context allocates nothing.
 struct MonoRunContext {
-  const workload::Workload* workload = nullptr;
+  /// The run's request source (replayed, regenerated, or file-backed;
+  /// see workload/request_stream.h). Shared per (alpha, replication) by
+  /// core::SweepRunner exactly as materialized workloads used to be.
+  const workload::RequestStream* stream = nullptr;
   /// Shared immutable path model (one per replication, see core::Sweep).
   /// When null the engine draws its own from `base`/`ratio` and the
   /// config's path seed — bit-identical by the PathModel RNG-snapshot

@@ -16,7 +16,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <stdexcept>
+#include <vector>
 
 #include "workload/object_catalog.h"
 
@@ -84,20 +86,32 @@ inline constexpr double kDeliveryByteEps = 1.0;
   return std::floor(q * layers) / layers;
 }
 
-/// Compute the outcome of serving an object with `cached_prefix_bytes`
-/// cached and instantaneous origin bandwidth `bandwidth` (bytes/second,
-/// > 0). The scalar form is the hot-path entry point (fed from the
-/// catalog's SoA view); the StreamObject form delegates to it.
-[[nodiscard]] inline ServiceOutcome deliver(
-    double duration_s, double bitrate, double size_bytes, double bandwidth,
+/// deliver() with the two duration products precomputed: dr must be
+/// exactly `duration_s * bitrate` and db exactly
+/// `duration_s * bandwidth`. Splitting the products out lets the
+/// block-batched stage (gather_delivery_block below) hoist them into
+/// vectorizable per-chunk loops; the remaining expressions are the same
+/// left-associated operations deliver() always performed — the §2.2
+/// deficit is ((d*r) - (d*b)) - cached either way — so the results are
+/// bit-identical to the scalar form.
+[[nodiscard]] inline ServiceOutcome deliver_precomputed(
+    double size_bytes, double dr, double db, double bandwidth,
     double cached_prefix_bytes, int quality_layers = kDefaultQualityLayers) {
   if (bandwidth <= 0) throw std::invalid_argument("deliver: bandwidth <= 0");
   const double cached = std::clamp(cached_prefix_bytes, 0.0, size_bytes);
 
   ServiceOutcome out;
-  out.delay_s = service_delay(duration_s, bitrate, bandwidth, cached);
-  out.quality_continuous =
-      stream_quality(duration_s, bitrate, bandwidth, cached);
+  // service_delay with deficit = (dr - db) - cached.
+  const double deficit = dr - db - cached;
+  out.delay_s = deficit > kDeliveryByteEps ? deficit / bandwidth : 0.0;
+  // stream_quality with size = dr, supported = db + cached.
+  if (dr <= 0) {
+    out.quality_continuous = 1.0;
+  } else {
+    const double supported = db + cached;
+    out.quality_continuous =
+        supported + kDeliveryByteEps >= dr ? 1.0 : supported / dr;
+  }
   out.quality = quantize_quality(out.quality_continuous, quality_layers);
   out.immediate = out.delay_s <= 0.0;
   out.bytes_from_cache = cached;
@@ -110,11 +124,75 @@ inline constexpr double kDeliveryByteEps = 1.0;
   return out;
 }
 
+/// Compute the outcome of serving an object with `cached_prefix_bytes`
+/// cached and instantaneous origin bandwidth `bandwidth` (bytes/second,
+/// > 0). The scalar form is the hot-path entry point (fed from the
+/// catalog's SoA view); the StreamObject form delegates to it.
+[[nodiscard]] inline ServiceOutcome deliver(
+    double duration_s, double bitrate, double size_bytes, double bandwidth,
+    double cached_prefix_bytes, int quality_layers = kDefaultQualityLayers) {
+  return deliver_precomputed(size_bytes, duration_s * bitrate,
+                             duration_s * bandwidth, bandwidth,
+                             cached_prefix_bytes, quality_layers);
+}
+
 [[nodiscard]] inline ServiceOutcome deliver(
     const workload::StreamObject& obj, double bandwidth,
     double cached_prefix_bytes, int quality_layers = kDefaultQualityLayers) {
   return deliver(obj.duration_s, obj.bitrate, obj.size_bytes, bandwidth,
                  cached_prefix_bytes, quality_layers);
+}
+
+/// Dense per-object delivery operands: the §2.2 products, indexed by
+/// ObjectId. They are pure functions of the catalog (and, in the
+/// constant-bandwidth mode, the per-path means), so precomputing them
+/// once per run costs O(objects) — not O(requests) — and the request
+/// loop then reads each operand with a single L1-resident load instead
+/// of re-multiplying per request. Arrays are reused across simulations
+/// (sim::RunState keeps one table per cached engine).
+struct DeliveryTable {
+  std::vector<double> dr;  // duration_s * bitrate (the §2.2 stream size)
+  std::vector<double> db;  // duration_s * path-mean bw (constant mode)
+  std::vector<double> bw;  // path-mean bandwidth      (constant mode)
+
+  void resize(std::size_t n) {
+    dr.resize(n);
+    db.resize(n);
+    bw.resize(n);
+  }
+};
+
+/// Precompute the §2.1–§2.2 products of every catalog object into
+/// `out` (resized to view.size). These fills are the delivery formulas'
+/// vectorizable prologue: contiguous independent multiplies — no
+/// gathers — that a `-march=native` build (CMake -DSC_NATIVE=ON) turns
+/// into packed SIMD. `path_means` is the constant-bandwidth scenario's
+/// per-path mean array (indexed by path id) — the bandwidth and the
+/// duration*bandwidth product batch too; pass nullptr for
+/// variable-bandwidth modes, whose samplers are inherently sequential
+/// (the per-request draw happens in the decision loop instead, leaving
+/// only dr precomputable).
+/// FP-contraction note: dr/db must stay exact `a * b` products (the
+/// decision stage recombines them expecting deliver()'s historical
+/// rounding), which is why SC_NATIVE builds pin -ffp-contract=off.
+inline void build_delivery_table(const workload::CatalogView& view,
+                                 const double* path_means,
+                                 DeliveryTable& out) {
+  const std::size_t n = view.size;
+  out.resize(n);
+  double* dr = out.dr.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    dr[i] = view.duration_s[i] * view.bitrate[i];
+  }
+  if (path_means != nullptr) {
+    double* db = out.db.data();
+    double* bw = out.bw.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double b = path_means[view.path[i]];
+      bw[i] = b;
+      db[i] = view.duration_s[i] * b;
+    }
+  }
 }
 
 }  // namespace sc::sim

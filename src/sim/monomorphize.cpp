@@ -170,15 +170,16 @@ class MonoEngine final : public MonoEngineBase {
         estimator_params_(EstimatorTraits<EstKernel>::parse(estimator_spec)) {}
 
   SimulationResult run(const MonoRunContext& context) override {
-    const workload::Workload& workload = *context.workload;
+    const workload::RequestStream& stream = *context.stream;
+    const workload::Catalog& catalog = stream.catalog();
     const SimulationConfig& config = *context.config;
 
     util::Rng rng(context.seed);
     std::shared_ptr<const net::PathModel> model = context.model;
     if (model == nullptr) {
       model = std::make_shared<const net::PathModel>(
-          workload.catalog.size(), *context.base, *context.ratio,
-          config.path_config, rng.fork("paths"));
+          catalog.size(), *context.base, *context.ratio, config.path_config,
+          rng.fork("paths"));
     }
 
     if (estimator_.has_value()) {
@@ -189,17 +190,17 @@ class MonoEngine final : public MonoEngineBase {
                                          *model, rng.fork("estimator"));
     }
     if (policy_.has_value()) {
-      policy_->rebind(workload.catalog, *estimator_);
+      policy_->rebind(catalog, *estimator_);
     } else {
-      create_policy(policy_, workload.catalog, *estimator_, param_e_);
+      create_policy(policy_, catalog, *estimator_, param_e_);
       name_ = policy_->name();
     }
-    state_.reset(model, workload.catalog.size(), config.cache_capacity_bytes,
-                 config.patching.enabled);
+    state_.reset(stream, config.stream_chunk, model,
+                 config.cache_capacity_bytes, config.patching.enabled);
 
     MonoPolicyRef<PolKernel, EstKernel> policy{&*policy_,
                                                &estimator_->kernel(), &name_};
-    return run_request_loop(workload, config, state_, policy,
+    return run_request_loop(stream, config, state_, policy,
                             estimator_->kernel(), rng);
   }
 

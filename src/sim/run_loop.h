@@ -49,6 +49,7 @@
 #include "sim/metrics.h"
 #include "sim/simulator.h"
 #include "workload/generator.h"
+#include "workload/request_stream.h"
 
 namespace sc::sim {
 
@@ -71,11 +72,20 @@ struct RunState {
   cache::PartialStore store{0.0};
   std::vector<InFlightStream> in_flight;
   std::optional<net::PathSampler> paths;
+  /// Chunk-wise iteration over the run's request stream plus the dense
+  /// per-object delivery operands (see sim/delivery.h). Both reuse
+  /// their buffers across simulations.
+  workload::RequestCursor cursor;
+  DeliveryTable delivery;
 
-  /// Prepare for a run over `model` (bit-identical to building each
-  /// member from scratch; storage reused).
-  void reset(std::shared_ptr<const net::PathModel> model,
-             std::size_t n_objects, double capacity_bytes, bool patching) {
+  /// Prepare for a run over `stream` and `model` (bit-identical to
+  /// building each member from scratch; storage reused). `chunk` is the
+  /// cursor block size (SimulationConfig::stream_chunk) — results are
+  /// identical for every value, only locality changes.
+  void reset(const workload::RequestStream& stream, std::size_t chunk,
+             std::shared_ptr<const net::PathModel> model,
+             double capacity_bytes, bool patching) {
+    const std::size_t n_objects = stream.catalog().size();
     events.clear();
     events.reserve(64);
     store.reset(capacity_bytes);
@@ -90,6 +100,7 @@ struct RunState {
     } else {
       paths.emplace(std::move(model));
     }
+    cursor.bind(stream, chunk);
   }
 };
 
@@ -104,10 +115,10 @@ struct RunState {
 /// kUsesObservations constant.
 template <typename Policy, typename Estimator>
 [[nodiscard]] SimulationResult run_request_loop(
-    const workload::Workload& workload, const SimulationConfig& config,
+    const workload::RequestStream& stream, const SimulationConfig& config,
     RunState& state, Policy& policy, Estimator& estimator, util::Rng& rng) {
-  const auto& catalog = workload.catalog;
-  const auto& requests = workload.requests;
+  const workload::Catalog& catalog = stream.catalog();
+  const std::size_t total_requests = stream.num_requests();
   const workload::CatalogView view = catalog.view();
 
   net::PathSampler& paths = *state.paths;
@@ -138,7 +149,7 @@ template <typename Policy, typename Estimator>
   const bool estimator_observes = decisions.observes();
   MetricsCollector metrics;
   const auto warm_count = static_cast<std::size_t>(
-      static_cast<double>(requests.size()) * config.warmup_fraction);
+      static_cast<double>(total_requests) * config.warmup_fraction);
 
   std::vector<InFlightStream>& in_flight = state.in_flight;
   util::Rng viewing_rng = rng.fork("viewing");
@@ -154,109 +165,136 @@ template <typename Policy, typename Estimator>
   }
   util::Rng session_rng = rng.fork("session");
 
-  for (std::size_t idx = 0; idx < requests.size(); ++idx) {
-    const auto& req = requests[idx];
-    // Deliver pending transfer-completion observations first.
-    decisions.tick(req.time_s);
+  // Per-object §2.2 products, premultiplied once per run in the
+  // contiguous vectorizable fills of sim/delivery.h — they depend only
+  // on the catalog (and constant-mode path means), so per-request
+  // recomputation would be pure overhead.
+  DeliveryTable& pre = state.delivery;
+  build_delivery_table(view, constant_bw ? path_means : nullptr, pre);
 
-    const workload::ObjectId id = req.object;
-    const double duration_s = view.duration_s[id];
-    const double bitrate = view.bitrate[id];
-    const double size_bytes = view.size_bytes[id];
-    const double bw = constant_bw
-                          ? path_means[view.path[id]]
-                          : paths.sample_bandwidth(view.path[id], req.time_s);
-    const double cached_before = decisions.cached(id);
-    ServiceOutcome outcome =
-        deliver(duration_s, bitrate, size_bytes, bw, cached_before);
+  // The stream is consumed in chunks: the cursor materializes one SoA
+  // request block at a time (replayed, regenerated, or re-read from
+  // disk — sources are interchangeable and byte-identical) and the
+  // sequential decision loop below runs over its contiguous lanes.
+  // Identical expressions in identical order to the
+  // one-request-at-a-time loop this replaces, so results are
+  // bit-identical at every chunk size.
+  workload::RequestCursor& cursor = state.cursor;
+  while (const workload::RequestBlock* block = cursor.next()) {
+    for (std::size_t i = 0; i < block->size; ++i) {
+      const std::size_t idx = block->first + i;
+      const double now_s = block->time_s[i];
+      // Deliver pending transfer-completion observations first.
+      decisions.tick(now_s);
 
-    // Session dynamics: a client that departs after watching a fraction
-    // of the stream only needed the viewed prefix delivered. Re-derive
-    // the outcome over that prefix — startup delay and quality are what
-    // the client experienced for the part it watched, the origin
-    // connection is cancelled at departure (its completion observation
-    // below uses the truncated transfer), and byte accounting covers
-    // only shipped bytes.
-    double viewed_fraction = 1.0;
-    double session_s = duration_s;
-    if (interactive) {
-      viewed_fraction = sample_viewed_fraction(config.interactivity,
-                                               duration_s, req.view_s,
-                                               session_rng);
-      if (viewed_fraction < 1.0) {
-        session_s = viewed_fraction * duration_s;
-        const double viewed_bytes = session_s * bitrate;
-        outcome = deliver(session_s, bitrate, viewed_bytes, bw,
-                          std::min(cached_before, viewed_bytes));
+      const workload::ObjectId id = block->object[i];
+      const double duration_s = view.duration_s[id];
+      const double bitrate = view.bitrate[id];
+      const double size_bytes = view.size_bytes[id];
+      double bw, db;
+      if (constant_bw) {
+        bw = pre.bw[id];
+        db = pre.db[id];
+      } else {
+        // Variable-bandwidth samplers are stateful and sequential; the
+        // draw stays in the decision loop, in the original order.
+        bw = paths.sample_bandwidth(view.path[id], now_s);
+        db = duration_s * bw;
       }
-    }
+      const double cached_before = decisions.cached(id);
+      ServiceOutcome outcome =
+          deliver_precomputed(size_bytes, pre.dr[id], db, bw, cached_before);
 
-    // Client interactivity: scale the byte accounting (not the startup
-    // metrics) by the viewed fraction of the stream.
-    if (config.viewing.enabled) {
-      double fraction = 1.0;
-      if (viewing_rng.uniform() >= config.viewing.complete_probability) {
-        fraction = viewing_rng.uniform(config.viewing.min_fraction, 1.0);
+      // Session dynamics: a client that departs after watching a
+      // fraction of the stream only needed the viewed prefix delivered.
+      // Re-derive the outcome over that prefix — startup delay and
+      // quality are what the client experienced for the part it
+      // watched, the origin connection is cancelled at departure (its
+      // completion observation below uses the truncated transfer), and
+      // byte accounting covers only shipped bytes.
+      double viewed_fraction = 1.0;
+      double session_s = duration_s;
+      if (interactive) {
+        viewed_fraction = sample_viewed_fraction(config.interactivity,
+                                                 duration_s, block->view_s[i],
+                                                 session_rng);
+        if (viewed_fraction < 1.0) {
+          session_s = viewed_fraction * duration_s;
+          const double viewed_bytes = session_s * bitrate;
+          outcome = deliver(session_s, bitrate, viewed_bytes, bw,
+                            std::min(cached_before, viewed_bytes));
+        }
       }
-      const double viewed = fraction * size_bytes;
-      outcome.bytes_from_cache = std::min(outcome.bytes_from_cache, viewed);
-      outcome.bytes_from_origin =
-          std::max(0.0, viewed - outcome.bytes_from_cache);
-      outcome.origin_transfer_s =
-          outcome.bytes_from_origin > 0 ? outcome.bytes_from_origin / bw : 0.0;
-    }
 
-    // Patching: share the tail of an in-flight transmission of the same
-    // object; only the missed prefix still needs the origin.
-    if (config.patching.enabled && outcome.bytes_from_origin > 0) {
-      InFlightStream& flight = in_flight[id];
-      if (req.time_s < flight.end) {
-        // flight.end is start + the originating session's transmission
-        // time: the full playout duration, or its departure point when
-        // session dynamics truncated it (bit-identical to the old
-        // `flight.start + duration_s` expression for full sessions).
-        const double remaining_shareable =
-            std::min(size_bytes, bitrate * (flight.end - req.time_s));
-        const double shared = std::min(outcome.bytes_from_origin,
-                                       std::max(0.0, remaining_shareable));
-        outcome.bytes_shared = shared;
-        outcome.bytes_from_origin -= shared;
+      // Client interactivity: scale the byte accounting (not the startup
+      // metrics) by the viewed fraction of the stream.
+      if (config.viewing.enabled) {
+        double fraction = 1.0;
+        if (viewing_rng.uniform() >= config.viewing.complete_probability) {
+          fraction = viewing_rng.uniform(config.viewing.min_fraction, 1.0);
+        }
+        const double viewed = fraction * size_bytes;
+        outcome.bytes_from_cache = std::min(outcome.bytes_from_cache, viewed);
+        outcome.bytes_from_origin =
+            std::max(0.0, viewed - outcome.bytes_from_cache);
         outcome.origin_transfer_s = outcome.bytes_from_origin > 0
                                         ? outcome.bytes_from_origin / bw
                                         : 0.0;
       }
-      if (outcome.bytes_from_origin > 0) {
-        // This request starts (or replaces) the object's shared stream,
-        // paced at the playout rate until the session ends (the full
-        // duration, or the client's early departure).
-        flight.start = req.time_s;
-        flight.end = req.time_s + session_s;
+
+      // Patching: share the tail of an in-flight transmission of the
+      // same object; only the missed prefix still needs the origin.
+      if (config.patching.enabled && outcome.bytes_from_origin > 0) {
+        InFlightStream& flight = in_flight[id];
+        if (now_s < flight.end) {
+          // flight.end is start + the originating session's transmission
+          // time: the full playout duration, or its departure point when
+          // session dynamics truncated it (bit-identical to the old
+          // `flight.start + duration_s` expression for full sessions).
+          const double remaining_shareable =
+              std::min(size_bytes, bitrate * (flight.end - now_s));
+          const double shared = std::min(outcome.bytes_from_origin,
+                                         std::max(0.0, remaining_shareable));
+          outcome.bytes_shared = shared;
+          outcome.bytes_from_origin -= shared;
+          outcome.origin_transfer_s = outcome.bytes_from_origin > 0
+                                          ? outcome.bytes_from_origin / bw
+                                          : 0.0;
+        }
+        if (outcome.bytes_from_origin > 0) {
+          // This request starts (or replaces) the object's shared
+          // stream, paced at the playout rate until the session ends
+          // (the full duration, or the client's early departure).
+          flight.start = now_s;
+          flight.end = now_s + session_s;
+        }
       }
-    }
 
-    const bool measured = idx >= warm_count;
-    if (measured) {
-      metrics.record(outcome, view.value[id]);
-      // Session stats only when a session model is active: the
-      // accessors default to "every session full" on zero samples, so
-      // the disabled path pays nothing (its throughput is perf-gated).
-      if (interactive) {
-        metrics.record_session(viewed_fraction, viewed_fraction < 1.0);
+      const bool measured = idx >= warm_count;
+      if (measured) {
+        metrics.record(outcome, view.value[id]);
+        // Session stats only when a session model is active: the
+        // accessors default to "every session full" on zero samples, so
+        // the disabled path pays nothing (its throughput is perf-gated).
+        if (interactive) {
+          metrics.record_session(viewed_fraction, viewed_fraction < 1.0);
+        }
       }
-    }
 
-    // Passive estimators learn this transfer's throughput at completion.
-    if (estimator_observes && outcome.bytes_from_origin > 0) {
-      decisions.record_transfer(view.path[id], outcome.origin_throughput,
-                                req.time_s + outcome.origin_transfer_s);
-    }
+      // Passive estimators learn this transfer's throughput at
+      // completion.
+      if (estimator_observes && outcome.bytes_from_origin > 0) {
+        decisions.record_transfer(view.path[id], outcome.origin_throughput,
+                                  now_s + outcome.origin_transfer_s);
+      }
 
-    // Replacement decisions happen after the request is served.
-    const double cached_after = decisions.admit(id, req.time_s);
+      // Replacement decisions happen after the request is served.
+      const double cached_after = decisions.admit(id, now_s);
 
-    // Growth of this object's prefix is origin->cache fill traffic.
-    if (measured && cached_after > cached_before) {
-      metrics.record_fill(cached_after - cached_before);
+      // Growth of this object's prefix is origin->cache fill traffic.
+      if (measured && cached_after > cached_before) {
+        metrics.record_fill(cached_after - cached_before);
+      }
     }
   }
   decisions.drain();
@@ -265,7 +303,7 @@ template <typename Policy, typename Estimator>
   result.policy_name = policy.name();
   result.metrics = metrics;
   result.warmup_requests = warm_count;
-  result.measured_requests = requests.size() - warm_count;
+  result.measured_requests = total_requests - warm_count;
   result.final_occupancy_bytes = state.store.used();
   result.final_cached_objects = state.store.object_count();
   result.estimator_overhead_packets = estimator.overhead_packets();

@@ -11,25 +11,51 @@
 
 namespace sc::sim {
 
+namespace {
+
+/// A replay stream over a caller-owned workload (the Workload&
+/// constructors' documented "must outlive the simulator" contract): the
+/// aliasing shared_ptr shares no ownership, it only points.
+workload::RequestStream borrow(const workload::Workload& workload) {
+  return workload::RequestStream::replay(
+      std::shared_ptr<const workload::Workload>(
+          std::shared_ptr<const workload::Workload>(), &workload));
+}
+
+}  // namespace
+
 Simulator::Simulator(const workload::Workload& workload,
                      const stats::EmpiricalDistribution& base_bandwidth,
                      const stats::EmpiricalDistribution& ratio_model,
                      SimulationConfig config)
-    : Simulator(workload, &base_bandwidth, &ratio_model, nullptr,
+    : Simulator(borrow(workload), &base_bandwidth, &ratio_model, nullptr,
                 std::move(config)) {}
 
 Simulator::Simulator(const workload::Workload& workload,
                      std::shared_ptr<const net::PathModel> path_model,
                      SimulationConfig config)
-    : Simulator(workload, nullptr, nullptr, std::move(path_model),
+    : Simulator(borrow(workload), nullptr, nullptr, std::move(path_model),
                 std::move(config)) {}
 
-Simulator::Simulator(const workload::Workload& workload,
+Simulator::Simulator(workload::RequestStream stream,
+                     const stats::EmpiricalDistribution& base_bandwidth,
+                     const stats::EmpiricalDistribution& ratio_model,
+                     SimulationConfig config)
+    : Simulator(std::move(stream), &base_bandwidth, &ratio_model, nullptr,
+                std::move(config)) {}
+
+Simulator::Simulator(workload::RequestStream stream,
+                     std::shared_ptr<const net::PathModel> path_model,
+                     SimulationConfig config)
+    : Simulator(std::move(stream), nullptr, nullptr, std::move(path_model),
+                std::move(config)) {}
+
+Simulator::Simulator(workload::RequestStream stream,
                      const stats::EmpiricalDistribution* base_bandwidth,
                      const stats::EmpiricalDistribution* ratio_model,
                      std::shared_ptr<const net::PathModel> path_model,
                      SimulationConfig config)
-    : workload_(&workload),
+    : stream_(std::move(stream)),
       path_model_(std::move(path_model)),
       config_(std::move(config)) {
   if (base_bandwidth != nullptr) base_.emplace(*base_bandwidth);
@@ -43,8 +69,11 @@ Simulator::Simulator(const workload::Workload& workload,
   if (config_.warmup_fraction < 0 || config_.warmup_fraction >= 1) {
     throw std::invalid_argument("Simulator: warmup_fraction must be [0, 1)");
   }
-  if (workload.requests.empty()) {
+  if (stream_.num_requests() == 0) {
     throw std::invalid_argument("Simulator: empty request trace");
+  }
+  if (config_.stream_chunk == 0) {
+    throw std::invalid_argument("Simulator: stream_chunk must be >= 1");
   }
   if (config_.viewing.enabled && config_.interactivity.enabled()) {
     throw std::invalid_argument(
@@ -52,7 +81,7 @@ Simulator::Simulator(const workload::Workload& workload,
         "cannot be combined; use the interactivity spec alone");
   }
   if (path_model_ != nullptr &&
-      path_model_->size() != workload.catalog.size()) {
+      path_model_->size() != stream_.catalog().size()) {
     throw std::invalid_argument(
         "Simulator: shared path model size != catalog size");
   }
@@ -73,7 +102,7 @@ SimulationResult Simulator::run(SimulationArena* arena) {
     SimulationArena& cache = arena != nullptr ? *arena : local.emplace();
     if (MonoEngineBase* engine = acquire_mono_engine(cache, config_)) {
       MonoRunContext context;
-      context.workload = workload_;
+      context.stream = &stream_;
       context.model = path_model_;
       context.base = base_.has_value() ? &*base_ : nullptr;
       context.ratio = ratio_.has_value() ? &*ratio_ : nullptr;
@@ -86,7 +115,7 @@ SimulationResult Simulator::run(SimulationArena* arena) {
 }
 
 SimulationResult Simulator::run_fallback() {
-  const auto& catalog = workload_->catalog;
+  const workload::Catalog& catalog = stream_.catalog();
 
   util::Rng rng(config_.seed);
   // Shared immutable means + per-run sampler. Without a shared model the
@@ -106,12 +135,12 @@ SimulationResult Simulator::run_fallback() {
       core::registry::make_policy(config_.policy, catalog, *estimator);
 
   RunState state;
-  state.reset(std::move(model), catalog.size(), config_.cache_capacity_bytes,
-              config_.patching.enabled);
+  state.reset(stream_, config_.stream_chunk, std::move(model),
+              config_.cache_capacity_bytes, config_.patching.enabled);
   // The loop body is shared with the monomorphized engines
   // (sim/run_loop.h); this instantiation dispatches through the virtual
   // CachePolicy / BandwidthEstimator interfaces.
-  return run_request_loop(*workload_, config_, state, *policy, *estimator,
+  return run_request_loop(stream_, config_, state, *policy, *estimator,
                           rng);
 }
 

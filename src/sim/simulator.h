@@ -15,6 +15,7 @@
 #include "sim/interactivity.h"
 #include "sim/metrics.h"
 #include "workload/generator.h"
+#include "workload/request_stream.h"
 
 namespace sc::sim {
 
@@ -71,6 +72,13 @@ struct SimulationConfig {
   double warmup_fraction = 0.5;          // fraction of trace used to warm
   std::uint64_t seed = 1;                // path means + variability streams
 
+  /// Request-cursor chunk size (workload::RequestCursor): how many
+  /// requests are materialized/gathered per block in the run loop.
+  /// Results are bit-identical for every value >= 1; this knob trades
+  /// per-chunk overhead against SoA scratch locality (and bounds peak
+  /// memory for regenerated streams at O(stream_chunk)).
+  std::size_t stream_chunk = workload::kDefaultStreamChunk;
+
   /// Run on the monomorphized engine when the (policy, estimator) pair
   /// is covered by the built-in dispatch table (sim/arena.h): the
   /// request loop is compiled per concrete kernel pair, so estimate()
@@ -117,6 +125,18 @@ class Simulator {
             std::shared_ptr<const net::PathModel> path_model,
             SimulationConfig config);
 
+  /// Stream forms: as above, but over any workload::RequestStream —
+  /// replayed, regenerated-on-the-fly, or file-backed. The Workload
+  /// constructors are equivalent to wrapping the workload in a replay
+  /// stream; results are bit-identical across all four constructors.
+  Simulator(workload::RequestStream stream,
+            const stats::EmpiricalDistribution& base_bandwidth,
+            const stats::EmpiricalDistribution& ratio_model,
+            SimulationConfig config);
+  Simulator(workload::RequestStream stream,
+            std::shared_ptr<const net::PathModel> path_model,
+            SimulationConfig config);
+
   /// Execute the full trace and return measured-window metrics.
   [[nodiscard]] SimulationResult run();
 
@@ -130,13 +150,13 @@ class Simulator {
  private:
   [[nodiscard]] SimulationResult run_fallback();
 
-  Simulator(const workload::Workload& workload,
+  Simulator(workload::RequestStream stream,
             const stats::EmpiricalDistribution* base_bandwidth,
             const stats::EmpiricalDistribution* ratio_model,
             std::shared_ptr<const net::PathModel> path_model,
             SimulationConfig config);
 
-  const workload::Workload* workload_;
+  workload::RequestStream stream_;
   // Engaged only for the unshared constructor (run() builds the model).
   std::optional<stats::EmpiricalDistribution> base_;
   std::optional<stats::EmpiricalDistribution> ratio_;

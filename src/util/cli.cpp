@@ -1,12 +1,58 @@
 #include "util/cli.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
 
 #include "util/spec.h"
 
 namespace sc::util {
+
+std::size_t parse_count(const std::string& text) {
+  const auto fail = [&text]() -> std::size_t {
+    throw std::invalid_argument(
+        "\"" + text +
+        "\": expected a whole-number count like 50000, 250k, 100M, or 1e8");
+  };
+  if (text.empty()) return fail();
+  double scale = 1.0;
+  std::string number = text;
+  switch (number.back()) {
+    case 'k':
+    case 'K':
+      scale = 1e3;
+      break;
+    case 'm':
+    case 'M':
+      scale = 1e6;
+      break;
+    case 'g':
+    case 'G':
+    case 'b':
+    case 'B':
+      scale = 1e9;
+      break;
+    default:
+      break;
+  }
+  if (scale != 1.0) number.pop_back();
+  double value = 0.0;
+  std::size_t consumed = 0;
+  try {
+    value = std::stod(number, &consumed);
+  } catch (const std::exception&) {
+    return fail();
+  }
+  if (consumed != number.size()) return fail();
+  value *= scale;
+  // Reject negatives, non-integers ("0.5", "1.5k" -> 1500 is fine but
+  // "1.0005k" is not), and values past what size_t holds exactly.
+  if (!(value >= 0.0) || value != std::floor(value) || value > 1e18) {
+    return fail();
+  }
+  return static_cast<std::size_t>(value);
+}
 
 Cli::Cli(int argc, const char* const* argv) {
   if (argc < 1) throw std::invalid_argument("Cli: empty argv");
@@ -54,6 +100,17 @@ double Cli::get_or(const std::string& name, double fallback) const {
 long long Cli::get_or(const std::string& name, long long fallback) const {
   const auto v = get(name);
   return v ? std::stoll(*v) : fallback;
+}
+
+std::size_t Cli::get_count(const std::string& name,
+                           std::size_t fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  try {
+    return parse_count(*v);
+  } catch (const std::invalid_argument& ex) {
+    throw std::invalid_argument("--" + name + ": " + ex.what());
+  }
 }
 
 bool Cli::get_or(const std::string& name, bool fallback) const {

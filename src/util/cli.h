@@ -7,12 +7,21 @@
 // positional arguments are collected in order.
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 namespace sc::util {
+
+/// Parse a humanized whole-number count: plain digits ("50000"),
+/// metric suffixes k/M/G/B case-insensitively ("250k", "100M", "2G"),
+/// and scientific notation ("1e8", "2.5e7"). Fractional values are
+/// accepted only when the scaled result is a whole number ("2.5M" ok,
+/// "2.5k7" or "0.5" not). Throws std::invalid_argument with `what`
+/// naming the offending text.
+[[nodiscard]] std::size_t parse_count(const std::string& text);
 
 class Cli {
  public:
@@ -32,6 +41,12 @@ class Cli {
   [[nodiscard]] long long get_or(const std::string& name,
                                  long long fallback) const;
   [[nodiscard]] bool get_or(const std::string& name, bool fallback) const;
+
+  /// Value of --name through parse_count ("250k", "1e8", ...), or
+  /// `fallback` when absent. Parse errors are rethrown with the flag
+  /// name prepended ("--requests: ...").
+  [[nodiscard]] std::size_t get_count(const std::string& name,
+                                      std::size_t fallback) const;
 
   [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
     return positional_;

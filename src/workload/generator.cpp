@@ -14,17 +14,19 @@ std::vector<Request> generate_trace(const Catalog& catalog,
     throw std::invalid_argument("generate_trace: arrival rate must be > 0");
   }
   const stats::ZipfLike popularity(catalog.size(), config.zipf_alpha);
-  const stats::Exponential interarrival(config.arrival_rate_per_s);
 
+  // One shared implementation of the request draw: TraceSampler is also
+  // what workload::RequestStream regenerates chunks from, which is what
+  // keeps the streamed and materialized paths byte-identical.
+  TraceSampler sampler(popularity, config, rng);
   std::vector<Request> trace;
   trace.reserve(config.num_requests);
-  double now = 0.0;
   for (std::size_t i = 0; i < config.num_requests; ++i) {
-    now += interarrival.sample(rng);
-    // Rank k maps to object k-1 (catalog assigns rank id+1).
-    const std::size_t rank = popularity.sample(rng);
-    trace.push_back(Request{now, rank - 1});
+    trace.push_back(sampler.next());
   }
+  // The caller's rng must advance exactly as if the draws happened
+  // in-place (generate_workload continues drawing from it).
+  rng = sampler.rng();
   return trace;
 }
 

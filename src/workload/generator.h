@@ -6,6 +6,7 @@
 // distributions, which this module implements directly (see DESIGN.md §4).
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "stats/distributions.h"
@@ -57,5 +58,62 @@ struct WorkloadConfig {
 /// Convenience: generate catalog + trace together.
 [[nodiscard]] Workload generate_workload(const WorkloadConfig& config,
                                          util::Rng& rng);
+
+/// The incremental form of generate_trace: one Request per next() call,
+/// drawing the interarrival gap and then the popularity rank from the
+/// same RNG stream in the same order, so a sampler seeded with the
+/// post-catalog generator state reproduces generate_trace's output
+/// byte-for-byte (this is the determinism contract behind
+/// workload::RequestStream; see docs/PERF.md). The alias-table
+/// popularity model is referenced, not copied — it is immutable and can
+/// be shared across any number of concurrent samplers.
+class TraceSampler {
+ public:
+  /// `popularity` must outlive the sampler and match the catalog the
+  /// trace targets (ZipfLike(catalog.size(), config.zipf_alpha)). `rng`
+  /// is copied: the sampler owns its stream position.
+  TraceSampler(const stats::ZipfLike& popularity, const TraceConfig& config,
+               util::Rng rng)
+      : popularity_(&popularity),
+        interarrival_(config.arrival_rate_per_s),
+        rng_(std::move(rng)) {}
+
+  [[nodiscard]] Request next() {
+    now_ += interarrival_.sample(rng_);
+    // Rank k maps to object k-1 (catalog assigns rank id+1).
+    const std::size_t rank = popularity_->sample(rng_);
+    return Request{now_, rank - 1, kFullSession};
+  }
+
+  /// The sampler's current RNG state (generate_trace hands it back to
+  /// the caller so downstream draws continue the original stream).
+  [[nodiscard]] const util::Rng& rng() const noexcept { return rng_; }
+
+ private:
+  const stats::ZipfLike* popularity_;
+  stats::Exponential interarrival_;
+  util::Rng rng_;
+  double now_ = 0.0;
+};
+
+/// How SweepRunner materializes per-(alpha, run) workloads (see
+/// workload/request_stream.h and core/experiment.h).
+enum class StreamingMode {
+  /// Materialize below kAutoStreamThreshold requests, stream above it.
+  kAuto,
+  /// Always build the full std::vector<Request> up front (the pre-stream
+  /// behavior; O(num_requests) memory per distinct (alpha, run)).
+  kMaterialize,
+  /// Always regenerate chunk-wise inside each simulation (O(chunk)
+  /// memory; each simulation re-runs the generator, trading CPU for the
+  /// memory that makes 10^8-request sweeps possible).
+  kStream,
+};
+
+/// kAuto switches to streaming above this trace length: regenerating a
+/// short trace per simulation costs more than the vector it avoids, and
+/// ~4M requests (~100 MB per distinct (alpha, run)) is where the memory
+/// pressure starts to dominate.
+inline constexpr std::size_t kAutoStreamThreshold = 4'000'000;
 
 }  // namespace sc::workload

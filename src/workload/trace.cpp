@@ -1,27 +1,10 @@
 #include "workload/trace.h"
 
-#include <fstream>
 #include <iomanip>
-#include <sstream>
 #include <stdexcept>
-#include <string>
+#include <utility>
 
 namespace sc::workload {
-
-namespace {
-
-[[noreturn]] void fail(const std::filesystem::path& path,
-                       const std::string& what) {
-  throw std::runtime_error("read_trace: " + what + " in " + path.string());
-}
-
-std::string record_context(std::size_t objects_seen,
-                           std::size_t requests_seen) {
-  return " (after " + std::to_string(objects_seen) + " object and " +
-         std::to_string(requests_seen) + " request records)";
-}
-
-}  // namespace
 
 void write_trace(const Workload& workload,
                  const std::filesystem::path& path) {
@@ -44,90 +27,138 @@ void write_trace(const Workload& workload,
   }
 }
 
-Workload read_trace(const std::filesystem::path& path) {
-  std::ifstream in(path);
-  if (!in) {
-    throw std::runtime_error("read_trace: cannot open " + path.string());
+void TraceReader::fail(const std::string& what) const {
+  // The "read_trace:" prefix is kept for every parse failure regardless
+  // of entry point: callers (and tests) match on it as the trace-format
+  // diagnostic namespace.
+  throw std::runtime_error("read_trace: " + what + " in " + path_.string());
+}
+
+namespace {
+
+std::string record_context(std::size_t objects_seen,
+                           std::size_t requests_seen) {
+  return " (after " + std::to_string(objects_seen) + " object and " +
+         std::to_string(requests_seen) + " request records)";
+}
+
+}  // namespace
+
+TraceReader::TraceReader(const std::filesystem::path& path,
+                         ObjectHandling objects)
+    : path_(path), in_(path), handling_(objects) {
+  if (!in_) {
+    throw std::runtime_error("read_trace: cannot open " + path_.string());
   }
   std::string magic, version;
-  std::size_t num_objects = 0, num_requests = 0;
-  in >> magic >> version >> num_objects >> num_requests;
-  if (!in || magic != "streamcache-trace") {
-    fail(path, "bad magic (expected \"streamcache-trace v1|v2 "
-               "<objects> <requests>\")");
+  in_ >> magic >> version >> num_objects_ >> num_requests_;
+  if (!in_ || magic != "streamcache-trace") {
+    fail("bad magic (expected \"streamcache-trace v1|v2 "
+         "<objects> <requests>\")");
   }
   if (version != "v1" && version != "v2") {
-    fail(path, "unsupported version \"" + version + "\" (known: v1, v2)");
+    fail("unsupported version \"" + version + "\" (known: v1, v2)");
   }
-  const bool has_view = version == "v2";
-  std::vector<StreamObject> objects;
-  objects.reserve(num_objects);
-  std::vector<Request> requests;
-  requests.reserve(num_requests);
+  has_view_ = version == "v2";
+  if (handling_ == kKeepObjects) objects_.reserve(num_objects_);
+}
 
-  std::string tag;
-  double last_time = 0.0;
-  while (in >> tag) {
-    if (tag == "O") {
-      StreamObject o;
-      in >> o.id >> o.duration_s >> o.bitrate >> o.value >> o.path;
-      if (!in) {
-        fail(path, "malformed or truncated object record" +
-                       record_context(objects.size(), requests.size()));
-      }
-      if (o.id != objects.size()) {
-        fail(path, "object ids must be dense and in order (got id " +
-                       std::to_string(o.id) + " for object #" +
-                       std::to_string(objects.size()) + ")");
-      }
-      // Simulations build one bandwidth path per catalog object; an
-      // out-of-range path id must fail here with the file named, not
-      // mid-sweep inside a worker task.
-      if (o.path >= num_objects) {
-        fail(path, "object " + std::to_string(o.id) + " names path " +
-                       std::to_string(o.path) +
-                       " outside the declared catalog of " +
-                       std::to_string(num_objects) + " paths");
-      }
-      // size_bytes and popularity_rank are derived by
-      // Catalog::from_objects below.
-      objects.push_back(o);
-    } else if (tag == "R") {
+void TraceReader::parse_object_record() {
+  StreamObject o;
+  in_ >> o.id >> o.duration_s >> o.bitrate >> o.value >> o.path;
+  if (!in_) {
+    fail("malformed or truncated object record" +
+         record_context(objects_seen_, requests_seen_));
+  }
+  if (o.id != objects_seen_) {
+    fail("object ids must be dense and in order (got id " +
+         std::to_string(o.id) + " for object #" +
+         std::to_string(objects_seen_) + ")");
+  }
+  // Simulations build one bandwidth path per catalog object; an
+  // out-of-range path id must fail here with the file named, not
+  // mid-sweep inside a worker task.
+  if (o.path >= num_objects_) {
+    fail("object " + std::to_string(o.id) + " names path " +
+         std::to_string(o.path) + " outside the declared catalog of " +
+         std::to_string(num_objects_) + " paths");
+  }
+  ++objects_seen_;
+  // size_bytes and popularity_rank are derived by Catalog::from_objects.
+  if (handling_ == kKeepObjects) objects_.push_back(o);
+}
+
+void TraceReader::finish() {
+  done_ = true;
+  if (objects_seen_ != num_objects_ || requests_seen_ != num_requests_) {
+    fail("record count mismatch (header declares " +
+         std::to_string(num_objects_) + " objects and " +
+         std::to_string(num_requests_) + " requests; file holds " +
+         std::to_string(objects_seen_) + " and " +
+         std::to_string(requests_seen_) + " — truncated file?)");
+  }
+}
+
+std::size_t TraceReader::read_requests(double* time_s, ObjectId* object,
+                                       double* view_s, std::size_t n) {
+  if (done_) return 0;
+  std::size_t count = 0;
+  while (count < n) {
+    if (!(in_ >> tag_)) {
+      finish();
+      break;
+    }
+    if (tag_ == "O") {
+      parse_object_record();
+    } else if (tag_ == "R") {
       Request r;
-      in >> r.time_s >> r.object;
-      if (has_view) in >> r.view_s;
-      if (!in) {
-        fail(path, "malformed or truncated request record" +
-                       record_context(objects.size(), requests.size()));
+      in_ >> r.time_s >> r.object;
+      if (has_view_) in_ >> r.view_s;
+      if (!in_) {
+        fail("malformed or truncated request record" +
+             record_context(objects_seen_, requests_seen_));
       }
-      if (r.object >= num_objects) {
-        fail(path, "request #" + std::to_string(requests.size()) +
-                       " references object " + std::to_string(r.object) +
-                       " outside the declared catalog of " +
-                       std::to_string(num_objects));
+      if (r.object >= num_objects_) {
+        fail("request #" + std::to_string(requests_seen_) +
+             " references object " + std::to_string(r.object) +
+             " outside the declared catalog of " +
+             std::to_string(num_objects_));
       }
-      if (r.time_s < last_time) {
-        fail(path, "request times regress at request #" +
-                       std::to_string(requests.size()) + " (" +
-                       std::to_string(r.time_s) + " after " +
-                       std::to_string(last_time) + ")");
+      if (r.time_s < last_time_) {
+        fail("request times regress at request #" +
+             std::to_string(requests_seen_) + " (" +
+             std::to_string(r.time_s) + " after " +
+             std::to_string(last_time_) + ")");
       }
-      last_time = r.time_s;
-      requests.push_back(r);
+      last_time_ = r.time_s;
+      ++requests_seen_;
+      time_s[count] = r.time_s;
+      object[count] = r.object;
+      view_s[count] = r.view_s;
+      ++count;
     } else {
-      fail(path, "unknown record tag \"" + tag + "\"" +
-                     record_context(objects.size(), requests.size()));
+      fail("unknown record tag \"" + tag_ + "\"" +
+           record_context(objects_seen_, requests_seen_));
     }
   }
-  if (objects.size() != num_objects || requests.size() != num_requests) {
-    fail(path, "record count mismatch (header declares " +
-                   std::to_string(num_objects) + " objects and " +
-                   std::to_string(num_requests) + " requests; file holds " +
-                   std::to_string(objects.size()) + " and " +
-                   std::to_string(requests.size()) +
-                   " — truncated file?)");
+  return count;
+}
+
+Workload read_trace(const std::filesystem::path& path) {
+  TraceReader reader(path, TraceReader::kKeepObjects);
+
+  std::vector<Request> requests;
+  requests.reserve(reader.declared_requests());
+  constexpr std::size_t kChunk = 8192;
+  std::vector<double> time_s(kChunk), view_s(kChunk);
+  std::vector<ObjectId> object(kChunk);
+  while (std::size_t n = reader.read_requests(time_s.data(), object.data(),
+                                              view_s.data(), kChunk)) {
+    for (std::size_t i = 0; i < n; ++i) {
+      requests.push_back(Request{time_s[i], object[i], view_s[i]});
+    }
   }
-  return Workload{Catalog::from_objects(std::move(objects)),
+  return Workload{Catalog::from_objects(reader.take_objects()),
                   std::move(requests)};
 }
 

@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <new>
+#include <utility>
 
 #include "core/experiment.h"
 #include "core/registry.h"
@@ -25,14 +26,18 @@
 
 namespace {
 std::atomic<std::uint64_t> g_news{0};
-}
+std::atomic<std::uint64_t> g_new_bytes{0};
 
-void* operator new(std::size_t size) {
+void* counted_alloc(std::size_t size) {
   g_news.fetch_add(1, std::memory_order_relaxed);
+  g_new_bytes.fetch_add(size, std::memory_order_relaxed);
   if (void* p = std::malloc(size ? size : 1)) return p;
   throw std::bad_alloc();
 }
-void* operator new[](std::size_t size) { return ::operator new(size); }
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
@@ -219,6 +224,40 @@ TEST(HotPathAllocations, SessionDynamicsAreAllocationFreeToo) {
   const auto a_long = allocations_for(long_trace);
   EXPECT_LE(a_long, a_short + 64)
       << a_short << " allocs at 5k requests vs " << a_long << " at 20k";
+}
+
+TEST(HotPathAllocations, StreamingAllocationsDoNotScaleWithTraceLength) {
+  // The O(chunk) memory claim, as an enforced scaling property: under
+  // StreamingMode::kStream a 4x longer synthetic trace may not add
+  // allocation *calls* or cumulative allocated *bytes* beyond a fixed
+  // sliver — no materialized request vector, and the cursor's chunk
+  // buffers are sized by stream_chunk, not by num_requests.
+  const auto run_streamed = [](std::size_t requests) {
+    core::ExperimentConfig cfg;
+    cfg.workload.catalog.num_objects = 300;
+    cfg.workload.trace.num_requests = requests;
+    cfg.runs = 2;
+    cfg.threads = 1;
+    cfg.streaming = workload::StreamingMode::kStream;
+    cfg.sim.cache_capacity_bytes =
+        core::capacity_for_fraction(workload::CatalogConfig{}, 0.001);
+    const std::uint64_t news_before = g_news.load();
+    const std::uint64_t bytes_before = g_new_bytes.load();
+    (void)core::run_experiment(cfg, core::constant_scenario());
+    return std::pair<std::uint64_t, std::uint64_t>{
+        g_news.load() - news_before, g_new_bytes.load() - bytes_before};
+  };
+  (void)run_streamed(20000);  // warm lazy registry/static setup
+  const auto [calls_short, bytes_short] = run_streamed(20000);
+  const auto [calls_long, bytes_long] = run_streamed(80000);
+  EXPECT_LE(calls_long, calls_short + 64)
+      << calls_short << " allocs at 20k requests vs " << calls_long
+      << " at 80k";
+  // 4x the requests would materialize ~60k extra Request structs
+  // (~1.4 MB); a fixed 64 KiB sliver proves nothing scales with N.
+  EXPECT_LE(bytes_long, bytes_short + 64 * 1024)
+      << bytes_short << " bytes at 20k requests vs " << bytes_long
+      << " at 80k";
 }
 
 TEST(HotPathAllocations, PassiveEstimatorPathIsAllocationFreeToo) {

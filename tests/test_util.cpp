@@ -101,6 +101,60 @@ TEST(Cli, KnownFlagsPassCheck) {
   EXPECT_NO_THROW(cli.check_unknown({"policy", "runs", "seed"}));
 }
 
+TEST(ParseCount, PlainDigitsAndSuffixes) {
+  EXPECT_EQ(parse_count("0"), 0u);
+  EXPECT_EQ(parse_count("50000"), 50000u);
+  EXPECT_EQ(parse_count("250k"), 250000u);
+  EXPECT_EQ(parse_count("250K"), 250000u);
+  EXPECT_EQ(parse_count("100M"), 100000000u);
+  EXPECT_EQ(parse_count("100m"), 100000000u);
+  EXPECT_EQ(parse_count("2G"), 2000000000u);
+  EXPECT_EQ(parse_count("1B"), 1000000000u);
+  EXPECT_EQ(parse_count("2.5M"), 2500000u);
+  EXPECT_EQ(parse_count("1.5k"), 1500u);
+}
+
+TEST(ParseCount, ScientificNotation) {
+  EXPECT_EQ(parse_count("1e8"), 100000000u);
+  EXPECT_EQ(parse_count("2.5e7"), 25000000u);
+  EXPECT_EQ(parse_count("1E3"), 1000u);
+}
+
+TEST(ParseCount, RejectsNonCounts) {
+  for (const char* bad : {"", "abc", "12x", "k", "--", "1.5", "0.5",
+                          "2.0001k", "-5", "-1k", "1e500", "1ee8",
+                          "12 34"}) {
+    EXPECT_THROW((void)parse_count(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(ParseCount, ErrorNamesTheOffendingText) {
+  try {
+    (void)parse_count("12x");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& ex) {
+    const std::string message = ex.what();
+    EXPECT_NE(message.find("12x"), std::string::npos);
+    EXPECT_NE(message.find("250k"), std::string::npos);  // examples shown
+  }
+}
+
+TEST(Cli, GetCountParsesHumanizedFormsAndPrefixesErrors) {
+  const char* argv[] = {"prog", "--requests=100M", "--objects=1e4"};
+  const Cli cli(3, argv);
+  EXPECT_EQ(cli.get_count("requests", 0), 100000000u);
+  EXPECT_EQ(cli.get_count("objects", 0), 10000u);
+  EXPECT_EQ(cli.get_count("runs", 7), 7u);  // absent -> fallback
+  const char* bad_argv[] = {"prog", "--requests=lots"};
+  const Cli bad(2, bad_argv);
+  try {
+    (void)bad.get_count("requests", 0);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& ex) {
+    EXPECT_EQ(std::string(ex.what()).rfind("--requests: ", 0), 0u);
+  }
+}
+
 TEST(Csv, EscapingRules) {
   EXPECT_EQ(csv_escape("plain"), "plain");
   EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");

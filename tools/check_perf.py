@@ -14,6 +14,13 @@ should leave the gate hard). `allocations_per_request` is gated the same
 way but hard-fails regardless of the toggle: allocation counts are
 deterministic, so a regression there is a code change, not noise.
 
+`peak_rss_mb` is gated hard the same way (--max-rss-regression, default
+0.25, plus a --rss-slack-mb=16 absolute allowance for allocator noise):
+a blow-up there means the streaming engine started materializing
+something sized by num_requests. The gate only engages when the
+baseline record carries the field, so trajectories predating it keep
+working; a note is printed when it is skipped.
+
 Records carry the resolved `lto` build flag. A mismatch never softens
 the gate — it is reported, but both directions stay hard: a fresh
 build that GAINED LTO and still regressed is certainly slower in
@@ -57,12 +64,19 @@ def main(argv):
     if len(args) != 2:
         sys.exit(__doc__)
     max_regression = 0.25
+    max_rss_regression = 0.25
+    rss_slack_mb = 16.0
     for a in argv[1:]:
         if a.startswith("--max-regression="):
             max_regression = float(a.split("=", 1)[1])
+        elif a.startswith("--max-rss-regression="):
+            max_rss_regression = float(a.split("=", 1)[1])
+        elif a.startswith("--rss-slack-mb="):
+            rss_slack_mb = float(a.split("=", 1)[1])
         elif a.startswith("--"):
             sys.exit(f"error: unknown flag {a.split('=', 1)[0]} "
-                     "(known: --max-regression=FRACTION)")
+                     "(known: --max-regression=FRACTION, "
+                     "--max-rss-regression=FRACTION, --rss-slack-mb=MB)")
 
     fresh = load_record(args[0])
     base = load_record(args[1])
@@ -106,6 +120,23 @@ def main(argv):
               f"{apr_fresh / apr_base if apr_base else float('inf'):.2f}x "
               f"(deterministic; gate ignores SC_PERF_WARN_ONLY)")
         failed = True
+
+    if "peak_rss_mb" not in base:
+        print("note: baseline has no peak_rss_mb field; RSS gate skipped "
+              "(record one with a current bench build to engage it)")
+    else:
+        rss_fresh = require(fresh, "peak_rss_mb", args[0])
+        rss_base = require(base, "peak_rss_mb", args[1])
+        print(f"peak_rss_mb: fresh {rss_fresh:.1f} vs baseline "
+              f"{rss_base:.1f}")
+        allowed = rss_base * (1.0 + max_rss_regression) + rss_slack_mb
+        if rss_fresh > allowed:
+            print(f"error: peak_rss_mb regressed to {rss_fresh:.1f} MB "
+                  f"(> {allowed:.1f} MB allowed = baseline "
+                  f"+{max_rss_regression * 100:.0f}% +{rss_slack_mb:.0f} MB "
+                  "slack; deterministic memory shape — gate ignores "
+                  "SC_PERF_WARN_ONLY)")
+            failed = True
 
     if failed:
         return 1

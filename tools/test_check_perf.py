@@ -108,6 +108,57 @@ class CheckPerfTest(unittest.TestCase):
         code, _ = self.run_main(record(apr=3e-7), record(apr=1e-7))
         self.assertEqual(code, 0)
 
+    # ---- peak RSS gate -------------------------------------------------
+
+    def test_rss_gate_skipped_when_baseline_lacks_field(self):
+        code, out = self.run_main(record(peak_rss_mb=5000.0), record())
+        self.assertEqual(code, 0)
+        self.assertIn("RSS gate skipped", out)
+
+    def test_rss_within_threshold_passes(self):
+        code, _ = self.run_main(record(peak_rss_mb=120.0),
+                                record(peak_rss_mb=100.0))
+        self.assertEqual(code, 0)
+
+    def test_rss_regression_fails(self):
+        code, out = self.run_main(record(peak_rss_mb=500.0),
+                                  record(peak_rss_mb=100.0))
+        self.assertEqual(code, 1)
+        self.assertIn("peak_rss_mb regressed", out)
+
+    def test_rss_gate_stays_hard_under_warn_only(self):
+        os.environ["SC_PERF_WARN_ONLY"] = "1"
+        code, out = self.run_main(record(peak_rss_mb=500.0),
+                                  record(peak_rss_mb=100.0))
+        self.assertEqual(code, 1)
+        self.assertIn("ignores SC_PERF_WARN_ONLY", out)
+
+    def test_rss_absolute_slack_tolerates_small_baselines(self):
+        # 10 -> 25 MB is a 2.5x ratio but within the +25% +16 MB slack
+        # that absorbs allocator noise on tiny runs.
+        code, _ = self.run_main(record(peak_rss_mb=25.0),
+                                record(peak_rss_mb=10.0))
+        self.assertEqual(code, 0)
+
+    def test_rss_flags_are_respected(self):
+        code, _ = self.run_main(record(peak_rss_mb=120.0),
+                                record(peak_rss_mb=100.0),
+                                "--max-rss-regression=0.01",
+                                "--rss-slack-mb=0")
+        self.assertEqual(code, 1)
+
+    def test_missing_fresh_rss_exits_when_baseline_has_it(self):
+        with self.assertRaises(SystemExit) as ctx:
+            self.run_main(record(), record(peak_rss_mb=100.0))
+        self.assertIn("peak_rss_mb", str(ctx.exception))
+        self.assertIn("missing field", str(ctx.exception))
+
+    def test_malformed_rss_exits_with_message(self):
+        with self.assertRaises(SystemExit) as ctx:
+            self.run_main(record(peak_rss_mb="big"),
+                          record(peak_rss_mb=100.0))
+        self.assertIn("not numeric", str(ctx.exception))
+
     # ---- baseline trajectory arrays -----------------------------------
 
     def test_baseline_array_uses_last_entry(self):
