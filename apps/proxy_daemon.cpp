@@ -16,6 +16,7 @@
 #include <thread>
 
 #include "core/registry.h"
+#include "net/fault.h"
 #include "server/daemon.h"
 #include "util/cli.h"
 
@@ -45,13 +46,30 @@ int run(int argc, char** argv) {
         "(default 0)\n"
         "  --origin-time-scale=F  wall seconds per simulated transfer "
         "second\n"
-        "  --tick-ms=F          estimator ticker period (default 100)\n\n%s",
+        "  --tick-ms=F          estimator ticker period (default 100)\n"
+        "  --fault=<spec>       deterministic origin fault plan on the\n"
+        "                       wall clock (e.g. fault:outage=10+5; see\n"
+        "                       docs/CHAOS.md)\n"
+        "  --origin-timeout-s=F   per-attempt origin fetch timeout\n"
+        "                       (0 = none)\n"
+        "  --max-retries=N      origin retries before kOriginDown "
+        "(default 3)\n"
+        "  --retry-backoff-ms=F initial retry backoff (default 50, "
+        "doubling)\n"
+        "  --idle-timeout-s=F   disconnect silent connections after F "
+        "seconds\n\n%s",
         cli.program().c_str(), sc::core::registry::help().c_str());
     return 0;
   }
   cli.check_unknown({"port", "objects", "seed", "policy", "estimator",
                      "scenario", "cache", "cache-bytes", "origin-latency-ms",
-                     "origin-time-scale", "tick-ms", "help"});
+                     "origin-time-scale", "tick-ms", "fault",
+                     "origin-timeout-s", "max-retries", "retry-backoff-ms",
+                     "idle-timeout-s", "help"});
+
+  // An abruptly-closed client must surface as EPIPE on the write path
+  // (handled per-connection), never as a process-killing SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
 
   sc::server::ServiceConfig config;
   config.objects = static_cast<std::size_t>(cli.get_or("objects", 2000LL));
@@ -63,6 +81,14 @@ int run(int argc, char** argv) {
   config.cache_capacity_bytes = cli.get_or("cache-bytes", 0.0);
   config.origin.latency_s = cli.get_or("origin-latency-ms", 0.0) / 1e3;
   config.origin.time_scale = cli.get_or("origin-time-scale", 0.0);
+  config.origin.fault = cli.get_or("fault", config.origin.fault);
+  (void)sc::net::FaultPlan::parse(config.origin.fault);  // fail fast
+  config.origin_timeout_s =
+      cli.get_or("origin-timeout-s", config.origin_timeout_s);
+  config.max_retries = static_cast<std::size_t>(cli.get_or(
+      "max-retries", static_cast<long long>(config.max_retries)));
+  config.retry_backoff_s =
+      cli.get_or("retry-backoff-ms", config.retry_backoff_s * 1e3) / 1e3;
 
   sc::core::registry::validate(sc::core::registry::Kind::kPolicy,
                                config.policy);
@@ -75,6 +101,8 @@ int run(int argc, char** argv) {
   daemon_config.port =
       static_cast<std::uint16_t>(cli.get_or("port", 0LL));
   daemon_config.tick_interval_s = cli.get_or("tick-ms", 100.0) / 1e3;
+  daemon_config.idle_timeout_s =
+      cli.get_or("idle-timeout-s", daemon_config.idle_timeout_s);
 
   sc::server::ServiceEngine engine(config);
   sc::server::ProxyDaemon daemon(engine, daemon_config);

@@ -1,0 +1,468 @@
+// bench_chaos: the chaos/soak scenario family.
+//
+// Two phases, both keyed on the deterministic fault layer (net/fault.h,
+// docs/CHAOS.md):
+//
+//  1. Simulator soak — a SweepRunner grid of (policy x fault plan)
+//     cells over generated workloads, re-run at two thread counts. The
+//     invariants checked in-process, any violation is a hard error:
+//       * bit-identical metrics across thread counts under every plan
+//       * denied_requests == 0 exactly for the fault-free cells
+//       * averaged occupancy never exceeds the configured budget
+//       * denied bytes never exceed requested bytes (conservation)
+//
+//  2. Live outage drill — an in-process ServiceEngine + ProxyDaemon
+//     with a wall-clock fault plan (warm window, full origin outage,
+//     recovery window) under closed-loop client load. Checked:
+//       * every kOk reply conserves bytes (cache + origin == length)
+//       * the daemon survives the outage: typed kOriginDown errors
+//         only, no crash, no fd leak across start/drill/stop
+//       * cached objects keep serving during the outage (degraded
+//         hits), cold objects fail typed and admission stays off
+//       * the post-outage rolling hit ratio returns to >= 90% of the
+//         pre-outage ratio within --recovery-bound-s wall seconds
+//
+// The --json record (BENCH_chaos.json) carries the standard perf
+// fields plus `error_rate` (kOriginDown replies / drill requests) and
+// `recovery_s`, both gated by tools/check_perf.py against the
+// committed trajectory. `allocations_per_request` is the -1 sentinel:
+// the drill's allocation count is scheduling-dependent.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/registry.h"
+#include "core/sweep.h"
+#include "net/fault.h"
+#include "server/client.h"
+#include "server/daemon.h"
+#include "server/wire.h"
+#include "util/cli.h"
+#include "util/rng.h"
+
+namespace {
+
+using sc::core::AveragedMetrics;
+using sc::core::SweepCell;
+
+struct ChaosConfig {
+  // Simulator soak.
+  std::size_t runs = 2;
+  std::size_t requests = 20000;
+  std::size_t objects = 400;
+  std::size_t threads = 4;
+  std::uint64_t seed = 42;
+  // Live drill timeline (wall seconds from daemon start).
+  double warmup_s = 1.5;
+  double outage_s = 2.0;
+  double post_s = 2.5;
+  double recovery_bound_s = 5.0;
+  std::size_t clients = 2;
+  std::string json_path;
+};
+
+void check(bool ok, const std::string& what) {
+  if (!ok) throw std::runtime_error("bench_chaos: invariant violated: " + what);
+}
+
+void check_identical(const AveragedMetrics& a, const AveragedMetrics& b,
+                     const std::string& label) {
+  check(a.traffic_reduction == b.traffic_reduction &&
+            a.delay_s == b.delay_s && a.quality == b.quality &&
+            a.added_value == b.added_value && a.hit_ratio == b.hit_ratio &&
+            a.fill_bytes == b.fill_bytes &&
+            a.occupancy_bytes == b.occupancy_bytes &&
+            a.denied_requests == b.denied_requests &&
+            a.denied_bytes == b.denied_bytes,
+        "thread-count determinism (" + label + ")");
+}
+
+std::string window_spec(const char* fmt, double a, double b, double c = 0.0) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, fmt, a, b, c);
+  return buf;
+}
+
+// ------------------------------------------------------- simulator soak
+
+struct SoakResult {
+  std::size_t cells = 0;
+  std::size_t requests_simulated = 0;
+  double wall_s = 0.0;
+  double denied_requests = 0.0;
+};
+
+SoakResult simulator_soak(const ChaosConfig& cfg) {
+  sc::core::ExperimentConfig base;
+  base.workload.catalog.num_objects = cfg.objects;
+  base.workload.trace.num_requests = cfg.requests;
+  base.runs = cfg.runs;
+  base.base_seed = cfg.seed;
+  base.sim.policy = "pb";
+  const double capacity =
+      sc::core::capacity_for_fraction(base.workload.catalog, 0.05);
+  base.sim.cache_capacity_bytes = capacity;
+
+  // Place fault windows inside the measured half of the trace (warmup
+  // discards the first half; the span follows from the arrival rate).
+  const double span = static_cast<double>(cfg.requests) /
+                      base.workload.trace.arrival_rate_per_s;
+  const std::vector<std::string> plans = {
+      std::string(),  // the control cell: provably inert
+      window_spec("fault:outage=%g+%g", 0.55 * span, 0.2 * span),
+      window_spec("fault:degrade=%g+%gx0.3", 0.55 * span, 0.3 * span),
+      window_spec("fault:flap=%g+%g@%g", 0.55 * span, 0.3 * span,
+                  0.02 * span),
+      window_spec("fault:blackout=%g+%g", 0.5 * span, 0.5 * span),
+  };
+  std::vector<SweepCell> cells;
+  for (const char* policy : {"pb", "lru"}) {
+    for (const std::string& plan : plans) {
+      cells.push_back(SweepCell{policy, -1.0, 0.05, {}, plan});
+    }
+  }
+
+  const auto scenario = sc::core::constant_scenario();
+  sc::core::ExperimentConfig serial = base;
+  serial.threads = 1;
+  sc::core::ExperimentConfig parallel = base;
+  parallel.threads = cfg.threads;
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto a = sc::core::SweepRunner(serial, scenario).run(cells);
+  const auto b = sc::core::SweepRunner(parallel, scenario).run(cells);
+  SoakResult result;
+  result.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  result.cells = cells.size();
+  result.requests_simulated = 2 * cells.size() * cfg.runs * cfg.requests;
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const std::string label = std::string(cells[i].policy) + " / " +
+                              (cells[i].fault.empty() ? "none"
+                                                      : cells[i].fault);
+    check_identical(a[i], b[i], label);
+    if (cells[i].fault.empty()) {
+      check(a[i].denied_requests == 0.0 && a[i].denied_bytes == 0.0,
+            "empty plan denied nothing (" + label + ")");
+    }
+    check(a[i].occupancy_bytes <= capacity + 1e-6,
+          "occupancy within budget (" + label + ")");
+    check(a[i].denied_bytes >= 0.0 && a[i].denied_requests >= 0.0,
+          "denied accounting non-negative (" + label + ")");
+    result.denied_requests += a[i].denied_requests;
+    std::printf("  soak %-28s denied/run %8.1f  occupancy %.2e\n",
+                label.c_str(), a[i].denied_requests, a[i].occupancy_bytes);
+  }
+  // The outage and flap cells must actually have denied something, or
+  // the soak is vacuous.
+  check(result.denied_requests > 0.0, "fault cells denied requests");
+  return result;
+}
+
+// ---------------------------------------------------------- live drill
+
+struct Sample {
+  double t = 0.0;   // wall seconds since daemon start
+  bool ok = false;  // kOk (vs kOriginDown)
+  bool hit = false; // kOk with cache_bytes > 0
+};
+
+struct DrillResult {
+  std::size_t requests = 0;
+  std::size_t errors = 0;  // kOriginDown replies
+  double error_rate = 0.0;
+  double pre_hit_ratio = 0.0;
+  double recovery_s = 0.0;
+  double wall_s = 0.0;
+};
+
+void drill_client(const std::string& host, std::uint16_t port,
+                  const sc::workload::Catalog& catalog, std::uint64_t seed,
+                  std::chrono::steady_clock::time_point epoch, double until_s,
+                  std::vector<Sample>& samples) {
+  sc::server::ProxyClient client(host, port);
+  sc::util::Rng rng(seed);
+  const auto hot = catalog.size() / 2;  // re-referenced half of the corpus
+  while (true) {
+    const double now =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch)
+            .count();
+    if (now >= until_s) break;
+    const auto object = static_cast<std::uint64_t>(
+        rng.uniform() * static_cast<double>(hot));
+    const std::uint64_t size =
+        static_cast<std::uint64_t>(catalog.object(object).size_bytes);
+    const std::uint64_t budget = std::min<std::uint64_t>(size, 128 * 1024);
+    for (std::uint64_t off = 0; off < budget; off += 64 * 1024) {
+      const std::uint64_t len = std::min<std::uint64_t>(64 * 1024,
+                                                        budget - off);
+      const auto reply = client.get(object, off, len);
+      Sample s;
+      s.t = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          epoch)
+                .count();
+      if (reply.status == sc::server::wire::kOk) {
+        // Byte conservation on every successful reply.
+        if (reply.cache_bytes + reply.origin_bytes != len ||
+            reply.data.size() != len) {
+          throw std::runtime_error(
+              "bench_chaos: reply does not conserve bytes");
+        }
+        s.ok = true;
+        s.hit = reply.cache_bytes > 0;
+      } else if (reply.status == sc::server::wire::kOriginDown) {
+        s.ok = false;  // typed, transient: exactly what the drill expects
+      } else {
+        throw std::runtime_error("bench_chaos: unexpected status " +
+                                 std::to_string(reply.status));
+      }
+      samples.push_back(s);
+      if (!s.ok) break;  // give up on this session, pick a new object
+    }
+  }
+}
+
+std::size_t open_fd_count() {
+  return static_cast<std::size_t>(std::distance(
+      std::filesystem::directory_iterator("/proc/self/fd"),
+      std::filesystem::directory_iterator{}));
+}
+
+double hit_ratio_between(const std::vector<Sample>& samples, double t0,
+                         double t1) {
+  std::size_t ok = 0, hits = 0;
+  for (const Sample& s : samples) {
+    if (s.t < t0 || s.t >= t1 || !s.ok) continue;
+    ++ok;
+    hits += s.hit ? 1 : 0;
+  }
+  return ok > 0 ? static_cast<double>(hits) / static_cast<double>(ok) : 0.0;
+}
+
+DrillResult live_drill(const ChaosConfig& cfg) {
+  const std::size_t fds_before = open_fd_count();
+  const double outage_end = cfg.warmup_s + cfg.outage_s;
+  const double drill_end = outage_end + cfg.post_s;
+
+  sc::server::ServiceConfig service;
+  service.objects = 256;
+  service.seed = cfg.seed;
+  service.policy = "lru";  // deterministic admission: prefixes get cached
+  service.estimator = "oracle";
+  service.cache_fraction = 0.1;
+  service.origin.fault =
+      window_spec("fault:outage=%g+%g", cfg.warmup_s, cfg.outage_s);
+  service.max_retries = 2;
+  service.retry_backoff_s = 0.02;
+  service.retry_backoff_max_s = 0.1;
+
+  sc::server::ServiceEngine engine(service);
+  sc::server::DaemonConfig daemon_config;
+  daemon_config.idle_timeout_s = 10.0;
+  sc::server::ProxyDaemon daemon(engine, daemon_config);
+  daemon.start();
+  const auto epoch = std::chrono::steady_clock::now();
+
+  std::vector<std::vector<Sample>> per_client(cfg.clients);
+  std::vector<std::thread> threads;
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  sc::util::Rng seeder(cfg.seed);
+  for (std::size_t c = 0; c < cfg.clients; ++c) {
+    const std::uint64_t seed =
+        seeder.fork("chaos-client-" + std::to_string(c)).seed();
+    threads.emplace_back([&, c, seed] {
+      try {
+        drill_client("127.0.0.1", daemon.port(), engine.catalog(), seed,
+                     epoch, drill_end, per_client[c]);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  DrillResult result;
+  result.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch)
+          .count();
+  std::vector<Sample> samples;
+  for (auto& v : per_client) {
+    samples.insert(samples.end(), v.begin(), v.end());
+  }
+  result.requests = samples.size();
+  for (const Sample& s : samples) result.errors += s.ok ? 0 : 1;
+  result.error_rate =
+      result.requests > 0
+          ? static_cast<double>(result.errors) /
+                static_cast<double>(result.requests)
+          : 0.0;
+
+  // The outage actually bit (typed errors), and the engine saw it the
+  // same way (counters + no fd leak after stop below).
+  check(result.errors > 0, "outage produced typed kOriginDown errors");
+  const sc::server::ServiceStats stats = engine.snapshot();
+  check(stats.origin_down > 0, "engine counted origin_down");
+  check(stats.degraded_hits > 0,
+        "cached objects kept serving during the outage");
+  check(stats.occupancy_bytes <= stats.capacity_bytes,
+        "live occupancy within budget");
+
+  // Recovery: the second half of the warm window is the pre-outage
+  // reference; after the window closes, find the first 0.25 s bucket
+  // whose hit ratio is back to >= 90% of it.
+  result.pre_hit_ratio =
+      hit_ratio_between(samples, 0.5 * cfg.warmup_s, cfg.warmup_s);
+  check(result.pre_hit_ratio > 0.0, "warm phase produced cache hits");
+  result.recovery_s = cfg.post_s;  // pessimistic default: never recovered
+  constexpr double kBucket = 0.25;
+  for (double t = outage_end; t + kBucket <= drill_end + 1e-9; t += kBucket) {
+    if (hit_ratio_between(samples, t, t + kBucket) >=
+        0.9 * result.pre_hit_ratio) {
+      result.recovery_s = t - outage_end;
+      break;
+    }
+  }
+  check(result.recovery_s <= cfg.recovery_bound_s,
+        "hit ratio recovered within the committed bound");
+
+  daemon.stop();
+  check(open_fd_count() == fds_before, "no fd leak across the drill");
+  return result;
+}
+
+int run(int argc, char** argv) {
+  const sc::util::Cli cli(argc, argv);
+  if (cli.has("help")) {
+    std::printf(
+        "usage: %s [flags]\n\n"
+        "  --quick              reduced soak + drill (CI smoke)\n"
+        "  --runs=N             soak replications per cell (default 2)\n"
+        "  --requests=N         soak trace length (default 20000)\n"
+        "  --objects=N          soak catalog size (default 400)\n"
+        "  --threads=N          parallel soak thread count (default 4)\n"
+        "  --clients=N          drill client threads (default 2)\n"
+        "  --warmup-s=F         drill warm window before the outage\n"
+        "  --outage-s=F         drill outage window length\n"
+        "  --post-s=F           drill observation window after recovery\n"
+        "  --recovery-bound-s=F committed recovery bound (default 5)\n"
+        "  --seed=S             base seed (default 42)\n"
+        "  --json=PATH          write the BENCH_chaos.json perf record\n",
+        cli.program().c_str());
+    return 0;
+  }
+  cli.check_unknown({"quick", "runs", "requests", "objects", "threads",
+                     "clients", "warmup-s", "outage-s", "post-s",
+                     "recovery-bound-s", "seed", "json", "help"});
+
+  ChaosConfig cfg;
+  if (cli.get_or("quick", false)) {
+    cfg.requests = 8000;
+    cfg.warmup_s = 1.0;
+    cfg.outage_s = 1.5;
+    cfg.post_s = 2.0;
+  }
+  cfg.runs = static_cast<std::size_t>(
+      cli.get_or("runs", static_cast<long long>(cfg.runs)));
+  cfg.requests = static_cast<std::size_t>(
+      cli.get_or("requests", static_cast<long long>(cfg.requests)));
+  cfg.objects = static_cast<std::size_t>(
+      cli.get_or("objects", static_cast<long long>(cfg.objects)));
+  cfg.threads = static_cast<std::size_t>(
+      cli.get_or("threads", static_cast<long long>(cfg.threads)));
+  cfg.clients = static_cast<std::size_t>(
+      cli.get_or("clients", static_cast<long long>(cfg.clients)));
+  cfg.warmup_s = cli.get_or("warmup-s", cfg.warmup_s);
+  cfg.outage_s = cli.get_or("outage-s", cfg.outage_s);
+  cfg.post_s = cli.get_or("post-s", cfg.post_s);
+  cfg.recovery_bound_s = cli.get_or("recovery-bound-s", cfg.recovery_bound_s);
+  cfg.seed = static_cast<std::uint64_t>(cli.get_or("seed", 42LL));
+  cfg.json_path = cli.get_or("json", std::string());
+  if (cfg.runs == 0 || cfg.requests == 0 || cfg.clients == 0 ||
+      cfg.warmup_s <= 0 || cfg.outage_s <= 0 || cfg.post_s <= 0) {
+    throw std::invalid_argument("bench_chaos: all knobs must be positive");
+  }
+
+  std::printf("bench_chaos phase 1: simulator soak (%zu requests x %zu "
+              "runs, threads 1 vs %zu)\n",
+              cfg.requests, cfg.runs, cfg.threads);
+  const SoakResult soak = simulator_soak(cfg);
+  std::printf("soak OK: %zu cells x 2 thread configs, %zu requests in "
+              "%.2f s, %.0f denied/run total\n",
+              soak.cells, soak.requests_simulated, soak.wall_s,
+              soak.denied_requests);
+
+  std::printf("bench_chaos phase 2: live outage drill (warm %.1fs, outage "
+              "%.1fs, post %.1fs, %zu clients)\n",
+              cfg.warmup_s, cfg.outage_s, cfg.post_s, cfg.clients);
+  const DrillResult drill = live_drill(cfg);
+  std::printf("drill OK: %zu requests, %zu typed errors (rate %.4f), "
+              "pre-outage hit ratio %.3f, recovery %.2f s (bound %.1f s)\n",
+              drill.requests, drill.errors, drill.error_rate,
+              drill.pre_hit_ratio, drill.recovery_s, cfg.recovery_bound_s);
+
+  if (!cfg.json_path.empty()) {
+    std::FILE* f = std::fopen(cfg.json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "warning: cannot write %s\n",
+                   cfg.json_path.c_str());
+    } else {
+      const double rps =
+          soak.wall_s > 0
+              ? static_cast<double>(soak.requests_simulated) / soak.wall_s
+              : 0.0;
+      std::fprintf(
+          f,
+          "{\n"
+          "  \"bench\": \"bench_chaos\",\n"
+          "  \"threads\": %zu,\n"
+          "  \"runs\": %zu,\n"
+          "  \"requests_per_run\": %zu,\n"
+          "  \"objects\": %zu,\n"
+          "  \"simulations\": %zu,\n"
+          "  \"requests_simulated\": %zu,\n"
+          "  \"drill_requests\": %zu,\n"
+          "  \"drill_errors\": %zu,\n"
+          "  \"error_rate\": %.6f,\n"
+          "  \"recovery_s\": %.6f,\n"
+          "  \"pre_outage_hit_ratio\": %.6f,\n"
+          "  \"lto\": %s,\n"
+          "  \"wall_s\": %.6f,\n"
+          "  \"requests_per_sec\": %.0f,\n"
+          "  \"allocations\": %llu,\n"
+          "  \"allocations_per_request\": -1.0,\n"
+          "  \"peak_rss_mb\": %.3f\n"
+          "}\n",
+          cfg.threads, cfg.runs, cfg.requests, cfg.objects,
+          2 * soak.cells * cfg.runs, soak.requests_simulated, drill.requests,
+          drill.errors, drill.error_rate, drill.recovery_s,
+          drill.pre_hit_ratio, SC_LTO ? "true" : "false",
+          soak.wall_s + drill.wall_s, rps,
+          static_cast<unsigned long long>(sc::bench::allocation_count()),
+          sc::bench::peak_rss_mb());
+      std::fclose(f);
+      std::printf("[perf record written to %s]\n", cfg.json_path.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sc::util::guarded_main(run, argc, argv);
+}

@@ -111,6 +111,9 @@ FigureConfig parse_figure_args(int argc, char** argv,
         "                       (trace:file=PATH replays a recorded trace)\n"
         "  --interactivity=<s>  session dynamics: full | exp:mean=S |\n"
         "                       empirical | trace (default full)\n"
+        "  --fault=<spec>       deterministic fault injection (default\n"
+        "                       none; e.g. fault:outage=120+60 — see\n"
+        "                       docs/CHAOS.md for the window grammar)\n"
         "  --latency-percentiles  report p50/p95/p99 of per-simulation\n"
         "                       wall times after each sweep\n\n%s",
         cli.program().c_str(), default_csv.c_str(),
@@ -122,8 +125,8 @@ FigureConfig parse_figure_args(int argc, char** argv,
                                     "seed",     "streaming",
                                     "csv",      "json",     "threads",
                                     "parallel", "policy",   "estimator",
-                                    "scenario", "interactivity", "help",
-                                    "latency-percentiles"};
+                                    "scenario", "interactivity", "fault",
+                                    "help", "latency-percentiles"};
   known.insert(known.end(), extra_flags.begin(), extra_flags.end());
   cli.check_unknown(known);
   FigureConfig cfg;
@@ -158,6 +161,8 @@ FigureConfig parse_figure_args(int argc, char** argv,
   cfg.interactivity = cli.get_or("interactivity", cfg.interactivity);
   // Fail fast on a bad session-dynamics spec, like the other axes.
   (void)sim::InteractivityConfig::parse(cfg.interactivity);
+  cfg.fault = cli.get_or("fault", cfg.fault);
+  (void)net::FaultPlan::parse(cfg.fault);  // fail fast on typos
   cfg.streaming = cli.get_or("streaming", cfg.streaming);
   (void)parse_streaming_mode(cfg.streaming);  // fail fast on typos
   if (const auto v = cli.get("policy")) {
@@ -207,6 +212,7 @@ core::ExperimentConfig base_experiment(const FigureConfig& config) {
   e.threads = config.threads;
   e.sim.estimator = config.estimator;
   e.sim.interactivity = sim::InteractivityConfig::parse(config.interactivity);
+  e.sim.fault = net::FaultPlan::parse(config.fault);
   e.streaming = parse_streaming_mode(config.streaming);
   return e;
 }
@@ -290,7 +296,7 @@ std::vector<SweepPoint> sweep_alpha_and_cache(
   for (const double alpha : alphas) {
     for (const auto& policy : policies) {
       for (const double fraction : fractions) {
-        cells.push_back(core::SweepCell{policy.spec, alpha, fraction, {}});
+        cells.push_back(core::SweepCell{policy.spec, alpha, fraction, {}, {}});
         SweepPoint p;
         p.policy = policy.label;
         p.cache_fraction = fraction;

@@ -17,6 +17,8 @@
 //   --scenario <spec>    override the figure's bandwidth scenario
 //                        ("trace:file=PATH" replays a recorded workload)
 //   --interactivity <s>  client session dynamics (default "full")
+//   --fault <spec>       deterministic fault injection (default none;
+//                        e.g. "fault:outage=120+60", see docs/CHAOS.md)
 //   --help               list flags and every registered component spec
 // and prints the paper-exhibit series as a table plus an ASCII chart.
 // Unknown flags fail with a did-you-mean suggestion.
@@ -64,6 +66,9 @@ struct FigureConfig {
   /// Client session dynamics spec applied to every sweep point
   /// (sim/interactivity.h; "full" = whole-stream sessions).
   std::string interactivity = "full";
+  /// Fault-injection spec applied to every sweep point (net/fault.h;
+  /// "" / "none" = no faults, provably inert).
+  std::string fault;
   /// Workload delivery mode: "auto" (stream above
   /// workload::kAutoStreamThreshold requests), "materialize", or
   /// "stream". Results are bit-identical across all three.

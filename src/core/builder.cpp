@@ -5,6 +5,7 @@
 
 #include "core/registry.h"
 #include "core/sweep.h"
+#include "net/fault.h"
 
 namespace sc::core {
 
@@ -93,6 +94,11 @@ ExperimentBuilder& ExperimentBuilder::interactivity(const std::string& spec) {
   return *this;
 }
 
+ExperimentBuilder& ExperimentBuilder::fault(const std::string& spec) {
+  config_.sim.fault = net::FaultPlan::parse(spec);
+  return *this;
+}
+
 namespace {
 
 // Value flags must actually carry a value; a bare `--cache-frac` (value
@@ -150,6 +156,7 @@ ExperimentBuilder& ExperimentBuilder::from_cli(const util::Cli& cli) {
   if (cli.has("interactivity")) {
     interactivity(require_value(cli, "interactivity"));
   }
+  if (cli.has("fault")) fault(require_value(cli, "fault"));
   if (cli.has("cache-frac")) {
     (void)require_value(cli, "cache-frac");
     cache_fraction(cli.get_or("cache-frac", 0.0));
@@ -191,7 +198,7 @@ std::vector<std::string> ExperimentBuilder::cli_flags() {
   return {"policy",  "estimator", "scenario",   "objects", "requests",
           "zipf",    "runs",      "seed",       "parallel", "threads",
           "warmup",  "viewing",   "patching",   "interactivity",
-          "cache-frac", "e"};
+          "fault",   "cache-frac", "e"};
 }
 
 std::string ExperimentBuilder::cli_help() {
@@ -206,6 +213,9 @@ std::string ExperimentBuilder::cli_help() {
       "  --warmup=F --parallel=0|1 --threads=N --viewing --patching\n"
       "  --interactivity=<spec>  session dynamics: full | exp:mean=S |\n"
       "                       empirical | trace (default full)\n"
+      "  --fault=<spec>       deterministic fault plan, e.g.\n"
+      "                       fault:outage=120+60 (default none; see\n"
+      "                       docs/CHAOS.md)\n"
       "  --e=E                legacy: e parameter for hybrid/pbv specs\n\n" +
       registry::help();
 }

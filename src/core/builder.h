@@ -54,6 +54,9 @@ class ExperimentBuilder {
   /// Client session dynamics spec ("full", "exp:mean=1800", "empirical",
   /// "trace"; validated immediately — see sim/interactivity.h).
   ExperimentBuilder& interactivity(const std::string& spec);
+  /// Deterministic fault plan ("fault:outage=120+60", "none"; validated
+  /// immediately — see net/fault.h and docs/CHAOS.md).
+  ExperimentBuilder& fault(const std::string& spec);
 
   /// Apply the shared flag set from a parsed command line. Flags not
   /// present keep their current values. `--e` (legacy Hybrid/PB-V

@@ -59,6 +59,10 @@ struct AveragedMetrics {
   double immediate_ratio = 0.0;
   double fill_bytes = 0.0;
   double occupancy_bytes = 0.0;
+  /// Mean per-replication requests/bytes denied by unreachable origins
+  /// (fault injection; identically 0 without a fault plan).
+  double denied_requests = 0.0;
+  double denied_bytes = 0.0;
 };
 
 struct ExperimentConfig {

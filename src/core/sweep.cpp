@@ -24,6 +24,8 @@ struct RunOutcome {
   double immediate = 0.0;
   double fill = 0.0;
   double occupancy = 0.0;
+  double denied_requests = 0.0;
+  double denied_bytes = 0.0;
 };
 
 RunOutcome extract_outcome(const sim::SimulationResult& r) {
@@ -36,6 +38,8 @@ RunOutcome extract_outcome(const sim::SimulationResult& r) {
   out.immediate = r.metrics.immediate_ratio();
   out.fill = r.metrics.fill_bytes();
   out.occupancy = r.final_occupancy_bytes;
+  out.denied_requests = static_cast<double>(r.metrics.denied_requests());
+  out.denied_bytes = r.metrics.denied_bytes();
   return out;
 }
 
@@ -91,7 +95,7 @@ util::Rng run_rng(std::uint64_t base_seed, std::size_t run_index) {
 
 AveragedMetrics reduce(const RunOutcome* outcomes, std::size_t runs) {
   stats::RunningStats traffic, delay, quality, value, hit, immediate, fill,
-      occupancy;
+      occupancy, denied_requests, denied_bytes;
   for (std::size_t r = 0; r < runs; ++r) {
     const RunOutcome& o = outcomes[r];
     traffic.add(o.traffic);
@@ -102,6 +106,8 @@ AveragedMetrics reduce(const RunOutcome* outcomes, std::size_t runs) {
     immediate.add(o.immediate);
     fill.add(o.fill);
     occupancy.add(o.occupancy);
+    denied_requests.add(o.denied_requests);
+    denied_bytes.add(o.denied_bytes);
   }
 
   AveragedMetrics m;
@@ -118,6 +124,8 @@ AveragedMetrics reduce(const RunOutcome* outcomes, std::size_t runs) {
   m.immediate_ratio = immediate.mean();
   m.fill_bytes = fill.mean();
   m.occupancy_bytes = occupancy.mean();
+  m.denied_requests = denied_requests.mean();
+  m.denied_bytes = denied_bytes.mean();
   return m;
 }
 
@@ -179,6 +187,9 @@ std::vector<AveragedMetrics> SweepRunner::run(
     if (!cells[c].interactivity.empty()) {
       sims[c].interactivity =
           sim::InteractivityConfig::parse(cells[c].interactivity);
+    }
+    if (!cells[c].fault.empty()) {
+      sims[c].fault = net::FaultPlan::parse(cells[c].fault);
     }
     cell_alpha[c] = cells[c].zipf_alpha >= 0 ? cells[c].zipf_alpha
                                              : base_.workload.trace.zipf_alpha;

@@ -47,6 +47,10 @@ struct SweepCell {
   /// sim/interactivity.h) so one grid can sweep session-dynamics modes
   /// while sharing workloads across them.
   std::string interactivity;
+  /// Fault-injection spec ("" = base.sim.fault; see net/fault.h, e.g.
+  /// "fault:outage=120+60") so one grid can sweep chaos scenarios while
+  /// sharing workloads and path models across them.
+  std::string fault;
 };
 
 /// What one SweepRunner::run call actually constructed (vs. the

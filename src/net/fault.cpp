@@ -1,0 +1,300 @@
+#include "net/fault.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/rng.h"
+#include "util/spec.h"
+
+namespace sc::net {
+
+namespace {
+
+const std::vector<std::string>& fault_param_names() {
+  static const std::vector<std::string> names = {"outage", "degrade",
+                                                 "blackout", "flap"};
+  return names;
+}
+
+/// Parse a strict double from an entire token (no trailing junk).
+double parse_number(const std::string& token, const std::string& context) {
+  if (token.empty()) {
+    throw util::SpecError("fault spec: " + context + ": empty number");
+  }
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    throw util::SpecError("fault spec: " + context + ": \"" + token +
+                          "\" is not a number");
+  }
+  return v;
+}
+
+/// Split `text` on `sep`, keeping empty segments (they are errors the
+/// window parser reports with context).
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, begin);
+    if (pos == std::string::npos) {
+      out.push_back(text.substr(begin));
+      return out;
+    }
+    out.push_back(text.substr(begin, pos - begin));
+    begin = pos + 1;
+  }
+}
+
+/// Parse one `START+DUR` core; the remainder (after DUR) is returned
+/// for family-specific suffixes.
+FaultWindow parse_window_core(const std::string& token,
+                              const std::string& family, std::string* rest) {
+  const std::size_t plus = token.find('+');
+  if (plus == std::string::npos) {
+    throw util::SpecError("fault spec: " + family + " window \"" + token +
+                          "\" must be START+DUR (e.g. 120+60)");
+  }
+  FaultWindow w;
+  w.start_s = parse_number(token.substr(0, plus), family + " window start");
+  // DUR runs until the first family-specific delimiter (x or @).
+  std::size_t end = plus + 1;
+  while (end < token.size() && token[end] != 'x' && token[end] != '@') ++end;
+  w.duration_s = parse_number(token.substr(plus + 1, end - plus - 1),
+                              family + " window duration");
+  if (w.start_s < 0) {
+    throw util::SpecError("fault spec: " + family + " window \"" + token +
+                          "\": start must be >= 0");
+  }
+  if (w.duration_s <= 0) {
+    throw util::SpecError("fault spec: " + family + " window \"" + token +
+                          "\": duration must be > 0");
+  }
+  if (rest != nullptr) *rest = token.substr(end);
+  return w;
+}
+
+std::vector<FaultWindow> parse_outage_like(const std::string& value,
+                                           const std::string& family) {
+  std::vector<FaultWindow> windows;
+  for (const std::string& token : split(value, '/')) {
+    std::string rest;
+    FaultWindow w = parse_window_core(token, family, &rest);
+    if (!rest.empty()) {
+      throw util::SpecError("fault spec: " + family + " window \"" + token +
+                            "\": unexpected trailing \"" + rest + "\"");
+    }
+    windows.push_back(w);
+  }
+  return windows;
+}
+
+std::vector<FaultWindow> parse_degrades(const std::string& value) {
+  std::vector<FaultWindow> windows;
+  for (const std::string& token : split(value, '/')) {
+    std::string rest;
+    FaultWindow w = parse_window_core(token, "degrade", &rest);
+    if (rest.empty() || rest[0] != 'x') {
+      throw util::SpecError("fault spec: degrade window \"" + token +
+                            "\" must be START+DURxSCALE[@PATH] "
+                            "(e.g. 300+120x0.25)");
+    }
+    const std::size_t at = rest.find('@');
+    w.scale = parse_number(rest.substr(1, at == std::string::npos
+                                              ? std::string::npos
+                                              : at - 1),
+                           "degrade scale");
+    if (w.scale <= 0 || w.scale >= 1) {
+      throw util::SpecError("fault spec: degrade window \"" + token +
+                            "\": scale must be in (0, 1) — use outage= for "
+                            "a full cut");
+    }
+    if (at != std::string::npos) {
+      const double path = parse_number(rest.substr(at + 1), "degrade path");
+      if (path < 0 || path != static_cast<double>(
+                                  static_cast<std::uint32_t>(path))) {
+        throw util::SpecError("fault spec: degrade window \"" + token +
+                              "\": @PATH must be a non-negative integer");
+      }
+      w.path = static_cast<std::uint32_t>(path);
+    }
+    windows.push_back(w);
+  }
+  return windows;
+}
+
+std::vector<FaultWindow> parse_flaps(const std::string& value) {
+  std::vector<FaultWindow> windows;
+  for (const std::string& token : split(value, '/')) {
+    std::string rest;
+    FaultWindow w = parse_window_core(token, "flap", &rest);
+    if (rest.empty() || rest[0] != '@') {
+      throw util::SpecError("fault spec: flap window \"" + token +
+                            "\" must be START+DUR@PERIOD (e.g. 600+300@20)");
+    }
+    w.period_s = parse_number(rest.substr(1), "flap period");
+    if (w.period_s <= 0) {
+      throw util::SpecError("fault spec: flap window \"" + token +
+                            "\": period must be > 0");
+    }
+    windows.push_back(w);
+  }
+  return windows;
+}
+
+void append_windows(std::string& out, const char* key,
+                    const std::vector<FaultWindow>& windows, bool degrade,
+                    bool flap) {
+  if (windows.empty()) return;
+  out += out.empty() ? ":" : ",";
+  out += key;
+  out += '=';
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const FaultWindow& w = windows[i];
+    if (i > 0) out += '/';
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%g+%g", w.start_s, w.duration_s);
+    out += buf;
+    if (degrade) {
+      std::snprintf(buf, sizeof buf, "x%g", w.scale);
+      out += buf;
+      if (w.path != FaultWindow::kAllPaths) {
+        std::snprintf(buf, sizeof buf, "@%u", w.path);
+        out += buf;
+      }
+    }
+    if (flap) {
+      std::snprintf(buf, sizeof buf, "@%g", w.period_s);
+      out += buf;
+    }
+  }
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+  FaultPlan plan;
+  if (text.empty()) return plan;
+  const util::Spec spec = util::Spec::parse(text);
+  if (spec.name == "none") {
+    if (!spec.params.empty()) {
+      throw util::SpecError("fault spec \"" + text +
+                            "\": \"none\" takes no parameters");
+    }
+    return plan;
+  }
+  if (spec.name != "fault") {
+    std::string msg = "unknown fault spec \"" + spec.name +
+                      "\" (valid: fault, none";
+    if (const auto near =
+            util::closest_match(spec.name, {"fault", "none"})) {
+      msg += "; did you mean \"" + *near + "\"?";
+    }
+    throw util::SpecError(msg + ")");
+  }
+  for (const auto& [key, value] : spec.params) {
+    if (key == "outage") {
+      plan.outages_ = parse_outage_like(value, "outage");
+    } else if (key == "degrade") {
+      plan.degrades_ = parse_degrades(value);
+    } else if (key == "blackout") {
+      plan.blackouts_ = parse_outage_like(value, "blackout");
+    } else if (key == "flap") {
+      plan.flaps_ = parse_flaps(value);
+    } else {
+      std::string msg = "fault spec \"" + text + "\": unknown parameter \"" +
+                        key + "\" (valid: " +
+                        util::join(fault_param_names());
+      if (const auto near = util::closest_match(key, fault_param_names())) {
+        msg += "; did you mean \"" + *near + "\"?";
+      }
+      throw util::SpecError(msg + ")");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  if (empty()) return "none";
+  std::string params;
+  append_windows(params, "outage", outages_, false, false);
+  append_windows(params, "degrade", degrades_, true, false);
+  append_windows(params, "blackout", blackouts_, false, false);
+  append_windows(params, "flap", flaps_, false, true);
+  return "fault" + params;
+}
+
+void FaultSchedule::compile(const FaultPlan& plan, std::size_t n_paths,
+                            std::uint64_t seed) {
+  plan_ = plan;
+  flap_phase_.clear();
+  if (plan_.flaps().empty()) return;
+  flap_phase_.resize(n_paths);
+  for (std::size_t p = 0; p < n_paths; ++p) {
+    // splitmix64 of (seed, path): a fixed per-path phase in [0, 1) that
+    // depends on nothing but the schedule seed — identical for every
+    // engine and thread count, different across replications.
+    const std::uint64_t h =
+        util::splitmix64(seed ^ (0x9E3779B97F4A7C15ull * (p + 1)));
+    flap_phase_[p] =
+        static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  }
+}
+
+void FaultSchedule::clear() {
+  plan_ = FaultPlan{};
+  flap_phase_.clear();
+}
+
+bool FaultSchedule::origin_down(PathId path, double now_s) const {
+  for (const FaultWindow& w : plan_.outages()) {
+    if (w.contains(now_s)) return true;
+  }
+  for (const FaultWindow& w : plan_.flaps()) {
+    if (!w.contains(now_s)) continue;
+    const double phase =
+        path < flap_phase_.size() ? flap_phase_[path] : 0.0;
+    // Square wave with 50% duty: down during the first half of each
+    // period, shifted by the path's phase.
+    const double t = (now_s - w.start_s) / w.period_s + phase;
+    if (t - std::floor(t) < 0.5) return true;
+  }
+  return false;
+}
+
+double FaultSchedule::bandwidth_scale(PathId path, double now_s) const {
+  if (origin_down(path, now_s)) return 0.0;
+  double scale = 1.0;
+  for (const FaultWindow& w : plan_.degrades()) {
+    if (!w.contains(now_s)) continue;
+    if (w.path != FaultWindow::kAllPaths && w.path != path) continue;
+    scale *= w.scale;
+  }
+  return scale;
+}
+
+bool FaultSchedule::blackout(double now_s) const {
+  for (const FaultWindow& w : plan_.blackouts()) {
+    if (w.contains(now_s)) return true;
+  }
+  return false;
+}
+
+double FaultSchedule::next_all_clear(double now_s) const {
+  double clear = now_s;
+  for (const FaultWindow& w : plan_.outages()) {
+    if (w.contains(clear) || w.start_s >= clear) {
+      clear = std::max(clear, w.start_s + w.duration_s);
+    }
+  }
+  for (const FaultWindow& w : plan_.flaps()) {
+    if (w.contains(clear) || w.start_s >= clear) {
+      clear = std::max(clear, w.start_s + w.duration_s);
+    }
+  }
+  return clear;
+}
+
+}  // namespace sc::net

@@ -1,0 +1,160 @@
+// Deterministic fault injection for the network half of the system.
+//
+// The paper evaluates its utility policies under well-behaved path
+// processes; a production cache also has to survive the network
+// misbehaving. This header defines one fault model shared verbatim by
+// the simulator (sim/run_loop.h) and the live proxy daemon
+// (server/origin.h), so "which policy degrades gracefully under a
+// 10-minute origin outage" is answerable in both worlds from the same
+// spec string:
+//
+//   fault:outage=120+60,degrade=300+120x0.25,blackout=150+90,
+//         flap=600+300@20
+//
+// Four independent fault families, each a list of timed windows on the
+// run's clock (simulated seconds in the simulator, wall seconds since
+// engine start in the daemon):
+//
+//   outage=START+DUR[/START+DUR...]
+//       Full origin outage: every path's bandwidth is zero inside the
+//       window. Requests can only be served from the cached prefix.
+//   degrade=START+DURxSCALE[@PATH][/...]
+//       Bandwidth degradation: inside the window, affected paths
+//       deliver SCALE x their sampled bandwidth (0 < SCALE < 1). An
+//       optional @PATH restricts the window to one path id; omitted
+//       means every path. Overlapping windows multiply.
+//   blackout=START+DUR[/...]
+//       Estimator observation blackout: completion observations whose
+//       due time falls inside the window are dropped before reaching
+//       the estimator (the measurement plane failing independently of
+//       the data plane).
+//   flap=START+DUR@PERIOD[/...]
+//       Path flapping: inside the window each path alternates up/down
+//       with the given period (50% duty cycle), with a deterministic
+//       per-path phase derived from the schedule seed — paths do not
+//       flap in lockstep, but the same (plan, seed, path) always flaps
+//       identically.
+//
+// Determinism contract: a FaultPlan is pure parsed data; compiling it
+// into a FaultSchedule uses only (plan, n_paths, seed), so every
+// engine, thread count, and replay of the same replication sees the
+// identical event timeline. An EMPTY plan is provably inert — callers
+// skip the fault hooks entirely when plan.empty(), so the golden CSVs
+// stay byte-identical (enforced by tests/test_fault.cpp and the
+// golden-CSV ctests).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/path_process.h"
+
+namespace sc::net {
+
+/// One timed fault window [start_s, start_s + duration_s).
+struct FaultWindow {
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  /// Bandwidth multiplier inside the window (degrade family only;
+  /// outage/blackout windows keep the default 0).
+  double scale = 0.0;
+  /// Affected path, or kAllPaths (degrade family only).
+  std::uint32_t path = kAllPaths;
+  /// Up/down alternation period (flap family only).
+  double period_s = 0.0;
+
+  static constexpr std::uint32_t kAllPaths = 0xFFFFFFFFu;
+
+  [[nodiscard]] bool contains(double now_s) const noexcept {
+    return now_s >= start_s && now_s < start_s + duration_s;
+  }
+};
+
+/// A parsed, immutable fault specification. Pure data: carries no
+/// per-run state and is cheap to copy into SimulationConfig /
+/// OriginConfig. Parse errors (unknown names or parameters, malformed
+/// windows) raise util::SpecError with did-you-mean suggestions,
+/// matching every other component spec in the registry.
+class FaultPlan {
+ public:
+  /// Parse a fault spec string. "", "none", and "fault" (no params) all
+  /// yield the empty plan.
+  [[nodiscard]] static FaultPlan parse(const std::string& text);
+
+  /// True when the plan injects nothing; callers use this to skip the
+  /// fault hooks entirely (the inertness guarantee).
+  [[nodiscard]] bool empty() const noexcept {
+    return outages_.empty() && degrades_.empty() && blackouts_.empty() &&
+           flaps_.empty();
+  }
+
+  [[nodiscard]] const std::vector<FaultWindow>& outages() const noexcept {
+    return outages_;
+  }
+  [[nodiscard]] const std::vector<FaultWindow>& degrades() const noexcept {
+    return degrades_;
+  }
+  [[nodiscard]] const std::vector<FaultWindow>& blackouts() const noexcept {
+    return blackouts_;
+  }
+  [[nodiscard]] const std::vector<FaultWindow>& flaps() const noexcept {
+    return flaps_;
+  }
+
+  /// Canonical spec string ("none" for the empty plan); parse() of the
+  /// result reproduces the plan.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<FaultWindow> outages_;
+  std::vector<FaultWindow> degrades_;
+  std::vector<FaultWindow> blackouts_;
+  std::vector<FaultWindow> flaps_;
+};
+
+/// A plan compiled against one run: per-path flap phases are fixed by
+/// (seed, path), so queries are pure functions of (path, now_s).
+/// Queries are O(windows) linear scans — plans hold a handful of
+/// windows, and scanning four short arrays beats any index for that
+/// size. Thread-safe after compile() (all queries are const).
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  /// Compile `plan` for a run over `n_paths` paths. `seed` fixes the
+  /// flap phases; use the run's fault stream
+  /// (Rng(run_seed).fork("faults").seed()) so every engine derives the
+  /// identical schedule.
+  void compile(const FaultPlan& plan, std::size_t n_paths,
+               std::uint64_t seed);
+
+  /// Reset to the empty schedule (every query returns "no fault").
+  void clear();
+
+  [[nodiscard]] bool empty() const noexcept { return plan_.empty(); }
+
+  /// True when `path` cannot reach the origin at `now_s`: a full outage
+  /// window is active, or a flap window has the path in its down phase.
+  [[nodiscard]] bool origin_down(PathId path, double now_s) const;
+
+  /// Bandwidth multiplier for `path` at `now_s`: 0 when origin_down,
+  /// else the product of every active degrade window affecting the
+  /// path, else 1.
+  [[nodiscard]] double bandwidth_scale(PathId path, double now_s) const;
+
+  /// True when estimator completion observations due at `now_s` are
+  /// dropped.
+  [[nodiscard]] bool blackout(double now_s) const;
+
+  /// Earliest time >= now_s at which no outage/flap window is active
+  /// anywhere (used by soak harnesses to bound recovery checks).
+  [[nodiscard]] double next_all_clear(double now_s) const;
+
+ private:
+  FaultPlan plan_;
+  /// Per-path flap phase in [0, 1), derived from (seed, path).
+  std::vector<double> flap_phase_;
+};
+
+}  // namespace sc::net

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 #include <string>
@@ -96,6 +97,9 @@ void ProxyDaemon::stop() {
 }
 
 void ProxyDaemon::accept_loop() {
+  // Log fd exhaustion once per episode, not once per rejected accept —
+  // a saturated daemon must not also saturate its log.
+  bool fd_exhaustion_logged = false;
   while (!stop_.load(std::memory_order_relaxed)) {
     pollfd p{listen_fd_, POLLIN, 0};
     const int r = ::poll(&p, 1, kPollMs);
@@ -106,7 +110,25 @@ void ProxyDaemon::accept_loop() {
     if (r == 0) continue;
     const int fd =
         ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
-    if (fd < 0) continue;
+    if (fd < 0) {
+      // accept() failures must never kill the accept loop: a peer that
+      // aborted mid-handshake (ECONNABORTED) or a signal (EINTR) is
+      // routine, and fd exhaustion (EMFILE/ENFILE) is an overload
+      // condition to ride out — back off so existing connections can
+      // finish and return their fds, then keep accepting.
+      if (errno == EMFILE || errno == ENFILE) {
+        if (!fd_exhaustion_logged) {
+          fd_exhaustion_logged = true;
+          std::fprintf(stderr,
+                       "ProxyDaemon: accept: %s (fd exhaustion; backing off "
+                       "until connections drain)\n",
+                       std::strerror(errno));
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+      continue;
+    }
+    fd_exhaustion_logged = false;
     // Bound how long a stalled peer can pin a thread mid-frame; the
     // idle case waits in poll(), not read(), so this only fires on
     // genuinely wedged connections.
@@ -146,6 +168,7 @@ void ProxyDaemon::handle_connection(int fd) {
   bool streaming = false;
   std::uint64_t session_object = 0;
   std::uint64_t high_water = 0;
+  auto last_activity = std::chrono::steady_clock::now();
 
   while (!stop_.load(std::memory_order_relaxed)) {
     pollfd p{fd, POLLIN, 0};
@@ -154,8 +177,20 @@ void ProxyDaemon::handle_connection(int fd) {
       if (errno == EINTR) continue;
       break;
     }
-    if (r == 0) continue;
+    if (r == 0) {
+      // Idle: no frame pending. Disconnect silent connections after
+      // the configured timeout so they cannot hold a thread + fd
+      // forever (the client sees a clean close and reconnects).
+      if (config_.idle_timeout_s > 0 &&
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        last_activity)
+                  .count() > config_.idle_timeout_s) {
+        break;
+      }
+      continue;
+    }
     if (!wire::read_frame(fd, body)) break;
+    last_activity = std::chrono::steady_clock::now();
 
     reply.clear();
     if (body.empty()) {

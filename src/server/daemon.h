@@ -35,6 +35,11 @@ struct DaemonConfig {
   /// Wall-clock period of the estimator ticker.
   double tick_interval_s = 0.1;
   int listen_backlog = 64;
+  /// Disconnect a connection that has sent no complete frame for this
+  /// many wall seconds (0 disables). Bounds how long an idle or wedged
+  /// client can hold a connection thread + fd; a client mid-request is
+  /// unaffected because activity resets on every frame.
+  double idle_timeout_s = 0.0;
 };
 
 class ProxyDaemon {

@@ -1,8 +1,10 @@
 #include "server/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <thread>
 #include <utility>
 
 #include "core/registry.h"
@@ -36,6 +38,13 @@ ServiceEngine::ServiceEngine(ServiceConfig config)
       start_(std::chrono::steady_clock::now()) {
   store_.reserve(catalog_.size());
   kernel_.emplace(*policy_, *estimator_, store_, events_);
+  // Wall-clock estimator blackouts: the kernel drops observations due
+  // inside a blackout window, exactly as in the simulator. The empty
+  // schedule is never attached, keeping the fault-free tick path
+  // untouched.
+  if (!origin_.faults().empty()) {
+    kernel_->set_faults(&origin_.faults());
+  }
 }
 
 std::uint64_t ServiceEngine::object_size(workload::ObjectId id) const {
@@ -56,6 +65,27 @@ double ServiceEngine::now_s() const {
 ServeResult ServiceEngine::serve_range(std::uint64_t object,
                                        std::uint64_t offset,
                                        std::uint64_t length) {
+  ServeResult res = serve_range_once(object, offset, length, false);
+  // Bounded exponential-backoff retries on a down origin. The sleeps
+  // happen here — on the calling connection's thread, with the engine
+  // lock released — so retries never serialize other requests.
+  double backoff = config_.retry_backoff_s;
+  for (std::size_t attempt = 0;
+       res.status == wire::kOriginDown && attempt < config_.max_retries;
+       ++attempt) {
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    }
+    backoff = std::min(backoff * 2.0, config_.retry_backoff_max_s);
+    res = serve_range_once(object, offset, length, true);
+  }
+  return res;
+}
+
+ServeResult ServiceEngine::serve_range_once(std::uint64_t object,
+                                            std::uint64_t offset,
+                                            std::uint64_t length,
+                                            bool is_retry) {
   ServeResult res;
   if (object >= catalog_.size()) {
     res.status = wire::kBadObject;
@@ -71,6 +101,7 @@ ServeResult ServiceEngine::serve_range(std::uint64_t object,
 
   const double now = now_s();
   const std::lock_guard<std::mutex> lock(mu_);
+  if (is_retry) ++origin_retries_;
   // Deliver estimator observations that came due since the last entry.
   kernel_->tick(now);
 
@@ -81,20 +112,50 @@ ServeResult ServiceEngine::serve_range(std::uint64_t object,
   res.cache_bytes = static_cast<std::uint64_t>(cached_in_range);
   res.origin_bytes = length - res.cache_bytes;
 
+  const bool origin_up = origin_.available(obj.path, now);
+  if (res.origin_bytes > 0 && !origin_up) {
+    // The range needs upstream bytes the path cannot deliver. Typed
+    // transient failure — no outcome is recorded (nothing was served),
+    // no admission runs (the origin cannot back a fill).
+    ++origin_down_;
+    res.status = wire::kOriginDown;
+    return res;
+  }
+
   if (length > 0) {
     // The §2.2 delivery model over the requested range: the range plays
     // out for length / r_i seconds, its "cached prefix" is the part the
     // store covers, the rest streams at the path's instantaneous
-    // bandwidth (simulated units, as everywhere else).
+    // bandwidth (simulated units, as everywhere else). Degrade windows
+    // scale `bw` inside origin_.bandwidth(); outages were handled
+    // above, so bw > 0 whenever origin bytes are needed.
     const double bw = origin_.bandwidth(obj.path, now);
-    const sim::ServiceOutcome outcome = sim::deliver(
-        static_cast<double>(length) / obj.bitrate, obj.bitrate,
-        static_cast<double>(length), bw, static_cast<double>(res.cache_bytes));
+    if (res.origin_bytes > 0) {
+      const double wall_s =
+          origin_.wall_delay_s(static_cast<double>(res.origin_bytes), bw);
+      if (config_.origin_timeout_s > 0 && wall_s > config_.origin_timeout_s) {
+        // A stall this long (e.g. a heavy degrade window) is treated as
+        // an unreachable origin rather than pinning the thread.
+        ++origin_timeouts_;
+        ++origin_down_;
+        res.status = wire::kOriginDown;
+        return res;
+      }
+      res.origin_wall_s = wall_s;
+    }
+    // A fully-cached range during an outage has bw == 0; deliver()
+    // requires bw > 0, so the cache-only form covers it (quality 1,
+    // immediate — the prefix covers the whole range).
+    const sim::ServiceOutcome outcome =
+        bw > 0 ? sim::deliver(static_cast<double>(length) / obj.bitrate,
+                              obj.bitrate, static_cast<double>(length), bw,
+                              static_cast<double>(res.cache_bytes))
+               : sim::deliver_cache_only(static_cast<double>(length),
+                                         static_cast<double>(res.cache_bytes));
     res.delay_s = outcome.delay_s;
     metrics_.record(outcome, obj.value);
+    if (!origin_up) ++degraded_hits_;  // fully-cached kOk during an outage
     if (res.origin_bytes > 0) {
-      res.origin_wall_s =
-          origin_.wall_delay_s(static_cast<double>(res.origin_bytes), bw);
       // Passive estimators learn the transfer's throughput when it
       // completes — at a *wall-clock* time here, drained by tick().
       if (kernel_->observes()) {
@@ -108,8 +169,9 @@ ServeResult ServiceEngine::serve_range(std::uint64_t object,
   // the paper's policies count. Continuation chunks (offset > 0) serve
   // bytes but do not re-run admission, so a session streamed as N
   // ranges updates frequencies and utilities once, like one simulated
-  // request.
-  if (offset == 0) {
+  // request. While the origin is down no admission runs — it could not
+  // back the fill traffic a grown prefix implies.
+  if (offset == 0 && origin_up) {
     const double after = kernel_->admit(object, now);
     if (after > cached_prefix) {
       metrics_.record_fill(after - cached_prefix);
@@ -151,23 +213,30 @@ ServiceStats ServiceEngine::snapshot() const {
   s.sessions = sessions_;
   s.mean_viewed_fraction = metrics_.average_viewed_fraction();
   s.estimator_overhead_packets = estimator_->overhead_packets();
+  s.origin_down = origin_down_;
+  s.origin_retries = origin_retries_;
+  s.origin_timeouts = origin_timeouts_;
+  s.degraded_hits = degraded_hits_;
   return s;
 }
 
 std::string ServiceEngine::stats_json() const {
   const ServiceStats s = snapshot();
-  char buf[512];
+  char buf[768];
   std::snprintf(buf, sizeof buf,
                 "{\"requests\": %zu, \"hit_ratio\": %.6f, "
                 "\"byte_hit_ratio\": %.6f, \"mean_delay_s\": %.6f, "
                 "\"occupancy_bytes\": %.0f, \"cached_objects\": %zu, "
                 "\"capacity_bytes\": %.0f, \"sessions\": %zu, "
                 "\"mean_viewed_fraction\": %.6f, "
-                "\"estimator_overhead_packets\": %zu}",
+                "\"estimator_overhead_packets\": %zu, "
+                "\"origin_down\": %zu, \"origin_retries\": %zu, "
+                "\"origin_timeouts\": %zu, \"degraded_hits\": %zu}",
                 s.requests, s.hit_ratio, s.byte_hit_ratio, s.mean_delay_s,
                 s.occupancy_bytes, s.cached_objects, s.capacity_bytes,
                 s.sessions, s.mean_viewed_fraction,
-                s.estimator_overhead_packets);
+                s.estimator_overhead_packets, s.origin_down, s.origin_retries,
+                s.origin_timeouts, s.degraded_hits);
   return std::string(buf);
 }
 

@@ -62,6 +62,18 @@ struct ServiceConfig {
   double cache_fraction = 0.02;
   double cache_capacity_bytes = 0.0;
   OriginConfig origin{};
+  /// Per-attempt origin fetch timeout (wall seconds; 0 disables): an
+  /// attempt whose upstream stall would exceed it fails as kOriginDown
+  /// instead of pinning the connection thread for the full stall.
+  double origin_timeout_s = 0.0;
+  /// Bounded retries when an attempt finds the origin unreachable:
+  /// serve_range re-tries up to `max_retries` times with exponential
+  /// backoff (retry_backoff_s doubling up to retry_backoff_max_s),
+  /// sleeping OUTSIDE the engine lock between attempts. Only after the
+  /// last attempt does the client see kOriginDown.
+  std::size_t max_retries = 3;
+  double retry_backoff_s = 0.05;
+  double retry_backoff_max_s = 1.0;
 };
 
 /// Everything the wire layer needs to answer one GET.
@@ -87,6 +99,11 @@ struct ServiceStats {
   std::size_t sessions = 0;
   double mean_viewed_fraction = 1.0;
   std::size_t estimator_overhead_packets = 0;
+  /// Fault/recovery counters (all 0 without a fault plan; docs/CHAOS.md).
+  std::size_t origin_down = 0;      // attempts that found the origin down
+  std::size_t origin_retries = 0;   // retry attempts made
+  std::size_t origin_timeouts = 0;  // attempts over origin_timeout_s
+  std::size_t degraded_hits = 0;    // fully-cached kOk while origin down
 };
 
 class ServiceEngine {
@@ -122,6 +139,14 @@ class ServiceEngine {
   /// byte split plus the upstream stall to sleep outside it. `length`
   /// of zero is valid (a probe); ranges beyond the object or above
   /// wire::kMaxGetLength are rejected.
+  ///
+  /// Degradation contract under an origin fault (docs/CHAOS.md): a
+  /// range the cached prefix fully covers is served kOk regardless of
+  /// origin health; a range needing origin bytes is retried with
+  /// bounded exponential backoff (ServiceConfig) and, only when every
+  /// attempt finds the origin down or over-timeout, fails with the
+  /// typed wire::kOriginDown status. Backoff sleeps happen on the
+  /// calling thread outside the engine lock.
   [[nodiscard]] ServeResult serve_range(std::uint64_t object,
                                         std::uint64_t offset,
                                         std::uint64_t length);
@@ -143,6 +168,12 @@ class ServiceEngine {
   using Kernel =
       sim::DecisionKernel<cache::CachePolicy, net::BandwidthEstimator>;
 
+  /// One serve attempt (no retries; `is_retry` only tags the counter).
+  [[nodiscard]] ServeResult serve_range_once(std::uint64_t object,
+                                             std::uint64_t offset,
+                                             std::uint64_t length,
+                                             bool is_retry);
+
   ServiceConfig config_;
   workload::Catalog catalog_;
   SimulatedOrigin origin_;
@@ -153,6 +184,11 @@ class ServiceEngine {
   std::optional<Kernel> kernel_;
   sim::MetricsCollector metrics_;
   std::size_t sessions_ = 0;
+  // Fault/recovery counters, guarded by mu_ like every other counter.
+  std::size_t origin_down_ = 0;
+  std::size_t origin_retries_ = 0;
+  std::size_t origin_timeouts_ = 0;
+  std::size_t degraded_hits_ = 0;
   std::chrono::steady_clock::time_point start_;
   mutable std::mutex mu_;
 };

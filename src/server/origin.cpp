@@ -27,6 +27,11 @@ SimulatedOrigin::SimulatedOrigin(std::size_t n_paths,
                                  std::uint64_t seed)
     : config_(config),
       model_(build_model(n_paths, config.scenario, seed)),
-      sampler_(model_) {}
+      sampler_(model_) {
+  // The same tag-keyed seed derivation the simulator uses, so a daemon
+  // and a simulation sharing (plan, seed) flap identically.
+  faults_.compile(net::FaultPlan::parse(config.fault), n_paths,
+                  util::Rng(seed).fork("faults").seed());
+}
 
 }  // namespace sc::server

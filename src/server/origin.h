@@ -20,6 +20,7 @@
 #include <memory>
 #include <string>
 
+#include "net/fault.h"
 #include "net/path_process.h"
 
 namespace sc::server {
@@ -33,6 +34,11 @@ struct OriginConfig {
   /// Wall seconds slept per *simulated* transfer second (N / b). 0
   /// keeps fetches latency-only.
   double time_scale = 0.0;
+  /// Deterministic fault plan on the daemon's wall clock (net/fault.h;
+  /// the same spec grammar the simulator sweeps). Outage/flap windows
+  /// zero the sampled bandwidth, degrade windows scale it, blackout
+  /// windows drop estimator observations. "" / "none" injects nothing.
+  std::string fault;
 };
 
 class SimulatedOrigin {
@@ -51,10 +57,27 @@ class SimulatedOrigin {
   }
 
   /// Instantaneous bandwidth of `path` at engine time `now_s`
-  /// (bytes/second, simulated units). Mutates sampler state — callers
-  /// serialize (the engine invokes this under its lock).
+  /// (bytes/second, simulated units), scaled by any active fault
+  /// window — 0 while the origin is unreachable. Mutates sampler state
+  /// — callers serialize (the engine invokes this under its lock).
+  /// The sampler draw happens even when the path is down so the
+  /// post-recovery bandwidth stream is the identical sequence a
+  /// fault-free run would have produced.
   [[nodiscard]] double bandwidth(net::PathId path, double now_s) {
-    return sampler_.sample_bandwidth(path, now_s);
+    const double bw = sampler_.sample_bandwidth(path, now_s);
+    return faults_.empty() ? bw : bw * faults_.bandwidth_scale(path, now_s);
+  }
+
+  /// True when `path` can reach this origin at `now_s` (always true
+  /// without a fault plan).
+  [[nodiscard]] bool available(net::PathId path, double now_s) const {
+    return faults_.empty() || !faults_.origin_down(path, now_s);
+  }
+
+  /// The compiled fault schedule (empty without a plan). Stable address
+  /// for the engine's kernel hookup (blackout filtering).
+  [[nodiscard]] const net::FaultSchedule& faults() const noexcept {
+    return faults_;
   }
 
   /// Wall-clock stall for fetching `bytes` at `bandwidth` from this
@@ -68,6 +91,7 @@ class SimulatedOrigin {
   OriginConfig config_;
   std::shared_ptr<const net::PathModel> model_;
   net::PathSampler sampler_;
+  net::FaultSchedule faults_;
 };
 
 }  // namespace sc::server

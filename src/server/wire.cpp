@@ -1,6 +1,7 @@
 #include "server/wire.h"
 
 #include <cerrno>
+#include <sys/socket.h>
 #include <unistd.h>
 
 namespace sc::server::wire {
@@ -8,10 +9,14 @@ namespace sc::server::wire {
 namespace {
 
 /// Write exactly `n` bytes, absorbing partial writes and EINTR.
+/// MSG_NOSIGNAL turns a write to a half-closed peer into EPIPE instead
+/// of a process-killing SIGPIPE — an abruptly-closed client must never
+/// take the daemon down (the caller sees `false` and drops the
+/// connection).
 bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
   std::size_t done = 0;
   while (done < n) {
-    const ssize_t w = ::write(fd, data + done, n - done);
+    const ssize_t w = ::send(fd, data + done, n - done, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
       return false;

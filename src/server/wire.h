@@ -47,6 +47,12 @@ inline constexpr std::uint8_t kOk = 0;
 inline constexpr std::uint8_t kBadObject = 1;  // unknown object id
 inline constexpr std::uint8_t kBadRange = 2;   // range outside the object
 inline constexpr std::uint8_t kBadRequest = 3; // malformed frame / opcode
+/// The range needed origin bytes but the upstream path is unreachable
+/// (outage / timeout) and bounded retries were exhausted. Transient:
+/// the same request succeeds once the origin recovers, and
+/// fully-cached ranges keep answering kOk throughout (graceful
+/// degradation; see docs/CHAOS.md).
+inline constexpr std::uint8_t kOriginDown = 4;
 
 /// Largest range one GET may request. Bounds per-connection buffer
 /// growth; clients fetch bigger extents as successive ranges.

@@ -24,6 +24,7 @@
 #include <limits>
 
 #include "cache/store.h"
+#include "net/fault.h"
 #include "net/path_process.h"
 #include "sim/event_queue.h"
 #include "workload/object_catalog.h"
@@ -92,6 +93,15 @@ class DecisionKernel {
   /// record_transfer on it to skip dead event traffic).
   [[nodiscard]] bool observes() const noexcept { return observes_; }
 
+  /// Attach a compiled fault schedule (net/fault.h): observations whose
+  /// due time falls inside a blackout window are dropped in tick()
+  /// before reaching the estimator. Null (the default) detaches — the
+  /// tick path is then exactly the pre-fault-layer code, which is what
+  /// keeps an empty fault plan inert.
+  void set_faults(const net::FaultSchedule* faults) noexcept {
+    faults_ = faults;
+  }
+
   /// Current bandwidth estimate for `path` (bytes/second).
   [[nodiscard]] double estimate(net::PathId path, double now_s) {
     return estimator_->estimate(path, now_s);
@@ -103,9 +113,20 @@ class DecisionKernel {
   /// from the wall clock (per request and from a periodic ticker), which
   /// is what makes EWMA/probe estimators age on real seconds.
   void tick(double now_s) {
-    events_->run_until(now_s, [this](double now, ObservationEvent& ev) {
-      estimator_->observe(ev.path, ev.throughput, now);
-    });
+    if (faults_ == nullptr) {
+      events_->run_until(now_s, [this](double now, ObservationEvent& ev) {
+        estimator_->observe(ev.path, ev.throughput, now);
+      });
+    } else {
+      // Estimator blackout: the measurement plane is down — due
+      // observations are consumed (the transfer still happened) but
+      // never reach the estimator.
+      events_->run_until(now_s, [this](double now, ObservationEvent& ev) {
+        if (!faults_->blackout(now)) {
+          estimator_->observe(ev.path, ev.throughput, now);
+        }
+      });
+    }
   }
 
   /// Flush every pending observation regardless of time (end of run).
@@ -142,6 +163,7 @@ class DecisionKernel {
   Estimator* estimator_;
   cache::PartialStore* store_;
   ObservationQueue* events_;
+  const net::FaultSchedule* faults_ = nullptr;
   bool observes_;
 };
 

@@ -124,6 +124,30 @@ inline constexpr double kDeliveryByteEps = 1.0;
   return out;
 }
 
+/// The outcome of a request whose origin is unreachable (fault
+/// injection, net/fault.h): only the cached prefix is delivered, the
+/// remainder is *denied* rather than delayed — there is no finite
+/// bandwidth to divide the deficit by. Quality is the supported
+/// fraction of the stream the prefix alone sustains; the request plays
+/// immediately only when fully cached. Callers account the shortfall
+/// via MetricsCollector::record_denied.
+[[nodiscard]] inline ServiceOutcome deliver_cache_only(
+    double size_bytes, double cached_prefix_bytes,
+    int quality_layers = kDefaultQualityLayers) {
+  const double cached = std::clamp(cached_prefix_bytes, 0.0, size_bytes);
+  ServiceOutcome out;
+  out.bytes_from_cache = cached;
+  out.bytes_from_origin = 0.0;
+  if (size_bytes <= 0 || cached + kDeliveryByteEps >= size_bytes) {
+    out.quality_continuous = 1.0;
+  } else {
+    out.quality_continuous = cached / size_bytes;
+  }
+  out.quality = quantize_quality(out.quality_continuous, quality_layers);
+  out.immediate = out.quality_continuous >= 1.0;
+  return out;
+}
+
 /// Compute the outcome of serving an object with `cached_prefix_bytes`
 /// cached and instantaneous origin bandwidth `bandwidth` (bytes/second,
 /// > 0). The scalar form is the hot-path entry point (fed from the

@@ -20,6 +20,14 @@ class MetricsCollector {
   /// Record origin->cache fill traffic caused by an admission decision.
   void record_fill(double bytes) { fill_bytes_ += bytes; }
 
+  /// Record bytes a request wanted but could not get because the origin
+  /// was unreachable (fault injection; the request was served
+  /// cache-only). Called alongside record() for the same request.
+  void record_denied(double bytes) {
+    ++denied_requests_;
+    denied_bytes_ += bytes;
+  }
+
   /// Record one session's viewed fraction (session dynamics; 1.0 and
   /// truncated == false for whole-stream sessions).
   void record_session(double viewed_fraction, bool truncated) {
@@ -72,6 +80,13 @@ class MetricsCollector {
   }
   [[nodiscard]] double fill_bytes() const noexcept { return fill_bytes_; }
 
+  /// Requests that hit an unreachable origin (0 without fault injection).
+  [[nodiscard]] std::size_t denied_requests() const noexcept {
+    return denied_requests_;
+  }
+  /// Bytes denied by unreachable origins (0 without fault injection).
+  [[nodiscard]] double denied_bytes() const noexcept { return denied_bytes_; }
+
   /// Mean viewed fraction per session (1.0 when session dynamics are
   /// disabled or every client watched through).
   [[nodiscard]] double average_viewed_fraction() const {
@@ -103,6 +118,8 @@ class MetricsCollector {
   double origin_bytes_ = 0.0;
   double shared_bytes_ = 0.0;
   double fill_bytes_ = 0.0;
+  std::size_t denied_requests_ = 0;
+  double denied_bytes_ = 0.0;
   double added_value_ = 0.0;
   stats::RunningStats delay_;
   stats::RunningStats quality_;

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "cache/store.h"
+#include "net/fault.h"
 #include "net/path_process.h"
 #include "sim/decision.h"
 #include "sim/delivery.h"
@@ -77,6 +78,10 @@ struct RunState {
   /// their buffers across simulations.
   workload::RequestCursor cursor;
   DeliveryTable delivery;
+  /// Compiled fault schedule (net/fault.h), rebuilt per run from
+  /// SimulationConfig::fault. Empty (and never consulted) when the
+  /// run's plan is empty.
+  net::FaultSchedule faults;
 
   /// Prepare for a run over `stream` and `model` (bit-identical to
   /// building each member from scratch; storage reused). `chunk` is the
@@ -147,6 +152,23 @@ template <typename Policy, typename Estimator>
   // so tick() degenerates to one size check per request). For kernel
   // estimators this is a compile-time constant.
   const bool estimator_observes = decisions.observes();
+  // Fault injection (net/fault.h): compile the plan once per run. With
+  // an empty plan `faults` stays null and every hook below
+  // short-circuits on a constant pointer/scale test, so the loop
+  // executes the exact pre-fault expression stream — bit-identical
+  // results, golden-CSV enforced. The schedule seed is a tag-keyed fork
+  // of the run's root stream (fork() is const, so this perturbs
+  // nothing), making fault timing identical across engines and thread
+  // counts but independent across replications.
+  const net::FaultSchedule* faults = nullptr;
+  if (!config.fault.empty()) {
+    state.faults.compile(config.fault, model.size(),
+                         rng.fork("faults").seed());
+    faults = &state.faults;
+  } else {
+    state.faults.clear();
+  }
+  decisions.set_faults(faults);
   MetricsCollector metrics;
   const auto warm_count = static_cast<std::size_t>(
       static_cast<double>(total_requests) * config.warmup_fraction);
@@ -201,9 +223,27 @@ template <typename Policy, typename Estimator>
         bw = paths.sample_bandwidth(view.path[id], now_s);
         db = duration_s * bw;
       }
+      // Fault injection: an active degrade window scales this path's
+      // instantaneous bandwidth; an outage or down flap half-period
+      // (scale == 0) cuts the origin entirely and the request is served
+      // cache-only.
+      double fault_scale = 1.0;
+      if (faults != nullptr) {
+        fault_scale = faults->bandwidth_scale(view.path[id], now_s);
+        if (fault_scale > 0.0 && fault_scale != 1.0) {
+          bw *= fault_scale;
+          db = duration_s * bw;
+        }
+      }
       const double cached_before = decisions.cached(id);
-      ServiceOutcome outcome =
-          deliver_precomputed(size_bytes, pre.dr[id], db, bw, cached_before);
+      double request_bytes = size_bytes;
+      ServiceOutcome outcome;
+      if (fault_scale > 0.0) {
+        outcome =
+            deliver_precomputed(size_bytes, pre.dr[id], db, bw, cached_before);
+      } else {
+        outcome = deliver_cache_only(size_bytes, cached_before);
+      }
 
       // Session dynamics: a client that departs after watching a
       // fraction of the stream only needed the viewed prefix delivered.
@@ -221,8 +261,14 @@ template <typename Policy, typename Estimator>
         if (viewed_fraction < 1.0) {
           session_s = viewed_fraction * duration_s;
           const double viewed_bytes = session_s * bitrate;
-          outcome = deliver(session_s, bitrate, viewed_bytes, bw,
-                            std::min(cached_before, viewed_bytes));
+          request_bytes = viewed_bytes;
+          if (fault_scale > 0.0) {
+            outcome = deliver(session_s, bitrate, viewed_bytes, bw,
+                              std::min(cached_before, viewed_bytes));
+          } else {
+            outcome = deliver_cache_only(viewed_bytes,
+                                         std::min(cached_before, viewed_bytes));
+          }
         }
       }
 
@@ -234,9 +280,15 @@ template <typename Policy, typename Estimator>
           fraction = viewing_rng.uniform(config.viewing.min_fraction, 1.0);
         }
         const double viewed = fraction * size_bytes;
+        request_bytes = viewed;
         outcome.bytes_from_cache = std::min(outcome.bytes_from_cache, viewed);
+        // During a full outage the deficit beyond the cached prefix is
+        // denied, not fetched (fault_scale == 1 whenever faults are off,
+        // so the inert path is the historical expression).
         outcome.bytes_from_origin =
-            std::max(0.0, viewed - outcome.bytes_from_cache);
+            fault_scale > 0.0
+                ? std::max(0.0, viewed - outcome.bytes_from_cache)
+                : 0.0;
         outcome.origin_transfer_s = outcome.bytes_from_origin > 0
                                         ? outcome.bytes_from_origin / bw
                                         : 0.0;
@@ -273,6 +325,11 @@ template <typename Policy, typename Estimator>
       const bool measured = idx >= warm_count;
       if (measured) {
         metrics.record(outcome, view.value[id]);
+        if (faults != nullptr && fault_scale <= 0.0) {
+          // Cache-only service: the part of the (viewed) request the
+          // cached prefix could not cover was denied, not delayed.
+          metrics.record_denied(request_bytes - outcome.bytes_from_cache);
+        }
         // Session stats only when a session model is active: the
         // accessors default to "every session full" on zero samples, so
         // the disabled path pays nothing (its throughput is perf-gated).
@@ -289,11 +346,18 @@ template <typename Policy, typename Estimator>
       }
 
       // Replacement decisions happen after the request is served.
-      const double cached_after = decisions.admit(id, now_s);
+      // During a full outage the origin cannot supply fill bytes, so
+      // the whole decision (frequency update, admission, eviction) is
+      // skipped: the cache holds its state until the path recovers.
+      // This is also what keeps occupancy <= budget under chaos — no
+      // admission can be granted that the origin cannot back.
+      if (fault_scale > 0.0) {
+        const double cached_after = decisions.admit(id, now_s);
 
-      // Growth of this object's prefix is origin->cache fill traffic.
-      if (measured && cached_after > cached_before) {
-        metrics.record_fill(cached_after - cached_before);
+        // Growth of this object's prefix is origin->cache fill traffic.
+        if (measured && cached_after > cached_before) {
+          metrics.record_fill(cached_after - cached_before);
+        }
       }
     }
   }

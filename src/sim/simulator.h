@@ -11,6 +11,7 @@
 #include <optional>
 #include <string>
 
+#include "net/fault.h"
 #include "net/path_process.h"
 #include "sim/interactivity.h"
 #include "sim/metrics.h"
@@ -67,6 +68,13 @@ struct SimulationConfig {
   /// deliveries and re-deriving startup/quality/byte metrics over the
   /// viewed prefix.
   InteractivityConfig interactivity{};
+
+  /// Deterministic fault injection (net/fault.h): origin outages, path
+  /// degradation windows, estimator blackouts, flapping. The default
+  /// empty plan is provably inert — the run loop skips every fault hook
+  /// when `fault.empty()`, so results are bit-identical to a build
+  /// without the fault layer (golden-CSV enforced).
+  net::FaultPlan fault{};
 
   net::PathModelConfig path_config{};    // constant / iid / AR(1) variation
   double warmup_fraction = 0.5;          // fraction of trace used to warm

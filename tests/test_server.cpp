@@ -8,11 +8,19 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "server/client.h"
 #include "server/engine.h"
@@ -291,6 +299,206 @@ TEST(ProxyDaemon, StopIsIdempotentAndRestartableEngineStateSurvives) {
   const auto reply = client.get(1, 0, 2048);
   EXPECT_EQ(reply.status, wire::kOk);
   second.stop();
+}
+
+// ---------------------------------------------------------------- chaos
+
+TEST(ServiceEngine, OriginTimeoutMapsToTypedOriginDown) {
+  // An upstream stall longer than the configured timeout is treated as
+  // an unreachable origin: typed kOriginDown, not a pinned thread.
+  ServiceConfig config = small_config();
+  config.origin.latency_s = 0.2;   // every fetch would stall 200 ms...
+  config.origin_timeout_s = 0.05;  // ...which the engine refuses to pay
+  config.max_retries = 1;
+  config.retry_backoff_s = 0.001;
+  ServiceEngine engine(config);
+  const auto res = engine.serve_range(0, 0, 4096);
+  EXPECT_EQ(res.status, wire::kOriginDown);
+  const ServiceStats stats = engine.snapshot();
+  EXPECT_GE(stats.origin_timeouts, 1u);
+  EXPECT_GE(stats.origin_down, 1u);
+  EXPECT_EQ(stats.origin_retries, 1u);
+  // Zero-length probes never need the origin and still answer kOk.
+  EXPECT_EQ(engine.serve_range(0, 0, 0).status, wire::kOk);
+}
+
+TEST(ServiceEngine, OriginOutageDegradesGracefullyAndRecovers) {
+  // One wall-clock outage window [1s, 2.5s) from engine start. Warm a
+  // prefix before it opens, drill during it, verify recovery after.
+  ServiceConfig config = small_config();
+  config.policy = "lru";  // admits unconditionally -> a warm prefix exists
+  config.origin.fault = "fault:outage=1+1.5";
+  config.max_retries = 2;
+  config.retry_backoff_s = 0.01;
+  ServiceEngine engine(config);
+
+  ASSERT_EQ(engine.serve_range(3, 0, 4096).status, wire::kOk);
+  const std::uint64_t cached = engine.cached_bytes(3);
+  ASSERT_GT(cached, 0u);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(1300));  // t ~ 1.3s
+
+  // Fully-cached ranges keep answering kOk (graceful degradation)...
+  const std::uint64_t len = std::min<std::uint64_t>(cached, 4096);
+  const auto warm = engine.serve_range(3, 0, len);
+  EXPECT_EQ(warm.status, wire::kOk);
+  EXPECT_EQ(warm.cache_bytes, len);
+  EXPECT_EQ(warm.origin_bytes, 0u);
+
+  // ...while ranges needing origin bytes fail typed after bounded
+  // retries, and no admission runs for them (nothing to back the fill).
+  const auto cold = engine.serve_range(7, 0, 4096);
+  EXPECT_EQ(cold.status, wire::kOriginDown);
+  EXPECT_EQ(engine.cached_bytes(7), 0u);
+
+  const ServiceStats mid = engine.snapshot();
+  EXPECT_GE(mid.origin_down, 1u);
+  EXPECT_EQ(mid.origin_retries, config.max_retries);
+  EXPECT_GE(mid.degraded_hits, 1u);
+  EXPECT_NE(engine.stats_json().find("\"origin_down\""), std::string::npos);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(1400));  // t ~ 2.7s
+
+  // The window has closed: the same request succeeds and admission
+  // resumes. kOriginDown is transient by contract.
+  EXPECT_EQ(engine.serve_range(7, 0, 4096).status, wire::kOk);
+  EXPECT_GT(engine.cached_bytes(7), 0u);
+}
+
+TEST(ProxyDaemon, OriginDownTravelsTheWireAsALoneStatusByte) {
+  ServiceConfig config = small_config();
+  config.origin.fault = "fault:outage=0+3600";  // down for the whole test
+  config.max_retries = 1;
+  config.retry_backoff_s = 0.001;
+  ServiceEngine engine(config);
+  ProxyDaemon daemon(engine);
+  daemon.start();
+  ProxyClient client("127.0.0.1", daemon.port());
+  const auto reply = client.get(0, 0, 4096);
+  EXPECT_EQ(reply.status, wire::kOriginDown);
+  EXPECT_TRUE(reply.data.empty());
+  // The connection survives the error reply: STAT still answers.
+  EXPECT_EQ(client.stat(0).status, wire::kOk);
+  daemon.stop();
+}
+
+int raw_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+TEST(ProxyDaemon, AbruptClientCloseMidResponseDoesNotKillTheDaemon) {
+  // Queue several max-length GETs and vanish without reading: the
+  // daemon's response writes overflow the socket buffers and hit a dead
+  // peer. With MSG_NOSIGNAL on the write path this surfaces as EPIPE on
+  // that connection only; a raised SIGPIPE would kill this whole test
+  // binary (default disposition — nothing here ignores it).
+  const std::size_t fds_before = open_fd_count();
+  ServiceEngine engine(small_config());
+  ProxyDaemon daemon(engine);
+  daemon.start();
+
+  for (int round = 0; round < 3; ++round) {
+    const int fd = raw_connect(daemon.port());
+    ASSERT_GE(fd, 0);
+    const std::uint64_t len =
+        std::min<std::uint64_t>(engine.object_size(0), wire::kMaxGetLength);
+    std::vector<std::uint8_t> body;
+    wire::encode_get(body, wire::GetRequest{0, 0, len});
+    ASSERT_TRUE(wire::write_frame(fd, body.data(), body.size()));
+    for (int i = 0; i < 3; ++i) {
+      // Best-effort: the daemon may already have torn the connection
+      // down mid-burst, which is exactly the behaviour under test.
+      (void)wire::write_frame(fd, body.data(), body.size());
+    }
+    ::close(fd);
+  }
+
+  // The daemon must still be serving new connections byte-accurately.
+  ProxyClient client("127.0.0.1", daemon.port());
+  const auto reply = client.get(1, 0, 2048);
+  EXPECT_EQ(reply.status, wire::kOk);
+  ASSERT_EQ(reply.data.size(), 2048u);
+  for (std::size_t i = 0; i < reply.data.size(); ++i) {
+    ASSERT_EQ(reply.data[i], payload_byte(1, i));
+  }
+  client.close();
+  daemon.stop();
+  // Every aborted connection's fd was reclaimed.
+  EXPECT_EQ(open_fd_count(), fds_before);
+}
+
+TEST(ProxyDaemon, IdleConnectionsAreDisconnectedAfterTheTimeout) {
+  ServiceEngine engine(small_config());
+  DaemonConfig config;
+  config.idle_timeout_s = 0.3;
+  ProxyDaemon daemon(engine, config);
+  daemon.start();
+
+  ProxyClient idle("127.0.0.1", daemon.port());
+  EXPECT_EQ(idle.get(0, 0, 512).status, wire::kOk);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1200));
+  // The daemon closed the silent connection; the next request fails at
+  // the transport layer, not with a protocol error.
+  EXPECT_THROW((void)idle.get(0, 0, 512), std::runtime_error);
+
+  // Fresh connections are unaffected, and a busy connection never
+  // trips the timeout because activity resets per frame.
+  ProxyClient fresh("127.0.0.1", daemon.port());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(fresh.get(0, 0, 512).status, wire::kOk);
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  }
+  daemon.stop();
+}
+
+TEST(ProxyDaemon, AcceptLoopSurvivesFdExhaustion) {
+  // Clamp RLIMIT_NOFILE just above current usage so accept() hits
+  // EMFILE, then verify the daemon rides it out (logs once, backs off)
+  // and accepts again once fds return.
+  ServiceEngine engine(small_config());
+  ProxyDaemon daemon(engine);
+  daemon.start();
+
+  rlimit old_limit{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &old_limit), 0);
+  rlimit tight = old_limit;
+  tight.rlim_cur = static_cast<rlim_t>(open_fd_count() + 8);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &tight), 0);
+
+  {
+    // Each accepted client costs two fds here (client + server end);
+    // a few connections exhaust the headroom and the backlog holds the
+    // rest while the accept loop backs off.
+    std::vector<std::unique_ptr<ProxyClient>> clients;
+    for (int i = 0; i < 8; ++i) {
+      try {
+        clients.push_back(
+            std::make_unique<ProxyClient>("127.0.0.1", daemon.port()));
+      } catch (const std::exception&) {
+        break;  // the client side hit the limit first; good enough
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  }  // destroying the clients returns their fds
+
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &old_limit), 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  // The loop never exited: a fresh connection is accepted and served.
+  ProxyClient fresh("127.0.0.1", daemon.port());
+  EXPECT_EQ(fresh.get(0, 0, 1024).status, wire::kOk);
+  daemon.stop();
 }
 
 }  // namespace

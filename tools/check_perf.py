@@ -21,6 +21,19 @@ something sized by num_requests. The gate only engages when the
 baseline record carries the field, so trajectories predating it keep
 working; a note is printed when it is skipped.
 
+Chaos records (BENCH_chaos.json) additionally carry `error_rate`
+(typed kOriginDown replies / drill requests) and `recovery_s` (wall
+seconds for the post-outage hit ratio to return to 90% of the
+pre-outage level). Both are gated hard when the baseline carries the
+field: fresh error_rate may not exceed baseline * (1 + max_regression)
+plus --error-rate-slack (absolute, default 0.05 — the gate is there to
+catch graceful degradation breaking outright, where every outage
+request errors and the rate jumps by orders of magnitude, not to
+chase scheduler noise around a tiny baseline), and fresh recovery_s
+may not exceed baseline * (1 + max_regression) plus
+--recovery-slack-s (default 1.0 wall seconds). Neither gate listens
+to SC_PERF_WARN_ONLY: the slack terms already absorb runner noise.
+
 Records carry the resolved `lto` build flag. A mismatch never softens
 the gate — it is reported, but both directions stay hard: a fresh
 build that GAINED LTO and still regressed is certainly slower in
@@ -66,6 +79,8 @@ def main(argv):
     max_regression = 0.25
     max_rss_regression = 0.25
     rss_slack_mb = 16.0
+    error_rate_slack = 0.05
+    recovery_slack_s = 1.0
     for a in argv[1:]:
         if a.startswith("--max-regression="):
             max_regression = float(a.split("=", 1)[1])
@@ -73,10 +88,15 @@ def main(argv):
             max_rss_regression = float(a.split("=", 1)[1])
         elif a.startswith("--rss-slack-mb="):
             rss_slack_mb = float(a.split("=", 1)[1])
+        elif a.startswith("--error-rate-slack="):
+            error_rate_slack = float(a.split("=", 1)[1])
+        elif a.startswith("--recovery-slack-s="):
+            recovery_slack_s = float(a.split("=", 1)[1])
         elif a.startswith("--"):
             sys.exit(f"error: unknown flag {a.split('=', 1)[0]} "
                      "(known: --max-regression=FRACTION, "
-                     "--max-rss-regression=FRACTION, --rss-slack-mb=MB)")
+                     "--max-rss-regression=FRACTION, --rss-slack-mb=MB, "
+                     "--error-rate-slack=FRACTION, --recovery-slack-s=S)")
 
     fresh = load_record(args[0])
     base = load_record(args[1])
@@ -135,6 +155,45 @@ def main(argv):
                   f"(> {allowed:.1f} MB allowed = baseline "
                   f"+{max_rss_regression * 100:.0f}% +{rss_slack_mb:.0f} MB "
                   "slack; deterministic memory shape — gate ignores "
+                  "SC_PERF_WARN_ONLY)")
+            failed = True
+
+    # Chaos gates: engaged only when the baseline record carries the
+    # field, so non-chaos trajectories are unaffected. Hard either way —
+    # the absolute slack terms already absorb runner noise, and what the
+    # gates exist to catch (degradation or recovery breaking outright)
+    # moves the numbers by far more than any scheduler jitter.
+    if "error_rate" not in base:
+        print("note: baseline has no error_rate field; chaos error gate "
+              "skipped")
+    else:
+        er_fresh = require(fresh, "error_rate", args[0])
+        er_base = require(base, "error_rate", args[1])
+        allowed = er_base * (1.0 + max_regression) + error_rate_slack
+        print(f"error_rate: fresh {er_fresh:.6f} vs baseline "
+              f"{er_base:.6f} (allowed {allowed:.6f})")
+        if er_fresh > allowed:
+            print(f"error: error_rate regressed to {er_fresh:.6f} "
+                  f"(> {allowed:.6f} allowed = baseline "
+                  f"+{max_regression * 100:.0f}% +{error_rate_slack:.2f} "
+                  "absolute; graceful degradation broke — gate ignores "
+                  "SC_PERF_WARN_ONLY)")
+            failed = True
+
+    if "recovery_s" not in base:
+        print("note: baseline has no recovery_s field; chaos recovery "
+              "gate skipped")
+    else:
+        rec_fresh = require(fresh, "recovery_s", args[0])
+        rec_base = require(base, "recovery_s", args[1])
+        allowed = rec_base * (1.0 + max_regression) + recovery_slack_s
+        print(f"recovery_s: fresh {rec_fresh:.3f} vs baseline "
+              f"{rec_base:.3f} (allowed {allowed:.3f})")
+        if rec_fresh > allowed:
+            print(f"error: recovery_s regressed to {rec_fresh:.3f} s "
+                  f"(> {allowed:.3f} s allowed = baseline "
+                  f"+{max_regression * 100:.0f}% +{recovery_slack_s:.1f} s "
+                  "slack; post-outage recovery broke — gate ignores "
                   "SC_PERF_WARN_ONLY)")
             failed = True
 

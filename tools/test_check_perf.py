@@ -159,6 +159,65 @@ class CheckPerfTest(unittest.TestCase):
                           record(peak_rss_mb=100.0))
         self.assertIn("not numeric", str(ctx.exception))
 
+    # ---- chaos gates (error_rate / recovery_s) -------------------------
+
+    def test_chaos_gates_skipped_when_baseline_lacks_fields(self):
+        code, out = self.run_main(record(error_rate=0.9, recovery_s=60.0),
+                                  record())
+        self.assertEqual(code, 0)
+        self.assertIn("chaos error gate skipped", out)
+        self.assertIn("chaos recovery gate skipped", out)
+
+    def test_error_rate_within_slack_passes(self):
+        # Baseline near zero: the absolute slack absorbs timing jitter.
+        code, _ = self.run_main(
+            record(error_rate=0.04, recovery_s=0.0),
+            record(error_rate=0.001, recovery_s=0.0))
+        self.assertEqual(code, 0)
+
+    def test_error_rate_blowup_fails(self):
+        # Degradation breaking outright: every outage request errors.
+        code, out = self.run_main(
+            record(error_rate=0.30, recovery_s=0.0),
+            record(error_rate=0.001, recovery_s=0.0))
+        self.assertEqual(code, 1)
+        self.assertIn("error_rate regressed", out)
+
+    def test_recovery_within_slack_passes(self):
+        code, _ = self.run_main(
+            record(error_rate=0.0, recovery_s=0.8),
+            record(error_rate=0.0, recovery_s=0.0))
+        self.assertEqual(code, 0)
+
+    def test_recovery_regression_fails(self):
+        code, out = self.run_main(
+            record(error_rate=0.0, recovery_s=4.0),
+            record(error_rate=0.0, recovery_s=0.5))
+        self.assertEqual(code, 1)
+        self.assertIn("recovery_s regressed", out)
+
+    def test_chaos_gates_stay_hard_under_warn_only(self):
+        os.environ["SC_PERF_WARN_ONLY"] = "1"
+        code, out = self.run_main(
+            record(error_rate=0.5, recovery_s=10.0),
+            record(error_rate=0.001, recovery_s=0.1))
+        self.assertEqual(code, 1)
+        self.assertIn("ignores SC_PERF_WARN_ONLY", out)
+
+    def test_chaos_slack_flags_are_respected(self):
+        code, _ = self.run_main(
+            record(error_rate=0.04, recovery_s=0.8),
+            record(error_rate=0.001, recovery_s=0.0),
+            "--error-rate-slack=0.01", "--recovery-slack-s=0.5")
+        self.assertEqual(code, 1)
+
+    def test_missing_fresh_chaos_field_exits_when_baseline_has_it(self):
+        with self.assertRaises(SystemExit) as ctx:
+            self.run_main(record(), record(error_rate=0.01,
+                                           recovery_s=0.0))
+        self.assertIn("error_rate", str(ctx.exception))
+        self.assertIn("missing field", str(ctx.exception))
+
     # ---- baseline trajectory arrays -----------------------------------
 
     def test_baseline_array_uses_last_entry(self):
