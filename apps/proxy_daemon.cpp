@@ -57,7 +57,11 @@ int run(int argc, char** argv) {
         "  --retry-backoff-ms=F initial retry backoff (default 50, "
         "doubling)\n"
         "  --idle-timeout-s=F   disconnect silent connections after F "
-        "seconds\n\n%s",
+        "seconds\n"
+        "  --persist-dir=PATH   crash-safe cache persistence directory\n"
+        "                       (empty = disabled; docs/SERVER.md)\n"
+        "  --snapshot-interval-s=F  background snapshot cadence "
+        "(default 30)\n\n%s",
         cli.program().c_str(), sc::core::registry::help().c_str());
     return 0;
   }
@@ -65,7 +69,8 @@ int run(int argc, char** argv) {
                      "scenario", "cache", "cache-bytes", "origin-latency-ms",
                      "origin-time-scale", "tick-ms", "fault",
                      "origin-timeout-s", "max-retries", "retry-backoff-ms",
-                     "idle-timeout-s", "help"});
+                     "idle-timeout-s", "persist-dir", "snapshot-interval-s",
+                     "help"});
 
   // An abruptly-closed client must surface as EPIPE on the write path
   // (handled per-connection), never as a process-killing SIGPIPE.
@@ -89,6 +94,9 @@ int run(int argc, char** argv) {
       "max-retries", static_cast<long long>(config.max_retries)));
   config.retry_backoff_s =
       cli.get_or("retry-backoff-ms", config.retry_backoff_s * 1e3) / 1e3;
+  config.persist.dir = cli.get_or("persist-dir", std::string());
+  config.persist.snapshot_interval_s =
+      cli.get_or("snapshot-interval-s", config.persist.snapshot_interval_s);
 
   sc::core::registry::validate(sc::core::registry::Kind::kPolicy,
                                config.policy);
@@ -117,13 +125,21 @@ int run(int argc, char** argv) {
               config.policy.c_str(), config.estimator.c_str(),
               config.origin.scenario.c_str(), engine.catalog().size(),
               engine.snapshot().capacity_bytes);
+  if (!config.persist.dir.empty()) {
+    std::printf("persistence: %s (%s)\n", config.persist.dir.c_str(),
+                engine.recovery_detail().c_str());
+  }
   std::fflush(stdout);
 
   while (!g_stop.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
 
+  // Graceful shutdown: stop() drains in-flight responses (it joins
+  // every connection thread), then the final snapshot captures the
+  // fully-settled state.
   daemon.stop();
+  engine.flush_snapshot();
   std::printf("shutting down after %zu connections\n%s\n",
               daemon.connections_accepted(), engine.stats_json().c_str());
   return 0;

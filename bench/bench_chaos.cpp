@@ -22,16 +22,36 @@
 //       * the post-outage rolling hit ratio returns to >= 90% of the
 //         pre-outage ratio within --recovery-bound-s wall seconds
 //
+//  3. Crash drill — an out-of-process proxy_daemon with crash-safe
+//     persistence enabled, SIGKILLed mid-load and restarted from its
+//     snapshot + journal (docs/SERVER.md, "Persistence & recovery").
+//     Checked:
+//       * every kOk payload byte-verifies against the deterministic
+//         splitmix64 content (wrong recovered state cannot hide)
+//       * the restarted daemon reports warm_start and passes a full
+//         AUDIT before serving
+//       * `warm_recovery_s` (time for the hit ratio to reach 90% of the
+//         pre-crash level) is measurably below `cold_recovery_s` from a
+//         cold reference daemon, and both are committed + gated
+//
+// An optional long soak (--soak-s=N) interleaves flapping fault windows
+// with periodic in-process and wire-level StateAuditor passes, failing
+// on the first violated invariant.
+//
 // The --json record (BENCH_chaos.json) carries the standard perf
-// fields plus `error_rate` (kOriginDown replies / drill requests) and
-// `recovery_s`, both gated by tools/check_perf.py against the
-// committed trajectory. `allocations_per_request` is the -1 sentinel:
-// the drill's allocation count is scheduling-dependent.
+// fields plus `error_rate` (kOriginDown replies / drill requests),
+// `recovery_s`, `warm_recovery_s`, and `cold_recovery_s`, gated by
+// tools/check_perf.py against the committed trajectory.
+// `allocations_per_request` is the -1 sentinel: the drill's allocation
+// count is scheduling-dependent.
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <exception>
 #include <filesystem>
 #include <mutex>
@@ -40,12 +60,16 @@
 #include <thread>
 #include <vector>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include "bench/harness.h"
 #include "core/registry.h"
 #include "core/sweep.h"
 #include "net/fault.h"
 #include "server/client.h"
 #include "server/daemon.h"
+#include "server/payload.h"
 #include "server/wire.h"
 #include "util/cli.h"
 #include "util/rng.h"
@@ -69,6 +93,13 @@ struct ChaosConfig {
   double recovery_bound_s = 5.0;
   std::size_t clients = 2;
   std::string json_path;
+  // Crash drill.
+  std::string daemon_bin;     // resolved next to our own binary by default
+  std::string persist_dir;    // default: a fresh temp dir
+  double crash_load_s = 2.0;  // pre-crash load window
+  double crash_post_s = 2.5;  // post-restart observation window
+  // Long soak (0 = skip).
+  double soak_s = 0.0;
 };
 
 void check(bool ok, const std::string& what) {
@@ -345,6 +376,409 @@ DrillResult live_drill(const ChaosConfig& cfg) {
   return result;
 }
 
+// ---------------------------------------------------------- crash drill
+
+struct CrashResult {
+  std::size_t requests = 0;
+  double pre_crash_hit_ratio = 0.0;
+  double warm_recovery_s = 0.0;
+  double cold_recovery_s = 0.0;
+  double wall_s = 0.0;
+};
+
+/// A proxy_daemon child process with its stdout piped back (the drill
+/// parses "LISTENING <port>").
+struct DaemonProc {
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+  std::FILE* out = nullptr;
+
+  void close_out() {
+    if (out != nullptr) {
+      std::fclose(out);
+      out = nullptr;
+    }
+  }
+};
+
+DaemonProc spawn_daemon(const std::string& bin,
+                        const std::vector<std::string>& args) {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    throw std::runtime_error("bench_chaos: pipe failed");
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    throw std::runtime_error("bench_chaos: fork failed");
+  }
+  if (pid == 0) {
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(bin.c_str()));
+    for (const std::string& a : args) {
+      argv.push_back(const_cast<char*>(a.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execv(bin.c_str(), argv.data());
+    _exit(127);
+  }
+  ::close(fds[1]);
+  DaemonProc proc;
+  proc.pid = pid;
+  proc.out = ::fdopen(fds[0], "r");
+  if (proc.out == nullptr) {
+    ::close(fds[0]);
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    throw std::runtime_error("bench_chaos: fdopen failed");
+  }
+  char line[256];
+  while (std::fgets(line, sizeof line, proc.out) != nullptr) {
+    unsigned port = 0;
+    if (std::sscanf(line, "LISTENING %u", &port) == 1) {
+      proc.port = static_cast<std::uint16_t>(port);
+      return proc;
+    }
+  }
+  proc.close_out();
+  ::waitpid(pid, nullptr, 0);
+  throw std::runtime_error("bench_chaos: daemon " + bin +
+                           " exited before LISTENING (missing binary or "
+                           "bad flags?)");
+}
+
+void terminate_daemon(DaemonProc& proc, int sig) {
+  if (proc.pid < 0) return;
+  ::kill(proc.pid, sig);
+  int status = 0;
+  while (::waitpid(proc.pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  proc.close_out();
+  if (sig == SIGTERM &&
+      !(WIFEXITED(status) && WEXITSTATUS(status) == 0)) {
+    throw std::runtime_error(
+        "bench_chaos: daemon did not shut down cleanly on SIGTERM");
+  }
+  proc.pid = -1;
+}
+
+/// Closed-loop load for the crash drill: one single-range session per
+/// object pick (offset 0 only), so hits come purely from cross-restart
+/// cache state, and every kOk payload byte-verified against the
+/// deterministic splitmix64 content. Tolerates the daemon dying
+/// mid-request (the SIGKILL moment) by returning quietly.
+void crash_client(std::uint16_t port, const sc::workload::Catalog& catalog,
+                  std::uint64_t seed,
+                  std::chrono::steady_clock::time_point epoch, double until_s,
+                  std::vector<Sample>& samples) {
+  sc::util::Rng rng(seed);
+  const auto hot = catalog.size() / 2;
+  try {
+    sc::server::ProxyClient client("127.0.0.1", port);
+    while (true) {
+      const double now = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - epoch)
+                             .count();
+      if (now >= until_s) break;
+      const auto object = static_cast<std::uint64_t>(
+          rng.uniform() * static_cast<double>(hot));
+      const std::uint64_t size =
+          static_cast<std::uint64_t>(catalog.object(object).size_bytes);
+      const std::uint64_t len = std::min<std::uint64_t>(size, 64 * 1024);
+      const auto reply = client.get(object, 0, len);
+      Sample s;
+      s.t = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          epoch)
+                .count();
+      if (reply.status == sc::server::wire::kOk) {
+        if (reply.data.size() != len) {
+          throw std::runtime_error("bench_chaos: short crash-drill payload");
+        }
+        // Byte verification: content is a pure function of (object,
+        // offset), so stale or corrupt recovered state cannot serve a
+        // wrong byte without tripping this.
+        std::vector<std::uint8_t> expect(len);
+        sc::server::fill_payload(object, 0, expect.data(), len);
+        if (std::memcmp(reply.data.data(), expect.data(), len) != 0) {
+          throw std::runtime_error(
+              "bench_chaos: crash-drill payload mismatch");
+        }
+        s.ok = true;
+        s.hit = reply.cache_bytes > 0;
+      } else if (reply.status != sc::server::wire::kOriginDown) {
+        throw std::runtime_error("bench_chaos: unexpected crash-drill status " +
+                                 std::to_string(reply.status));
+      }
+      samples.push_back(s);
+    }
+  } catch (const std::runtime_error& e) {
+    // Transport failures are expected exactly when the daemon is
+    // SIGKILLed under us; anything mentioning payloads is a real bug.
+    const std::string what = e.what();
+    if (what.find("payload") != std::string::npos) throw;
+  }
+}
+
+/// Run `clients` crash_client threads against `port` until `until_s`,
+/// merging their samples (sorted by time).
+std::vector<Sample> crash_load(const ChaosConfig& cfg, std::uint16_t port,
+                               const sc::workload::Catalog& catalog,
+                               std::chrono::steady_clock::time_point epoch,
+                               double until_s, const char* tag) {
+  std::vector<std::vector<Sample>> per_client(cfg.clients);
+  std::vector<std::thread> threads;
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  sc::util::Rng seeder(cfg.seed);
+  for (std::size_t c = 0; c < cfg.clients; ++c) {
+    const std::uint64_t seed =
+        seeder.fork(std::string("crash-") + tag + std::to_string(c)).seed();
+    threads.emplace_back([&, c, seed] {
+      try {
+        crash_client(port, catalog, seed, epoch, until_s, per_client[c]);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  std::vector<Sample> samples;
+  for (auto& v : per_client) {
+    samples.insert(samples.end(), v.begin(), v.end());
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const Sample& a, const Sample& b) { return a.t < b.t; });
+  return samples;
+}
+
+/// First 0.25 s bucket (seconds since `epoch`-relative 0) whose hit
+/// ratio reaches `threshold`; `bound_s` when none does.
+double recovery_time(const std::vector<Sample>& samples, double threshold,
+                     double bound_s) {
+  constexpr double kBucket = 0.25;
+  for (double t = 0.0; t + kBucket <= bound_s + 1e-9; t += kBucket) {
+    if (hit_ratio_between(samples, t, t + kBucket) >= threshold) return t;
+  }
+  return bound_s;
+}
+
+CrashResult crash_drill(const ChaosConfig& cfg) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // The daemon binary lives next to ours unless overridden.
+  std::string bin = cfg.daemon_bin;
+  if (bin.empty()) {
+    bin = (std::filesystem::read_symlink("/proc/self/exe").parent_path() /
+           "proxy_daemon")
+              .string();
+  }
+
+  std::string dir = cfg.persist_dir;
+  if (dir.empty()) {
+    char tmpl[] = "/tmp/sc-chaos-persist-XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) {
+      throw std::runtime_error("bench_chaos: mkdtemp failed");
+    }
+    dir = tmpl;
+  } else {
+    std::filesystem::create_directories(dir);
+  }
+  const std::string cold_dir = dir + "/cold";
+
+  // Catalog mirror (same objects/seed as the daemon) for sizes.
+  constexpr std::size_t kObjects = 256;
+  const auto catalog =
+      sc::server::ServiceEngine::make_catalog(kObjects, cfg.seed);
+
+  // LRU + oracle with capacity covering the hot half and a real
+  // per-miss origin stall: a cold cache pays ~latency per miss while it
+  // repopulates, a warm (recovered) cache hits immediately — that gap
+  // IS the measured warm-vs-cold recovery difference.
+  const auto daemon_args = [&](const std::string& persist) {
+    return std::vector<std::string>{
+        "--port=0",
+        "--objects=" + std::to_string(kObjects),
+        "--seed=" + std::to_string(cfg.seed),
+        "--policy=lru",
+        "--estimator=oracle",
+        "--cache=0.6",
+        "--origin-latency-ms=10",
+        "--tick-ms=50",
+        "--snapshot-interval-s=0.25",
+        "--persist-dir=" + persist,
+    };
+  };
+
+  CrashResult result;
+
+  // --- Phase A: load, then SIGKILL mid-load --------------------------
+  DaemonProc victim = spawn_daemon(bin, daemon_args(dir));
+  const auto epoch_a = std::chrono::steady_clock::now();
+  std::thread killer([&] {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(cfg.crash_load_s));
+    ::kill(victim.pid, SIGKILL);  // no warning, no flush — the real thing
+  });
+  // Clients run past the kill instant so the daemon dies under load.
+  const auto pre = crash_load(cfg, victim.port, catalog, epoch_a,
+                              cfg.crash_load_s + 0.5, "pre");
+  killer.join();
+  int status = 0;
+  while (::waitpid(victim.pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  victim.close_out();
+  check(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL,
+        "victim daemon died by SIGKILL");
+  result.requests += pre.size();
+
+  result.pre_crash_hit_ratio = hit_ratio_between(
+      pre, std::max(0.0, cfg.crash_load_s - 0.5), cfg.crash_load_s);
+  check(result.pre_crash_hit_ratio > 0.0,
+        "pre-crash load produced cache hits");
+  const double threshold = 0.9 * result.pre_crash_hit_ratio;
+
+  // --- Phase B: restart from the snapshot + journal ------------------
+  DaemonProc warm = spawn_daemon(bin, daemon_args(dir));
+  {
+    sc::server::ProxyClient probe("127.0.0.1", warm.port);
+    const std::string stats = probe.stats();
+    check(stats.find("\"warm_start\": true") != std::string::npos,
+          "restarted daemon reports warm_start (stats: " + stats + ")");
+    const std::string audit = probe.audit();
+    check(audit.find("\"ok\": true") != std::string::npos,
+          "restarted daemon passes AUDIT (" + audit + ")");
+  }
+  const auto epoch_b = std::chrono::steady_clock::now();
+  const auto post =
+      crash_load(cfg, warm.port, catalog, epoch_b, cfg.crash_post_s, "post");
+  result.requests += post.size();
+  result.warm_recovery_s = recovery_time(post, threshold, cfg.crash_post_s);
+  terminate_daemon(warm, SIGTERM);  // graceful: flushes a final snapshot
+
+  // --- Phase C: cold reference ---------------------------------------
+  std::filesystem::create_directories(cold_dir);
+  DaemonProc cold = spawn_daemon(bin, daemon_args(cold_dir));
+  {
+    sc::server::ProxyClient probe("127.0.0.1", cold.port);
+    check(probe.stats().find("\"warm_start\": false") != std::string::npos,
+          "cold reference daemon starts cold");
+  }
+  const auto epoch_c = std::chrono::steady_clock::now();
+  const auto cold_samples =
+      crash_load(cfg, cold.port, catalog, epoch_c, cfg.crash_post_s, "cold");
+  result.requests += cold_samples.size();
+  result.cold_recovery_s =
+      recovery_time(cold_samples, threshold, cfg.crash_post_s);
+  terminate_daemon(cold, SIGTERM);
+
+  check(result.warm_recovery_s < result.cold_recovery_s,
+        "warm recovery beats cold (warm " +
+            std::to_string(result.warm_recovery_s) + " s vs cold " +
+            std::to_string(result.cold_recovery_s) + " s)");
+  check(result.warm_recovery_s <= cfg.recovery_bound_s,
+        "warm recovery within the committed bound");
+
+  result.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+// ------------------------------------------------------------ long soak
+
+/// Interleave flapping fault windows with client load and periodic
+/// integrity audits (in-process StateAuditor + the AUDIT wire frame),
+/// failing on the first violated invariant.
+void long_soak(const ChaosConfig& cfg) {
+  sc::server::ServiceConfig service;
+  service.objects = 256;
+  service.seed = cfg.seed;
+  service.policy = "lru";
+  service.estimator = "ewma";  // exercises the observation queue too
+  service.cache_fraction = 0.1;
+  service.origin.fault =
+      window_spec("fault:flap=%g+%g@%g", 0.5, cfg.soak_s, 0.4);
+  service.max_retries = 1;
+  service.retry_backoff_s = 0.01;
+  service.retry_backoff_max_s = 0.05;
+
+  sc::server::ServiceEngine engine(service);
+  sc::server::DaemonConfig daemon_config;
+  daemon_config.idle_timeout_s = 10.0;
+  sc::server::ProxyDaemon daemon(engine, daemon_config);
+  daemon.start();
+  const auto epoch = std::chrono::steady_clock::now();
+
+  std::atomic<bool> stop{false};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  const auto record_error = [&] {
+    const std::lock_guard<std::mutex> lock(error_mutex);
+    if (!first_error) first_error = std::current_exception();
+    stop.store(true);
+  };
+
+  // Auditor thread: every 0.5 s, a full in-process StateAuditor pass
+  // plus the same check over the wire.
+  std::thread auditor([&] {
+    try {
+      sc::server::ProxyClient client("127.0.0.1", daemon.port());
+      std::size_t audits = 0;
+      while (!stop.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(500));
+        if (stop.load()) break;
+        const auto report = engine.audit();
+        check(report.ok(), "soak audit #" + std::to_string(audits) + ": " +
+                               report.to_string());
+        const std::string wire_report = client.audit();
+        check(wire_report.find("\"ok\": true") != std::string::npos,
+              "soak wire audit #" + std::to_string(audits) + ": " +
+                  wire_report);
+        ++audits;
+      }
+      std::printf("  soak: %zu periodic audits, all clean\n", audits);
+    } catch (...) {
+      record_error();
+    }
+  });
+
+  std::vector<std::thread> threads;
+  std::vector<std::vector<Sample>> per_client(cfg.clients);
+  sc::util::Rng seeder(cfg.seed);
+  for (std::size_t c = 0; c < cfg.clients; ++c) {
+    const std::uint64_t seed =
+        seeder.fork("soak-client-" + std::to_string(c)).seed();
+    threads.emplace_back([&, c, seed] {
+      try {
+        drill_client("127.0.0.1", daemon.port(), engine.catalog(), seed,
+                     epoch, cfg.soak_s, per_client[c]);
+      } catch (...) {
+        record_error();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  stop.store(true);
+  auditor.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  // One final audit after the load stops, then a clean shutdown.
+  const auto final_report = engine.audit();
+  check(final_report.ok(), "final soak audit: " + final_report.to_string());
+  std::size_t requests = 0;
+  for (const auto& v : per_client) requests += v.size();
+  daemon.stop();
+  std::printf("  soak OK: %zu requests over %.1f s under a flapping "
+              "origin\n",
+              requests, cfg.soak_s);
+}
+
 int run(int argc, char** argv) {
   const sc::util::Cli cli(argc, argv);
   if (cli.has("help")) {
@@ -360,6 +794,14 @@ int run(int argc, char** argv) {
         "  --outage-s=F         drill outage window length\n"
         "  --post-s=F           drill observation window after recovery\n"
         "  --recovery-bound-s=F committed recovery bound (default 5)\n"
+        "  --crash-load-s=F     crash-drill pre-crash load window\n"
+        "  --crash-post-s=F     crash-drill post-restart window\n"
+        "  --daemon-bin=PATH    proxy_daemon binary for the crash drill\n"
+        "                       (default: next to this binary)\n"
+        "  --persist-dir=PATH   crash-drill persistence directory\n"
+        "                       (default: a fresh /tmp dir; kept so CI\n"
+        "                       can upload it on failure)\n"
+        "  --soak-s=N           optional long soak with periodic audits\n"
         "  --seed=S             base seed (default 42)\n"
         "  --json=PATH          write the BENCH_chaos.json perf record\n",
         cli.program().c_str());
@@ -367,7 +809,9 @@ int run(int argc, char** argv) {
   }
   cli.check_unknown({"quick", "runs", "requests", "objects", "threads",
                      "clients", "warmup-s", "outage-s", "post-s",
-                     "recovery-bound-s", "seed", "json", "help"});
+                     "recovery-bound-s", "crash-load-s", "crash-post-s",
+                     "daemon-bin", "persist-dir", "soak-s", "seed", "json",
+                     "help"});
 
   ChaosConfig cfg;
   if (cli.get_or("quick", false)) {
@@ -390,10 +834,16 @@ int run(int argc, char** argv) {
   cfg.outage_s = cli.get_or("outage-s", cfg.outage_s);
   cfg.post_s = cli.get_or("post-s", cfg.post_s);
   cfg.recovery_bound_s = cli.get_or("recovery-bound-s", cfg.recovery_bound_s);
+  cfg.crash_load_s = cli.get_or("crash-load-s", cfg.crash_load_s);
+  cfg.crash_post_s = cli.get_or("crash-post-s", cfg.crash_post_s);
+  cfg.daemon_bin = cli.get_or("daemon-bin", std::string());
+  cfg.persist_dir = cli.get_or("persist-dir", std::string());
+  cfg.soak_s = cli.get_or("soak-s", cfg.soak_s);
   cfg.seed = static_cast<std::uint64_t>(cli.get_or("seed", 42LL));
   cfg.json_path = cli.get_or("json", std::string());
   if (cfg.runs == 0 || cfg.requests == 0 || cfg.clients == 0 ||
-      cfg.warmup_s <= 0 || cfg.outage_s <= 0 || cfg.post_s <= 0) {
+      cfg.warmup_s <= 0 || cfg.outage_s <= 0 || cfg.post_s <= 0 ||
+      cfg.crash_load_s <= 0 || cfg.crash_post_s <= 0 || cfg.soak_s < 0) {
     throw std::invalid_argument("bench_chaos: all knobs must be positive");
   }
 
@@ -414,6 +864,22 @@ int run(int argc, char** argv) {
               "pre-outage hit ratio %.3f, recovery %.2f s (bound %.1f s)\n",
               drill.requests, drill.errors, drill.error_rate,
               drill.pre_hit_ratio, drill.recovery_s, cfg.recovery_bound_s);
+
+  std::printf("bench_chaos phase 3: crash drill (load %.1fs, SIGKILL, "
+              "restart, observe %.1fs, then a cold reference)\n",
+              cfg.crash_load_s, cfg.crash_post_s);
+  const CrashResult crash = crash_drill(cfg);
+  std::printf("crash drill OK: %zu requests, pre-crash hit ratio %.3f, "
+              "warm recovery %.2f s vs cold %.2f s\n",
+              crash.requests, crash.pre_crash_hit_ratio,
+              crash.warm_recovery_s, crash.cold_recovery_s);
+
+  if (cfg.soak_s > 0) {
+    std::printf("bench_chaos phase 4: long soak (%.1f s, audits every "
+                "0.5 s)\n",
+                cfg.soak_s);
+    long_soak(cfg);
+  }
 
   if (!cfg.json_path.empty()) {
     std::FILE* f = std::fopen(cfg.json_path.c_str(), "w");
@@ -439,6 +905,8 @@ int run(int argc, char** argv) {
           "  \"drill_errors\": %zu,\n"
           "  \"error_rate\": %.6f,\n"
           "  \"recovery_s\": %.6f,\n"
+          "  \"warm_recovery_s\": %.6f,\n"
+          "  \"cold_recovery_s\": %.6f,\n"
           "  \"pre_outage_hit_ratio\": %.6f,\n"
           "  \"lto\": %s,\n"
           "  \"wall_s\": %.6f,\n"
@@ -450,8 +918,9 @@ int run(int argc, char** argv) {
           cfg.threads, cfg.runs, cfg.requests, cfg.objects,
           2 * soak.cells * cfg.runs, soak.requests_simulated, drill.requests,
           drill.errors, drill.error_rate, drill.recovery_s,
+          crash.warm_recovery_s, crash.cold_recovery_s,
           drill.pre_hit_ratio, SC_LTO ? "true" : "false",
-          soak.wall_s + drill.wall_s, rps,
+          soak.wall_s + drill.wall_s + crash.wall_s, rps,
           static_cast<unsigned long long>(sc::bench::allocation_count()),
           sc::bench::peak_rss_mb());
       std::fclose(f);

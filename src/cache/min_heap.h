@@ -7,8 +7,10 @@
 // remove / pop-min, each O(log n).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace sc::cache {
@@ -124,6 +126,17 @@ class IndexedMinHeap {
       heap_.pop_back();
       pos_[id] = kNpos;
     }
+  }
+
+  /// Every (id, key) entry, sorted by id (deterministic order for
+  /// snapshots). Materialized per call; audit/persistence hook, not for
+  /// hot paths.
+  [[nodiscard]] std::vector<std::pair<std::size_t, double>> entries() const {
+    std::vector<std::pair<std::size_t, double>> out;
+    out.reserve(heap_.size());
+    for (const Entry& e : heap_) out.emplace_back(e.id, e.key);
+    std::sort(out.begin(), out.end());
+    return out;
   }
 
   /// Validate the heap property and index consistency (test hook).

@@ -22,8 +22,10 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cache/min_heap.h"
@@ -42,6 +44,18 @@ using workload::StreamObject;
 /// their bit-identity contract breaks).
 inline constexpr double kDefaultKernelE = 1.0;
 
+/// Point-in-time copy of a policy's learned state, the unit the
+/// persistence layer (src/server/persist.h) snapshots and restores. The
+/// shape is policy-agnostic: the shared utility-engine state (request
+/// frequencies and the priority index's (id, key) pairs) plus an opaque
+/// kernel blob (e.g. LRU's recency array). A policy that keeps no state
+/// saves an empty snapshot.
+struct PolicySnapshot {
+  std::vector<double> freq;                       // indexed by ObjectId
+  std::vector<std::pair<ObjectId, double>> heap;  // (id, utility key)
+  std::vector<double> kernel;                     // kernel-specific extras
+};
+
 /// Interface seen by the simulator.
 class CachePolicy {
  public:
@@ -59,6 +73,35 @@ class CachePolicy {
   /// must clear the store as well; policy state and store contents are
   /// kept consistent only through on_access.
   virtual void reset() = 0;
+
+  /// Export learned state for persistence. Default: stateless.
+  [[nodiscard]] virtual PolicySnapshot save_state() const { return {}; }
+
+  /// Restore previously exported state; all-or-nothing — returns false
+  /// (leaving the policy untouched) when the snapshot does not fit this
+  /// policy's shape. The default accepts only an empty snapshot.
+  virtual bool load_state(const PolicySnapshot& state) {
+    return state.freq.empty() && state.heap.empty() && state.kernel.empty();
+  }
+
+  /// Request count this policy has observed for `id` (F_i); 0 for
+  /// policies that do not track frequencies. Journal annotation hook.
+  [[nodiscard]] virtual double frequency_of(ObjectId) const { return 0.0; }
+
+  /// Current priority-index key for `id`; false when absent. Journal
+  /// annotation hook.
+  [[nodiscard]] virtual bool index_key(ObjectId, double*) const {
+    return false;
+  }
+
+  /// Audit hook (sim::StateAuditor): verify the policy's internal
+  /// indices are consistent with the store's contents. On failure,
+  /// append human-readable reasons to `why` (when non-null) and return
+  /// false. Policies without indices are vacuously consistent.
+  [[nodiscard]] virtual bool check_consistency(
+      const PartialStore&, std::vector<std::string>* /*why*/) const {
+    return true;
+  }
 };
 
 /// Non-template part of the utility engine: learned frequencies, the
@@ -81,6 +124,53 @@ class UtilityPolicyBase : public CachePolicy {
 
   /// Request count observed for `id` (F_i).
   [[nodiscard]] double frequency(ObjectId id) const { return freq_.at(id); }
+
+  [[nodiscard]] double frequency_of(ObjectId id) const override {
+    return id < freq_.size() ? freq_[id] : 0.0;
+  }
+
+  [[nodiscard]] bool index_key(ObjectId id, double* key) const override {
+    if (id >= freq_.size() || !heap_.contains(id)) return false;
+    if (key != nullptr) *key = heap_.key(id);
+    return true;
+  }
+
+  [[nodiscard]] bool check_consistency(
+      const PartialStore& store,
+      std::vector<std::string>* why) const override {
+    bool ok = true;
+    const auto fail = [&](std::string reason) {
+      ok = false;
+      if (why != nullptr) why->push_back(std::move(reason));
+    };
+    if (!heap_.check_invariants()) {
+      fail("policy heap violates heap/index invariants");
+    }
+    // The engine pairs every store mutation with a heap mutation, so the
+    // heap's id set and the store's cached id set must be identical.
+    // Subset + equal cardinality proves set equality without touching
+    // the store's private array twice.
+    if (heap_.size() != store.object_count()) {
+      fail("policy heap size " + std::to_string(heap_.size()) +
+           " != cached object count " +
+           std::to_string(store.object_count()));
+    }
+    for (const auto& [id, key] : heap_.entries()) {
+      if (!store.contains(id)) {
+        fail("heap entry " + std::to_string(id) + " not cached in store");
+      }
+      if (!std::isfinite(key)) {
+        fail("heap key for " + std::to_string(id) + " is not finite");
+      }
+    }
+    for (ObjectId id = 0; id < freq_.size(); ++id) {
+      if (!(freq_[id] >= 0.0) || !std::isfinite(freq_[id])) {
+        fail("frequency for " + std::to_string(id) + " is negative or NaN");
+        break;  // one report is enough; the array is large
+      }
+    }
+    return ok;
+  }
 
  protected:
   /// Re-target the engine at a new catalog + estimator and forget the
@@ -118,6 +208,14 @@ struct KernelBase {
   void before_access(ObjectId, double) {}
   /// Forget learned kernel state.
   void reset() {}
+  /// Append kernel state to a PolicySnapshot's kernel blob (nothing for
+  /// stateless kernels).
+  void save(std::vector<double>&) const {}
+  /// Restore from a kernel blob; false on shape mismatch. Stateless
+  /// kernels accept only an empty blob.
+  [[nodiscard]] bool load(const std::vector<double>& blob) {
+    return blob.empty();
+  }
 };
 
 /// IF: Integral Frequency-based caching. Utility F_i, whole objects.
@@ -247,6 +345,16 @@ struct LruKernel : KernelBase {
     std::fill(last_access_.begin(), last_access_.end(), 0.0);
     clock_ = 0.0;
   }
+  void save(std::vector<double>& blob) const {
+    blob.push_back(clock_);
+    blob.insert(blob.end(), last_access_.begin(), last_access_.end());
+  }
+  [[nodiscard]] bool load(const std::vector<double>& blob) {
+    if (blob.size() != 1 + last_access_.size()) return false;
+    clock_ = blob[0];
+    std::copy(blob.begin() + 1, blob.end(), last_access_.begin());
+    return true;
+  }
   [[nodiscard]] double utility(const CatalogView&, ObjectId id, double,
                                double) const {
     return last_access_[id];
@@ -307,6 +415,42 @@ class UtilityPolicy final : public UtilityPolicyBase {
 
   void on_access(ObjectId id, double now_s, PartialStore& store) override {
     access(id, now_s, store, *estimator_);
+  }
+
+  [[nodiscard]] PolicySnapshot save_state() const override {
+    PolicySnapshot out;
+    out.freq = freq_;
+    out.heap = heap_.entries();
+    kernel_.save(out.kernel);
+    return out;
+  }
+
+  /// Validate-then-apply: the policy is mutated only after every shape
+  /// check passes, so a rejected snapshot leaves it untouched. The heap
+  /// is rebuilt by pushing entries in id order — heap-internal layout
+  /// (sibling order among equal keys) may differ from the saved
+  /// instance, but the (id, key) set is identical, which is all the
+  /// engine's semantics depend on.
+  bool load_state(const PolicySnapshot& state) override {
+    const std::size_t n = freq_.size();
+    if (state.freq.size() != n) return false;
+    for (const double f : state.freq) {
+      if (!(f >= 0.0) || !std::isfinite(f)) return false;
+    }
+    if (state.heap.size() > n) return false;
+    ObjectId prev_plus_one = 0;  // entries() is sorted; ids must be unique
+    for (const auto& [id, key] : state.heap) {
+      if (id >= n || id + 1 <= prev_plus_one) return false;
+      if (!std::isfinite(key)) return false;
+      prev_plus_one = id + 1;
+    }
+    Kernel staged = kernel_;
+    if (!staged.load(state.kernel)) return false;
+    freq_ = state.freq;
+    heap_.reset(n);
+    for (const auto& [id, key] : state.heap) heap_.push(id, key);
+    kernel_ = std::move(staged);
+    return true;
   }
 
   /// The admission/eviction body, templated over the estimator's static

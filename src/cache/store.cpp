@@ -34,6 +34,7 @@ void PartialStore::set_cached(ObjectId id, double bytes) {
   cached_[id] = bytes;
   used_ += delta;
   if (used_ < 0) used_ = 0;  // guard accumulated rounding
+  if (log_ != nullptr) log_->push_back(StoreChange{id, bytes});
 }
 
 void PartialStore::erase(ObjectId id) {
@@ -42,6 +43,7 @@ void PartialStore::erase(ObjectId id) {
   if (used_ < 0) used_ = 0;
   cached_[id] = 0.0;
   --count_;
+  if (log_ != nullptr) log_->push_back(StoreChange{id, 0.0});
 }
 
 void PartialStore::clear() {

@@ -23,6 +23,17 @@ namespace sc::cache {
 
 using workload::ObjectId;
 
+/// One observed store mutation: the cached prefix of `id` became exactly
+/// `bytes` (0 means the object was erased). Appended to an attached
+/// change log by set_cached/erase — the persistence layer's journal
+/// feed (src/server/persist.h). clear()/reset() do not log: they are
+/// lifecycle operations the owner already knows about.
+struct StoreChange {
+  ObjectId id = 0;
+  double bytes = 0.0;
+};
+using StoreChangeLog = std::vector<StoreChange>;
+
 class PartialStore {
  public:
   explicit PartialStore(double capacity_bytes);
@@ -67,11 +78,19 @@ class PartialStore {
   /// each call; intended for tests and reporting, not the hot path.
   [[nodiscard]] std::vector<std::pair<ObjectId, double>> contents() const;
 
+  /// Attach (or detach, with nullptr) a change log: every subsequent
+  /// set_cached/erase appends the object's new cached size to `log`.
+  /// Null by default, which keeps the simulator's hot path exactly one
+  /// predictable branch away from the pre-listener code — the golden
+  /// CSVs and the allocation regression tests pin that inertness.
+  void set_change_log(StoreChangeLog* log) noexcept { log_ = log; }
+
  private:
   double capacity_;
   double used_ = 0.0;
   std::size_t count_ = 0;
   std::vector<double> cached_;  // indexed by ObjectId; 0 means absent
+  StoreChangeLog* log_ = nullptr;
 };
 
 }  // namespace sc::cache

@@ -31,6 +31,7 @@
 //                          measurement with overhead accounting).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <memory>
 #include <type_traits>
@@ -74,6 +75,16 @@ class BandwidthEstimator {
 
   /// Cumulative measurement overhead in packets (0 for passive schemes).
   [[nodiscard]] virtual std::size_t overhead_packets() const { return 0; }
+
+  /// Export learned state as a flat double blob for persistence
+  /// (src/server/persist.h). Stateless schemes export nothing.
+  [[nodiscard]] virtual std::vector<double> save_state() const { return {}; }
+
+  /// Restore previously exported state; false (estimator untouched) on
+  /// shape mismatch. The default accepts only an empty blob.
+  virtual bool load_state(const std::vector<double>& blob) {
+    return blob.empty();
+  }
 };
 
 // ---------------------------------------------------------------------
@@ -99,6 +110,11 @@ class OracleKernel {
 
   /// Re-point at a new replication's model.
   void rebind(const PathModel& paths) { paths_ = &paths; }
+
+  [[nodiscard]] std::vector<double> save_state() const { return {}; }
+  [[nodiscard]] bool load_state(const std::vector<double>& blob) {
+    return blob.empty();
+  }
 
  private:
   const PathModel* paths_;
@@ -139,6 +155,19 @@ class EwmaKernel {
     observed_count_ = 0;
   }
 
+  /// Per-path estimates (<= 0 encodes "never observed"); observed_count_
+  /// is derived, so the blob is just the array.
+  [[nodiscard]] std::vector<double> save_state() const { return estimates_; }
+  [[nodiscard]] bool load_state(const std::vector<double>& blob) {
+    if (blob.size() != estimates_.size()) return false;
+    estimates_ = blob;
+    observed_count_ = 0;
+    for (const double e : estimates_) {
+      if (e > 0) ++observed_count_;
+    }
+    return true;
+  }
+
  private:
   double alpha_;
   double prior_;
@@ -163,6 +192,13 @@ class LastSampleKernel {
   [[nodiscard]] std::size_t overhead_packets() const { return 0; }
 
   void rebind(std::size_t n_paths) { last_.assign(n_paths, -1.0); }
+
+  [[nodiscard]] std::vector<double> save_state() const { return last_; }
+  [[nodiscard]] bool load_state(const std::vector<double>& blob) {
+    if (blob.size() != last_.size()) return false;
+    last_ = blob;
+    return true;
+  }
 
  private:
   double prior_;
@@ -202,6 +238,30 @@ class ProbeKernel {
   /// Swap in a fresh probe model (new replication's path means) and
   /// measurement stream; probe caches and overhead restart from zero.
   void rebind(std::unique_ptr<ProbeModel> model, util::Rng rng);
+
+  /// Blob layout: cached estimates, probe timestamps, overhead count.
+  /// The probe RNG is deliberately not captured: after a restore, paths
+  /// whose cached probe is still fresh serve it unchanged, and stale
+  /// paths simply re-probe with new draws — overhead accounting stays
+  /// cumulative either way.
+  [[nodiscard]] std::vector<double> save_state() const {
+    std::vector<double> blob;
+    blob.reserve(2 * cached_.size() + 1);
+    blob.insert(blob.end(), cached_.begin(), cached_.end());
+    blob.insert(blob.end(), probe_time_.begin(), probe_time_.end());
+    blob.push_back(static_cast<double>(overhead_packets_));
+    return blob;
+  }
+  [[nodiscard]] bool load_state(const std::vector<double>& blob) {
+    const std::size_t n = cached_.size();
+    if (blob.size() != 2 * n + 1) return false;
+    const double overhead = blob.back();
+    if (!(overhead >= 0)) return false;
+    std::copy(blob.begin(), blob.begin() + n, cached_.begin());
+    std::copy(blob.begin() + n, blob.begin() + 2 * n, probe_time_.begin());
+    overhead_packets_ = static_cast<std::size_t>(overhead);
+    return true;
+  }
 
  private:
   std::unique_ptr<ProbeModel> owned_model_;  // null when non-owning
@@ -246,6 +306,12 @@ class KernelEstimator : public BandwidthEstimator {
   }
   [[nodiscard]] std::size_t overhead_packets() const override {
     return kernel_.overhead_packets();
+  }
+  [[nodiscard]] std::vector<double> save_state() const override {
+    return kernel_.save_state();
+  }
+  bool load_state(const std::vector<double>& blob) override {
+    return kernel_.load_state(blob);
   }
 
   [[nodiscard]] Kernel& kernel() noexcept { return kernel_; }

@@ -121,4 +121,16 @@ std::string ProxyClient::stats() {
   return std::string(body.begin() + 1, body.end());
 }
 
+std::string ProxyClient::audit() {
+  if (fd_ < 0) fail("audit on closed client");
+  const std::uint8_t op = wire::kOpAudit;
+  if (!wire::write_frame(fd_, &op, 1)) fail("audit: write failed");
+  std::vector<std::uint8_t> body;
+  if (!wire::read_frame(fd_, body) || body.empty() ||
+      body[0] != wire::kOk) {
+    fail("audit: no response");
+  }
+  return std::string(body.begin() + 1, body.end());
+}
+
 }  // namespace sc::server

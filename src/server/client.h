@@ -45,6 +45,10 @@ class ProxyClient {
   /// The server's STATS JSON blob.
   [[nodiscard]] std::string stats();
 
+  /// Run a server-side integrity audit (the AUDIT op); returns its JSON
+  /// report {"ok": ..., "checks": ..., "violations": [...]}.
+  [[nodiscard]] std::string audit();
+
   /// Close the connection early (the destructor does this too). The
   /// daemon finalizes this connection's streaming session on close.
   void close();

@@ -39,6 +39,18 @@ ProxyDaemon::~ProxyDaemon() { stop(); }
 
 void ProxyDaemon::start() {
   if (started_) throw std::runtime_error("ProxyDaemon: already started");
+  // Accept-gate: the daemon never serves from unaudited state. A cold
+  // start passes trivially; a warm (recovered) start must prove every
+  // invariant — occupancy, policy index, pending observations — before
+  // the first connection is possible. ServiceEngine::try_recover already
+  // degrades bad recoveries to cold starts, so a failure here means a
+  // genuine in-memory inconsistency worth refusing to serve.
+  {
+    const sim::AuditReport report = engine_.audit();
+    if (!report.ok()) {
+      throw std::runtime_error("ProxyDaemon: pre-serve " + report.to_string());
+    }
+  }
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) fail("socket");
   const int one = 1;
@@ -157,6 +169,8 @@ void ProxyDaemon::ticker_loop() {
     });
     if (stop_.load(std::memory_order_relaxed)) return;
     engine_.tick();
+    // Periodic snapshots ride the ticker (no-op without a persist dir).
+    engine_.maybe_snapshot();
   }
 }
 
@@ -244,6 +258,10 @@ void ProxyDaemon::handle_connection(int fd) {
       }
     } else if (body[0] == wire::kOpStats) {
       const std::string json = engine_.stats_json();
+      reply.push_back(wire::kOk);
+      reply.insert(reply.end(), json.begin(), json.end());
+    } else if (body[0] == wire::kOpAudit) {
+      const std::string json = engine_.audit().to_json();
       reply.push_back(wire::kOk);
       reply.insert(reply.end(), json.begin(), json.end());
     } else {

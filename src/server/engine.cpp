@@ -35,7 +35,8 @@ ServiceEngine::ServiceEngine(ServiceConfig config)
       store_(config_.cache_capacity_bytes > 0
                  ? config_.cache_capacity_bytes
                  : config_.cache_fraction * catalog_.total_bytes()),
-      start_(std::chrono::steady_clock::now()) {
+      start_(std::chrono::steady_clock::now()),
+      persistence_(config_.persist) {
   store_.reserve(catalog_.size());
   kernel_.emplace(*policy_, *estimator_, store_, events_);
   // Wall-clock estimator blackouts: the kernel drops observations due
@@ -45,6 +46,141 @@ ServiceEngine::ServiceEngine(ServiceConfig config)
   if (!origin_.faults().empty()) {
     kernel_->set_faults(&origin_.faults());
   }
+  if (persistence_.enabled()) {
+    try_recover();
+    // Listen for store mutations only from here on: recovery's own
+    // set_cached calls are not journal-worthy (the snapshot already
+    // holds them), and with persistence disabled the listener is never
+    // attached at all — the serving path stays inert.
+    store_.set_change_log(&changes_);
+    // Anchor the journal: cold or warm, the next crash recovers from
+    // this image plus whatever the journal accumulates after it.
+    flush_snapshot();
+    last_snapshot_s_ = now_s();
+  }
+}
+
+void ServiceEngine::try_recover() {
+  persist::RecoveryInfo info;
+  auto state = persistence_.recover(&info);
+  recovery_detail_ = info.detail;
+  if (!state) return;
+
+  // The snapshot must describe THIS configuration; a daemon restarted
+  // with different parameters starts cold rather than importing state
+  // that means something else.
+  if (state->objects != catalog_.size() || state->seed != config_.seed ||
+      state->policy_spec != config_.policy ||
+      state->estimator_spec != config_.estimator ||
+      std::fabs(state->capacity_bytes - store_.capacity()) > 0.5) {
+    recovery_detail_ = "snapshot config mismatch; cold start";
+    return;
+  }
+
+  const auto cold_reset = [this](const std::string& why) {
+    store_.clear();
+    policy_->reset();
+    warm_start_ = false;
+    recovery_detail_ = why + "; cold start";
+  };
+
+  try {
+    for (const auto& [id, bytes] : state->store) {
+      store_.set_cached(id, bytes);
+    }
+  } catch (const std::exception& e) {
+    cold_reset(std::string("recovered store rejected (") + e.what() + ")");
+    return;
+  }
+  if (!policy_->load_state(state->policy)) {
+    cold_reset("recovered policy state rejected");
+    return;
+  }
+  // Full integrity audit before trusting anything (the daemon
+  // additionally refuses to accept connections on a failed audit).
+  const sim::AuditReport report =
+      sim::StateAuditor::audit(store_, policy_.get(), &events_,
+                               catalog_.size());
+  if (!report.ok()) {
+    cold_reset("recovered state failed audit: " + report.to_string());
+    return;
+  }
+  // Estimator last: by now everything else is known-good, so a rejected
+  // estimator blob costs the whole warm start but never leaves a
+  // half-loaded mix.
+  if (!estimator_->load_state(state->estimator)) {
+    cold_reset("recovered estimator state rejected");
+    return;
+  }
+  clock_offset_ = state->engine_now_s;
+  warm_start_ = true;
+}
+
+void ServiceEngine::journal_changes() {
+  // Deduplicate last-writer-wins: records are absolute, so only the
+  // final state of each touched object matters. An admission touches a
+  // handful of objects, so the quadratic scan never sees a large n.
+  for (std::size_t i = 0; i < changes_.size(); ++i) {
+    bool last = true;
+    for (std::size_t j = i + 1; j < changes_.size(); ++j) {
+      if (changes_[j].id == changes_[i].id) {
+        last = false;
+        break;
+      }
+    }
+    if (!last) continue;
+    const workload::ObjectId id = changes_[i].id;
+    persist::JournalRecord r;
+    r.id = id;
+    r.bytes = store_.cached(id);
+    r.freq = policy_->frequency_of(id);
+    double key = 0.0;
+    r.in_heap = policy_->index_key(id, &key);
+    r.key = key;
+    persistence_.append(r);
+  }
+  changes_.clear();
+}
+
+sim::AuditReport ServiceEngine::audit() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return sim::StateAuditor::audit(store_, policy_.get(), &events_,
+                                  catalog_.size());
+}
+
+void ServiceEngine::flush_snapshot() {
+  if (!persistence_.enabled()) return;
+  // One snapshot writer at a time; ordered before mu_ (never the other
+  // way around).
+  const std::lock_guard<std::mutex> snap(snap_mu_);
+  persist::SnapshotState state;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    state.objects = catalog_.size();
+    state.seed = config_.seed;
+    state.policy_spec = config_.policy;
+    state.estimator_spec = config_.estimator;
+    state.capacity_bytes = store_.capacity();
+    state.engine_now_s = now_s();
+    state.store = store_.contents();
+    state.policy = policy_->save_state();
+    state.estimator = estimator_->save_state();
+    // Rotate the journal while still holding mu_: every mutation after
+    // this instant journals into the file paired with this snapshot.
+    persistence_.begin_snapshot();
+  }
+  // The fsync-heavy write happens with mu_ released; concurrent serves
+  // keep going and their (absolute) journal records replay cleanly on
+  // top of the captured image.
+  persistence_.commit_snapshot(state);
+}
+
+void ServiceEngine::maybe_snapshot() {
+  if (!persistence_.enabled()) return;
+  const double now = now_s();
+  if (now - last_snapshot_s_ < config_.persist.snapshot_interval_s) return;
+  last_snapshot_s_ = now;
+  flush_snapshot();
 }
 
 std::uint64_t ServiceEngine::object_size(workload::ObjectId id) const {
@@ -57,9 +193,12 @@ std::uint64_t ServiceEngine::cached_bytes(workload::ObjectId id) const {
 }
 
 double ServiceEngine::now_s() const {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+  // clock_offset_ resumes the decision clock where a recovered snapshot
+  // left it (0 on a cold start); set once before serving begins.
+  return clock_offset_ +
+         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start_)
-      .count();
+             .count();
 }
 
 ServeResult ServiceEngine::serve_range(std::uint64_t object,
@@ -176,6 +315,9 @@ ServeResult ServiceEngine::serve_range_once(std::uint64_t object,
     if (after > cached_prefix) {
       metrics_.record_fill(after - cached_prefix);
     }
+    // Non-empty only when the persistence listener is attached: with
+    // persistence disabled this is a single empty-vector branch.
+    if (!changes_.empty()) journal_changes();
   }
   res.status = wire::kOk;
   return res;
@@ -217,12 +359,20 @@ ServiceStats ServiceEngine::snapshot() const {
   s.origin_retries = origin_retries_;
   s.origin_timeouts = origin_timeouts_;
   s.degraded_hits = degraded_hits_;
+  s.warm_start = warm_start_;
+  s.snapshots_written =
+      static_cast<std::size_t>(persistence_.snapshots_written());
+  s.journal_records =
+      static_cast<std::size_t>(persistence_.records_appended());
+  s.uptime_s = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+                   .count();
   return s;
 }
 
 std::string ServiceEngine::stats_json() const {
   const ServiceStats s = snapshot();
-  char buf[768];
+  char buf[1024];
   std::snprintf(buf, sizeof buf,
                 "{\"requests\": %zu, \"hit_ratio\": %.6f, "
                 "\"byte_hit_ratio\": %.6f, \"mean_delay_s\": %.6f, "
@@ -231,12 +381,16 @@ std::string ServiceEngine::stats_json() const {
                 "\"mean_viewed_fraction\": %.6f, "
                 "\"estimator_overhead_packets\": %zu, "
                 "\"origin_down\": %zu, \"origin_retries\": %zu, "
-                "\"origin_timeouts\": %zu, \"degraded_hits\": %zu}",
+                "\"origin_timeouts\": %zu, \"degraded_hits\": %zu, "
+                "\"uptime_s\": %.3f, \"warm_start\": %s, "
+                "\"snapshots_written\": %zu, \"journal_records\": %zu}",
                 s.requests, s.hit_ratio, s.byte_hit_ratio, s.mean_delay_s,
                 s.occupancy_bytes, s.cached_objects, s.capacity_bytes,
                 s.sessions, s.mean_viewed_fraction,
                 s.estimator_overhead_packets, s.origin_down, s.origin_retries,
-                s.origin_timeouts, s.degraded_hits);
+                s.origin_timeouts, s.degraded_hits, s.uptime_s,
+                s.warm_start ? "true" : "false", s.snapshots_written,
+                s.journal_records);
   return std::string(buf);
 }
 

@@ -40,8 +40,10 @@
 #include "cache/store.h"
 #include "net/estimator.h"
 #include "server/origin.h"
+#include "server/persist.h"
 #include "sim/decision.h"
 #include "sim/metrics.h"
+#include "sim/state_auditor.h"
 #include "workload/object_catalog.h"
 
 namespace sc::server {
@@ -74,6 +76,11 @@ struct ServiceConfig {
   std::size_t max_retries = 3;
   double retry_backoff_s = 0.05;
   double retry_backoff_max_s = 1.0;
+  /// Crash-safe persistence (docs/SERVER.md, "Persistence & recovery").
+  /// An empty dir (the default) disables it entirely: no change
+  /// listener on the store, no journal, no snapshots — the serving path
+  /// is then exactly the pre-persistence code.
+  persist::PersistConfig persist{};
 };
 
 /// Everything the wire layer needs to answer one GET.
@@ -104,6 +111,11 @@ struct ServiceStats {
   std::size_t origin_retries = 0;   // retry attempts made
   std::size_t origin_timeouts = 0;  // attempts over origin_timeout_s
   std::size_t degraded_hits = 0;    // fully-cached kOk while origin down
+  /// Persistence counters (all 0 / false without a persist dir).
+  bool warm_start = false;          // recovered state at startup
+  std::size_t snapshots_written = 0;
+  std::size_t journal_records = 0;
+  double uptime_s = 0.0;            // wall seconds since construction
 };
 
 class ServiceEngine {
@@ -164,6 +176,28 @@ class ServiceEngine {
   /// The STATS endpoint's body: `snapshot()` as a small JSON object.
   [[nodiscard]] std::string stats_json() const;
 
+  /// Whether startup recovered state from a snapshot (STATS warm_start).
+  [[nodiscard]] bool warm_start() const noexcept { return warm_start_; }
+  /// Human-readable recovery outcome (operator log line).
+  [[nodiscard]] const std::string& recovery_detail() const noexcept {
+    return recovery_detail_;
+  }
+
+  /// Run a full integrity audit (sim::StateAuditor) over the live
+  /// decision state, under the engine lock. The AUDIT wire frame and
+  /// the daemon's accept-gate both come through here.
+  [[nodiscard]] sim::AuditReport audit() const;
+
+  /// Write a snapshot now (graceful shutdown, tests). No-op when
+  /// persistence is disabled. Deliberately NOT called from the
+  /// destructor: a SIGKILLed process must recover from the periodic
+  /// snapshot + journal alone, and tests pin that property.
+  void flush_snapshot();
+
+  /// Write a snapshot if the configured interval elapsed since the last
+  /// one. Called from the daemon's ticker thread.
+  void maybe_snapshot();
+
  private:
   using Kernel =
       sim::DecisionKernel<cache::CachePolicy, net::BandwidthEstimator>;
@@ -173,6 +207,16 @@ class ServiceEngine {
                                              std::uint64_t offset,
                                              std::uint64_t length,
                                              bool is_retry);
+
+  /// Attempt warm recovery from the persist directory (constructor
+  /// helper). Any failure degrades to a clean cold start.
+  void try_recover();
+
+  /// Journal the store mutations accumulated in changes_ (called under
+  /// mu_ right after an admission decision). Records carry the FINAL
+  /// post-decision state of each touched object, deduplicated
+  /// last-writer-wins.
+  void journal_changes();
 
   ServiceConfig config_;
   workload::Catalog catalog_;
@@ -190,6 +234,24 @@ class ServiceEngine {
   std::size_t origin_timeouts_ = 0;
   std::size_t degraded_hits_ = 0;
   std::chrono::steady_clock::time_point start_;
+  persist::Persistence persistence_;
+  /// Store change listener buffer; attached to store_ only when
+  /// persistence is enabled, drained by journal_changes(). Guarded by
+  /// mu_ (the store only mutates under it).
+  cache::StoreChangeLog changes_;
+  bool warm_start_ = false;
+  std::string recovery_detail_;
+  /// Added to the wall clock so the decision clock continues from the
+  /// recovered engine_now_s instead of restarting at zero (probe
+  /// freshness and observation due-times stay monotone across
+  /// restarts).
+  double clock_offset_ = 0.0;
+  /// Ticker-thread-only snapshot pacing state (no lock needed).
+  double last_snapshot_s_ = 0.0;
+  /// Serializes snapshot writers (flush vs. periodic). Ordered BEFORE
+  /// mu_: flush_snapshot takes snap_mu_, then mu_ briefly to capture
+  /// state, then writes with both released.
+  std::mutex snap_mu_;
   mutable std::mutex mu_;
 };
 

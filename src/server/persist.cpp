@@ -1,0 +1,555 @@
+#include "server/persist.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+#include "server/wire.h"
+
+namespace sc::server::persist {
+
+namespace {
+
+constexpr std::array<char, 8> kSnapshotMagic = {'S', 'C', 'S', 'N',
+                                                'A', 'P', '1', '\0'};
+constexpr std::array<char, 8> kJournalMagic = {'S', 'C', 'J', 'R',
+                                               'N', 'L', '1', '\0'};
+constexpr std::uint32_t kFormatVersion = 1;
+
+/// Journal record frame: id(8) bytes(8) freq(8) key(8) in_heap(1) crc(4).
+constexpr std::size_t kRecordSize = 37;
+/// Journal header: magic(8) version(4) snapshot_sequence(8) crc(4).
+constexpr std::size_t kJournalHeaderSize = 24;
+
+/// Upper bound on a snapshot file we are willing to load (corrupt
+/// length fields must not trigger gigabyte allocations).
+constexpr long kMaxSnapshotBytes = 1L << 30;
+
+const std::uint32_t* crc_table() {
+  static const auto table = [] {
+    static std::uint32_t t[256];
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+/// Bounds-checked little-endian reader over a parsed byte range. Every
+/// accessor degrades to "ok() == false" instead of reading past the
+/// end, so corrupt length fields cannot walk off the buffer.
+class Cursor {
+ public:
+  Cursor(const std::uint8_t* data, std::size_t size)
+      : p_(data), left_(size) {}
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] std::size_t left() const noexcept { return left_; }
+
+  std::uint32_t u32() {
+    if (!take(4)) return 0;
+    const std::uint32_t v = wire::get_u32(p_ - 4);
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!take(8)) return 0;
+    return wire::get_u64(p_ - 8);
+  }
+  double f64() {
+    if (!take(8)) return 0.0;
+    return wire::get_f64(p_ - 8);
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!ok_ || n > left_) {
+      ok_ = false;
+      return {};
+    }
+    std::string out(reinterpret_cast<const char*>(p_), n);
+    p_ += n;
+    left_ -= n;
+    return out;
+  }
+  /// Element count for an array of `elem_size`-byte elements; fails when
+  /// the remaining bytes cannot possibly hold that many (the allocation
+  /// guard for corrupt counts).
+  std::uint64_t count(std::size_t elem_size) {
+    const std::uint64_t n = u64();
+    if (!ok_ || n > left_ / elem_size) {
+      ok_ = false;
+      return 0;
+    }
+    return n;
+  }
+  bool magic(const std::array<char, 8>& expect) {
+    if (!take(8)) return false;
+    if (std::memcmp(p_ - 8, expect.data(), 8) != 0) ok_ = false;
+    return ok_;
+  }
+
+ private:
+  bool take(std::size_t n) {
+    if (!ok_ || left_ < n) {
+      ok_ = false;
+      return false;
+    }
+    p_ += n;
+    left_ -= n;
+    return true;
+  }
+
+  const std::uint8_t* p_;
+  std::size_t left_;
+  bool ok_ = true;
+};
+
+void put_str(std::vector<std::uint8_t>& out, const std::string& s) {
+  wire::put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+std::vector<std::uint8_t> serialize_snapshot(const SnapshotState& state,
+                                             std::uint64_t sequence) {
+  std::vector<std::uint8_t> out;
+  out.reserve(128 + 16 * state.store.size() + 8 * state.policy.freq.size() +
+              16 * state.policy.heap.size() + 8 * state.policy.kernel.size() +
+              8 * state.estimator.size());
+  out.insert(out.end(), kSnapshotMagic.begin(), kSnapshotMagic.end());
+  wire::put_u32(out, kFormatVersion);
+  wire::put_u64(out, sequence);
+  wire::put_f64(out, state.engine_now_s);
+  wire::put_u64(out, state.objects);
+  wire::put_u64(out, state.seed);
+  put_str(out, state.policy_spec);
+  put_str(out, state.estimator_spec);
+  wire::put_f64(out, state.capacity_bytes);
+  wire::put_u64(out, state.store.size());
+  for (const auto& [id, bytes] : state.store) {
+    wire::put_u64(out, id);
+    wire::put_f64(out, bytes);
+  }
+  wire::put_u64(out, state.policy.freq.size());
+  for (const double f : state.policy.freq) wire::put_f64(out, f);
+  wire::put_u64(out, state.policy.heap.size());
+  for (const auto& [id, key] : state.policy.heap) {
+    wire::put_u64(out, id);
+    wire::put_f64(out, key);
+  }
+  wire::put_u64(out, state.policy.kernel.size());
+  for (const double v : state.policy.kernel) wire::put_f64(out, v);
+  wire::put_u64(out, state.estimator.size());
+  for (const double v : state.estimator) wire::put_f64(out, v);
+  wire::put_u32(out, crc32(out.data(), out.size()));
+  return out;
+}
+
+/// Parse + validate one snapshot image; nullopt on any defect.
+std::optional<SnapshotState> parse_snapshot(const std::uint8_t* data,
+                                            std::size_t size) {
+  if (size < 12) return std::nullopt;
+  const std::uint32_t stored_crc = wire::get_u32(data + size - 4);
+  if (crc32(data, size - 4) != stored_crc) return std::nullopt;
+
+  Cursor c(data, size - 4);
+  if (!c.magic(kSnapshotMagic)) return std::nullopt;
+  if (c.u32() != kFormatVersion) return std::nullopt;
+
+  SnapshotState s;
+  s.sequence = c.u64();
+  s.engine_now_s = c.f64();
+  s.objects = c.u64();
+  s.seed = c.u64();
+  s.policy_spec = c.str();
+  s.estimator_spec = c.str();
+  s.capacity_bytes = c.f64();
+
+  const std::uint64_t n_store = c.count(16);
+  if (!c.ok() || n_store > s.objects) return std::nullopt;
+  s.store.reserve(n_store);
+  for (std::uint64_t i = 0; i < n_store; ++i) {
+    const std::uint64_t id = c.u64();
+    const double bytes = c.f64();
+    if (id >= s.objects) return std::nullopt;
+    s.store.emplace_back(static_cast<workload::ObjectId>(id), bytes);
+  }
+  const std::uint64_t n_freq = c.count(8);
+  if (!c.ok() || (n_freq != 0 && n_freq != s.objects)) return std::nullopt;
+  s.policy.freq.reserve(n_freq);
+  for (std::uint64_t i = 0; i < n_freq; ++i) s.policy.freq.push_back(c.f64());
+  const std::uint64_t n_heap = c.count(16);
+  if (!c.ok() || n_heap > s.objects) return std::nullopt;
+  s.policy.heap.reserve(n_heap);
+  for (std::uint64_t i = 0; i < n_heap; ++i) {
+    const std::uint64_t id = c.u64();
+    const double key = c.f64();
+    if (id >= s.objects) return std::nullopt;
+    s.policy.heap.emplace_back(static_cast<workload::ObjectId>(id), key);
+  }
+  const std::uint64_t n_kernel = c.count(8);
+  if (!c.ok()) return std::nullopt;
+  s.policy.kernel.reserve(n_kernel);
+  for (std::uint64_t i = 0; i < n_kernel; ++i) {
+    s.policy.kernel.push_back(c.f64());
+  }
+  const std::uint64_t n_est = c.count(8);
+  if (!c.ok()) return std::nullopt;
+  s.estimator.reserve(n_est);
+  for (std::uint64_t i = 0; i < n_est; ++i) s.estimator.push_back(c.f64());
+
+  if (!c.ok() || c.left() != 0) return std::nullopt;
+  return s;
+}
+
+/// Read a whole file; nullopt when missing, unreadable, or implausibly
+/// large.
+std::optional<std::vector<std::uint8_t>> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  if (size < 0 || size > kMaxSnapshotBytes) {
+    std::fclose(f);
+    return std::nullopt;
+  }
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(size));
+  const std::size_t got = size == 0 ? 0 : std::fread(data.data(), 1,
+                                                     data.size(), f);
+  std::fclose(f);
+  if (got != data.size()) return std::nullopt;
+  return data;
+}
+
+/// Write `data` to `path` atomically: tmp file + fsync + rename + parent
+/// directory fsync. The destination either keeps its old content or
+/// holds the complete new image — never a torn mix.
+bool atomic_write(const std::string& dir, const std::string& path,
+                  const std::vector<std::uint8_t>& data) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);  // persist the rename itself
+    ::close(dfd);
+  }
+  return true;
+}
+
+void encode_record(std::vector<std::uint8_t>& out,
+                   const JournalRecord& record) {
+  out.clear();
+  wire::put_u64(out, record.id);
+  wire::put_f64(out, record.bytes);
+  wire::put_f64(out, record.freq);
+  wire::put_f64(out, record.key);
+  out.push_back(record.in_heap ? 1 : 0);
+  wire::put_u32(out, crc32(out.data(), out.size()));
+}
+
+/// Decode one record frame; false on CRC mismatch (torn tail).
+bool decode_record(const std::uint8_t* frame, JournalRecord& record) {
+  const std::uint32_t stored = wire::get_u32(frame + kRecordSize - 4);
+  if (crc32(frame, kRecordSize - 4) != stored) return false;
+  record.id = wire::get_u64(frame);
+  record.bytes = wire::get_f64(frame + 8);
+  record.freq = wire::get_f64(frame + 16);
+  record.key = wire::get_f64(frame + 24);
+  record.in_heap = frame[32] != 0;
+  return true;
+}
+
+std::vector<std::uint8_t> journal_header(std::uint64_t snapshot_sequence) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kJournalHeaderSize);
+  out.insert(out.end(), kJournalMagic.begin(), kJournalMagic.end());
+  wire::put_u32(out, kFormatVersion);
+  wire::put_u64(out, snapshot_sequence);
+  wire::put_u32(out, crc32(out.data(), out.size()));
+  return out;
+}
+
+/// Replay a journal onto dense per-id state arrays. Returns the number
+/// of records applied (stopping at the first torn/corrupt frame);
+/// `header_sequence` reports the journal's snapshot pairing (nullopt on
+/// a missing/corrupt header, in which case nothing is replayed).
+std::size_t replay_journal(const std::string& path,
+                           std::uint64_t expect_sequence,
+                           std::uint64_t objects,
+                           std::vector<double>& bytes_by_id,
+                           std::vector<double>& freq_by_id,
+                           std::vector<double>& key_by_id,
+                           std::vector<std::uint8_t>& in_heap_by_id,
+                           bool* header_ok, std::size_t* valid_bytes) {
+  *header_ok = false;
+  *valid_bytes = 0;
+  const auto data = read_file(path);
+  if (!data || data->size() < kJournalHeaderSize) return 0;
+  const std::uint8_t* p = data->data();
+  const std::uint32_t stored = wire::get_u32(p + kJournalHeaderSize - 4);
+  if (crc32(p, kJournalHeaderSize - 4) != stored) return 0;
+  if (std::memcmp(p, kJournalMagic.data(), 8) != 0) return 0;
+  if (wire::get_u32(p + 8) != kFormatVersion) return 0;
+  if (wire::get_u64(p + 12) != expect_sequence) return 0;
+  *header_ok = true;
+
+  std::size_t applied = 0;
+  std::size_t off = kJournalHeaderSize;
+  while (off + kRecordSize <= data->size()) {
+    JournalRecord r;
+    if (!decode_record(p + off, r)) break;  // torn tail: discard the rest
+    off += kRecordSize;
+    if (r.id >= objects) continue;  // stale record for another config
+    bytes_by_id[r.id] = r.bytes;
+    if (r.id < freq_by_id.size()) freq_by_id[r.id] = r.freq;
+    key_by_id[r.id] = r.key;
+    in_heap_by_id[r.id] = r.in_heap ? 1 : 0;
+    ++applied;
+  }
+  *valid_bytes = off;  // end of the last intact record frame
+  return applied;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  const std::uint32_t* table = crc_table();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+Persistence::Persistence(PersistConfig config) : config_(std::move(config)) {
+  if (config_.enabled()) {
+    // Best-effort: recover()/write_snapshot() report failures themselves.
+    ::mkdir(config_.dir.c_str(), 0755);
+  }
+}
+
+Persistence::~Persistence() {
+  std::lock_guard<std::mutex> lock(mu_);
+  close_journal_locked();
+}
+
+std::string Persistence::snapshot_path(int slot) const {
+  return config_.dir + (slot == 0 ? "/snap-A.scs" : "/snap-B.scs");
+}
+
+std::string Persistence::journal_path(int slot) const {
+  return config_.dir + (slot == 0 ? "/journal-A.scj" : "/journal-B.scj");
+}
+
+bool Persistence::open_journal_locked(int slot, bool truncate) {
+  close_journal_locked();
+  journal_ = std::fopen(journal_path(slot).c_str(), truncate ? "wb" : "ab");
+  if (journal_ == nullptr) return false;
+  if (truncate) {
+    const auto header = journal_header(sequence_);
+    if (std::fwrite(header.data(), 1, header.size(), journal_) !=
+            header.size() ||
+        std::fflush(journal_) != 0) {
+      close_journal_locked();
+      return false;
+    }
+  }
+  return true;
+}
+
+void Persistence::close_journal_locked() {
+  if (journal_ != nullptr) {
+    std::fclose(journal_);
+    journal_ = nullptr;
+  }
+}
+
+std::optional<SnapshotState> Persistence::recover(RecoveryInfo* info) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RecoveryInfo local;
+  if (info == nullptr) info = &local;
+  *info = RecoveryInfo{};
+  if (!config_.enabled()) {
+    info->detail = "persistence disabled";
+    return std::nullopt;
+  }
+
+  std::optional<SnapshotState> best;
+  int best_slot = -1;
+  for (int slot = 0; slot < 2; ++slot) {
+    const auto data = read_file(snapshot_path(slot));
+    if (!data) continue;
+    auto parsed = parse_snapshot(data->data(), data->size());
+    if (!parsed) continue;
+    if (!best || parsed->sequence > best->sequence) {
+      best = std::move(parsed);
+      best_slot = slot;
+    }
+  }
+  if (!best) {
+    info->detail = "no valid snapshot; cold start";
+    active_slot_ = 0;
+    sequence_ = 1;
+    return std::nullopt;
+  }
+
+  // Replay the paired journal over dense per-id arrays (last-writer-wins
+  // by construction: records carry absolute values).
+  const std::uint64_t n = best->objects;
+  std::vector<double> bytes_by_id(n, 0.0);
+  std::vector<double> key_by_id(n, 0.0);
+  std::vector<std::uint8_t> in_heap_by_id(n, 0);
+  std::vector<double> freq_by_id = best->policy.freq;  // may be empty
+  for (const auto& [id, b] : best->store) bytes_by_id[id] = b;
+  for (const auto& [id, k] : best->policy.heap) {
+    key_by_id[id] = k;
+    in_heap_by_id[id] = 1;
+  }
+  bool header_ok = false;
+  std::size_t valid_bytes = 0;
+  const std::size_t applied = replay_journal(
+      journal_path(best_slot), best->sequence, n, bytes_by_id, freq_by_id,
+      key_by_id, in_heap_by_id, &header_ok, &valid_bytes);
+
+  best->store.clear();
+  best->policy.heap.clear();
+  for (std::uint64_t id = 0; id < n; ++id) {
+    if (bytes_by_id[id] > 0.0) {
+      best->store.emplace_back(static_cast<workload::ObjectId>(id),
+                               bytes_by_id[id]);
+    }
+    if (in_heap_by_id[id] != 0) {
+      best->policy.heap.emplace_back(static_cast<workload::ObjectId>(id),
+                                     key_by_id[id]);
+    }
+  }
+  best->policy.freq = std::move(freq_by_id);
+
+  sequence_ = best->sequence + 1;
+  active_slot_ = 1 - best_slot;  // next snapshot goes to the other slot
+
+  // Keep appending to the recovered journal (absolute records make this
+  // correct); if its header was unusable, start it over so future
+  // appends have a valid anchor.
+  if (header_ok) {
+    // A torn tail was discarded during replay; chop it off the file too
+    // so new appends extend the *valid* prefix rather than landing
+    // after garbage that would mask them from the next recovery.
+    ::truncate(journal_path(best_slot).c_str(),
+               static_cast<off_t>(valid_bytes));
+    open_journal_locked(best_slot, /*truncate=*/false);
+  } else {
+    // Rewrite paired journal for the *recovered* snapshot's sequence.
+    const std::uint64_t next = sequence_;
+    sequence_ = best->sequence;
+    open_journal_locked(best_slot, /*truncate=*/true);
+    sequence_ = next;
+  }
+
+  info->warm = true;
+  info->sequence = best->sequence;
+  info->journal_records = applied;
+  info->detail = "warm start from snapshot seq " +
+                 std::to_string(best->sequence) + " + " +
+                 std::to_string(applied) + " journal records";
+  return best;
+}
+
+void Persistence::begin_snapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!config_.enabled()) return;
+  // Rotate the journal to the slot the upcoming commit will write. If
+  // the rotation fails we keep journaling to the previous file, whose
+  // records stay harmless (their sequence no longer matches the next
+  // snapshot, so they are ignored on recovery — losing deltas, never
+  // correctness).
+  open_journal_locked(active_slot_, /*truncate=*/true);
+}
+
+bool Persistence::commit_snapshot(const SnapshotState& state) {
+  // Serialize under the lock (cheap), but release it for the fsync-heavy
+  // atomic write: append() shares this mutex and is called under the
+  // engine's decision lock, which must never wait on disk. A single
+  // snapshot writer at a time is the caller's contract (the engine
+  // serializes flushes), so slot/sequence cannot change mid-commit.
+  std::vector<std::uint8_t> image;
+  int slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!config_.enabled()) return false;
+    image = serialize_snapshot(state, sequence_);
+    slot = active_slot_;
+  }
+  if (!atomic_write(config_.dir, snapshot_path(slot), image)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++sequence_;
+  active_slot_ = 1 - slot;
+  ++snapshots_written_;
+  return true;
+}
+
+bool Persistence::write_snapshot(const SnapshotState& state) {
+  begin_snapshot();
+  return commit_snapshot(state);
+}
+
+void Persistence::append(const JournalRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (journal_ == nullptr) return;
+  std::vector<std::uint8_t> frame;
+  encode_record(frame, record);
+  if (std::fwrite(frame.data(), 1, frame.size(), journal_) != frame.size()) {
+    // Disk trouble: stop journaling (recovery falls back to the last
+    // snapshot); the next successful snapshot re-establishes a journal.
+    close_journal_locked();
+    return;
+  }
+  std::fflush(journal_);
+  ++records_appended_;
+}
+
+std::uint64_t Persistence::snapshots_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshots_written_;
+}
+
+std::uint64_t Persistence::records_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_appended_;
+}
+
+std::uint64_t Persistence::next_sequence() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sequence_;
+}
+
+}  // namespace sc::server::persist

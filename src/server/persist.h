@@ -1,0 +1,178 @@
+// Crash-safe persistence for the live proxy's cache state.
+//
+// Layout inside the persist directory (PersistConfig::dir):
+//
+//   snap-A.scs / snap-B.scs   dual snapshot slots, written alternately
+//   journal-A.scj / journal-B.scj   delta journal paired with each slot
+//
+// A *snapshot* is a versioned, CRC32-checksummed binary image of the
+// whole decision state: store contents, policy snapshot (frequencies +
+// priority-index keys + kernel blob), and estimator blob, tagged with
+// the configuration it belongs to (objects / seed / policy spec /
+// estimator spec / capacity). Snapshots are written atomically
+// (tmp + fsync + rename + directory fsync) on a background interval and
+// on graceful shutdown; alternating two slots means a crash *during* a
+// snapshot write still leaves the previous complete snapshot intact.
+//
+// Between snapshots, every store mutation is appended to the journal
+// paired with the latest snapshot slot. Journal records carry ABSOLUTE
+// values (the object's new cached size / frequency / index key), so
+// replay is last-writer-wins and idempotent: replaying a prefix of the
+// journal reconstructs a state the system actually passed through, and
+// appending to the same journal after a warm recovery is correct
+// without truncation games. Each record is individually CRC-framed;
+// recovery replays until the first bad frame and discards the torn
+// tail. Appends are fflush()ed per record: a SIGKILL of the process
+// loses nothing (the data is in page cache), while a whole-machine
+// crash loses at most the un-fsynced tail — which the CRC framing
+// detects and discards cleanly.
+//
+// Recovery picks the valid snapshot slot with the highest sequence
+// number, replays its journal, and hands the resulting SnapshotState to
+// the engine, which validates it against its own configuration and runs
+// a full sim::StateAuditor pass before serving. *Any* failure — missing
+// files, bad magic, CRC mismatch, shape mismatch, failed audit —
+// degrades to a cold start; corruption can cost warmth, never
+// correctness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cache/policy.h"
+#include "workload/object_catalog.h"
+
+namespace sc::server::persist {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `data`,
+/// continuing from `seed` (pass the previous return value to checksum
+/// incrementally; start from the default).
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size,
+                                  std::uint32_t seed = 0);
+
+struct PersistConfig {
+  /// Directory for snapshot + journal files. Empty disables persistence
+  /// entirely: no listener, no journal, no snapshot thread — provably
+  /// inert.
+  std::string dir;
+  /// Background snapshot cadence (seconds of wall time).
+  double snapshot_interval_s = 30.0;
+
+  [[nodiscard]] bool enabled() const noexcept { return !dir.empty(); }
+};
+
+/// Everything a snapshot captures. The header fields identify the
+/// configuration the state belongs to; the engine refuses to warm-start
+/// from a snapshot whose header does not match its own config.
+struct SnapshotState {
+  // -- configuration tag --
+  std::uint64_t objects = 0;
+  std::uint64_t seed = 0;
+  std::string policy_spec;
+  std::string estimator_spec;
+  double capacity_bytes = 0.0;
+  // -- state --
+  std::uint64_t sequence = 0;   // monotone across snapshots
+  double engine_now_s = 0.0;    // decision clock at capture time
+  std::vector<std::pair<workload::ObjectId, double>> store;  // (id, bytes)
+  cache::PolicySnapshot policy;
+  std::vector<double> estimator;
+};
+
+/// One journaled store mutation, with enough policy context to rebuild
+/// the priority index on replay. Absolute values throughout: `bytes` is
+/// the object's new cached size (0 = erased), `freq`/`key` the policy's
+/// current frequency and index key for the object, `in_heap` whether
+/// the index currently holds it.
+struct JournalRecord {
+  std::uint64_t id = 0;
+  double bytes = 0.0;
+  double freq = 0.0;
+  double key = 0.0;
+  bool in_heap = false;
+};
+
+/// Why the last recover() came up empty (or partial). For STATS and
+/// operator logs.
+struct RecoveryInfo {
+  bool warm = false;
+  std::uint64_t sequence = 0;
+  std::size_t journal_records = 0;  // replayed
+  std::string detail;               // human-readable outcome
+};
+
+class Persistence {
+ public:
+  explicit Persistence(PersistConfig config);
+  ~Persistence();
+
+  Persistence(const Persistence&) = delete;
+  Persistence& operator=(const Persistence&) = delete;
+
+  [[nodiscard]] bool enabled() const noexcept { return config_.enabled(); }
+  [[nodiscard]] const PersistConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Load the newest valid snapshot and replay its journal. Returns
+  /// nullopt on a cold start (no/invalid snapshots); `info` always
+  /// explains what happened. After a successful recover() the journal
+  /// of the recovered slot is reopened for appending, so subsequent
+  /// append() calls extend the same history.
+  std::optional<SnapshotState> recover(RecoveryInfo* info);
+
+  /// Phase 1 of a snapshot, called while the caller still holds its
+  /// decision lock: rotate the journal to the next slot's (truncated)
+  /// file so that every append after this instant lands in the journal
+  /// paired with the snapshot about to be committed. Cheap — one small
+  /// buffered write, no fsync.
+  void begin_snapshot();
+
+  /// Phase 2: atomically write `state` (captured before begin_snapshot
+  /// returned) to the slot begin_snapshot rotated to, then advance the
+  /// sequence. Slow (fsync); call with the decision lock RELEASED —
+  /// appends interleaving with the write are safe because journal
+  /// records are absolute. Returns false on I/O failure (the daemon
+  /// keeps running; the previous slot's snapshot remains authoritative
+  /// and this slot's journal records are ignored on recovery).
+  bool commit_snapshot(const SnapshotState& state);
+
+  /// begin + commit in one call (tests, single-threaded callers).
+  bool write_snapshot(const SnapshotState& state);
+
+  /// Append one record to the current journal (no-op until a snapshot
+  /// or recovery established a journal). fflush()ed per record.
+  void append(const JournalRecord& record);
+
+  /// Total snapshots successfully written since construction.
+  [[nodiscard]] std::uint64_t snapshots_written() const;
+  /// Total journal records appended since construction.
+  [[nodiscard]] std::uint64_t records_appended() const;
+  /// Sequence number the next snapshot will carry.
+  [[nodiscard]] std::uint64_t next_sequence() const;
+
+  /// Snapshot slot paths (slot 0 = A, 1 = B); exposed for tests and the
+  /// corruption fuzzer.
+  [[nodiscard]] std::string snapshot_path(int slot) const;
+  [[nodiscard]] std::string journal_path(int slot) const;
+
+ private:
+  bool open_journal_locked(int slot, bool truncate);
+  void close_journal_locked();
+
+  PersistConfig config_;
+  mutable std::mutex mu_;
+  std::FILE* journal_ = nullptr;
+  int active_slot_ = 0;       // slot the *next* snapshot writes to
+  std::uint64_t sequence_ = 1;  // sequence the next snapshot carries
+  std::uint64_t snapshots_written_ = 0;
+  std::uint64_t records_appended_ = 0;
+};
+
+}  // namespace sc::server::persist

@@ -24,6 +24,11 @@
 //   STATS op=3
 //         -> status | UTF-8 JSON object (server-lifetime counters)
 //
+//   AUDIT op=4
+//         -> status | UTF-8 JSON object {"ok": bool, "checks": N,
+//            "violations": [...]} — a full sim::StateAuditor pass over
+//            the live decision state, run under the engine lock.
+//
 // Error responses are a lone status byte. The protocol is deliberately
 // minimal: framing is explicit so a reader never scans for delimiters,
 // and every field is fixed-width so both ends parse with pointer
@@ -41,6 +46,7 @@ namespace sc::server::wire {
 inline constexpr std::uint8_t kOpGet = 1;
 inline constexpr std::uint8_t kOpStat = 2;
 inline constexpr std::uint8_t kOpStats = 3;
+inline constexpr std::uint8_t kOpAudit = 4;
 
 // Response status codes.
 inline constexpr std::uint8_t kOk = 0;

@@ -70,6 +70,14 @@ class BasicEventQueue {
   [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
   [[nodiscard]] double now() const noexcept { return now_; }
 
+  /// Visit every pending event as `fn(time_s, const Payload&)`, in heap
+  /// storage order (NOT delivery order). Read-only audit hook
+  /// (sim::StateAuditor) — delivery semantics are untouched.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Event& ev : events_) fn(ev.time, ev.payload);
+  }
+
  private:
   struct Event {
     double time;

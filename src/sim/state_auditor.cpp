@@ -1,0 +1,150 @@
+#include "sim/state_auditor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace sc::sim {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Minimal JSON string escaping for audit reasons (quotes, backslashes,
+/// control characters — reasons are ASCII by construction).
+void append_json_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string AuditReport::to_string() const {
+  if (ok()) {
+    return "audit ok (" + std::to_string(checks) + " checks)";
+  }
+  std::string out = "audit FAILED (" + std::to_string(violations.size()) +
+                    " violations / " + std::to_string(checks) + " checks): ";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i > 0) out += "; ";
+    out += violations[i];
+  }
+  return out;
+}
+
+std::string AuditReport::to_json() const {
+  std::string out = "{\"ok\": ";
+  out += ok() ? "true" : "false";
+  out += ", \"checks\": " + std::to_string(checks) + ", \"violations\": [";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i > 0) out += ", ";
+    append_json_escaped(out, violations[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+AuditReport StateAuditor::audit(const cache::PartialStore& store,
+                                const cache::CachePolicy* policy,
+                                const ObservationQueue* observations,
+                                std::size_t n_ids, double slack_bytes) {
+  AuditReport report;
+  const auto check = [&report](bool cond, std::string reason) {
+    ++report.checks;
+    if (!cond) report.violations.push_back(std::move(reason));
+  };
+
+  // --- Store occupancy invariants -----------------------------------
+  const double used = store.used();
+  const double capacity = store.capacity();
+  check(std::isfinite(used) && used >= 0.0,
+        "store used " + fmt_double(used) + " is negative or non-finite");
+  check(std::isfinite(capacity) && capacity >= 0.0,
+        "store capacity " + fmt_double(capacity) +
+            " is negative or non-finite");
+  check(used <= capacity + slack_bytes,
+        "store used " + fmt_double(used) + " exceeds capacity " +
+            fmt_double(capacity));
+
+  const auto contents = store.contents();
+  check(contents.size() == store.object_count(),
+        "store contents size " + std::to_string(contents.size()) +
+            " != object_count " + std::to_string(store.object_count()));
+  double sum = 0.0;
+  ++report.checks;  // one assertion: every cached range positive + finite
+  for (const auto& [id, bytes] : contents) {
+    if (!(bytes > 0.0) || !std::isfinite(bytes)) {
+      report.violations.push_back("cached bytes for object " +
+                                  std::to_string(id) + " is " +
+                                  fmt_double(bytes));
+    }
+    sum += bytes;
+  }
+  // Occupancy must equal the sum of cached ranges. Sums run to ~10^11
+  // bytes over ~10^5 terms, so allow the absolute slack plus a relative
+  // term for accumulated rounding.
+  const double tolerance = slack_bytes + 1e-9 * std::max(sum, used);
+  check(std::fabs(sum - used) <= tolerance,
+        "store used " + fmt_double(used) + " != sum of cached ranges " +
+            fmt_double(sum));
+
+  // --- Policy index consistency -------------------------------------
+  if (policy != nullptr) {
+    ++report.checks;
+    std::vector<std::string> why;
+    if (!policy->check_consistency(store, &why)) {
+      if (why.empty()) why.push_back("policy reported inconsistency");
+      for (std::string& reason : why) {
+        report.violations.push_back(std::move(reason));
+      }
+    }
+  }
+
+  // --- Pending estimator observations -------------------------------
+  if (observations != nullptr) {
+    ++report.checks;
+    std::size_t bad = 0;
+    observations->for_each([&](double due_s, const ObservationEvent& ev) {
+      const bool sane = std::isfinite(due_s) &&
+                        std::isfinite(ev.throughput) && ev.throughput >= 0.0 &&
+                        (n_ids == 0 || ev.path < n_ids);
+      if (sane) return;
+      if (++bad <= 3) {  // cap the noise; count the rest
+        report.violations.push_back(
+            "pending observation path=" + std::to_string(ev.path) +
+            " throughput=" + fmt_double(ev.throughput) + " due=" +
+            fmt_double(due_s) + " is malformed");
+      }
+    });
+    if (bad > 3) {
+      report.violations.push_back(std::to_string(bad - 3) +
+                                  " further malformed observations");
+    }
+  }
+
+  return report;
+}
+
+}  // namespace sc::sim

@@ -1,0 +1,55 @@
+// Continuous cache-state integrity auditor.
+//
+// The simulator and the live proxy share one decision path
+// (sim::DecisionKernel), so they share one notion of a *consistent*
+// cache: occupancy equals the sum of cached byte ranges and never
+// exceeds capacity, the policy's priority index tracks exactly the
+// cached id set, and no deferred estimator observation is malformed.
+// StateAuditor checks those invariants against live state without
+// mutating it, so it can run mid-soak (bench_chaos), after crash
+// recovery (the daemon refuses to accept connections until a full audit
+// passes), and on demand over the wire (AUDIT frame).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cache/policy.h"
+#include "cache/store.h"
+#include "sim/event_queue.h"
+
+namespace sc::sim {
+
+/// Outcome of one audit pass: every violated invariant, in check order,
+/// as a human-readable reason. `checks` counts individual assertions so
+/// callers can tell "clean" from "vacuous".
+struct AuditReport {
+  std::size_t checks = 0;
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+
+  /// One line: "audit ok (N checks)" or the semicolon-joined violations.
+  [[nodiscard]] std::string to_string() const;
+
+  /// The report as a JSON object {"ok": ..., "checks": N,
+  /// "violations": [...]} — the AUDIT wire frame's response body.
+  [[nodiscard]] std::string to_json() const;
+};
+
+class StateAuditor {
+ public:
+  /// Audit `store` (always) plus, when non-null, the policy's index
+  /// consistency against it and the pending estimator observations.
+  /// `n_ids` bounds valid path ids (0 disables the bound check);
+  /// `slack_bytes` is the absolute tolerance for occupancy arithmetic
+  /// (the store itself works to one byte of floating-point slack).
+  [[nodiscard]] static AuditReport audit(
+      const cache::PartialStore& store,
+      const cache::CachePolicy* policy = nullptr,
+      const ObservationQueue* observations = nullptr, std::size_t n_ids = 0,
+      double slack_bytes = 1.0);
+};
+
+}  // namespace sc::sim

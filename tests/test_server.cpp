@@ -187,6 +187,21 @@ TEST(ServiceEngine, StatsJsonContainsTheCounters) {
   EXPECT_NE(json.find("\"requests\": 1"), std::string::npos);
   EXPECT_NE(json.find("hit_ratio"), std::string::npos);
   EXPECT_NE(json.find("capacity_bytes"), std::string::npos);
+  // Persistence/uptime fields are always present (warm_start is simply
+  // false when persistence is off).
+  EXPECT_NE(json.find("\"uptime_s\":"), std::string::npos);
+  EXPECT_NE(json.find("\"warm_start\": false"), std::string::npos);
+  EXPECT_GE(engine.snapshot().uptime_s, 0.0);
+}
+
+TEST(ServiceEngine, AuditPassesOnALiveEngine) {
+  ServiceEngine engine(small_config());
+  for (std::uint64_t id = 0; id < 16; ++id) {
+    (void)engine.serve_range(id, 0, 4096);
+  }
+  const auto report = engine.audit();
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GT(report.checks, 0u);
 }
 
 // ---------------------------------------------------------------- daemon
@@ -299,6 +314,18 @@ TEST(ProxyDaemon, StopIsIdempotentAndRestartableEngineStateSurvives) {
   const auto reply = client.get(1, 0, 2048);
   EXPECT_EQ(reply.status, wire::kOk);
   second.stop();
+}
+
+TEST(ProxyDaemon, AuditFrameReturnsACleanJsonReportOverTheWire) {
+  ServiceEngine engine(small_config());
+  ProxyDaemon daemon(engine);
+  daemon.start();
+  ProxyClient client("127.0.0.1", daemon.port());
+  (void)client.get(2, 0, 4096);  // some state to audit
+  const std::string report = client.audit();
+  EXPECT_NE(report.find("\"ok\": true"), std::string::npos) << report;
+  EXPECT_NE(report.find("\"violations\": []"), std::string::npos);
+  daemon.stop();
 }
 
 // ---------------------------------------------------------------- chaos

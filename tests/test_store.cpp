@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
 namespace sc::cache {
 namespace {
 
@@ -89,6 +94,103 @@ TEST(PartialStore, ContentsIteration) {
   for (const auto& [id, bytes] : store.contents()) total += bytes;
   EXPECT_DOUBLE_EQ(total, 80.0);
   EXPECT_EQ(store.contents().size(), 2u);
+}
+
+TEST(PartialStore, SingleObjectLargerThanCapacityIsRejectedCleanly) {
+  PartialStore store(100.0);
+  EXPECT_THROW(store.set_cached(1, 500.0), std::length_error);
+  // The oversized insert must leave no trace: no occupancy, no entry.
+  EXPECT_DOUBLE_EQ(store.used(), 0.0);
+  EXPECT_FALSE(store.contains(1));
+  EXPECT_EQ(store.object_count(), 0u);
+  // A capacity-sized prefix of the same object still fits.
+  store.set_cached(1, 100.0);
+  EXPECT_DOUBLE_EQ(store.cached(1), 100.0);
+}
+
+TEST(PartialStore, FractionalByteBudgetsStayExact) {
+  PartialStore store(10.5);
+  store.set_cached(1, 3.25);
+  store.set_cached(2, 7.25);  // 10.5 exactly
+  EXPECT_DOUBLE_EQ(store.used(), 10.5);
+  EXPECT_DOUBLE_EQ(store.free_space(), 0.0);
+  store.set_cached(1, 0.75);
+  EXPECT_DOUBLE_EQ(store.used(), 8.0);
+  // Accounting stays the exact sum, not an accumulation of drift.
+  double total = 0.0;
+  for (const auto& [id, bytes] : store.contents()) total += bytes;
+  EXPECT_DOUBLE_EQ(total, store.used());
+}
+
+// ------------------------------------------------------- change log
+
+TEST(PartialStore, ChangeLogRecordsAbsoluteSizes) {
+  PartialStore store(1000.0);
+  StoreChangeLog log;
+  store.set_change_log(&log);
+  store.set_cached(1, 300.0);
+  store.set_cached(1, 500.0);  // grow: absolute new size, not a delta
+  store.set_cached(2, 100.0);
+  store.set_cached(1, 0.0);  // delegates to erase — exactly one record
+  store.erase(2);
+  store.erase(2);  // double erase: absent, so nothing to log
+  ASSERT_EQ(log.size(), 5u);
+  EXPECT_EQ(log[0].id, 1u);
+  EXPECT_DOUBLE_EQ(log[0].bytes, 300.0);
+  EXPECT_DOUBLE_EQ(log[1].bytes, 500.0);
+  EXPECT_EQ(log[2].id, 2u);
+  EXPECT_DOUBLE_EQ(log[3].bytes, 0.0);
+  EXPECT_EQ(log[3].id, 1u);
+  EXPECT_DOUBLE_EQ(log[4].bytes, 0.0);
+  EXPECT_EQ(log[4].id, 2u);
+}
+
+TEST(PartialStore, ChangeLogDetachesAndIgnoresBulkResets) {
+  PartialStore store(1000.0);
+  StoreChangeLog log;
+  store.set_change_log(&log);
+  store.set_cached(1, 10.0);
+  // clear()/reset() rebuild wholesale (recovery, rebind); journaling
+  // them as per-object erases would be wrong and wasteful.
+  store.clear();
+  store.set_cached(2, 20.0);
+  store.reset(500.0);
+  ASSERT_EQ(log.size(), 2u);
+  store.set_change_log(nullptr);
+  store.set_cached(3, 30.0);
+  EXPECT_EQ(log.size(), 2u);  // detached: no further records
+}
+
+TEST(PartialStore, ContentsRoundTripRebuildsAnIdenticalStore) {
+  // Property test: for random mutation histories, rebuilding a store
+  // from contents() (what a snapshot persists) reproduces the original
+  // byte-for-byte — occupancy, count, and every entry.
+  util::Rng rng(77);
+  for (int iter = 0; iter < 50; ++iter) {
+    const double capacity = 64.0 + rng.uniform() * 4096.0;
+    PartialStore store(capacity);
+    for (int step = 0; step < 200; ++step) {
+      const auto id = static_cast<ObjectId>(rng.uniform() * 32.0);
+      if (rng.uniform() < 0.25) {
+        store.erase(id);
+        continue;
+      }
+      const double bytes = rng.uniform() * (capacity / 4.0);
+      if (store.used() - store.cached(id) + bytes <= capacity) {
+        store.set_cached(id, bytes);
+      }
+    }
+    PartialStore rebuilt(capacity);
+    for (const auto& [id, bytes] : store.contents()) {
+      rebuilt.set_cached(id, bytes);
+    }
+    EXPECT_EQ(rebuilt.contents(), store.contents()) << "iter " << iter;
+    // used() is an incremental sum on both sides; accumulation order
+    // differs, so compare to within the store's own 1-byte slack.
+    EXPECT_NEAR(rebuilt.used(), store.used(), 1.0) << "iter " << iter;
+    EXPECT_EQ(rebuilt.object_count(), store.object_count())
+        << "iter " << iter;
+  }
 }
 
 }  // namespace

@@ -34,6 +34,14 @@ may not exceed baseline * (1 + max_regression) plus
 --recovery-slack-s (default 1.0 wall seconds). Neither gate listens
 to SC_PERF_WARN_ONLY: the slack terms already absorb runner noise.
 
+`warm_recovery_s` (the kill -9 crash drill: wall seconds for a
+restarted daemon's hit ratio to return to 90% of pre-crash, warm from
+its snapshot + journal) is gated exactly like recovery_s, sharing
+--recovery-slack-s. When the fresh record also carries
+`cold_recovery_s`, warm must additionally stay strictly below cold
+(the same invariant bench_chaos enforces at runtime) — a warm restart
+no faster than a cold one means persistence restored nothing.
+
 Records carry the resolved `lto` build flag. A mismatch never softens
 the gate — it is reported, but both directions stay hard: a fresh
 build that GAINED LTO and still regressed is certainly slower in
@@ -196,6 +204,39 @@ def main(argv):
                   "slack; post-outage recovery broke — gate ignores "
                   "SC_PERF_WARN_ONLY)")
             failed = True
+
+    # Crash-drill gates (BENCH_chaos.json): warm_recovery_s is the time
+    # for a SIGKILLed-and-restarted daemon's hit ratio to return to 90%
+    # of its pre-crash level, gated like recovery_s (same slack knob).
+    # cold_recovery_s is the cold reference; a warm restart that is no
+    # faster than cold means persistence stopped restoring anything, so
+    # warm must also stay strictly below cold + the slack.
+    if "warm_recovery_s" not in base:
+        print("note: baseline has no warm_recovery_s field; crash-drill "
+              "gate skipped")
+    else:
+        warm_fresh = require(fresh, "warm_recovery_s", args[0])
+        warm_base = require(base, "warm_recovery_s", args[1])
+        allowed = warm_base * (1.0 + max_regression) + recovery_slack_s
+        print(f"warm_recovery_s: fresh {warm_fresh:.3f} vs baseline "
+              f"{warm_base:.3f} (allowed {allowed:.3f})")
+        if warm_fresh > allowed:
+            print(f"error: warm_recovery_s regressed to {warm_fresh:.3f} s "
+                  f"(> {allowed:.3f} s allowed = baseline "
+                  f"+{max_regression * 100:.0f}% +{recovery_slack_s:.1f} s "
+                  "slack; warm restart broke — gate ignores "
+                  "SC_PERF_WARN_ONLY)")
+            failed = True
+        if "cold_recovery_s" in fresh:
+            cold_fresh = require(fresh, "cold_recovery_s", args[0])
+            print(f"cold_recovery_s: fresh {cold_fresh:.3f} "
+                  "(warm must stay strictly below cold)")
+            if warm_fresh >= cold_fresh:
+                print(f"error: warm_recovery_s {warm_fresh:.3f} s is not "
+                      f"below cold_recovery_s {cold_fresh:.3f} s; the "
+                      "snapshot/journal restored nothing — gate ignores "
+                      "SC_PERF_WARN_ONLY)")
+                failed = True
 
     if failed:
         return 1

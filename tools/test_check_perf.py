@@ -218,6 +218,55 @@ class CheckPerfTest(unittest.TestCase):
         self.assertIn("error_rate", str(ctx.exception))
         self.assertIn("missing field", str(ctx.exception))
 
+    # ---- crash-drill (warm/cold recovery) gate ------------------------
+
+    def test_warm_recovery_gate_skipped_without_baseline_field(self):
+        code, out = self.run_main(record(), record())
+        self.assertEqual(code, 0)
+        self.assertIn("no warm_recovery_s field", out)
+
+    def test_warm_recovery_within_slack_passes(self):
+        code, _ = self.run_main(
+            record(warm_recovery_s=0.5, cold_recovery_s=2.0),
+            record(warm_recovery_s=0.0))
+        self.assertEqual(code, 0)
+
+    def test_warm_recovery_regression_fails(self):
+        code, out = self.run_main(
+            record(warm_recovery_s=3.0, cold_recovery_s=4.0),
+            record(warm_recovery_s=0.25))
+        self.assertEqual(code, 1)
+        self.assertIn("warm_recovery_s regressed", out)
+
+    def test_warm_not_below_cold_fails(self):
+        # Within the regression allowance vs baseline, but no faster
+        # than the cold reference: persistence restored nothing.
+        code, out = self.run_main(
+            record(warm_recovery_s=1.0, cold_recovery_s=0.5),
+            record(warm_recovery_s=0.5))
+        self.assertEqual(code, 1)
+        self.assertIn("not below cold_recovery_s", out)
+
+    def test_warm_gate_stays_hard_under_warn_only(self):
+        os.environ["SC_PERF_WARN_ONLY"] = "1"
+        code, out = self.run_main(
+            record(warm_recovery_s=9.0, cold_recovery_s=10.0),
+            record(warm_recovery_s=0.0))
+        self.assertEqual(code, 1)
+        self.assertIn("ignores SC_PERF_WARN_ONLY", out)
+
+    def test_warm_gate_respects_recovery_slack_flag(self):
+        code, _ = self.run_main(
+            record(warm_recovery_s=0.8, cold_recovery_s=5.0),
+            record(warm_recovery_s=0.0),
+            "--recovery-slack-s=0.5")
+        self.assertEqual(code, 1)
+
+    def test_missing_fresh_warm_field_exits_when_baseline_has_it(self):
+        with self.assertRaises(SystemExit) as ctx:
+            self.run_main(record(), record(warm_recovery_s=0.0))
+        self.assertIn("warm_recovery_s", str(ctx.exception))
+
     # ---- baseline trajectory arrays -----------------------------------
 
     def test_baseline_array_uses_last_entry(self):
