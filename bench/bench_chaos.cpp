@@ -55,6 +55,7 @@
 #include <exception>
 #include <filesystem>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -159,7 +160,7 @@ SoakResult simulator_soak(const ChaosConfig& cfg) {
   std::vector<SweepCell> cells;
   for (const char* policy : {"pb", "lru"}) {
     for (const std::string& plan : plans) {
-      cells.push_back(SweepCell{policy, -1.0, 0.05, {}, plan});
+      cells.push_back(SweepCell{policy, -1.0, 0.05, {}, plan, {}});
     }
   }
 
@@ -355,7 +356,10 @@ DrillResult live_drill(const ChaosConfig& cfg) {
 
   // Recovery: the second half of the warm window is the pre-outage
   // reference; after the window closes, find the first 0.25 s bucket
-  // whose hit ratio is back to >= 90% of it.
+  // whose hit ratio is back to >= 90% of it. Recovery is stamped at the
+  // bucket's UPPER edge — the measurement cannot resolve below the
+  // bucket, and a 0.0 record would make the check_perf.py proportional
+  // recovery gate vacuous for every future run.
   result.pre_hit_ratio =
       hit_ratio_between(samples, 0.5 * cfg.warmup_s, cfg.warmup_s);
   check(result.pre_hit_ratio > 0.0, "warm phase produced cache hits");
@@ -364,7 +368,7 @@ DrillResult live_drill(const ChaosConfig& cfg) {
   for (double t = outage_end; t + kBucket <= drill_end + 1e-9; t += kBucket) {
     if (hit_ratio_between(samples, t, t + kBucket) >=
         0.9 * result.pre_hit_ratio) {
-      result.recovery_s = t - outage_end;
+      result.recovery_s = (t + kBucket) - outage_end;
       break;
     }
   }
@@ -557,13 +561,18 @@ std::vector<Sample> crash_load(const ChaosConfig& cfg, std::uint16_t port,
   return samples;
 }
 
-/// First 0.25 s bucket (seconds since `epoch`-relative 0) whose hit
-/// ratio reaches `threshold`; `bound_s` when none does.
+/// Upper edge of the first 0.25 s bucket (seconds since `epoch`-relative
+/// 0) whose hit ratio reaches `threshold`; `bound_s` when none does.
+/// Returning the upper edge (not the lower) keeps the value strictly
+/// positive even when the very first bucket recovers — a 0.0 baseline
+/// would make the check_perf.py recovery-regression gates vacuous.
 double recovery_time(const std::vector<Sample>& samples, double threshold,
                      double bound_s) {
   constexpr double kBucket = 0.25;
   for (double t = 0.0; t + kBucket <= bound_s + 1e-9; t += kBucket) {
-    if (hit_ratio_between(samples, t, t + kBucket) >= threshold) return t;
+    if (hit_ratio_between(samples, t, t + kBucket) >= threshold) {
+      return t + kBucket;
+    }
   }
   return bound_s;
 }
@@ -579,13 +588,14 @@ CrashResult crash_drill(const ChaosConfig& cfg) {
               .string();
   }
 
+  // Bench-owned scratch dirs are removed by the guard on success and on
+  // every throw path; a user-supplied --persist-dir is left alone (CI
+  // uploads it as a failure artifact).
+  std::optional<sc::bench::TempDir> scratch;
   std::string dir = cfg.persist_dir;
   if (dir.empty()) {
-    char tmpl[] = "/tmp/sc-chaos-persist-XXXXXX";
-    if (::mkdtemp(tmpl) == nullptr) {
-      throw std::runtime_error("bench_chaos: mkdtemp failed");
-    }
-    dir = tmpl;
+    scratch.emplace("/tmp/sc-chaos-persist-");
+    dir = scratch->path();
   } else {
     std::filesystem::create_directories(dir);
   }

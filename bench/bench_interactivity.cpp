@@ -82,7 +82,7 @@ int run_main(int argc, char** argv) {
   for (const auto& policy : policies) {
     for (const auto& mode : modes) {
       for (const double fraction : fractions) {
-        cells.push_back(core::SweepCell{policy.spec, -1.0, fraction, mode, {}});
+        cells.push_back(core::SweepCell{policy.spec, -1.0, fraction, mode, {}, {}});
         bench::SweepPoint p;
         p.policy = policy.label + "/" + mode;
         p.cache_fraction = fraction;

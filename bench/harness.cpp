@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <new>
 #include <stdexcept>
@@ -296,7 +297,7 @@ std::vector<SweepPoint> sweep_alpha_and_cache(
   for (const double alpha : alphas) {
     for (const auto& policy : policies) {
       for (const double fraction : fractions) {
-        cells.push_back(core::SweepCell{policy.spec, alpha, fraction, {}, {}});
+        cells.push_back(core::SweepCell{policy.spec, alpha, fraction, {}, {}, {}});
         SweepPoint p;
         p.policy = policy.label;
         p.cache_fraction = fraction;
@@ -462,6 +463,19 @@ void write_points_csv(const std::vector<SweepPoint>& points,
     csv.endrow();
   }
   std::printf("\n[series written to %s]\n", path.c_str());
+}
+
+TempDir::TempDir(const std::string& prefix) {
+  std::string tmpl = prefix + "XXXXXX";
+  if (::mkdtemp(tmpl.data()) == nullptr) {
+    throw std::runtime_error("TempDir: mkdtemp failed for " + tmpl);
+  }
+  path_ = tmpl;
+}
+
+TempDir::~TempDir() {
+  std::error_code ec;  // best effort — never throw from a destructor
+  std::filesystem::remove_all(path_, ec);
 }
 
 }  // namespace sc::bench

@@ -207,4 +207,24 @@ void write_bench_json(const FigureConfig& config,
                       const SweepTelemetry& telemetry,
                       const std::string& path);
 
+/// RAII scratch directory: mkdtemp("<prefix>XXXXXX") on construction,
+/// recursive remove on destruction — so bench-owned temp state is
+/// cleaned on success AND on every throw path. Only for directories the
+/// bench created itself; user-supplied paths (e.g. --persist-dir, which
+/// CI uploads as a failure artifact) must not go through this guard.
+class TempDir {
+ public:
+  /// `prefix` is the template stem, e.g. "/tmp/sc-chaos-persist-".
+  /// Throws std::runtime_error if mkdtemp fails.
+  explicit TempDir(const std::string& prefix);
+  ~TempDir();
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
 }  // namespace sc::bench

@@ -63,6 +63,12 @@ struct AveragedMetrics {
   /// (fault injection; identically 0 without a fault plan).
   double denied_requests = 0.0;
   double denied_bytes = 0.0;
+  /// Fleet cells only (SweepCell::fleet; identically 0 / 1 / 0 for
+  /// single-cell sweeps): mean origin-uplink utilization, mean max/mean
+  /// per-proxy load imbalance, and mean peer-assisted request fraction.
+  double uplink_utilization = 0.0;
+  double load_imbalance = 0.0;
+  double peer_hit_ratio = 0.0;
 };
 
 struct ExperimentConfig {

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/registry.h"
+#include "fleet/fleet.h"
 #include "sim/arena.h"
 #include "stats/summary.h"
 #include "util/thread_pool.h"
@@ -26,6 +27,10 @@ struct RunOutcome {
   double occupancy = 0.0;
   double denied_requests = 0.0;
   double denied_bytes = 0.0;
+  // Fleet cells only (0 / 1 / 0 otherwise).
+  double uplink_utilization = 0.0;
+  double load_imbalance = 1.0;
+  double peer_hit_ratio = 0.0;
 };
 
 RunOutcome extract_outcome(const sim::SimulationResult& r) {
@@ -60,7 +65,23 @@ RunOutcome simulate_one(const workload::RequestStream& stream,
                         const sim::SimulationConfig& sim_config,
                         std::uint64_t path_seed,
                         std::shared_ptr<const net::PathModel> path_model,
-                        sim::SimulationArena& arena) {
+                        sim::SimulationArena& arena,
+                        const fleet::FleetConfig* fleet_config) {
+  if (fleet_config != nullptr) {
+    // Fleet cells run the sequential multi-proxy loop (fleet/fleet.h):
+    // one shared-uplink pass per replication, same shared stream and
+    // path model, seeds derived exactly as below.
+    sim::SimulationConfig config = sim_config;
+    config.seed = path_seed;
+    const fleet::FleetResult fr = fleet::run_fleet(
+        stream, *fleet_config, config, std::move(path_model), &scenario.base,
+        &scenario.ratio);
+    RunOutcome out = extract_outcome(fr.aggregate);
+    out.uplink_utilization = fr.uplink_utilization;
+    out.load_imbalance = fr.load_imbalance;
+    out.peer_hit_ratio = fr.peer_hit_ratio;
+    return out;
+  }
   if (sim_config.monomorphize) {
     if (sim::MonoEngineBase* engine =
             sim::acquire_mono_engine(arena, sim_config)) {
@@ -95,7 +116,7 @@ util::Rng run_rng(std::uint64_t base_seed, std::size_t run_index) {
 
 AveragedMetrics reduce(const RunOutcome* outcomes, std::size_t runs) {
   stats::RunningStats traffic, delay, quality, value, hit, immediate, fill,
-      occupancy, denied_requests, denied_bytes;
+      occupancy, denied_requests, denied_bytes, uplink, imbalance, peer;
   for (std::size_t r = 0; r < runs; ++r) {
     const RunOutcome& o = outcomes[r];
     traffic.add(o.traffic);
@@ -108,6 +129,9 @@ AveragedMetrics reduce(const RunOutcome* outcomes, std::size_t runs) {
     occupancy.add(o.occupancy);
     denied_requests.add(o.denied_requests);
     denied_bytes.add(o.denied_bytes);
+    uplink.add(o.uplink_utilization);
+    imbalance.add(o.load_imbalance);
+    peer.add(o.peer_hit_ratio);
   }
 
   AveragedMetrics m;
@@ -126,6 +150,9 @@ AveragedMetrics reduce(const RunOutcome* outcomes, std::size_t runs) {
   m.occupancy_bytes = occupancy.mean();
   m.denied_requests = denied_requests.mean();
   m.denied_bytes = denied_bytes.mean();
+  m.uplink_utilization = uplink.mean();
+  m.load_imbalance = imbalance.mean();
+  m.peer_hit_ratio = peer.mean();
   return m;
 }
 
@@ -149,6 +176,7 @@ std::vector<AveragedMetrics> SweepRunner::run(
   // policy spec is validated once (cells repeat a handful of policies
   // across fractions/alphas, and a validation parse allocates).
   std::vector<sim::SimulationConfig> sims(cells.size());
+  std::vector<std::shared_ptr<const fleet::FleetConfig>> fleets(cells.size());
   std::vector<double> cell_alpha(cells.size());
   std::vector<const std::string*> validated;
   const auto validate_policy_once = [&validated](const std::string& spec) {
@@ -190,6 +218,10 @@ std::vector<AveragedMetrics> SweepRunner::run(
     }
     if (!cells[c].fault.empty()) {
       sims[c].fault = net::FaultPlan::parse(cells[c].fault);
+    }
+    if (!cells[c].fleet.empty()) {
+      fleets[c] = std::make_shared<const fleet::FleetConfig>(
+          fleet::FleetConfig::parse(cells[c].fleet));
     }
     cell_alpha[c] = cells[c].zipf_alpha >= 0 ? cells[c].zipf_alpha
                                              : base_.workload.trace.zipf_alpha;
@@ -295,7 +327,7 @@ std::vector<AveragedMetrics> SweepRunner::run(
     const auto start = std::chrono::steady_clock::now();
     outcomes[task] = simulate_one(
         stream, scenario_, sims[c], path_seeds[r],
-        share_models ? path_models[r] : nullptr, arena);
+        share_models ? path_models[r] : nullptr, arena, fleets[c].get());
     if (!sim_wall.empty()) {
       sim_wall[task] = std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - start)

@@ -51,6 +51,15 @@ struct SweepCell {
   /// "fault:outage=120+60") so one grid can sweep chaos scenarios while
   /// sharing workloads and path models across them.
   std::string fault;
+  /// Edge-fleet spec ("" = single-cell simulator; see fleet/fleet.h,
+  /// e.g. "fleet:proxies=16,sharding=hash:vnodes=64,uplink_mbps=200").
+  /// A fleet cell runs one sequential multi-proxy pass per replication
+  /// over the same shared workload stream and path model; the cell's
+  /// cache fraction is the fleet's *aggregate* budget (split evenly
+  /// across proxies). Grid parallelism is across cells x replications,
+  /// exactly as for single-cell sweeps, so results stay bit-identical
+  /// at every --threads.
+  std::string fleet;
 };
 
 /// What one SweepRunner::run call actually constructed (vs. the

@@ -76,13 +76,51 @@ FaultWindow parse_window_core(const std::string& token,
   return w;
 }
 
+/// Parse one `@...` scope segment (the text after the '@'): region<K>,
+/// r<K>, proxy<K>, or p<K>. Returns false when the segment is not a
+/// scope at all (e.g. a degrade @PATH digit string), throws when it
+/// starts like a scope but is malformed.
+bool parse_scope_segment(const std::string& text, const std::string& family,
+                         const std::string& token, FaultWindow* w) {
+  FaultWindow::Scope scope = FaultWindow::Scope::kGlobal;
+  std::size_t prefix = 0;
+  if (text.rfind("region", 0) == 0) {
+    scope = FaultWindow::Scope::kRegion;
+    prefix = 6;
+  } else if (text.rfind("proxy", 0) == 0) {
+    scope = FaultWindow::Scope::kProxy;
+    prefix = 5;
+  } else if (!text.empty() && text[0] == 'r') {
+    scope = FaultWindow::Scope::kRegion;
+    prefix = 1;
+  } else if (!text.empty() && text[0] == 'p') {
+    scope = FaultWindow::Scope::kProxy;
+    prefix = 1;
+  } else {
+    return false;
+  }
+  const double id = parse_number(text.substr(prefix), family + " scope");
+  if (id < 0 ||
+      id != static_cast<double>(static_cast<std::uint32_t>(id))) {
+    throw util::SpecError("fault spec: " + family + " window \"" + token +
+                          "\": scope \"@" + text +
+                          "\" must be @region<K>/@r<K> or @proxy<K>/@p<K> "
+                          "with a non-negative integer K");
+  }
+  w->scope = scope;
+  w->scope_id = static_cast<std::uint32_t>(id);
+  return true;
+}
+
 std::vector<FaultWindow> parse_outage_like(const std::string& value,
                                            const std::string& family) {
   std::vector<FaultWindow> windows;
   for (const std::string& token : split(value, '/')) {
     std::string rest;
     FaultWindow w = parse_window_core(token, family, &rest);
-    if (!rest.empty()) {
+    if (!rest.empty() &&
+        !(rest[0] == '@' &&
+          parse_scope_segment(rest.substr(1), family, token, &w))) {
       throw util::SpecError("fault spec: " + family + " window \"" + token +
                             "\": unexpected trailing \"" + rest + "\"");
     }
@@ -111,14 +149,25 @@ std::vector<FaultWindow> parse_degrades(const std::string& value) {
                             "\": scale must be in (0, 1) — use outage= for "
                             "a full cut");
     }
-    if (at != std::string::npos) {
-      const double path = parse_number(rest.substr(at + 1), "degrade path");
-      if (path < 0 || path != static_cast<double>(
-                                  static_cast<std::uint32_t>(path))) {
+    // After the scale: up to two '@' segments, in either order — a
+    // digit-leading @PATH and/or a @SCOPE (region/proxy).
+    bool have_path = false;
+    for (const std::string& seg :
+         at == std::string::npos ? std::vector<std::string>{}
+                                 : split(rest.substr(at + 1), '@')) {
+      if (!seg.empty() && seg[0] >= '0' && seg[0] <= '9') {
+        const double path = parse_number(seg, "degrade path");
+        if (have_path || path < 0 ||
+            path != static_cast<double>(static_cast<std::uint32_t>(path))) {
+          throw util::SpecError("fault spec: degrade window \"" + token +
+                                "\": @PATH must be a non-negative integer");
+        }
+        w.path = static_cast<std::uint32_t>(path);
+        have_path = true;
+      } else if (!parse_scope_segment(seg, "degrade", token, &w)) {
         throw util::SpecError("fault spec: degrade window \"" + token +
-                              "\": @PATH must be a non-negative integer");
+                              "\": unexpected \"@" + seg + "\"");
       }
-      w.path = static_cast<std::uint32_t>(path);
     }
     windows.push_back(w);
   }
@@ -134,10 +183,20 @@ std::vector<FaultWindow> parse_flaps(const std::string& value) {
       throw util::SpecError("fault spec: flap window \"" + token +
                             "\" must be START+DUR@PERIOD (e.g. 600+300@20)");
     }
-    w.period_s = parse_number(rest.substr(1), "flap period");
+    // The period runs to the optional second '@' (the scope).
+    const std::size_t at2 = rest.find('@', 1);
+    w.period_s = parse_number(
+        rest.substr(1, at2 == std::string::npos ? std::string::npos : at2 - 1),
+        "flap period");
     if (w.period_s <= 0) {
       throw util::SpecError("fault spec: flap window \"" + token +
                             "\": period must be > 0");
+    }
+    if (at2 != std::string::npos &&
+        !parse_scope_segment(rest.substr(at2 + 1), "flap", token, &w)) {
+      throw util::SpecError("fault spec: flap window \"" + token +
+                            "\": unexpected trailing \"" + rest.substr(at2) +
+                            "\"");
     }
     windows.push_back(w);
   }
@@ -167,6 +226,12 @@ void append_windows(std::string& out, const char* key,
     }
     if (flap) {
       std::snprintf(buf, sizeof buf, "@%g", w.period_s);
+      out += buf;
+    }
+    if (w.scope != FaultWindow::Scope::kGlobal) {
+      std::snprintf(buf, sizeof buf, "@%c%u",
+                    w.scope == FaultWindow::Scope::kRegion ? 'r' : 'p',
+                    w.scope_id);
       out += buf;
     }
   }
@@ -216,6 +281,22 @@ FaultPlan FaultPlan::parse(const std::string& text) {
   return plan;
 }
 
+FaultPlan FaultPlan::scoped_to(const FaultScope& scope) const {
+  const auto filter = [&scope](const std::vector<FaultWindow>& in) {
+    std::vector<FaultWindow> kept;
+    for (const FaultWindow& w : in) {
+      if (scope.matches(w)) kept.push_back(w);
+    }
+    return kept;
+  };
+  FaultPlan out;
+  out.outages_ = filter(outages_);
+  out.degrades_ = filter(degrades_);
+  out.blackouts_ = filter(blackouts_);
+  out.flaps_ = filter(flaps_);
+  return out;
+}
+
 std::string FaultPlan::to_string() const {
   if (empty()) return "none";
   std::string params;
@@ -227,8 +308,8 @@ std::string FaultPlan::to_string() const {
 }
 
 void FaultSchedule::compile(const FaultPlan& plan, std::size_t n_paths,
-                            std::uint64_t seed) {
-  plan_ = plan;
+                            std::uint64_t seed, FaultScope scope) {
+  plan_ = plan.scoped_to(scope);
   flap_phase_.clear();
   if (plan_.flaps().empty()) return;
   flap_phase_.resize(n_paths);

@@ -35,8 +35,26 @@
 //       flap in lockstep, but the same (plan, seed, path) always flaps
 //       identically.
 //
+// Fleet scopes (src/fleet/): every window accepts an optional trailing
+// scope suffix restricting it to one proxy or one region of a
+// multi-proxy fleet:
+//
+//   outage=120+60@region0        only proxies in fleet region 0
+//   outage=120+60@proxy3         only fleet proxy 3
+//   flap=600+300@20@r1           (@rK / @pK short forms; flap's scope
+//                                 is the second @, after the period)
+//
+// A schedule is compiled *for* one fleet member via FaultScope; scoped
+// windows whose scope does not match the compiling member are dropped
+// at compile time, so queries stay exactly as cheap as before. The
+// default FaultScope (a standalone, non-fleet simulation) matches no
+// scoped window — a region-targeted outage is inert outside a fleet.
+// This is what makes `outage=...@region` express correlated regional
+// outages: every proxy of the region shares the window verbatim,
+// everyone else never sees it.
+//
 // Determinism contract: a FaultPlan is pure parsed data; compiling it
-// into a FaultSchedule uses only (plan, n_paths, seed), so every
+// into a FaultSchedule uses only (plan, n_paths, seed, scope), so every
 // engine, thread count, and replay of the same replication sees the
 // identical event timeline. An EMPTY plan is provably inert — callers
 // skip the fault hooks entirely when plan.empty(), so the golden CSVs
@@ -54,6 +72,10 @@ namespace sc::net {
 
 /// One timed fault window [start_s, start_s + duration_s).
 struct FaultWindow {
+  /// Which fleet members the window applies to (kGlobal = everyone,
+  /// including standalone non-fleet runs).
+  enum class Scope : std::uint8_t { kGlobal, kRegion, kProxy };
+
   double start_s = 0.0;
   double duration_s = 0.0;
   /// Bandwidth multiplier inside the window (degrade family only;
@@ -63,11 +85,36 @@ struct FaultWindow {
   std::uint32_t path = kAllPaths;
   /// Up/down alternation period (flap family only).
   double period_s = 0.0;
+  Scope scope = Scope::kGlobal;
+  /// Region or proxy index when scope != kGlobal.
+  std::uint32_t scope_id = 0;
 
   static constexpr std::uint32_t kAllPaths = 0xFFFFFFFFu;
 
   [[nodiscard]] bool contains(double now_s) const noexcept {
     return now_s >= start_s && now_s < start_s + duration_s;
+  }
+};
+
+/// Identity of the fleet member a FaultSchedule is compiled for. The
+/// default (kStandalone everywhere) is a non-fleet run: it matches only
+/// unscoped windows, keeping region/proxy-targeted plans inert in the
+/// single-cell simulator and the daemon.
+struct FaultScope {
+  static constexpr std::uint32_t kStandalone = 0xFFFFFFFFu;
+  std::uint32_t proxy = kStandalone;
+  std::uint32_t region = kStandalone;
+
+  [[nodiscard]] bool matches(const FaultWindow& w) const noexcept {
+    switch (w.scope) {
+      case FaultWindow::Scope::kRegion:
+        return region != kStandalone && region == w.scope_id;
+      case FaultWindow::Scope::kProxy:
+        return proxy != kStandalone && proxy == w.scope_id;
+      case FaultWindow::Scope::kGlobal:
+        break;
+    }
+    return true;
   }
 };
 
@@ -102,6 +149,12 @@ class FaultPlan {
     return flaps_;
   }
 
+  /// The subset of this plan visible to one fleet member: windows
+  /// scoped to a different region/proxy are removed. FaultSchedule's
+  /// compile() applies this, so scope filtering costs nothing at query
+  /// time.
+  [[nodiscard]] FaultPlan scoped_to(const FaultScope& scope) const;
+
   /// Canonical spec string ("none" for the empty plan); parse() of the
   /// result reproduces the plan.
   [[nodiscard]] std::string to_string() const;
@@ -125,9 +178,12 @@ class FaultSchedule {
   /// Compile `plan` for a run over `n_paths` paths. `seed` fixes the
   /// flap phases; use the run's fault stream
   /// (Rng(run_seed).fork("faults").seed()) so every engine derives the
-  /// identical schedule.
+  /// identical schedule. `scope` identifies the fleet member being
+  /// compiled for: windows scoped to a different proxy/region are
+  /// dropped here, so queries never pay for them. The default scope is
+  /// a standalone run, which keeps scoped windows inert.
   void compile(const FaultPlan& plan, std::size_t n_paths,
-               std::uint64_t seed);
+               std::uint64_t seed, FaultScope scope = {});
 
   /// Reset to the empty schedule (every query returns "no fault").
   void clear();

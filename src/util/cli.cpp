@@ -94,12 +94,41 @@ std::string Cli::get_or(const std::string& name,
 
 double Cli::get_or(const std::string& name, double fallback) const {
   const auto v = get(name);
-  return v ? std::stod(*v) : fallback;
+  if (!v) return fallback;
+  // std::stod alone would abort with a raw std::invalid_argument /
+  // std::out_of_range naming no flag, and would silently accept
+  // trailing junk ("1.5x"); rethrow in the flag-naming SpecError style
+  // the spec grammar uses everywhere else.
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(*v, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != v->size() || v->empty()) {
+    throw SpecError("--" + name + ": \"" + *v + "\" is not a number");
+  }
+  return value;
 }
 
 long long Cli::get_or(const std::string& name, long long fallback) const {
   const auto v = get(name);
-  return v ? std::stoll(*v) : fallback;
+  if (!v) return fallback;
+  std::size_t consumed = 0;
+  long long value = 0;
+  try {
+    value = std::stoll(*v, &consumed);
+  } catch (const std::out_of_range&) {
+    throw SpecError("--" + name + ": \"" + *v +
+                    "\" is out of range for an integer");
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != v->size() || v->empty()) {
+    throw SpecError("--" + name + ": \"" + *v + "\" is not an integer");
+  }
+  return value;
 }
 
 std::size_t Cli::get_count(const std::string& name,

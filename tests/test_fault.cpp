@@ -109,6 +109,70 @@ TEST(FaultPlan, RejectsMalformedWindows) {
   EXPECT_THROW((void)FaultPlan::parse("none:outage=1+1"), util::SpecError);
 }
 
+// ------------------------------------------------------------ fleet scope
+
+TEST(FaultPlan, ParsesScopeSuffixesAndRoundTrips) {
+  const FaultPlan plan = FaultPlan::parse(
+      "fault:outage=10+5@region2/20+5@p1,degrade=0+9x0.5@3@r0,"
+      "flap=0+100@20@proxy4");
+  ASSERT_EQ(plan.outages().size(), 2u);
+  EXPECT_EQ(plan.outages()[0].scope, FaultWindow::Scope::kRegion);
+  EXPECT_EQ(plan.outages()[0].scope_id, 2u);
+  EXPECT_EQ(plan.outages()[1].scope, FaultWindow::Scope::kProxy);
+  EXPECT_EQ(plan.outages()[1].scope_id, 1u);
+  ASSERT_EQ(plan.degrades().size(), 1u);
+  EXPECT_EQ(plan.degrades()[0].path, 3u);
+  EXPECT_EQ(plan.degrades()[0].scope, FaultWindow::Scope::kRegion);
+  EXPECT_EQ(plan.degrades()[0].scope_id, 0u);
+  ASSERT_EQ(plan.flaps().size(), 1u);
+  EXPECT_EQ(plan.flaps()[0].scope, FaultWindow::Scope::kProxy);
+  EXPECT_EQ(plan.flaps()[0].scope_id, 4u);
+  // Canonical form round-trips the scopes.
+  const FaultPlan again = FaultPlan::parse(plan.to_string());
+  EXPECT_EQ(again.to_string(), plan.to_string());
+  EXPECT_EQ(again.outages()[0].scope, FaultWindow::Scope::kRegion);
+  EXPECT_EQ(again.flaps()[0].scope_id, 4u);
+}
+
+TEST(FaultPlan, RejectsMalformedScopes) {
+  EXPECT_THROW((void)FaultPlan::parse("fault:outage=1+2@x3"),
+               util::SpecError);
+  EXPECT_THROW((void)FaultPlan::parse("fault:outage=1+2@r"),
+               util::SpecError);
+  EXPECT_THROW((void)FaultPlan::parse("fault:outage=1+2@r-1"),
+               util::SpecError);
+  EXPECT_THROW((void)FaultPlan::parse("fault:outage=1+2@r1.5"),
+               util::SpecError);
+}
+
+TEST(FaultPlan, ScopedToFiltersByProxyAndRegion) {
+  const FaultPlan plan = FaultPlan::parse(
+      "fault:outage=10+5@r0/10+5@p3/10+5,blackout=0+4@r1");
+  const net::FaultScope region0{3, 0};   // proxy 3 sits in region 0
+  const net::FaultScope region1{0, 1};   // proxy 0 sits in region 1
+  const FaultPlan for_r0 = plan.scoped_to(region0);
+  // Region-0 windows, the proxy-3 window, and the global window apply.
+  EXPECT_EQ(for_r0.outages().size(), 3u);
+  EXPECT_TRUE(for_r0.blackouts().empty());
+  const FaultPlan for_r1 = plan.scoped_to(region1);
+  // Only the global outage and the region-1 blackout apply.
+  EXPECT_EQ(for_r1.outages().size(), 1u);
+  EXPECT_EQ(for_r1.blackouts().size(), 1u);
+}
+
+TEST(FaultSchedule, StandaloneCompileIgnoresScopedWindows) {
+  // The default FaultScope (standalone: no proxy, no region) matches
+  // only global windows, so scoped plans stay inert in the single-cell
+  // simulator and the daemon without any call-site changes.
+  FaultSchedule s;
+  s.compile(FaultPlan::parse("fault:outage=0+1000@r0"), 4, 7);
+  EXPECT_FALSE(s.origin_down(0, 500.0));
+  FaultSchedule scoped;
+  scoped.compile(FaultPlan::parse("fault:outage=0+1000@r0"), 4, 7,
+                 net::FaultScope{0, 0});
+  EXPECT_TRUE(scoped.origin_down(0, 500.0));
+}
+
 // --------------------------------------------------------------- schedule
 
 TEST(FaultSchedule, OutageWindowsCutEveryPath) {
@@ -239,10 +303,11 @@ TEST(FaultSimulation, OutageDeniesRequestsAndKeepsOccupancyBounded) {
 TEST(FaultSimulation, ResultsIdenticalAcrossThreadCounts) {
   const auto scenario = core::constant_scenario();
   std::vector<core::SweepCell> cells;
-  cells.push_back(core::SweepCell{"pb", -1.0, 0.05, {}, kMeasuredOutage});
+  cells.push_back(core::SweepCell{"pb", -1.0, 0.05, {}, kMeasuredOutage, {}});
   cells.push_back(
-      core::SweepCell{"if", -1.0, 0.05, {}, "fault:degrade=14000+6000x0.3"});
-  cells.push_back(core::SweepCell{"pb", -1.0, 0.02, {}, {}});
+      core::SweepCell{"if", -1.0, 0.05, {},
+                      "fault:degrade=14000+6000x0.3", {}});
+  cells.push_back(core::SweepCell{"pb", -1.0, 0.02, {}, {}, {}});
 
   core::ExperimentConfig serial = chaos_config();
   serial.threads = 1;

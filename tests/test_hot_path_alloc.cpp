@@ -126,7 +126,7 @@ TEST(HotPathAllocations, SweepAllocationsDoNotScaleWithCellCount) {
     for (const char* policy : {"pb", "if", "lru"}) {
       for (std::size_t f = 1; f <= fractions; ++f) {
         cells.push_back(
-            core::SweepCell{policy, -1.0, 0.01 * static_cast<double>(f), {}, {}});
+            core::SweepCell{policy, -1.0, 0.01 * static_cast<double>(f), {}, {}, {}});
       }
     }
     return cells;
@@ -173,7 +173,7 @@ TEST(HotPathAllocations, TraceReplayLoadsOncePerGridNotPerCell) {
     for (const char* policy : {"pb", "if", "lru"}) {
       for (std::size_t f = 1; f <= fractions; ++f) {
         cells.push_back(core::SweepCell{
-            policy, -1.0, 0.01 * static_cast<double>(f), {}, {}});
+            policy, -1.0, 0.01 * static_cast<double>(f), {}, {}, {}});
       }
     }
     return cells;

@@ -207,7 +207,7 @@ TEST(MonoDispatch, TraceScenarioGridIdenticalWithAndWithoutMonomorphization) {
   std::vector<core::SweepCell> cells;
   for (const char* policy : {"pb", "ib", "lru"}) {
     for (const char* mode : {"full", "trace", "empirical"}) {
-      cells.push_back(core::SweepCell{policy, -1.0, 0.05, mode, {}});
+      cells.push_back(core::SweepCell{policy, -1.0, 0.05, mode, {}, {}});
     }
   }
 
@@ -232,7 +232,7 @@ TEST(MonoDispatch, SweepGridIdenticalWithAndWithoutMonomorphization) {
   std::vector<core::SweepCell> cells;
   for (const char* policy : {"pb", "ib", "lru"}) {
     for (const double fraction : {0.01, 0.05}) {
-      cells.push_back(core::SweepCell{policy, -1.0, fraction, {}, {}});
+      cells.push_back(core::SweepCell{policy, -1.0, fraction, {}, {}, {}});
     }
   }
   const auto scenario = core::measured_variability_scenario();

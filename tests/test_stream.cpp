@@ -265,8 +265,8 @@ TEST(StreamedSimulation, SweepSharesOneStreamPerAlphaRun) {
   SweepRunner runner(cfg, constant_scenario());
   std::vector<SweepCell> cells;
   for (const char* policy : {"pb", "if"}) {
-    cells.push_back(SweepCell{policy, 0.73, 0.02, {}, {}});
-    cells.push_back(SweepCell{policy, 1.0, 0.02, {}, {}});
+    cells.push_back(SweepCell{policy, 0.73, 0.02, {}, {}, {}});
+    cells.push_back(SweepCell{policy, 1.0, 0.02, {}, {}, {}});
   }
   SweepStats stats;
   (void)runner.run(cells, &stats);

@@ -32,7 +32,7 @@ std::vector<SweepCell> fig5_shaped_cells() {
   std::vector<SweepCell> cells;
   for (const char* policy : {"if", "pb", "ib"}) {
     for (const double fraction : {0.01, 0.05}) {
-      cells.push_back(SweepCell{policy, -1.0, fraction, {}, {}});
+      cells.push_back(SweepCell{policy, -1.0, fraction, {}, {}, {}});
     }
   }
   return cells;
@@ -142,7 +142,7 @@ TEST(SweepRunner, StatsCountWorkloadsAndModels) {
   std::vector<SweepCell> cells;
   for (const char* policy : {"pb", "ib"}) {
     for (const double alpha : {0.6, 1.1}) {
-      cells.push_back(SweepCell{policy, alpha, 0.05, {}, {}});
+      cells.push_back(SweepCell{policy, alpha, 0.05, {}, {}, {}});
     }
   }
   SweepStats stats;
@@ -157,8 +157,8 @@ TEST(SweepRunner, AlphaCellsShareNothingAcrossDistinctAlphas) {
   // Different alphas are different workloads: metrics must differ.
   const auto scenario = constant_scenario();
   std::vector<SweepCell> cells;
-  cells.push_back(SweepCell{"pb", 0.5, 0.05, {}, {}});
-  cells.push_back(SweepCell{"pb", 1.2, 0.05, {}, {}});
+  cells.push_back(SweepCell{"pb", 0.5, 0.05, {}, {}, {}});
+  cells.push_back(SweepCell{"pb", 1.2, 0.05, {}, {}, {}});
   const auto r = SweepRunner(small_config(), scenario).run(cells);
   EXPECT_NE(r[0].traffic_reduction, r[1].traffic_reduction);
 }
@@ -184,9 +184,9 @@ TEST(SweepRunner, TraceReplaySharesOneWorkloadAcrossEverything) {
   ASSERT_EQ(scenario.replay->requests.size(), w.requests.size());
 
   std::vector<SweepCell> cells;
-  cells.push_back(SweepCell{"pb", -1.0, 0.05, {}, {}});
-  cells.push_back(SweepCell{"pb", 0.9, 0.05, {}, {}});  // alpha is ignored
-  cells.push_back(SweepCell{"ib", -1.0, 0.02, {}, {}});
+  cells.push_back(SweepCell{"pb", -1.0, 0.05, {}, {}, {}});
+  cells.push_back(SweepCell{"pb", 0.9, 0.05, {}, {}, {}});  // alpha is ignored
+  cells.push_back(SweepCell{"ib", -1.0, 0.02, {}, {}, {}});
   SweepStats stats;
   const auto r = SweepRunner(small_config(), scenario).run(cells, &stats);
   ASSERT_EQ(r.size(), cells.size());
@@ -245,7 +245,7 @@ TEST(SweepRunner, RejectsZeroRuns) {
 
 TEST(SweepRunner, BadPolicySpecFailsEagerly) {
   std::vector<SweepCell> cells;
-  cells.push_back(SweepCell{"no-such-policy", -1.0, 0.05, {}, {}});
+  cells.push_back(SweepCell{"no-such-policy", -1.0, 0.05, {}, {}, {}});
   SweepRunner runner(small_config(), constant_scenario());
   EXPECT_THROW((void)runner.run(cells), util::SpecError);
 }

@@ -5,6 +5,7 @@
 #include "util/cli.h"
 #include "util/csv.h"
 #include "util/log.h"
+#include "util/spec.h"
 #include "util/table.h"
 
 namespace sc::util {
@@ -42,6 +43,48 @@ TEST(Cli, BooleanValueParsing) {
   EXPECT_TRUE(cli.get_or("b", false));
   EXPECT_FALSE(cli.get_or("c", true));
   EXPECT_FALSE(cli.get_or("d", true));
+}
+
+TEST(Cli, MalformedNumericFlagsNameTheFlag) {
+  // Regression: the numeric getters used to call std::stod/std::stoll
+  // directly, so "--threads=abc" aborted with a raw std::invalid_argument
+  // naming no flag (and "1.5x" silently dropped its trailing junk).
+  const char* argv[] = {"prog", "--alpha=abc", "--runs=12x",
+                        "--rate=1.5x", "--huge=99999999999999999999"};
+  const Cli cli(5, argv);
+  try {
+    (void)cli.get_or("alpha", 0.0);
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("--alpha"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("abc"), std::string::npos);
+  }
+  EXPECT_THROW((void)cli.get_or("rate", 0.0), SpecError);
+  try {
+    (void)cli.get_or("runs", 0LL);
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("--runs"), std::string::npos)
+        << e.what();
+  }
+  // Out-of-range integers get their own message, still naming the flag.
+  try {
+    (void)cli.get_or("huge", 0LL);
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("--huge"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos);
+  }
+}
+
+TEST(Cli, WellFormedNumericFlagsStillParse) {
+  const char* argv[] = {"prog", "--alpha=0.75", "--runs=-3", "--sci=1e3"};
+  const Cli cli(4, argv);
+  EXPECT_DOUBLE_EQ(cli.get_or("alpha", 0.0), 0.75);
+  EXPECT_EQ(cli.get_or("runs", 0LL), -3);
+  EXPECT_DOUBLE_EQ(cli.get_or("sci", 0.0), 1000.0);
 }
 
 TEST(Cli, DoubleDashStopsFlagParsing) {

@@ -34,6 +34,14 @@ may not exceed baseline * (1 + max_regression) plus
 --recovery-slack-s (default 1.0 wall seconds). Neither gate listens
 to SC_PERF_WARN_ONLY: the slack terms already absorb runner noise.
 
+Recovery baselines are floored at --recovery-floor-s (default 0.25,
+the measurement's bucket resolution) before the multiplicative term:
+older trajectories recorded a literal 0.0 when the first bucket
+already recovered, which would make `baseline * (1 + max_regression)`
+identically zero and reduce the gate to the absolute slack alone.
+The floor restores the intended proportional allowance without
+rewriting committed records.
+
 `warm_recovery_s` (the kill -9 crash drill: wall seconds for a
 restarted daemon's hit ratio to return to 90% of pre-crash, warm from
 its snapshot + journal) is gated exactly like recovery_s, sharing
@@ -41,6 +49,14 @@ its snapshot + journal) is gated exactly like recovery_s, sharing
 `cold_recovery_s`, warm must additionally stay strictly below cold
 (the same invariant bench_chaos enforces at runtime) — a warm restart
 no faster than a cold one means persistence restored nothing.
+
+Fleet records (BENCH_fleet.json) carry `load_imbalance` (max/mean of
+per-proxy measured request counts; 1.0 = perfectly balanced). When
+the baseline has the field, fresh load_imbalance may not exceed
+baseline * (1 + max_regression) plus --imbalance-slack (absolute,
+default 0.1). The sharding layer is deterministic, so the gate is
+hard regardless of SC_PERF_WARN_ONLY: a jump means the consistent-
+hash ring or the assignment layer changed shape, not noise.
 
 Records carry the resolved `lto` build flag. A mismatch never softens
 the gate — it is reported, but both directions stay hard: a fresh
@@ -89,6 +105,8 @@ def main(argv):
     rss_slack_mb = 16.0
     error_rate_slack = 0.05
     recovery_slack_s = 1.0
+    recovery_floor_s = 0.25
+    imbalance_slack = 0.1
     for a in argv[1:]:
         if a.startswith("--max-regression="):
             max_regression = float(a.split("=", 1)[1])
@@ -100,11 +118,16 @@ def main(argv):
             error_rate_slack = float(a.split("=", 1)[1])
         elif a.startswith("--recovery-slack-s="):
             recovery_slack_s = float(a.split("=", 1)[1])
+        elif a.startswith("--recovery-floor-s="):
+            recovery_floor_s = float(a.split("=", 1)[1])
+        elif a.startswith("--imbalance-slack="):
+            imbalance_slack = float(a.split("=", 1)[1])
         elif a.startswith("--"):
             sys.exit(f"error: unknown flag {a.split('=', 1)[0]} "
                      "(known: --max-regression=FRACTION, "
                      "--max-rss-regression=FRACTION, --rss-slack-mb=MB, "
-                     "--error-rate-slack=FRACTION, --recovery-slack-s=S)")
+                     "--error-rate-slack=FRACTION, --recovery-slack-s=S, "
+                     "--recovery-floor-s=S, --imbalance-slack=ABS)")
 
     fresh = load_record(args[0])
     base = load_record(args[1])
@@ -194,6 +217,12 @@ def main(argv):
     else:
         rec_fresh = require(fresh, "recovery_s", args[0])
         rec_base = require(base, "recovery_s", args[1])
+        if rec_base < recovery_floor_s:
+            print(f"note: recovery_s baseline {rec_base:.3f} floored at "
+                  f"{recovery_floor_s:.2f} s (measurement bucket "
+                  "resolution; a 0.0 baseline would degenerate the "
+                  "proportional gate)")
+            rec_base = recovery_floor_s
         allowed = rec_base * (1.0 + max_regression) + recovery_slack_s
         print(f"recovery_s: fresh {rec_fresh:.3f} vs baseline "
               f"{rec_base:.3f} (allowed {allowed:.3f})")
@@ -217,6 +246,12 @@ def main(argv):
     else:
         warm_fresh = require(fresh, "warm_recovery_s", args[0])
         warm_base = require(base, "warm_recovery_s", args[1])
+        if warm_base < recovery_floor_s:
+            print(f"note: warm_recovery_s baseline {warm_base:.3f} floored "
+                  f"at {recovery_floor_s:.2f} s (measurement bucket "
+                  "resolution; a 0.0 baseline would degenerate the "
+                  "proportional gate)")
+            warm_base = recovery_floor_s
         allowed = warm_base * (1.0 + max_regression) + recovery_slack_s
         print(f"warm_recovery_s: fresh {warm_fresh:.3f} vs baseline "
               f"{warm_base:.3f} (allowed {allowed:.3f})")
@@ -237,6 +272,26 @@ def main(argv):
                       "snapshot/journal restored nothing — gate ignores "
                       "SC_PERF_WARN_ONLY)")
                 failed = True
+
+    # Fleet gate (BENCH_fleet.json): load_imbalance is max/mean of
+    # per-proxy measured request counts — deterministic given the
+    # sharding config and seed, so the gate stays hard.
+    if "load_imbalance" not in base:
+        print("note: baseline has no load_imbalance field; fleet balance "
+              "gate skipped")
+    else:
+        li_fresh = require(fresh, "load_imbalance", args[0])
+        li_base = require(base, "load_imbalance", args[1])
+        allowed = li_base * (1.0 + max_regression) + imbalance_slack
+        print(f"load_imbalance: fresh {li_fresh:.4f} vs baseline "
+              f"{li_base:.4f} (allowed {allowed:.4f})")
+        if li_fresh > allowed:
+            print(f"error: load_imbalance regressed to {li_fresh:.4f} "
+                  f"(> {allowed:.4f} allowed = baseline "
+                  f"+{max_regression * 100:.0f}% +{imbalance_slack:.2f} "
+                  "absolute; the sharding layer is deterministic — gate "
+                  "ignores SC_PERF_WARN_ONLY)")
+            failed = True
 
     if failed:
         return 1

@@ -256,8 +256,9 @@ class CheckPerfTest(unittest.TestCase):
         self.assertIn("ignores SC_PERF_WARN_ONLY", out)
 
     def test_warm_gate_respects_recovery_slack_flag(self):
+        # Floored baseline allows 0.25 * 1.25 + 0.5 = 0.8125 s.
         code, _ = self.run_main(
-            record(warm_recovery_s=0.8, cold_recovery_s=5.0),
+            record(warm_recovery_s=0.9, cold_recovery_s=5.0),
             record(warm_recovery_s=0.0),
             "--recovery-slack-s=0.5")
         self.assertEqual(code, 1)
@@ -266,6 +267,83 @@ class CheckPerfTest(unittest.TestCase):
         with self.assertRaises(SystemExit) as ctx:
             self.run_main(record(), record(warm_recovery_s=0.0))
         self.assertIn("warm_recovery_s", str(ctx.exception))
+
+    # ---- zero-baseline recovery floor ---------------------------------
+
+    def test_zero_recovery_baseline_is_floored_not_degenerate(self):
+        # Committed records predating the bucket-upper-edge fix hold a
+        # literal 0.0; the proportional term must floor at the bucket
+        # resolution instead of collapsing to the absolute slack alone.
+        code, out = self.run_main(
+            record(error_rate=0.0, recovery_s=1.3),
+            record(error_rate=0.0, recovery_s=0.0))
+        self.assertEqual(code, 0)
+        self.assertIn("recovery_s baseline 0.000 floored at 0.25", out)
+
+    def test_floored_recovery_baseline_still_gates(self):
+        # allowed = 0.25 * 1.25 + 1.0 = 1.3125 — just past it fails.
+        code, out = self.run_main(
+            record(error_rate=0.0, recovery_s=1.4),
+            record(error_rate=0.0, recovery_s=0.0))
+        self.assertEqual(code, 1)
+        self.assertIn("recovery_s regressed", out)
+
+    def test_zero_warm_recovery_baseline_is_floored(self):
+        code, out = self.run_main(
+            record(warm_recovery_s=1.3, cold_recovery_s=5.0),
+            record(warm_recovery_s=0.0))
+        self.assertEqual(code, 0)
+        self.assertIn("warm_recovery_s baseline 0.000 floored at 0.25", out)
+        code, _ = self.run_main(
+            record(warm_recovery_s=1.4, cold_recovery_s=5.0),
+            record(warm_recovery_s=0.0))
+        self.assertEqual(code, 1)
+
+    def test_recovery_floor_flag_is_respected(self):
+        code, _ = self.run_main(
+            record(error_rate=0.0, recovery_s=3.0),
+            record(error_rate=0.0, recovery_s=0.0),
+            "--recovery-floor-s=2.0")
+        self.assertEqual(code, 0)
+
+    def test_above_floor_baseline_is_untouched(self):
+        code, out = self.run_main(
+            record(error_rate=0.0, recovery_s=0.5),
+            record(error_rate=0.0, recovery_s=0.5))
+        self.assertEqual(code, 0)
+        self.assertNotIn("floored", out)
+
+    # ---- fleet load-imbalance gate ------------------------------------
+
+    def test_imbalance_gate_skipped_when_baseline_lacks_field(self):
+        code, out = self.run_main(record(load_imbalance=9.0), record())
+        self.assertEqual(code, 0)
+        self.assertIn("fleet balance gate skipped", out)
+
+    def test_imbalance_within_allowance_passes(self):
+        # allowed = 1.1 * 1.25 + 0.1 = 1.475
+        code, _ = self.run_main(record(load_imbalance=1.4),
+                                record(load_imbalance=1.1))
+        self.assertEqual(code, 0)
+
+    def test_imbalance_regression_fails(self):
+        code, out = self.run_main(record(load_imbalance=3.0),
+                                  record(load_imbalance=1.1))
+        self.assertEqual(code, 1)
+        self.assertIn("load_imbalance regressed", out)
+
+    def test_imbalance_gate_stays_hard_under_warn_only(self):
+        os.environ["SC_PERF_WARN_ONLY"] = "1"
+        code, out = self.run_main(record(load_imbalance=3.0),
+                                  record(load_imbalance=1.1))
+        self.assertEqual(code, 1)
+        self.assertIn("ignores SC_PERF_WARN_ONLY", out)
+
+    def test_imbalance_slack_flag_is_respected(self):
+        code, _ = self.run_main(record(load_imbalance=1.4),
+                                record(load_imbalance=1.1),
+                                "--imbalance-slack=0.0")
+        self.assertEqual(code, 1)
 
     # ---- baseline trajectory arrays -----------------------------------
 
